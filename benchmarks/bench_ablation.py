@@ -1,0 +1,190 @@
+"""Ablations of the accelerator's design choices.
+
+Quantifies the decisions DESIGN.md calls out:
+
+1. field serializer unit count (Section 4.5.4's parallel FSU pool);
+2. on-chip context stack depth (Section 3.8's depth-25 sizing) on a
+   deeply nested workload;
+3. the ADT entry cache (our behavioral stand-in for the RTL's ADT-load
+   pipelining) on a many-type workload;
+4. batched operation with prefetch (hide_startup) vs one-at-a-time
+   dispatch (Section 4.4.1's batching support).
+
+Each ablation also reports the ASIC area cost of the varied resource.
+"""
+
+from repro.accel.asic_model import AsicModel
+from repro.accel.deserializer import DeserTimingParams, DeserializerUnit
+from repro.accel.driver import ProtoAccelerator
+from repro.bench.microbench import build_microbench
+from repro.hyperprotobench import build_hyperprotobench
+from repro.proto import parse_schema
+from repro.soc.config import SoCConfig
+
+from conftest import register_table
+
+
+def _fsu_ablation() -> list[str]:
+    workload = build_microbench("varint-5-R", batch=8)
+    lines = ["FSU count ablation (varint-5-R serialization):",
+             f"{'FSUs':>6} {'cycles':>12} {'ser area mm^2':>14}"]
+    for units in (1, 2, 4, 8):
+        accel = ProtoAccelerator(config=SoCConfig(
+            field_serializer_units=units))
+        accel.register_types([workload.descriptor])
+        addresses = [accel.load_object(m) for m in workload.messages]
+        _, stats = accel.serialize_batch(workload.descriptor, addresses)
+        area = AsicModel(num_field_serializer_units=units).serializer
+        lines.append(f"{units:>6} {stats.cycles:>12.0f} "
+                     f"{area.area_mm2:>14.3f}")
+    return lines
+
+
+def _stack_depth_ablation() -> list[str]:
+    schema = parse_schema(
+        "message Deep { optional Deep next = 1; optional int32 v = 2; }")
+    message = schema["Deep"].new_message()
+    node = message
+    for level in range(40):
+        node["v"] = level
+        node = node.mutable("next")
+    node["v"] = -1
+    data = message.serialize()
+    lines = ["", "Context stack depth ablation (depth-41 message deser):",
+             f"{'depth':>6} {'cycles':>12} {'spills':>8} "
+             f"{'deser area mm^2':>16}"]
+    for depth in (4, 12, 25, 64):
+        accel = ProtoAccelerator(config=SoCConfig(
+            context_stack_depth=depth))
+        accel.register_schema(schema)
+        stats = accel.deserialize(schema["Deep"], data).stats
+        area = AsicModel(context_stack_depth=depth).deserializer
+        lines.append(f"{depth:>6} {stats.cycles:>12.0f} "
+                     f"{stats.stack_spills:>8} {area.area_mm2:>16.3f}")
+    lines.append("Section 3.8: depth 25 covers 99.999% of fleet bytes, so")
+    lines.append("spilling beyond it is rare in practice.")
+    return lines
+
+
+def _adt_cache_ablation() -> list[str]:
+    workload = build_hyperprotobench("bench3", batch=4)
+    data = [m.serialize() for m in workload.messages]
+    lines = ["", "ADT entry cache ablation (bench3, many message types):",
+             f"{'entries':>8} {'cycles':>12} {'hit rate':>10}"]
+    for entries in (4, 16, 64, 256):
+        accel = ProtoAccelerator()
+        accel.deserializer.params = DeserTimingParams(
+            adt_cache_entries=entries)
+        accel.deserializer._adt_cache = type(
+            accel.deserializer._adt_cache)(entries)
+        accel.register_types([workload.descriptor])
+        _, stats = accel.deserialize_batch(workload.descriptor, data)
+        total = stats.adt_cache_hits + stats.adt_cache_misses
+        rate = stats.adt_cache_hits / total if total else 1.0
+        lines.append(f"{entries:>8} {stats.cycles:>12.0f} "
+                     f"{rate * 100:>9.1f}%")
+    return lines
+
+
+def _varint_width_ablation() -> list[str]:
+    """A wider packed-varint decoder: Section 4.4.4's combinational unit
+    handles one varint per cycle; speculative multi-varint decode is a
+    natural what-if."""
+    workload = build_microbench("varint-2-R", batch=8)
+    # Force the packed encoding for this ablation workload.
+    lines = ["", "Packed-varint decode width ablation (varint-2-R deser):",
+             f"{'varints/cycle':>14} {'cycles':>12}"]
+    buffers = None
+    for width in (1.0, 2.0, 4.0):
+        accel = ProtoAccelerator()
+        accel.deserializer.params = DeserTimingParams(
+            packed_varints_per_cycle=width)
+        accel.register_types([workload.descriptor])
+        if buffers is None:
+            import repro.proto.wire as wire_mod
+            from repro.proto.varint import encode_varint
+            from repro.proto.types import WireType
+            buffers = []
+            for message in workload.messages:
+                out = bytearray()
+                for fd in message.descriptor.fields:
+                    payload = bytearray()
+                    for value in message[fd.name]:
+                        payload += encode_varint(value)
+                    out += wire_mod.encode_tag(
+                        fd.number, WireType.LENGTH_DELIMITED)
+                    out += encode_varint(len(payload)) + payload
+                buffers.append(bytes(out))
+        _, stats = accel.deserialize_batch(workload.descriptor, buffers)
+        lines.append(f"{width:>14.0f} {stats.cycles:>12.0f}")
+    return lines
+
+
+def _hasbits_ablation() -> list[str]:
+    """Sparse vs dense hasbits (Sections 3.7/4.2): bits the serializer
+    frontend moves per instance under each layout."""
+    from repro.accel.hasbits import compare
+    from repro.hyperprotobench import build_hyperprotobench
+
+    lines = ["", "Hasbits layout ablation (bits moved per serialization):",
+             f"{'workload':<10} {'sparse':>8} {'dense':>8} "
+             f"{'sparse wins':>12}"]
+    for name in ("bench0", "bench2", "bench4"):
+        workload = build_hyperprotobench(name, batch=12)
+        sparse_total = 0.0
+        dense_total = 0.0
+        wins = 0
+        for message in workload.messages:
+            result = compare(message.descriptor,
+                             len(message.present_field_numbers()))
+            sparse_total += result["sparse_bits"]
+            dense_total += result["dense_bits"]
+            wins += int(result["sparse_wins"])
+        count = len(workload.messages)
+        lines.append(f"{name:<10} {sparse_total / count:>8.0f} "
+                     f"{dense_total / count:>8.0f} "
+                     f"{wins}/{count:>6}")
+    lines.append("Dense packing would add a 32-bit mapping read per "
+                 "handled field (Sec 4.2);")
+    lines.append("fleet density (Fig 7) keeps the sparse layout ahead "
+                 "almost everywhere.")
+    return lines
+
+
+def _batching_ablation() -> list[str]:
+    workload = build_microbench("varint-3", batch=16)
+    data = [m.serialize() for m in workload.messages]
+    lines = ["", "Batching ablation (varint-3 deserialization):"]
+    accel = ProtoAccelerator()
+    accel.register_types([workload.descriptor])
+    serial_cycles = sum(
+        accel.deserialize(workload.descriptor, buffer).stats.cycles
+        for buffer in data)
+    accel = ProtoAccelerator()
+    accel.register_types([workload.descriptor])
+    prefetch_cycles = sum(
+        accel.deserialize(workload.descriptor, buffer,
+                          hide_startup=index > 0).stats.cycles
+        for index, buffer in enumerate(data))
+    lines.append(f"  one-at-a-time dispatch: {serial_cycles:>10.0f} cycles")
+    lines.append(f"  batched w/ stream prefetch: {prefetch_cycles:>6.0f} "
+                 "cycles")
+    lines.append(f"  batching benefit: "
+                 f"{serial_cycles / prefetch_cycles:.2f}x")
+    return lines
+
+
+def _run() -> str:
+    lines = _fsu_ablation()
+    lines += _stack_depth_ablation()
+    lines += _adt_cache_ablation()
+    lines += _varint_width_ablation()
+    lines += _hasbits_ablation()
+    lines += _batching_ablation()
+    return "\n".join(lines)
+
+
+def test_design_ablation(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    register_table("Design-choice ablations", table)
+    assert "FSU count" in table

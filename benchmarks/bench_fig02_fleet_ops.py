@@ -1,0 +1,15 @@
+"""Figure 2: fleet C++ protobuf cycles by operation, plus the Section 3.2-3.4 scalar statistics.
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_fig02_fleet_ops(benchmark):
+    table = benchmark.pedantic(lambda: figures.figure2(), rounds=1,
+                               iterations=1)
+    register_table('Figure 2 + Section 3.2-3.4 scalars', table)
+    assert 'deserialize' in table

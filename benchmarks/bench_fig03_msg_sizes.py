@@ -1,0 +1,15 @@
+"""Figure 3: fleet-wide top-level message size distribution (published + Monte Carlo re-derivation).
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_fig03_msg_sizes(benchmark):
+    table = benchmark.pedantic(lambda: figures.figure3(), rounds=1,
+                               iterations=1)
+    register_table('Figure 3: message size distribution', table)
+    assert 'cumulative' in table

@@ -1,0 +1,15 @@
+"""Figures 4a/4b/4c: field-type and bytes-field breakdowns.
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_fig04_field_types(benchmark):
+    table = benchmark.pedantic(lambda: figures.figure4(), rounds=1,
+                               iterations=1)
+    register_table('Figure 4: field type breakdowns', table)
+    assert 'varint-like total' in table

@@ -1,0 +1,22 @@
+"""Figures 5 and 6: the 24-slice bytes-to-cycles attribution model."""
+
+from repro.bench.figures import figure5_6
+from repro.fleet.cycle_model import CycleAttributionModel
+
+from conftest import register_table
+
+
+def test_fig05_deser_time_model(benchmark):
+    model = CycleAttributionModel()
+    table = benchmark.pedantic(lambda: figure5_6("deserialize", model),
+                               rounds=1, iterations=1)
+    register_table("Figure 5: deserialization cycle attribution", table)
+    assert "varint" in table
+
+
+def test_fig06_ser_time_model(benchmark):
+    model = CycleAttributionModel()
+    table = benchmark.pedantic(lambda: figure5_6("serialize", model),
+                               rounds=1, iterations=1)
+    register_table("Figure 6: serialization cycle attribution", table)
+    assert "bytes" in table

@@ -1,0 +1,15 @@
+"""Figure 7: field-number usage density and the Section 3.7 ADT break-even argument.
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_fig07_density(benchmark):
+    table = benchmark.pedantic(lambda: figures.figure7(), rounds=1,
+                               iterations=1)
+    register_table('Figure 7: field-number usage density', table)
+    assert '1/64' in table

@@ -1,0 +1,15 @@
+"""Figure 11a: deserialization microbenchmarks, non-allocating types (paper: accel 7.0x BOOM, 2.6x Xeon).
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_fig11a_deser_nonalloc(benchmark):
+    table = benchmark.pedantic(lambda: figures.figure11("11a"), rounds=1,
+                               iterations=1)
+    register_table('Figure 11a', table)
+    assert 'varint-10' in table

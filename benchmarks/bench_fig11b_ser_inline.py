@@ -1,0 +1,15 @@
+"""Figure 11b: serialization microbenchmarks, inline types (paper: accel 15.5x BOOM, 4.5x Xeon).
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_fig11b_ser_inline(benchmark):
+    table = benchmark.pedantic(lambda: figures.figure11("11b"), rounds=1,
+                               iterations=1)
+    register_table('Figure 11b', table)
+    assert 'geomean' in table

@@ -1,0 +1,15 @@
+"""Figure 11c: deserialization microbenchmarks, allocating types (paper: accel 14.2x BOOM, 6.9x Xeon).
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_fig11c_deser_alloc(benchmark):
+    table = benchmark.pedantic(lambda: figures.figure11("11c"), rounds=1,
+                               iterations=1)
+    register_table('Figure 11c', table)
+    assert 'string_very_long' in table

@@ -1,0 +1,15 @@
+"""Figure 11d: serialization microbenchmarks, non-inline types (paper: accel 10.1x BOOM, 2.8x Xeon).
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_fig11d_ser_noninline(benchmark):
+    table = benchmark.pedantic(lambda: figures.figure11("11d"), rounds=1,
+                               iterations=1)
+    register_table('Figure 11d', table)
+    assert 'string_very_long' in table

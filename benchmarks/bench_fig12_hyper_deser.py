@@ -1,0 +1,15 @@
+"""Figure 12: HyperProtoBench deserialization on all three systems.
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_fig12_hyper_deser(benchmark):
+    table = benchmark.pedantic(lambda: figures.figure12(), rounds=1,
+                               iterations=1)
+    register_table('Figure 12', table)
+    assert 'bench5' in table

@@ -1,0 +1,15 @@
+"""Figure 13: HyperProtoBench serialization on all three systems.
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_fig13_hyper_ser(benchmark):
+    table = benchmark.pedantic(lambda: figures.figure13(), rounds=1,
+                               iterations=1)
+    register_table('Figure 13', table)
+    assert 'bench0' in table

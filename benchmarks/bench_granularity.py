@@ -1,0 +1,72 @@
+"""Offload granularity (Section 3.5).
+
+Sweeps message size across the fleet's range and reports deserialization
+throughput on all three systems, alongside Figure 3's population shares:
+the accelerator must win at *small* sizes, because 93% of fleet messages
+are under 512 B even though the [32769, inf) bucket carries most bytes.
+Near-core dispatch overhead is what makes that possible (contrast
+bench_placement.py, where PCIe dispatch erases it).
+"""
+
+from repro.bench.microbench import build_microbench
+from repro.bench.runner import SYSTEMS, Workload, run_deserialization
+from repro.fleet.distributions import MESSAGE_SIZE_BUCKETS
+from repro.proto.descriptor import FieldDescriptor, MessageDescriptor
+from repro.proto.types import FieldType
+
+from conftest import register_table
+
+_SIZES = (8, 32, 128, 512, 2048, 8192, 32768)
+_BATCH = 12
+
+
+def _sized_workload(payload_bytes: int) -> Workload:
+    """One string-carrying message tuned to a target encoded size."""
+    descriptor = MessageDescriptor(
+        f"Sized{payload_bytes}",
+        [FieldDescriptor(name="id", number=1, field_type=FieldType.INT64),
+         FieldDescriptor(name="body", number=2,
+                         field_type=FieldType.STRING)])
+    messages = []
+    for index in range(_BATCH):
+        message = descriptor.new_message()
+        message["id"] = index
+        message["body"] = "x" * max(payload_bytes - 8, 1)
+        messages.append(message)
+    return Workload(f"~{payload_bytes}B", descriptor, messages)
+
+
+def _population_share(size: int) -> float:
+    for bucket in MESSAGE_SIZE_BUCKETS:
+        if bucket.contains(size):
+            return bucket.share
+    return 0.0
+
+
+def _run() -> str:
+    header = (f"{'msg size':>9} {'fleet %':>8}"
+              + "".join(f"{system:>18}" for system in SYSTEMS)
+              + f"{'accel/BOOM':>12}")
+    lines = [header, "-" * len(header)]
+    for size in _SIZES:
+        result = run_deserialization(_sized_workload(size))
+        row = f"{size:>8}B {_population_share(size) * 100:>7.1f}%"
+        for system in SYSTEMS:
+            row += f"{result.gbps(system):>18.2f}"
+        row += f"{result.speedup('riscv-boom-accel'):>11.1f}x"
+        lines.append(row)
+    lines.append("")
+    lines.append("Deserialization Gbit/s by encoded message size.  The "
+                 "advantage is largest")
+    lines.append("exactly where the fleet's messages are (Figure 3: 93% "
+                 "under 512 B) and")
+    lines.append("narrows toward pure memcpy at bulk sizes -- the "
+                 "granularity argument for")
+    lines.append("low-overhead, near-core offload (Section 3.5).")
+    return "\n".join(lines)
+
+
+def test_offload_granularity(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    register_table("Offload granularity (Section 3.5)", table)
+    assert "fleet %" in table

@@ -1,0 +1,15 @@
+"""Section 5.1.3: overall microbenchmark geomeans (paper: 11.2x vs BOOM, 3.8x vs Xeon).
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_sec513_overall(benchmark):
+    table = benchmark.pedantic(lambda: figures.section513(), rounds=1,
+                               iterations=1)
+    register_table('Section 5.1.3: overall microbenchmark geomeans', table)
+    assert 'overall geomean' in table

@@ -1,0 +1,15 @@
+"""Section 5.3: ASIC critical path and area in 22 nm FinFET.
+
+Thin wrapper over :mod:`repro.bench.figures`.
+"""
+
+from repro.bench import figures
+
+from conftest import register_table
+
+
+def test_sec53_asic(benchmark):
+    table = benchmark.pedantic(lambda: figures.section53(), rounds=1,
+                               iterations=1)
+    register_table('Section 5.3: ASIC area and frequency', table)
+    assert 'deserializer' in table

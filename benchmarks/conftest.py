@@ -1,0 +1,38 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation and registers its rows here; a terminal-summary hook prints
+every registered table after the pytest-benchmark timing summary, and a
+copy is written under ``results/`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_TABLES: list[tuple[str, str]] = []
+
+_RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def register_table(name: str, text: str) -> None:
+    """Record one regenerated figure/table for the summary printout."""
+    _TABLES.append((name, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    safe = name.replace(" ", "_").replace("/", "-").lower()
+    (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("Regenerated paper figures/tables "
+                                "(also saved under results/)")
+    terminalreporter.write_line("=" * 72)
+    for name, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Generate HyperProtoBench and run it on all three systems.
+
+Writes each generated benchmark's .proto schema next to this script
+(mirroring the open-source HyperProtoBench release) and prints the
+Figure 12/13 comparison for a small batch.
+
+Run:  python examples/hyperprotobench_demo.py
+"""
+
+import pathlib
+
+from repro.bench.report import format_results_table, speedup_summary
+from repro.bench.runner import Workload, run_deserialization, run_serialization
+from repro.hyperprotobench import bench_names
+from repro.hyperprotobench.workload import generate_bench
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "generated_protos"
+
+
+def main():
+    OUT_DIR.mkdir(exist_ok=True)
+    deser_results, ser_results = [], []
+    for name in bench_names():
+        bench = generate_bench(name, batch=8)
+        proto_path = OUT_DIR / f"{name}.proto"
+        proto_path.write_text(bench.proto_source)
+        types = len(bench.schema.messages())
+        avg_bytes = (sum(len(m.serialize()) for m in bench.messages)
+                     // len(bench.messages))
+        print(f"{name}: {types} message types, "
+              f"avg {avg_bytes} wire bytes/message -> {proto_path.name}")
+        workload = Workload(bench.name, bench.root, bench.messages)
+        deser_results.append(run_deserialization(workload))
+        ser_results.append(run_serialization(workload))
+
+    print()
+    print(format_results_table(deser_results,
+                               "HyperProtoBench deserialization (Gbit/s)"))
+    print(speedup_summary(deser_results))
+    print()
+    print(format_results_table(ser_results,
+                               "HyperProtoBench serialization (Gbit/s)"))
+    print(speedup_summary(ser_results))
+
+
+if __name__ == "__main__":
+    main()

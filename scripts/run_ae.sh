@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Artifact-evaluation runner (the Appendix A.5 workflow, minus the FPGAs):
+# install, run the full test suite, regenerate every paper figure/table,
+# and leave the outputs where EXPERIMENTS.md expects them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== installing (editable) =="
+pip install -e . --no-build-isolation 2>/dev/null || python setup.py develop
+
+echo "== test suite =="
+python -m pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== figure regeneration =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== done =="
+echo "figure tables: results/   logs: test_output.txt bench_output.txt"

@@ -1,0 +1,18 @@
+"""Python reproduction of "A Hardware Accelerator for Protocol Buffers".
+
+The package is organised as one subpackage per subsystem of the paper:
+
+- :mod:`repro.proto` -- a from-scratch proto2 implementation (schema parser,
+  wire format, software serializer/deserializer, arenas).
+- :mod:`repro.memory` -- a simulated flat memory holding C++-faithful object
+  images (message layout, ``std::string`` with SSO, repeated fields).
+- :mod:`repro.soc` -- RoCC command interface, TLB and bus models.
+- :mod:`repro.accel` -- the protobuf accelerator: ADTs, sparse hasbits,
+  memloader, deserializer and serializer units, and the ASIC model.
+- :mod:`repro.cpu` -- mechanistic BOOM and Xeon software cost models.
+- :mod:`repro.fleet` -- the fleet profiling study (Section 3 of the paper).
+- :mod:`repro.hyperprotobench` -- the synthetic benchmark generator.
+- :mod:`repro.bench` -- the evaluation harness regenerating every figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,41 @@
+"""The protobuf accelerator (Section 4 of the paper).
+
+A behavioral, cycle-approximate model of the RTL design: the deserializer
+unit (Figure 9) and serializer unit (Figure 10), programmed with
+per-message-type Accelerator Descriptor Tables and driven by RoCC custom
+instructions.  The units operate on real bytes in simulated memory -- wire
+buffers in, C++ object images out (and vice versa) -- so functional
+correctness is checked against the software protobuf library bit-for-bit,
+while cycle accounting follows the documented datapath (single-cycle
+combinational varint units, a 16 B/cycle memloader window, dependent-access
+latencies for pointer chases, and context stacks for sub-messages).
+"""
+
+from repro.accel.adt import AdtBuilder, AdtView, ADT_HEADER_BYTES, ADT_ENTRY_BYTES
+from repro.accel.varint_unit import CombinationalVarintUnit
+from repro.accel.memloader import Memloader
+from repro.accel.deserializer import DeserializerUnit, DeserStats
+from repro.accel.serializer import SerializerUnit, SerStats
+from repro.accel.dataops import DataOpStats, MessageOpsUnit
+from repro.accel.utf8_unit import Utf8ValidationUnit
+from repro.accel.driver import ProtoAccelerator
+from repro.accel.asic_model import AsicModel, UnitAsicEstimate
+
+__all__ = [
+    "AdtBuilder",
+    "AdtView",
+    "ADT_HEADER_BYTES",
+    "ADT_ENTRY_BYTES",
+    "CombinationalVarintUnit",
+    "Memloader",
+    "DeserializerUnit",
+    "DeserStats",
+    "SerializerUnit",
+    "SerStats",
+    "ProtoAccelerator",
+    "DataOpStats",
+    "MessageOpsUnit",
+    "Utf8ValidationUnit",
+    "AsicModel",
+    "UnitAsicEstimate",
+]

@@ -1,0 +1,643 @@
+"""The deserializer unit (Section 4.4, Figure 9).
+
+Receives a pointer to a serialized protobuf and populates a C++ object
+image of the message's type in simulated memory.  The top-level object is
+caller-allocated (compatibility with standard protobuf APIs); every
+internal object -- sub-messages, strings, repeated-field buffers -- is
+allocated by the accelerator in its assigned arena (Section 4.3).
+
+The field-handler control is the paper's state machine: ``parseKey`` (one
+cycle, combinational varint decode over the memloader window), ``typeInfo``
+(block for the ADT entry), then per-type value states: final scalar writes,
+string allocation/copy, repeated-field handling with tagged open-allocation
+regions, and sub-message handling with a hardware metadata stack.
+
+Cycle accounting policy (documented per-constant in
+:class:`DeserTimingParams`): the FSM processes at most one state per cycle;
+bulk copies drain the 16 B/cycle memloader window; ADT reads hit a small
+on-chip entry cache (misses pay a dependent-access round trip); writes are
+posted through the memory interface wrappers and stay off the critical path
+unless bandwidth-bound (string copies charge their write beats, overlapped
+with reads on the independent write channel).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.accel.adt import AdtEntry, AdtView
+from repro.accel.memloader import Memloader
+from repro.accel.utf8_unit import Utf8ValidationUnit
+from repro.accel.varint_unit import CombinationalVarintUnit
+from repro.memory.arena import AcceleratorArena
+from repro.memory.layout import SSO_CAPACITY, STRING_OBJECT_BYTES
+from repro.memory.memspace import SimMemory
+from repro.proto.errors import DecodeError
+from repro.proto.types import CPP_SCALAR_BYTES, FieldType, WireType
+from repro.proto.varint import decode_signed
+from repro.soc.config import SoCConfig
+from repro.soc.tlb import Tlb
+
+_REPEATED_HEADER_BYTES = 24
+
+
+@dataclass
+class DeserTimingParams:
+    """Per-state cycle costs of the deserializer FSM.
+
+    These are the behavioral model's stand-ins for RTL pipeline stages; the
+    ablation benchmarks vary them to quantify each design choice.
+    """
+
+    parse_key: float = 1.0          # combinational key decode + dispatch
+    typeinfo_hit: float = 1.0       # ADT entry present in the entry cache
+    scalar_write: float = 1.0       # final write state, posted store
+    string_setup: float = 2.0       # length decode + arena alloc + header
+    repeated_open: float = 1.0      # open a tagged allocation region
+    repeated_close: float = 1.0     # close-out: write final length
+    submsg_setup: float = 3.0       # header decode + alloc + parent pointer
+    skip_field: float = 1.0         # unknown-field skip (plus beats if long)
+    message_finish: float = 1.0     # pop metadata stack / signal completion
+    #: Fixed per-operation overhead: two RoCC instructions reaching the
+    #: command router, control handoff into the field handler, and
+    #: top-level hasbits initialisation.
+    dispatch_overhead: float = 12.0
+    #: Size of the on-chip ADT entry cache (entries of 16 B).
+    adt_cache_entries: int = 64
+    #: Varints decoded per cycle in packed repeated fields.  The base
+    #: design's combinational unit handles one varint per cycle
+    #: (Section 4.4.4); a wider speculative decoder is an ablation.
+    packed_varints_per_cycle: float = 1.0
+
+
+@dataclass
+class DeserStats:
+    """Outcome of one deserialization operation."""
+
+    cycles: float = 0.0
+    wire_bytes: int = 0
+    fields_parsed: int = 0
+    unknown_fields_skipped: int = 0
+    submessages: int = 0
+    strings: int = 0
+    repeated_elements: int = 0
+    arena_bytes: int = 0
+    adt_cache_hits: int = 0
+    adt_cache_misses: int = 0
+    max_stack_depth: int = 0
+    stack_spills: int = 0
+    tlb_penalty_cycles: float = 0.0
+
+    def merge(self, other: "DeserStats") -> None:
+        """Accumulate another operation's stats into this one (batching)."""
+        for name in (
+                "cycles", "wire_bytes", "fields_parsed",
+                "unknown_fields_skipped", "submessages", "strings",
+                "repeated_elements", "arena_bytes", "adt_cache_hits",
+                "adt_cache_misses", "stack_spills", "tlb_penalty_cycles"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.max_stack_depth = max(self.max_stack_depth,
+                                   other.max_stack_depth)
+
+
+@dataclass
+class _OpenRepeated:
+    """A tagged open-allocation region for an unpacked repeated field."""
+
+    field_number: int
+    entry: AdtEntry
+    header_addr: int
+    data_addr: int
+    element_width: int
+    count: int = 0
+    capacity: int = 0
+
+
+@dataclass
+class _Frame:
+    """Message-level metadata kept on the hardware stack (Section 4.4.9)."""
+
+    adt: AdtView
+    obj_addr: int
+    end_consumed: int  # memloader.consumed value at which this frame ends
+    open_repeated: _OpenRepeated | None = None
+
+
+class _AdtCache:
+    """Small on-chip cache of ADT entry/header lines (LRU)."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self._lines: OrderedDict[int, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, line_addr: int) -> bool:
+        """Touch ``line_addr``; returns True on hit."""
+        if line_addr in self._lines:
+            self._lines.move_to_end(line_addr)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._lines) >= self.entries:
+            self._lines.popitem(last=False)
+        self._lines[line_addr] = b""
+        return False
+
+
+class DeserializerUnit:
+    """Behavioral model of the deserializer unit."""
+
+    def __init__(self, memory: SimMemory, config: SoCConfig | None = None,
+                 timing: DeserTimingParams | None = None):
+        self.memory = memory
+        self.config = config or SoCConfig()
+        self.params = timing or DeserTimingParams()
+        self.varint_unit = CombinationalVarintUnit()
+        self.utf8_unit = Utf8ValidationUnit()
+        self._arena: AcceleratorArena | None = None
+        self._adt_cache = _AdtCache(self.params.adt_cache_entries)
+        self._tlb = Tlb(self.config.tlb_entries, self.config.ptw_cycles)
+
+    # -- RoCC-visible operations ------------------------------------------------
+
+    def assign_arena(self, arena: AcceleratorArena) -> None:
+        """Model of ``deser_assign_arena`` (Section 4.3)."""
+        self._arena = arena
+
+    def deserialize(self, adt_addr: int, dest_addr: int, src_addr: int,
+                    src_len: int, hide_startup: bool = False) -> DeserStats:
+        """Model of one ``deser_info`` + ``do_proto_deser`` pair.
+
+        ``adt_addr``/``dest_addr`` arrive via ``deser_info``;
+        ``src_addr``/``src_len`` (and the min field number, which we read
+        from the ADT header the instruction also encodes) via
+        ``do_proto_deser``.
+
+        ``hide_startup`` models batched operation (Section 4.4.1): when the
+        next ``do_proto_deser`` is already queued at the command router,
+        the memloader prefetches its input stream while the field handler
+        drains the current message, hiding the stream-open latency.
+        """
+        if self._arena is None:
+            raise RuntimeError(
+                "no accelerator arena assigned; issue deser_assign_arena")
+        stats = DeserStats(wire_bytes=src_len)
+        stats.cycles += self.params.dispatch_overhead
+        stats.tlb_penalty_cycles += self._tlb.translate_range(
+            src_addr, max(src_len, 1))
+        loader = Memloader(self.memory, self.config.memory, src_addr,
+                           src_len)
+        if not hide_startup:
+            stats.cycles += loader.startup_cycles
+        top = _Frame(adt=AdtView(self.memory, adt_addr), obj_addr=dest_addr,
+                     end_consumed=src_len)
+        self._init_hasbits(top)
+        stack: list[_Frame] = [top]
+        stats.max_stack_depth = 1
+        arena_before = self._arena.bytes_used
+        while stack:
+            frame = stack[-1]
+            if loader.consumed >= frame.end_consumed:
+                if loader.consumed > frame.end_consumed:
+                    raise DecodeError("sub-message parsing overran length")
+                self._close_open_repeated(frame, stats)
+                stats.cycles += self.params.message_finish
+                stack.pop()
+                if len(stack) >= self.config.context_stack_depth:
+                    stats.cycles += self.config.stack_spill_cycles
+                    stats.stack_spills += 1
+                continue
+            self._handle_field(loader, stack, stats)
+            stats.max_stack_depth = max(stats.max_stack_depth, len(stack))
+        if loader.remaining:
+            raise DecodeError("trailing bytes after top-level message")
+        stats.arena_bytes = self._arena.bytes_used - arena_before
+        stats.cycles += stats.tlb_penalty_cycles
+        stats.adt_cache_hits = self._adt_cache.hits
+        stats.adt_cache_misses = self._adt_cache.misses
+        return stats
+
+    # -- FSM states ---------------------------------------------------------------
+
+    def _handle_field(self, loader: Memloader, stack: list[_Frame],
+                      stats: DeserStats) -> None:
+        frame = stack[-1]
+        # parseKey state: combinational decode over the 10-byte window.
+        key, key_len = self.varint_unit.decode(loader.peek())
+        loader.consume(key_len)
+        stats.cycles += self.params.parse_key
+        field_number = key >> 3
+        try:
+            wire_type = WireType(key & 7)
+        except ValueError:
+            raise DecodeError(f"invalid wire type {key & 7}") from None
+        if field_number < 1:
+            raise DecodeError(f"invalid field number {field_number}")
+        # typeInfo state: block for the ADT entry.
+        entry = self._load_entry(frame.adt, field_number, stats)
+        if entry is None or not entry.defined:
+            self._skip_unknown(loader, wire_type, stats)
+            stats.unknown_fields_skipped += 1
+            return
+        stats.fields_parsed += 1
+        # Hasbits writer runs in parallel with the value states.  For a
+        # oneof member it first clears the group's sibling bits using the
+        # header's group mask (one extra RMW, still off the critical
+        # path).
+        if entry.oneof_group:
+            word, mask = frame.adt.oneof_mask(entry.oneof_group)
+            addr = frame.obj_addr + frame.adt.hasbits_offset + word * 8
+            self.memory.write_u64(addr,
+                                  self.memory.read_u64(addr) & ~mask)
+        self._set_hasbit(frame, field_number)
+        if entry.repeated:
+            if (wire_type is WireType.LENGTH_DELIMITED
+                    and entry.field_type not in (FieldType.STRING,
+                                                 FieldType.BYTES,
+                                                 FieldType.MESSAGE)):
+                self._handle_packed(loader, frame, field_number, entry,
+                                    stats)
+            else:
+                self._handle_repeated_element(loader, frame, field_number,
+                                              entry, wire_type, stats, stack)
+            return
+        if frame.open_repeated is not None:
+            self._close_open_repeated(frame, stats)
+        if entry.is_message:
+            if wire_type is not WireType.LENGTH_DELIMITED:
+                raise DecodeError(
+                    f"wire type {wire_type.name} does not match a "
+                    "sub-message field")
+            self._enter_submessage(loader, frame, entry, stats, stack,
+                                   dest_slot=frame.obj_addr
+                                   + entry.field_offset,
+                                   field_number=field_number)
+            return
+        if entry.field_type in (FieldType.STRING, FieldType.BYTES):
+            if wire_type is not WireType.LENGTH_DELIMITED:
+                raise DecodeError(
+                    f"wire type {wire_type.name} does not match "
+                    f"{entry.field_type.value}")
+            addr = self._handle_string(loader, stats, entry)
+            self.memory.write_u64(frame.obj_addr + entry.field_offset, addr)
+            return
+        self._write_scalar(loader, frame.obj_addr + entry.field_offset,
+                           entry, wire_type, stats)
+
+    def _load_entry(self, adt: AdtView, field_number: int,
+                    stats: DeserStats) -> AdtEntry | None:
+        entry_addr = adt.entry_address(field_number)
+        if entry_addr is None:
+            # Out-of-range numbers never had an entry; the range check is
+            # combinational against the header's min/max.
+            stats.cycles += self.params.typeinfo_hit
+            return None
+        if self._adt_cache.lookup(entry_addr):
+            stats.cycles += self.params.typeinfo_hit
+        else:
+            stats.cycles += self.config.memory.dependent_access_cycles(16)
+        return adt.entry(field_number)
+
+    def _skip_unknown(self, loader: Memloader, wire_type: WireType,
+                      stats: DeserStats) -> None:
+        stats.cycles += self.params.skip_field
+        if wire_type is WireType.VARINT:
+            _, length = self.varint_unit.decode(loader.peek())
+            loader.consume(length)
+        elif wire_type is WireType.FIXED64:
+            loader.consume(8)
+        elif wire_type is WireType.FIXED32:
+            loader.consume(4)
+        elif wire_type is WireType.LENGTH_DELIMITED:
+            length, consumed = self.varint_unit.decode(loader.peek())
+            loader.consume(consumed)
+            _, cycles = loader.consume_bulk(length)
+            stats.cycles += cycles
+        else:
+            raise DecodeError(
+                f"cannot skip deprecated wire type {wire_type.name}")
+
+    # -- scalar handling -------------------------------------------------------
+
+    def _decode_scalar_bytes(self, loader: Memloader, entry: AdtEntry,
+                             wire_type: WireType,
+                             stats: DeserStats) -> bytes:
+        """Decode one scalar element from the stream into its C++ bytes."""
+        ft = entry.field_type
+        assert ft is not None
+        width = CPP_SCALAR_BYTES[ft]
+        if ft in (FieldType.DOUBLE, FieldType.FIXED64, FieldType.SFIXED64,
+                  FieldType.FLOAT, FieldType.FIXED32, FieldType.SFIXED32):
+            expected = (WireType.FIXED64 if width == 8
+                        else WireType.FIXED32)
+            if wire_type is not expected:
+                raise DecodeError(
+                    f"wire type {wire_type.name} does not match "
+                    f"{ft.value}")
+            raw = loader.peek(width)
+            if len(raw) < width:
+                raise DecodeError("truncated fixed-width value")
+            loader.consume(width)
+            return raw
+        if wire_type is not WireType.VARINT:
+            raise DecodeError(
+                f"wire type {wire_type.name} does not match {ft.value}")
+        payload, length = self.varint_unit.decode(loader.peek())
+        loader.consume(length)
+        if entry.zigzag:
+            value = self.varint_unit.zigzag_decode(payload)
+            value = decode_signed(value & (1 << width * 8) - 1,
+                                  bits=width * 8)
+            payload = value & (1 << width * 8) - 1
+        elif ft is FieldType.BOOL:
+            payload = 1 if payload else 0
+        return (payload & (1 << width * 8) - 1).to_bytes(width, "little")
+
+    def _write_scalar(self, loader: Memloader, slot_addr: int,
+                      entry: AdtEntry, wire_type: WireType,
+                      stats: DeserStats) -> None:
+        data = self._decode_scalar_bytes(loader, entry, wire_type, stats)
+        self.memory.write(slot_addr, data)
+        stats.cycles += self.params.scalar_write
+
+    # -- strings ------------------------------------------------------------------
+
+    def _handle_string(self, loader: Memloader, stats: DeserStats,
+                       entry: AdtEntry | None = None) -> int:
+        """String allocation and copy states (Section 4.4.7).
+
+        Builds a libstdc++-compatible std::string in the arena and returns
+        its address.  proto3 string fields are UTF-8 validated in-stream
+        (Section 7), overlapped with the copy.
+        """
+        assert self._arena is not None
+        length, consumed = self.varint_unit.decode(loader.peek())
+        loader.consume(consumed)
+        if length > loader.remaining:
+            # Bounds-check against the input stream *before* allocating,
+            # so a corrupt length faults cleanly instead of draining the
+            # arena.
+            raise DecodeError("truncated string/bytes payload")
+        stats.cycles += self.params.string_setup
+        addr = self._arena.allocate(STRING_OBJECT_BYTES, 8)
+        if length <= SSO_CAPACITY:
+            data_ptr = addr + 16
+            payload, copy_cycles = loader.consume_bulk(length)
+            self.memory.write_u64(addr, data_ptr)
+            self.memory.write_u64(addr + 8, length)
+            self.memory.write(addr + 16, payload.ljust(16, b"\x00"))
+        else:
+            data_ptr = self._arena.allocate(length, 8)
+            payload, copy_cycles = loader.consume_bulk(length)
+            self.memory.write(data_ptr, payload)
+            self.memory.write_u64(addr, data_ptr)
+            self.memory.write_u64(addr + 8, length)
+            self.memory.write_u64(addr + 16, length)
+            self.memory.write_u64(addr + 24, 0)
+        stats.cycles += copy_cycles
+        stats.strings += 1
+        if entry is not None and entry.utf8_validate:
+            self.utf8_unit.validate(payload)
+        return addr
+
+    # -- repeated fields -----------------------------------------------------------
+
+    def _open_repeated(self, frame: _Frame, field_number: int,
+                       entry: AdtEntry, stats: DeserStats) -> _OpenRepeated:
+        """Open a tagged allocation region (Section 4.4.8)."""
+        assert self._arena is not None
+        if frame.open_repeated is not None:
+            if frame.open_repeated.field_number == field_number:
+                return frame.open_repeated
+            self._close_open_repeated(frame, stats)
+        ft = entry.field_type
+        assert ft is not None
+        if ft in (FieldType.STRING, FieldType.BYTES, FieldType.MESSAGE):
+            width = 8
+        else:
+            width = CPP_SCALAR_BYTES[ft]
+        header = self._arena.allocate(_REPEATED_HEADER_BYTES, 8)
+        initial = 8
+        data = self._arena.allocate(initial * width, 8)
+        region = _OpenRepeated(field_number=field_number, entry=entry,
+                               header_addr=header, data_addr=data,
+                               element_width=width, capacity=initial)
+        frame.open_repeated = region
+        stats.cycles += self.params.repeated_open
+        # Write the parent's field slot immediately so duplicate openings
+        # (same field number appearing again after a close) find the header.
+        self.memory.write_u64(frame.obj_addr + entry.field_offset, header)
+        return region
+
+    def _grow_repeated(self, region: _OpenRepeated,
+                       stats: DeserStats) -> None:
+        """Double the open region's backing array (amortised memcpy)."""
+        assert self._arena is not None
+        new_capacity = region.capacity * 2
+        new_data = self._arena.allocate(new_capacity * region.element_width,
+                                        8)
+        old_bytes = region.count * region.element_width
+        self.memory.write(new_data, self.memory.read(region.data_addr,
+                                                     old_bytes))
+        stats.cycles += self.config.memory.beats(old_bytes)
+        region.data_addr = new_data
+        region.capacity = new_capacity
+
+    def _append_element_bytes(self, region: _OpenRepeated, data: bytes,
+                              stats: DeserStats) -> None:
+        if region.count >= region.capacity:
+            self._grow_repeated(region, stats)
+        self.memory.write(
+            region.data_addr + region.count * region.element_width, data)
+        region.count += 1
+        stats.repeated_elements += 1
+
+    def _close_open_repeated(self, frame: _Frame,
+                             stats: DeserStats) -> None:
+        region = frame.open_repeated
+        if region is None:
+            return
+        self.memory.write_u64(region.header_addr, region.data_addr)
+        self.memory.write_u64(region.header_addr + 8, region.count)
+        self.memory.write_u64(region.header_addr + 16, region.capacity)
+        stats.cycles += self.params.repeated_close
+        frame.open_repeated = None
+
+    def _reopen_if_closed(self, frame: _Frame, field_number: int,
+                          entry: AdtEntry, stats: DeserStats) -> _OpenRepeated:
+        """Find or create the open region for an unpacked repeated field.
+
+        If the field's region was previously closed (elements of another
+        field intervened), the close-out wrote a valid header; reopening
+        re-reads it and continues appending (growing if needed).
+        """
+        region = frame.open_repeated
+        if region is not None and region.field_number == field_number:
+            return region
+        if region is not None:
+            self._close_open_repeated(frame, stats)
+        slot = frame.obj_addr + entry.field_offset
+        header = self.memory.read_u64(slot)
+        word, bit = self._hasbit_position(frame, field_number)
+        already_present = bool(
+            self.memory.read_u64(frame.obj_addr
+                                 + frame.adt.hasbits_offset + word * 8)
+            >> bit & 1)
+        if header != 0 and already_present:
+            ft = entry.field_type
+            assert ft is not None
+            if ft in (FieldType.STRING, FieldType.BYTES, FieldType.MESSAGE):
+                width = 8
+            else:
+                width = CPP_SCALAR_BYTES[ft]
+            region = _OpenRepeated(
+                field_number=field_number, entry=entry, header_addr=header,
+                data_addr=self.memory.read_u64(header),
+                element_width=width,
+                count=self.memory.read_u64(header + 8),
+                capacity=self.memory.read_u64(header + 16))
+            stats.cycles += self.config.memory.dependent_access_cycles(24)
+            frame.open_repeated = region
+            return region
+        return self._open_repeated(frame, field_number, entry, stats)
+
+    def _handle_repeated_element(self, loader: Memloader, frame: _Frame,
+                                 field_number: int, entry: AdtEntry,
+                                 wire_type: WireType, stats: DeserStats,
+                                 stack: list[_Frame]) -> None:
+        region = self._reopen_if_closed(frame, field_number, entry, stats)
+        ft = entry.field_type
+        assert ft is not None
+        if ft in (FieldType.STRING, FieldType.BYTES, FieldType.MESSAGE) \
+                and wire_type is not WireType.LENGTH_DELIMITED:
+            raise DecodeError(
+                f"wire type {wire_type.name} does not match {ft.value}")
+        if ft in (FieldType.STRING, FieldType.BYTES):
+            addr = self._handle_string(loader, stats, entry)
+            self._append_element_bytes(region, addr.to_bytes(8, "little"),
+                                       stats)
+            return
+        if ft is FieldType.MESSAGE:
+            if region.count >= region.capacity:
+                self._grow_repeated(region, stats)
+            slot = region.data_addr + region.count * region.element_width
+            region.count += 1
+            stats.repeated_elements += 1
+            self._enter_submessage(loader, frame, entry, stats, stack,
+                                   dest_slot=slot,
+                                   field_number=field_number)
+            return
+        data = self._decode_scalar_bytes(loader, entry, wire_type, stats)
+        stats.cycles += self.params.scalar_write
+        self._append_element_bytes(region, data, stats)
+
+    def _handle_packed(self, loader: Memloader, frame: _Frame,
+                       field_number: int, entry: AdtEntry,
+                       stats: DeserStats) -> None:
+        """Packed repeated fields: length-delimited, handled like strings
+        but element-decoded (Section 4.4.8)."""
+        region = self._reopen_if_closed(frame, field_number, entry, stats)
+        length, consumed = self.varint_unit.decode(loader.peek())
+        loader.consume(consumed)
+        stats.cycles += 1
+        end = loader.consumed + length
+        if end > loader.consumed + loader.remaining:
+            raise DecodeError("truncated packed field")
+        ft = entry.field_type
+        assert ft is not None
+        element_wire = (
+            WireType.VARINT if CPP_SCALAR_BYTES.get(ft) is not None
+            and ft not in (FieldType.FLOAT, FieldType.DOUBLE,
+                           FieldType.FIXED32, FieldType.FIXED64,
+                           FieldType.SFIXED32, FieldType.SFIXED64)
+            else (WireType.FIXED32
+                  if CPP_SCALAR_BYTES[ft] == 4 else WireType.FIXED64))
+        while loader.consumed < end:
+            data = self._decode_scalar_bytes(loader, entry, element_wire,
+                                             stats)
+            # Packed fixed-width elements stream at the full window rate;
+            # varints decode one per cycle through the combinational unit.
+            if element_wire is WireType.VARINT:
+                stats.cycles += 1 / self.params.packed_varints_per_cycle
+            else:
+                stats.cycles += len(data) / self.config.memory.bytes_per_beat
+            self._append_element_bytes(region, data, stats)
+        if loader.consumed != end:
+            raise DecodeError("packed payload overran its length")
+
+    # -- sub-messages ---------------------------------------------------------------
+
+    def _enter_submessage(self, loader: Memloader, frame: _Frame,
+                          entry: AdtEntry, stats: DeserStats,
+                          stack: list[_Frame], dest_slot: int,
+                          field_number: int) -> None:
+        """Sub-message handling states (Section 4.4.9).
+
+        Decodes the length header, allocates/initialises the child object
+        from the sub-type's ADT header, links it into the parent, and
+        pushes new message-level metadata onto the stack.
+        """
+        assert self._arena is not None
+        length, consumed = self.varint_unit.decode(loader.peek())
+        loader.consume(consumed)
+        if length > loader.remaining:
+            raise DecodeError("truncated sub-message")
+        sub_adt = AdtView(self.memory, entry.sub_adt_ptr)
+        if self._adt_cache.lookup(entry.sub_adt_ptr):
+            stats.cycles += self.params.typeinfo_hit
+        else:
+            stats.cycles += self.config.memory.dependent_access_cycles(32)
+        existing = self.memory.read_u64(dest_slot)
+        reuse = False
+        if existing != 0 and not entry.repeated:
+            word, bit = self._hasbit_position(frame, field_number)
+            reuse = bool(self.memory.read_u64(
+                frame.obj_addr + frame.adt.hasbits_offset + word * 8)
+                >> bit & 1)
+        if reuse:
+            # proto2 merge semantics: a second occurrence of a singular
+            # sub-message field keeps populating the existing object.
+            child_addr = existing
+            stats.cycles += self.params.submsg_setup
+        else:
+            object_size = sub_adt.object_size
+            child_addr = self._arena.allocate(object_size, 8)
+            self.memory.fill(child_addr, object_size, 0)
+            self.memory.write_u64(child_addr, sub_adt.default_vptr)
+            self.memory.write_u64(dest_slot, child_addr)
+            stats.cycles += self.params.submsg_setup
+            stats.arena_bytes += object_size
+        stats.submessages += 1
+        if len(stack) >= self.config.context_stack_depth:
+            stats.cycles += self.config.stack_spill_cycles
+            stats.stack_spills += 1
+        child = _Frame(adt=sub_adt, obj_addr=child_addr,
+                       end_consumed=loader.consumed + length)
+        if child.end_consumed > loader.consumed + loader.remaining:
+            raise DecodeError("truncated sub-message")
+        stack.append(child)
+
+    # -- hasbits ---------------------------------------------------------------------
+
+    def _hasbit_position(self, frame: _Frame,
+                         field_number: int) -> tuple[int, int]:
+        bit = field_number - frame.adt.min_field_number
+        return bit // 64, bit % 64
+
+    def _init_hasbits(self, frame: _Frame) -> None:
+        """Zero the destination object's hasbits words before parsing."""
+        adt = frame.adt
+        span = adt.span
+        words = max(1, -(-span // 64))
+        for word in range(words):
+            self.memory.write_u64(
+                frame.obj_addr + adt.hasbits_offset + word * 8, 0)
+
+    def _set_hasbit(self, frame: _Frame, field_number: int) -> None:
+        """The hasbits-writer unit: posted read-modify-write (off the
+        critical path; Figure 9 shows it as a parallel block)."""
+        word, bit = self._hasbit_position(frame, field_number)
+        addr = frame.obj_addr + frame.adt.hasbits_offset + word * 8
+        self.memory.write_u64(addr, self.memory.read_u64(addr) | 1 << bit)

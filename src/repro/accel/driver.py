@@ -1,0 +1,272 @@
+"""User-facing accelerator device API (the modified protobuf library).
+
+Ties together the RoCC command interface, ADT generation, accelerator
+arenas, and the deserializer/serializer units, exposing the workflow an
+application linked against the paper's modified protobuf library follows:
+
+1. at load time, ADTs are generated for every message type;
+2. the program assigns accelerator arenas
+   (``{ser,deser}_assign_arena``);
+3. per operation, it issues ``deser_info`` + ``do_proto_deser`` (or
+   ``ser_info`` + ``do_proto_ser``), possibly batched, then a
+   ``block_for_*_completion`` fence;
+4. deserialized objects are read through normal accessors; serialized
+   outputs are fetched from the arena's pointer table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.adt import AdtBuilder
+from repro.accel.dataops import DataOpStats, MessageOpsUnit
+from repro.accel.deserializer import DeserializerUnit, DeserStats
+from repro.accel.serializer import SerializerUnit, SerStats
+from repro.memory.arena import (
+    AcceleratorArena,
+    ArenaExhausted,
+    SerializerArena,
+)
+from repro.memory.layout import (
+    LayoutCache,
+    read_message_image,
+    write_message_image,
+)
+from repro.memory.memspace import SimMemory
+from repro.proto.descriptor import MessageDescriptor
+from repro.proto.message import Message
+from repro.soc.config import SoCConfig
+from repro.soc.rocc import RoccFunct, RoccInstruction, RoccInterface
+
+
+@dataclass
+class DeserResult:
+    """A completed accelerator deserialization."""
+
+    dest_addr: int
+    stats: DeserStats
+
+
+@dataclass
+class SerResult:
+    """A completed accelerator serialization."""
+
+    data: bytes
+    stats: SerStats
+
+
+class ProtoAccelerator:
+    """The accelerated SoC's protobuf offload device."""
+
+    def __init__(self, memory: SimMemory | None = None,
+                 config: SoCConfig | None = None,
+                 deser_arena_bytes: int = 8 << 20,
+                 ser_arena_bytes: int = 8 << 20):
+        if memory is None:
+            # Size the simulated DRAM to hold both arenas plus generous
+            # heap headroom for object images and wire buffers.
+            memory = SimMemory(size=max(
+                64 << 20, 2 * (deser_arena_bytes + ser_arena_bytes)
+                + (32 << 20)))
+        self.memory = memory
+        self.config = config or SoCConfig()
+        self.layouts = LayoutCache()
+        self.adts = AdtBuilder(self.memory, self.layouts)
+        self.rocc = RoccInterface(
+            dispatch_cycles_each=self.config.rocc_dispatch_cycles)
+        self.deserializer = DeserializerUnit(self.memory, self.config)
+        self.serializer = SerializerUnit(self.memory, self.config)
+        self.dataops = MessageOpsUnit(self.memory, self.config)
+        self._deser_arena = AcceleratorArena(self.memory, deser_arena_bytes)
+        self._ser_arena = SerializerArena(self.memory, ser_arena_bytes)
+        self._assign_arenas()
+
+    def _assign_arenas(self) -> None:
+        self.rocc.issue(RoccInstruction(
+            RoccFunct.DESER_ASSIGN_ARENA, self._deser_arena.base,
+            self._deser_arena.size))
+        self.deserializer.assign_arena(self._deser_arena)
+        self.rocc.issue(RoccInstruction(
+            RoccFunct.SER_ASSIGN_ARENA, self._ser_arena.data_base,
+            self._ser_arena.data_size))
+        self.serializer.assign_arena(self._ser_arena)
+        # The Section 7 data ops allocate from the deserializer's arena
+        # (copy/merge build objects the same way deserialization does).
+        self.dataops.assign_arena(self._deser_arena)
+
+    # -- program-load setup -----------------------------------------------------
+
+    def register_types(self, descriptors: list[MessageDescriptor]) -> None:
+        """Generate ADTs for ``descriptors`` and all reachable sub-types
+        (what the modified protoc emits into the binary)."""
+        self.adts.build(descriptors)
+
+    def register_schema(self, schema) -> None:
+        """Convenience: register every message type in a parsed schema."""
+        self.register_types(schema.messages())
+
+    # -- deserialization ----------------------------------------------------------
+
+    #: Cycles for the arena-exhausted interrupt round trip: fault, kernel
+    #: handler, software assigning a fresh arena, and operation restart.
+    ARENA_RENEWAL_CYCLES = 2500.0
+
+    def _renew_deser_arena(self) -> None:
+        """Assign a fresh deserializer arena (the interrupt handler's
+        job when the accelerator faults on exhaustion -- Section 4.3)."""
+        self._deser_arena = AcceleratorArena(self.memory,
+                                             self._deser_arena.size)
+        self.rocc.issue(RoccInstruction(
+            RoccFunct.DESER_ASSIGN_ARENA, self._deser_arena.base,
+            self._deser_arena.size))
+        self.deserializer.assign_arena(self._deser_arena)
+        self.dataops.assign_arena(self._deser_arena)
+
+    def deserialize(self, descriptor: MessageDescriptor,
+                    wire_bytes: bytes,
+                    hide_startup: bool = False,
+                    auto_renew_arena: bool = False) -> DeserResult:
+        """Offload one deserialization; returns the populated object's
+        address plus cycle statistics.
+
+        The wire buffer is placed in simulated memory and the top-level
+        destination object is allocated on the software heap (by "user
+        code", per Section 4.4), both zero-initialised.
+        """
+        adt_addr = self.adts.adt_address(descriptor)
+        layout = self.layouts.layout(descriptor)
+        src_addr = self.memory.allocate(max(len(wire_bytes), 1), 16)
+        if wire_bytes:
+            self.memory.write(src_addr, wire_bytes)
+        dest_addr = self.memory.allocate(layout.object_size, 8)
+        self.memory.fill(dest_addr, layout.object_size, 0)
+        self.memory.write_u64(dest_addr, layout.vptr)
+        self.rocc.issue(RoccInstruction(RoccFunct.DESER_INFO, adt_addr,
+                                        dest_addr))
+        self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_DESER, src_addr,
+                                        len(wire_bytes)))
+        renewal_cycles = 0.0
+        try:
+            stats = self.deserializer.deserialize(
+                adt_addr, dest_addr, src_addr, len(wire_bytes),
+                hide_startup=hide_startup)
+        except ArenaExhausted:
+            if not auto_renew_arena:
+                raise
+            # The accelerator faulted mid-operation; software installs a
+            # fresh arena and restarts the deserialization from scratch
+            # (partial state in the old arena is simply abandoned).
+            self._renew_deser_arena()
+            self.memory.fill(dest_addr,
+                             self.layouts.layout(descriptor).object_size, 0)
+            self.memory.write_u64(dest_addr,
+                                  self.layouts.layout(descriptor).vptr)
+            renewal_cycles = self.ARENA_RENEWAL_CYCLES
+            stats = self.deserializer.deserialize(
+                adt_addr, dest_addr, src_addr, len(wire_bytes))
+        stats.cycles += renewal_cycles
+        self.rocc.retire_deser()
+        return DeserResult(dest_addr=dest_addr, stats=stats)
+
+    def deserialize_batch(self, descriptor: MessageDescriptor,
+                          buffers: list[bytes]) -> tuple[list[int], DeserStats]:
+        """Batched offload: N ``deser_info``/``do_proto_deser`` pairs then
+        one ``block_for_deser_completion`` (Section 4.4.1)."""
+        total = DeserStats()
+        addresses = []
+        for data in buffers:
+            # Deserialization is serial through the field handler, so the
+            # stream-open latency is NOT hidden between batched operations
+            # (contrast the ablation in benchmarks/bench_ablation.py).
+            result = self.deserialize(descriptor, data)
+            addresses.append(result.dest_addr)
+            total.merge(result.stats)
+        self.rocc.block_for_deser_completion()
+        total.cycles += self.config.fence_cycles
+        return addresses, total
+
+    def read_message(self, descriptor: MessageDescriptor,
+                     addr: int) -> Message:
+        """Read an object image back as a Message (what user-code accessors
+        would observe)."""
+        return read_message_image(self.memory, descriptor, addr,
+                                  self.layouts)
+
+    # -- serialization --------------------------------------------------------------
+
+    def load_object(self, message: Message) -> int:
+        """Materialise ``message`` as a C++ object image on the software
+        heap (the state an application builds up before serializing)."""
+        self.adts.build([message.descriptor])
+        return write_message_image(self.memory, self.memory.allocate,
+                                   message, self.layouts)
+
+    def serialize(self, descriptor: MessageDescriptor,
+                  obj_addr: int) -> SerResult:
+        """Offload one serialization of the object image at ``obj_addr``."""
+        adt_addr = self.adts.adt_address(descriptor)
+        self.rocc.issue(RoccInstruction(
+            RoccFunct.SER_INFO,
+            self.layouts.layout(descriptor).hasbits_offset,
+            descriptor.max_field_number << 32 | descriptor.min_field_number))
+        self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_SER, adt_addr,
+                                        obj_addr))
+        stats = self.serializer.serialize(adt_addr, obj_addr)
+        self.rocc.retire_ser()
+        data = self._ser_arena.output(self._ser_arena.output_count - 1)
+        return SerResult(data=data, stats=stats)
+
+    def serialize_batch(self, descriptor: MessageDescriptor,
+                        addresses: list[int]) -> tuple[list[bytes], SerStats]:
+        """Batched serialization with a single completion fence."""
+        total = SerStats()
+        outputs = []
+        for addr in addresses:
+            result = self.serialize(descriptor, addr)
+            outputs.append(result.data)
+            total.merge(result.stats)
+        self.rocc.block_for_ser_completion()
+        total.cycles += self.config.fence_cycles
+        return outputs, total
+
+    # -- Section 7 extension ops ---------------------------------------------------
+
+    def clear_message(self, descriptor: MessageDescriptor,
+                      obj_addr: int) -> DataOpStats:
+        """Offload C++ ``Clear()`` on the object image at ``obj_addr``."""
+        adt_addr = self.adts.adt_address(descriptor)
+        self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_CLEAR,
+                                        adt_addr, obj_addr))
+        return self.dataops.clear(adt_addr, obj_addr)
+
+    def copy_message(self, descriptor: MessageDescriptor,
+                     src_addr: int) -> tuple[int, DataOpStats]:
+        """Offload ``CopyFrom``: deep-copy into a fresh destination
+        object; returns (dest_addr, stats)."""
+        adt_addr = self.adts.adt_address(descriptor)
+        layout = self.layouts.layout(descriptor)
+        dest_addr = self.memory.allocate(layout.object_size, 8)
+        self.memory.fill(dest_addr, layout.object_size, 0)
+        self.memory.write_u64(dest_addr, layout.vptr)
+        self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_COPY,
+                                        src_addr, dest_addr))
+        return dest_addr, self.dataops.copy(adt_addr, src_addr, dest_addr)
+
+    def merge_messages(self, descriptor: MessageDescriptor, src_addr: int,
+                       dest_addr: int) -> DataOpStats:
+        """Offload ``dest.MergeFrom(src)`` on two object images."""
+        adt_addr = self.adts.adt_address(descriptor)
+        self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_MERGE,
+                                        src_addr, dest_addr))
+        return self.dataops.merge(adt_addr, src_addr, dest_addr)
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def reset_arenas(self) -> None:
+        """Reclaim both accelerator arenas (end of a request's lifetime)."""
+        self._deser_arena.reset()
+        self._ser_arena.reset()
+
+    def throughput_gbps(self, payload_bytes: int, cycles: float) -> float:
+        """Convert an operation's byte count and cycles to Gbit/s."""
+        return self.config.gbits_per_second(payload_bytes, cycles)

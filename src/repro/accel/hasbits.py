@@ -1,0 +1,96 @@
+"""Sparse vs dense hasbits: the Section 3.7 / 4.2 trade-off, priced.
+
+protoc packs hasbits densely (one bit per *defined* field, in declaration
+order).  Supporting that in hardware would force the accelerator to map
+field numbers to bit positions -- "a mapping table indexed by field
+number, introducing an additional 32-bit read per-field" (Section 4.2).
+The paper instead re-lays hasbits *sparsely*, indexed directly by
+``field_number - min_field_number``, trading bit-field size (span bits
+instead of defined bits) for zero-indirection access.
+
+This module prices both layouts for a message type so the trade-off is
+checkable per schema, and provides the fleet-level recommendation the
+paper derives: sparse wins whenever density exceeds the mapping-read
+overhead, which Figure 7 shows holds almost everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.proto.descriptor import MessageDescriptor
+
+#: Extra bits the dense layout reads per handled field (the field-number
+#: to bit-position mapping table entry, Section 4.2).
+DENSE_MAPPING_BITS_PER_FIELD = 32
+
+
+@dataclass(frozen=True)
+class HasbitsCost:
+    """Bits the serializer frontend moves per serialization of one
+    message instance, for one hasbits layout."""
+
+    layout: str
+    bitfield_bits: int      # hasbits words streamed by the frontend
+    mapping_bits: int       # indirection reads (dense only)
+
+    @property
+    def total_bits(self) -> int:
+        return self.bitfield_bits + self.mapping_bits
+
+
+def _words_bits(bits: int) -> int:
+    """Bits actually streamed: whole 64-bit words."""
+    return max(1, -(-bits // 64)) * 64
+
+
+def sparse_cost(descriptor: MessageDescriptor) -> HasbitsCost:
+    """The paper's layout: one bit per field *number* in [min, max]."""
+    return HasbitsCost(
+        layout="sparse",
+        bitfield_bits=_words_bits(descriptor.field_number_span),
+        mapping_bits=0)
+
+
+def dense_cost(descriptor: MessageDescriptor,
+               present_fields: int) -> HasbitsCost:
+    """protoc's layout: one bit per *defined* field, plus a mapping-table
+    read for every field the accelerator handles."""
+    return HasbitsCost(
+        layout="dense",
+        bitfield_bits=_words_bits(len(descriptor.fields)),
+        mapping_bits=present_fields * DENSE_MAPPING_BITS_PER_FIELD)
+
+
+def sparse_wins(descriptor: MessageDescriptor,
+                present_fields: int) -> bool:
+    """True when the sparse layout moves no more bits than the dense one
+    for a message with ``present_fields`` populated fields."""
+    return (sparse_cost(descriptor).total_bits
+            <= dense_cost(descriptor, present_fields).total_bits)
+
+
+def break_even_present_fields(descriptor: MessageDescriptor) -> float:
+    """Present-field count above which sparse wins for this type.
+
+    Sparse streams ``span`` bits regardless; dense streams ``defined``
+    bits plus 32 per present field, so the break-even is
+    ``(span_bits - defined_bits) / 32``.
+    """
+    sparse_bits = sparse_cost(descriptor).bitfield_bits
+    dense_bits = _words_bits(len(descriptor.fields))
+    return max(0.0,
+               (sparse_bits - dense_bits) / DENSE_MAPPING_BITS_PER_FIELD)
+
+
+def compare(descriptor: MessageDescriptor,
+            present_fields: int) -> dict[str, float]:
+    """Both layouts' bit movement plus the break-even point."""
+    sparse = sparse_cost(descriptor)
+    dense = dense_cost(descriptor, present_fields)
+    return {
+        "sparse_bits": sparse.total_bits,
+        "dense_bits": dense.total_bits,
+        "break_even_present_fields": break_even_present_fields(descriptor),
+        "sparse_wins": float(sparse.total_bits <= dense.total_bits),
+    }

@@ -1,0 +1,84 @@
+"""The memloader unit (Section 4.4.2).
+
+Streams the serialized input buffer from memory and exposes a decoupled
+consumer interface: a full window of up to 16 buffered bytes is always
+visible (the consumer's appetite is data-dependent -- it may take 1 byte of
+a bool or 16 bytes of a string), and the consumer names how many bytes to
+discard at the end of each cycle.
+
+Cycle accounting: the memloader issues pipelined sequential reads, so input
+bandwidth is one 16 B beat per cycle after a single startup latency charged
+when the stream opens.
+"""
+
+from __future__ import annotations
+
+from repro.memory.memspace import SimMemory
+from repro.proto.errors import DecodeError
+from repro.memory.timing import MemoryTimingModel
+
+WINDOW_BYTES = 16
+
+
+class Memloader:
+    """A streaming window over one serialized input buffer."""
+
+    def __init__(self, memory: SimMemory, timing: MemoryTimingModel,
+                 addr: int, length: int):
+        if length < 0:
+            raise ValueError("stream length must be non-negative")
+        self.memory = memory
+        self.timing = timing
+        self._base = addr
+        self._length = length
+        self._pos = 0
+        #: Startup latency of opening the stream (hidden thereafter).
+        self.startup_cycles = timing.average_latency if length else 0.0
+        self.bytes_loaded = 0
+
+    @property
+    def remaining(self) -> int:
+        return self._length - self._pos
+
+    @property
+    def consumed(self) -> int:
+        return self._pos
+
+    def peek(self, nbytes: int = WINDOW_BYTES) -> bytes:
+        """Look at up to ``nbytes`` of buffered data without consuming.
+
+        Hardware always exposes a full window; at end-of-stream the window
+        simply contains fewer valid bytes.
+        """
+        nbytes = min(nbytes, self.remaining)
+        if nbytes <= 0:
+            return b""
+        return self.memory.read(self._base + self._pos, nbytes)
+
+    def consume(self, nbytes: int) -> None:
+        """Discard ``nbytes`` from the head of the window."""
+        if nbytes < 0:
+            raise ValueError("cannot consume a negative byte count")
+        if nbytes > self.remaining:
+            raise DecodeError(
+                f"consume({nbytes}) exceeds remaining {self.remaining} "
+                "(truncated input stream)")
+        self._pos += nbytes
+        self.bytes_loaded += nbytes
+
+    def consume_bulk(self, nbytes: int) -> tuple[bytes, float]:
+        """Consume ``nbytes`` as a bulk copy; returns (data, cycles).
+
+        Used by the string-copy states: the consumer drains the window at
+        the stream's sustained rate -- 16 B/cycle when the interface
+        wrappers keep enough line requests in flight to cover the memory
+        latency, less when ``max_outstanding`` is the bottleneck.
+        """
+        data = self.peek(nbytes)
+        if len(data) < nbytes:
+            raise DecodeError("bulk consume ran past end of stream "
+                              "(truncated input)")
+        self.consume(nbytes)
+        if nbytes <= 0:
+            return data, 0.0
+        return data, nbytes / self.timing.stream_bytes_per_cycle

@@ -1,0 +1,62 @@
+"""The memwriter unit (Section 4.5.5).
+
+Consumes sequenced serialized field data and writes it to the output
+buffer from high to low addresses.  It maintains a stack of the lengths of
+the (sub-)messages currently being handled: when an end-of-message op
+(field number zero) arrives, the memwriter knows the sub-message's total
+serialized length -- all of its fields have already been written -- and
+injects the sub-message's key and length varint.  For a top-level message
+it records the output pointer in the arena's pointer table instead.
+"""
+
+from __future__ import annotations
+
+from repro.memory.arena import SerializerArena
+from repro.memory.timing import MemoryTimingModel
+
+
+class Memwriter:
+    """High-to-low output writer with a message-length stack."""
+
+    def __init__(self, arena: SerializerArena, timing: MemoryTimingModel):
+        self.arena = arena
+        self.timing = timing
+        self.cycles = 0.0
+        self.bytes_written = 0
+        self._cursor_stack: list[int] = []
+
+    def push(self, data: bytes) -> int:
+        """Write ``data`` immediately below the current cursor.
+
+        Costs one cycle per 16 B beat (posted writes on the independent
+        write channel), minimum one cycle per op for the sequencing slot.
+        """
+        if not data:
+            return self.arena.cursor
+        addr = self.arena.push_bytes(data)
+        self.cycles += max(1.0, float(self.timing.beats(len(data))))
+        self.bytes_written += len(data)
+        return addr
+
+    def begin_message(self) -> None:
+        """A handle-field-op arrived with a new, deeper depth."""
+        self._cursor_stack.append(self.arena.cursor)
+        self.cycles += 1.0
+
+    def end_message(self) -> int:
+        """End-of-message op (field number zero): pop and return the
+        completed (sub-)message's serialized length in bytes."""
+        if not self._cursor_stack:
+            raise RuntimeError("end_message without matching begin_message")
+        start_cursor = self._cursor_stack.pop()
+        self.cycles += 1.0
+        return start_cursor - self.arena.cursor
+
+    @property
+    def depth(self) -> int:
+        return len(self._cursor_stack)
+
+    def finish_top_level(self) -> tuple[int, int]:
+        """Record the completed top-level message in the pointer table."""
+        self.cycles += 1.0
+        return self.arena.finish_message()

@@ -1,0 +1,88 @@
+"""Accelerator performance-counter aggregation.
+
+Real deployments watch hardware counters; our units each keep their own
+(varint decodes, ADT cache hits, UTF-8 validations, TLB hit rates,
+memory traffic).  :class:`PerfReport` gathers them from a
+:class:`~repro.accel.driver.ProtoAccelerator` into one snapshot with a
+printable rendering -- the observability surface an SRE would consult
+when a service adopts the offload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """A point-in-time snapshot of the device's counters."""
+
+    rocc_instructions: int
+    varint_decodes: int
+    varint_encodes: int
+    zigzag_ops: int
+    utf8_strings_validated: int
+    utf8_faults: int
+    deser_tlb_hit_rate: float
+    ser_tlb_hit_rate: float
+    adt_cache_hits: int
+    adt_cache_misses: int
+    deser_arena_bytes_used: int
+    ser_outputs: int
+    memory_read_bytes: int
+    memory_written_bytes: int
+
+    @property
+    def adt_cache_hit_rate(self) -> float:
+        total = self.adt_cache_hits + self.adt_cache_misses
+        return self.adt_cache_hits / total if total else 1.0
+
+    def render(self) -> str:
+        """Human-readable counter dump."""
+        rows = (
+            ("RoCC instructions issued", f"{self.rocc_instructions:,}"),
+            ("varint decodes / encodes",
+             f"{self.varint_decodes:,} / {self.varint_encodes:,}"),
+            ("zig-zag operations", f"{self.zigzag_ops:,}"),
+            ("UTF-8 strings validated / faults",
+             f"{self.utf8_strings_validated:,} / {self.utf8_faults:,}"),
+            ("ADT entry cache hit rate",
+             f"{self.adt_cache_hit_rate:.1%}"),
+            ("deser / ser TLB hit rate",
+             f"{self.deser_tlb_hit_rate:.1%} / "
+             f"{self.ser_tlb_hit_rate:.1%}"),
+            ("deser arena bytes in use",
+             f"{self.deser_arena_bytes_used:,}"),
+            ("serialized outputs in arena", f"{self.ser_outputs:,}"),
+            ("simulated memory read / written",
+             f"{self.memory_read_bytes:,} / "
+             f"{self.memory_written_bytes:,} B"),
+        )
+        width = max(len(label) for label, _ in rows)
+        return "\n".join(f"{label:<{width}}  {value}"
+                         for label, value in rows)
+
+
+def collect(accel) -> PerfReport:
+    """Snapshot every counter on ``accel`` (a ProtoAccelerator)."""
+    deser = accel.deserializer
+    ser = accel.serializer
+    return PerfReport(
+        rocc_instructions=accel.rocc.instructions_issued,
+        varint_decodes=(deser.varint_unit.decodes
+                        + ser.varint_unit.decodes),
+        varint_encodes=(deser.varint_unit.encodes
+                        + ser.varint_unit.encodes),
+        zigzag_ops=(deser.varint_unit.zigzag_ops
+                    + ser.varint_unit.zigzag_ops),
+        utf8_strings_validated=deser.utf8_unit.strings_validated,
+        utf8_faults=deser.utf8_unit.faults,
+        deser_tlb_hit_rate=deser._tlb.stats.hit_rate,
+        ser_tlb_hit_rate=ser._tlb.stats.hit_rate,
+        adt_cache_hits=deser._adt_cache.hits,
+        adt_cache_misses=deser._adt_cache.misses,
+        deser_arena_bytes_used=accel._deser_arena.bytes_used,
+        ser_outputs=accel._ser_arena.output_count,
+        memory_read_bytes=accel.memory.stats.read_bytes,
+        memory_written_bytes=accel.memory.stats.written_bytes,
+    )

@@ -1,0 +1,100 @@
+"""Accelerator placement study (Sections 3.4, 3.5 and 3.9).
+
+The paper's most-cited design argument: a protobuf accelerator belongs
+*near the core*, not on a PCIe-attached NIC, because
+
+1. most ser/deser is not RPC-initiated, so NIC placement adds pointless
+   data movement for storage-side work;
+2. the in-memory representation is accessed with small, irregular,
+   pointer-chasing reads that PCIe latency (~
+   a microsecond per round trip) destroys; and
+3. most messages are tiny (93% under 512 B), so per-offload overhead
+   dominates at NIC distance.
+
+This module makes the argument executable: :class:`PcieAttachedModel`
+estimates what the *same* accelerator datapath would cost behind a PCIe
+link, given the near-core model's measured per-operation statistics.
+The crossover message size -- below which near-core wins -- falls out,
+and with Figure 3's size distribution, the fraction of fleet messages
+each placement wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.deserializer import DeserStats
+from repro.fleet.distributions import (
+    MESSAGE_SIZE_BUCKETS,
+    RPC_SHARE_OF_DESER,
+)
+from repro.soc.config import SoCConfig
+
+
+@dataclass
+class PcieAttachedModel:
+    """Cost model for the accelerator datapath placed across PCIe.
+
+    Defaults follow measured PCIe Gen3 x8 behaviour (Neugebauer et al.,
+    SIGCOMM'18, the paper's [34]): ~900 ns round-trip for a dependent
+    read, ~6 GB/s effective DMA bandwidth, and ~1.3 us for the doorbell/
+    descriptor dance that starts an offload.
+    """
+
+    #: Cycles (at the 2 GHz accelerator clock) per dependent round trip.
+    round_trip_cycles: float = 1800.0
+    #: Offload setup: doorbell write, descriptor fetch, completion.
+    dispatch_cycles: float = 2600.0
+    #: Effective DMA bandwidth in bytes per accelerator cycle (~6 GB/s
+    #: at 2 GHz = 3 B/cycle).
+    dma_bytes_per_cycle: float = 3.0
+    config: SoCConfig | None = None
+
+    def __post_init__(self) -> None:
+        self.config = self.config or SoCConfig()
+
+    def deserialize_cycles(self, stats: DeserStats) -> float:
+        """Estimated cycles for the same deserialization done over PCIe.
+
+        The wire buffer DMAs across once (streaming), but every
+        allocation writeback and parent-pointer link lands in host
+        memory, and the object graph's construction is dependent --
+        sub-message entry and string allocation each expose a round
+        trip.  Field writes within a message batch behind the stream.
+        """
+        dependent_ops = stats.submessages + stats.strings
+        dma_bytes = stats.wire_bytes + stats.arena_bytes
+        return (self.dispatch_cycles
+                + dependent_ops * self.round_trip_cycles
+                + dma_bytes / self.dma_bytes_per_cycle
+                + stats.fields_parsed)  # datapath itself is not slower
+
+    def crossover_bytes(self, near_core_cycles_per_byte: float,
+                        near_core_overhead: float) -> float:
+        """Message size where PCIe placement breaks even with near-core,
+        for a flat-structured message (no dependent round trips)."""
+        pcie_rate = 1.0 / self.dma_bytes_per_cycle
+        if near_core_cycles_per_byte <= pcie_rate:
+            overhead_gap = self.dispatch_cycles - near_core_overhead
+            rate_gap = pcie_rate - near_core_cycles_per_byte
+            return overhead_gap / rate_gap if rate_gap > 0 else float("inf")
+        return 0.0
+
+
+def fleet_message_share_won_by_near_core(crossover: float) -> float:
+    """Fraction of fleet messages (Figure 3) below the crossover size --
+    the population for which near-core placement wins outright."""
+    share = 0.0
+    for bucket in MESSAGE_SIZE_BUCKETS:
+        if bucket.hi is not None and bucket.hi <= crossover:
+            share += bucket.share
+        elif bucket.contains(int(crossover)):
+            # Partial credit within the straddling bucket (log-uniform).
+            share += bucket.share * 0.5
+    return share
+
+
+def non_rpc_deser_share() -> float:
+    """Deserialization cycles that never touch the NIC (Section 3.4) --
+    offloading them to NIC-attached hardware *adds* data movement."""
+    return 1.0 - RPC_SHARE_OF_DESER

@@ -1,0 +1,43 @@
+"""UTF-8 validation unit (Section 7: "Future support for proto3").
+
+The paper notes the only accelerator change required for proto3 is
+validating string fields' UTF-8 during deserialization.  Hardware
+validates the stream as it passes through the string-copy datapath, one
+window per cycle, so on valid input the check is fully overlapped with
+the copy and costs no extra cycles; an invalid sequence raises a fault
+to software.
+
+The model implements a real DFA-equivalent check (via Python's decoder)
+plus statistics on bytes validated and faults raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.proto.errors import DecodeError
+
+
+@dataclass
+class Utf8ValidationUnit:
+    """Streaming UTF-8 validator overlapped with the copy datapath."""
+
+    strings_validated: int = 0
+    bytes_validated: int = 0
+    faults: int = 0
+
+    def validate(self, payload: bytes, context: str = "string") -> None:
+        """Check ``payload``; raises :class:`DecodeError` when invalid.
+
+        Zero added cycles on the happy path -- the checker consumes the
+        same 16 B/cycle stream the copy does.
+        """
+        self.strings_validated += 1
+        self.bytes_validated += len(payload)
+        try:
+            payload.decode("utf-8")
+        except UnicodeDecodeError as error:
+            self.faults += 1
+            raise DecodeError(
+                f"{context}: invalid UTF-8 in proto3 string field "
+                f"(byte {error.start})") from None

@@ -1,0 +1,38 @@
+"""Evaluation harness: workloads, the three-system runner, and reports.
+
+Regenerates every figure and table of the paper's evaluation:
+microbenchmarks (Figures 11a-11d), HyperProtoBench (Figures 12-13), the
+fleet-study figures (2-7), and the ASIC table (Section 5.3).
+"""
+
+from repro.bench.runner import (
+    Workload,
+    SystemResult,
+    BenchmarkResult,
+    run_deserialization,
+    run_serialization,
+    SYSTEMS,
+)
+from repro.bench.microbench import (
+    nonalloc_bench_names,
+    alloc_bench_names,
+    build_microbench,
+    DEFAULT_BATCH,
+)
+from repro.bench.report import format_results_table, geomean, speedup_summary
+
+__all__ = [
+    "Workload",
+    "SystemResult",
+    "BenchmarkResult",
+    "run_deserialization",
+    "run_serialization",
+    "SYSTEMS",
+    "nonalloc_bench_names",
+    "alloc_bench_names",
+    "build_microbench",
+    "DEFAULT_BATCH",
+    "format_results_table",
+    "geomean",
+    "speedup_summary",
+]

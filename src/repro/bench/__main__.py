@@ -1,0 +1,36 @@
+"""CLI: regenerate the paper's figures without pytest.
+
+Usage::
+
+    python -m repro.bench              # list available figures
+    python -m repro.bench fig11a       # regenerate one
+    python -m repro.bench all          # regenerate everything
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.figures import ALL_FIGURES
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.bench <figure>|all")
+        print("available figures:", ", ".join(ALL_FIGURES))
+        return 1
+    targets = list(ALL_FIGURES) if argv == ["all"] else argv
+    for target in targets:
+        generator = ALL_FIGURES.get(target)
+        if generator is None:
+            print(f"unknown figure {target!r}; available: "
+                  + ", ".join(ALL_FIGURES))
+            return 1
+        print(f"=== {target} ===")
+        print(generator())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,79 @@
+"""Result formatting: the tables and geomean summaries the paper reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.bench.runner import BenchmarkResult, SYSTEMS
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic for Figures 11-13)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_results_table(results: Sequence[BenchmarkResult],
+                         title: str = "") -> str:
+    """Render one figure's series as the rows the paper plots.
+
+    Columns are the three systems in plot order, plus a final geomean row.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'benchmark':<18}" + "".join(f"{s:>18}" for s in SYSTEMS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for result in results:
+        row = f"{result.workload:<18}"
+        for system in SYSTEMS:
+            row += f"{result.gbps(system):>18.2f}"
+        lines.append(row)
+    lines.append("-" * len(header))
+    row = f"{'geomean':<18}"
+    for system in SYSTEMS:
+        row += f"{geomean(r.gbps(system) for r in results):>18.2f}"
+    lines.append(row)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(results: Sequence[BenchmarkResult],
+                    width: int = 44) -> str:
+    """Render a figure's series as grouped horizontal bars.
+
+    One group per benchmark, one bar per system, matching the paper's
+    grouped-bar figures; bar lengths are linear in Gbit/s, normalised to
+    the largest value in the figure.
+    """
+    peak = max(result.gbps(system)
+               for result in results for system in SYSTEMS)
+    if peak <= 0:
+        raise ValueError("nothing to plot")
+    glyphs = {"riscv-boom": "#", "Xeon": "=", "riscv-boom-accel": "*"}
+    lines = ["legend: " + "  ".join(f"{glyph} {system}"
+                                    for system, glyph in glyphs.items())]
+    for result in results:
+        lines.append(f"{result.workload}")
+        for system in SYSTEMS:
+            value = result.gbps(system)
+            bar = glyphs[system] * max(1, round(value / peak * width))
+            lines.append(f"  {bar} {value:.2f}")
+    return "\n".join(lines)
+
+
+def speedup_summary(results: Sequence[BenchmarkResult]) -> dict[str, float]:
+    """Geomean accelerator speedups vs each baseline (the paper's
+    headline "NxM" numbers)."""
+    return {
+        "vs riscv-boom": geomean(
+            r.gbps("riscv-boom-accel") / r.gbps("riscv-boom")
+            for r in results),
+        "vs Xeon": geomean(
+            r.gbps("riscv-boom-accel") / r.gbps("Xeon") for r in results),
+    }

@@ -1,0 +1,138 @@
+"""The three-system benchmark runner.
+
+Runs one workload's timed batch on the paper's three systems --
+``riscv-boom`` (software on the BOOM SoC), ``Xeon`` (software on the
+server), and ``riscv-boom-accel`` (the accelerated SoC) -- and reports
+throughput as Gbit/s of serialized message data consumed (deserialization)
+or produced (serialization), exactly the metric of Figures 11-13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.driver import ProtoAccelerator
+from repro.cpu.boom import boom_cpu
+from repro.cpu.model import SoftwareCpu
+from repro.cpu.xeon import xeon_cpu
+from repro.proto.descriptor import MessageDescriptor
+from repro.proto.message import Message
+
+#: System labels in the paper's plotting order.
+SYSTEMS = ("riscv-boom", "Xeon", "riscv-boom-accel")
+
+
+@dataclass
+class Workload:
+    """A pre-populated batch of messages of one type."""
+
+    name: str
+    descriptor: MessageDescriptor
+    messages: list[Message]
+
+    def wire_buffers(self) -> list[bytes]:
+        """Software-serialized form of every message (batch input for
+        deserialization benchmarks)."""
+        return [message.serialize() for message in self.messages]
+
+    def total_wire_bytes(self) -> int:
+        return sum(len(buffer) for buffer in self.wire_buffers())
+
+
+@dataclass
+class SystemResult:
+    """One system's measurement on one workload."""
+
+    system: str
+    gbits_per_second: float
+    cycles: float
+    wire_bytes: int
+
+
+@dataclass
+class BenchmarkResult:
+    """All three systems' results for one workload."""
+
+    workload: str
+    operation: str  # "deserialize" | "serialize"
+    results: dict[str, SystemResult] = field(default_factory=dict)
+
+    def gbps(self, system: str) -> float:
+        return self.results[system].gbits_per_second
+
+    def speedup(self, system: str,
+                baseline: str = "riscv-boom") -> float:
+        return self.gbps(system) / self.gbps(baseline)
+
+
+def _software_deser(cpu: SoftwareCpu, workload: Workload,
+                    buffers: list[bytes]) -> SystemResult:
+    cycles = cpu.deserialize_batch_cycles(workload.descriptor, buffers)
+    wire_bytes = sum(len(b) for b in buffers)
+    return SystemResult(cpu.name, cpu.gbits_per_second(wire_bytes, cycles),
+                        cycles, wire_bytes)
+
+
+def _software_ser(cpu: SoftwareCpu, workload: Workload) -> SystemResult:
+    cycles = cpu.serialize_batch_cycles(workload.messages)
+    wire_bytes = workload.total_wire_bytes()
+    return SystemResult(cpu.name, cpu.gbits_per_second(wire_bytes, cycles),
+                        cycles, wire_bytes)
+
+
+def _accel_deser(workload: Workload, buffers: list[bytes],
+                 verify: bool) -> SystemResult:
+    accel = ProtoAccelerator()
+    accel.register_types([workload.descriptor])
+    addresses, stats = accel.deserialize_batch(workload.descriptor, buffers)
+    if verify:
+        for addr, expected in zip(addresses, workload.messages):
+            observed = accel.read_message(workload.descriptor, addr)
+            if observed != expected:
+                raise AssertionError(
+                    f"{workload.name}: accelerator deserialization mismatch")
+    wire_bytes = sum(len(b) for b in buffers)
+    return SystemResult(
+        "riscv-boom-accel",
+        accel.throughput_gbps(wire_bytes, stats.cycles),
+        stats.cycles, wire_bytes)
+
+
+def _accel_ser(workload: Workload, verify: bool) -> SystemResult:
+    accel = ProtoAccelerator()
+    accel.register_types([workload.descriptor])
+    addresses = [accel.load_object(m) for m in workload.messages]
+    outputs, stats = accel.serialize_batch(workload.descriptor, addresses)
+    if verify:
+        for output, message in zip(outputs, workload.messages):
+            if output != message.serialize():
+                raise AssertionError(
+                    f"{workload.name}: accelerator output not wire-identical")
+    wire_bytes = sum(len(o) for o in outputs)
+    return SystemResult(
+        "riscv-boom-accel",
+        accel.throughput_gbps(wire_bytes, stats.cycles),
+        stats.cycles, wire_bytes)
+
+
+def run_deserialization(workload: Workload,
+                        verify: bool = True) -> BenchmarkResult:
+    """Deserialize the workload's batch on all three systems."""
+    buffers = workload.wire_buffers()
+    result = BenchmarkResult(workload.name, "deserialize")
+    result.results["riscv-boom"] = _software_deser(boom_cpu(), workload,
+                                                   buffers)
+    result.results["Xeon"] = _software_deser(xeon_cpu(), workload, buffers)
+    result.results["riscv-boom-accel"] = _accel_deser(workload, buffers,
+                                                      verify)
+    return result
+
+
+def run_serialization(workload: Workload,
+                      verify: bool = True) -> BenchmarkResult:
+    """Serialize the workload's batch on all three systems."""
+    result = BenchmarkResult(workload.name, "serialize")
+    result.results["riscv-boom"] = _software_ser(boom_cpu(), workload)
+    result.results["Xeon"] = _software_ser(xeon_cpu(), workload)
+    result.results["riscv-boom-accel"] = _accel_ser(workload, verify)
+    return result

@@ -1,0 +1,82 @@
+"""The fleet profiling study (Section 3 of the paper).
+
+Google's internal data sources -- GWP cycle profiles, the protobufz
+message sampler, and the protodb schema database -- are proprietary, so
+this subpackage encodes the *published* fleet distributions (digitized
+from Figures 2-7 and the section's quoted statistics) and rebuilds the
+paper's analysis pipeline on top of them:
+
+- :mod:`repro.fleet.distributions` -- the distributions themselves, with
+  provenance notes tying every constant to a paper statement.
+- :mod:`repro.fleet.protodb` -- a synthetic protodb: a population of
+  message types with field-number ranges and type mixes.
+- :mod:`repro.fleet.sampler` -- a protobufz-style Monte Carlo sampler of
+  message "shapes"; re-deriving Figures 3, 4 and 7 from its samples
+  validates the pipeline.
+- :mod:`repro.fleet.profiler` -- a GWP-style cycle-attribution model
+  producing Figure 2 and the fleet-savings arithmetic of Section 3.2.
+- :mod:`repro.fleet.cycle_model` -- the 24-slice bytes-to-cycles model
+  behind Figures 5 and 6.
+"""
+
+from repro.fleet.distributions import (
+    FLEET_OP_SHARES,
+    MESSAGE_SIZE_BUCKETS,
+    FIELD_COUNT_SHARES,
+    FIELD_BYTES_SHARES,
+    BYTES_FIELD_SIZE_BUCKETS,
+    VARINT_SIZE_SHARES,
+    DENSITY_HISTOGRAM,
+    DEPTH_CDF_POINTS,
+    SizeBucket,
+    PROTOBUF_FLEET_CYCLE_SHARE,
+    CPP_SHARE_OF_PROTOBUF,
+    PROTO2_BYTES_SHARE,
+    RPC_SHARE_OF_DESER,
+    RPC_SHARE_OF_SER,
+)
+from repro.fleet.protodb import ProtoDb, MessageTypeRecord
+from repro.fleet.sampler import FleetSampler, ShapeSample, SampleAnalysis
+from repro.fleet.profiler import GwpProfile, fleet_opportunity
+from repro.fleet.cycle_model import (
+    CycleAttributionModel,
+    Slice,
+    build_slices,
+)
+from repro.fleet.gwp import (
+    CycleProfile,
+    GwpSampler,
+    accelerator_savings,
+    profile_software_service,
+)
+
+__all__ = [
+    "FLEET_OP_SHARES",
+    "MESSAGE_SIZE_BUCKETS",
+    "FIELD_COUNT_SHARES",
+    "FIELD_BYTES_SHARES",
+    "BYTES_FIELD_SIZE_BUCKETS",
+    "VARINT_SIZE_SHARES",
+    "DENSITY_HISTOGRAM",
+    "DEPTH_CDF_POINTS",
+    "SizeBucket",
+    "PROTOBUF_FLEET_CYCLE_SHARE",
+    "CPP_SHARE_OF_PROTOBUF",
+    "PROTO2_BYTES_SHARE",
+    "RPC_SHARE_OF_DESER",
+    "RPC_SHARE_OF_SER",
+    "ProtoDb",
+    "MessageTypeRecord",
+    "FleetSampler",
+    "ShapeSample",
+    "SampleAnalysis",
+    "GwpProfile",
+    "fleet_opportunity",
+    "CycleAttributionModel",
+    "Slice",
+    "build_slices",
+    "CycleProfile",
+    "GwpSampler",
+    "accelerator_savings",
+    "profile_software_service",
+]

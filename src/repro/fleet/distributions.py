@@ -1,0 +1,270 @@
+"""Fleet-wide protobuf usage distributions (digitized from the paper).
+
+Every constant here is anchored to a statement in the paper; where the
+paper gives only partial information (e.g. three points of a CDF), the
+remaining mass is interpolated smoothly and the anchors are asserted by
+the test suite.
+
+Anchors used:
+
+- Section 3.2: protobuf ops are 9.6% of fleet cycles; 88% of protobuf
+  cycles are C++; deserialization is 2.2% and serialization 1.25% of
+  fleet cycles; footnote 4: serialization is 8.8% and Byte Size 6.0% of
+  C++ protobuf cycles.
+- Section 7: merge+copy+clear address 17.1% of C++ protobuf cycles,
+  constructors 6.4%, destructors 13.9%.
+- Section 3.3: 96% of serialized/deserialized bytes are proto2.
+- Section 3.4: 16.3% of deserialization and 35.2% of serialization
+  cycles come from the RPC stack.
+- Section 3.5 / Figure 3: 24% of messages are <= 8 B, 56% <= 32 B,
+  93% <= 512 B; the [32769, inf) bucket holds 0.08% of messages but at
+  least 13.7x the bytes of the [0, 8] bucket.
+- Section 3.6 / Figure 4a: over 56% of fields are varint-like; 4b: bytes
+  + string (+ repeated) fields are over 92% of message bytes; 4c: the
+  4097-32768 and 32769-inf buckets hold 1.3% and 0.06% of bytes fields,
+  and the top bucket has at least 7.2x the bytes of the 0-8 bucket.
+- Section 3.7 / Figure 7: at least 92% of observed messages have
+  field-number usage density > 1/64; Section 3.9: over 90% of messages
+  populate less than 52% of their defined fields.
+- Section 3.8: 99.9% of protobuf bytes are at depth <= 12, 99.999% at
+  depth <= 25, and the maximum observed depth is below 100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# -- Section 3.2 scalars --------------------------------------------------------
+
+#: Fraction of all fleet CPU cycles spent in protobuf operations.
+PROTOBUF_FLEET_CYCLE_SHARE = 0.096
+#: Fraction of protobuf cycles spent in C++ protobufs.
+CPP_SHARE_OF_PROTOBUF = 0.88
+#: Fraction of serialized/deserialized bytes defined in proto2 (Sec. 3.3).
+PROTO2_BYTES_SHARE = 0.96
+#: Fraction of deserialization cycles initiated by the RPC stack (Sec 3.4).
+RPC_SHARE_OF_DESER = 0.163
+#: Fraction of serialization cycles initiated by the RPC stack.
+RPC_SHARE_OF_SER = 0.352
+
+#: Figure 2: share of C++ protobuf cycles by operation.  Deserialize is
+#: derived from 2.2% fleet / (9.6% x 88%); serialize and byte-size are
+#: footnote 4's 8.8% and 6.0%; merge/copy/clear split Section 7's 17.1%;
+#: constructors/destructors are Section 7's 6.4%/13.9%; "other" absorbs
+#: the remainder (glue code not amenable to acceleration).
+FLEET_OP_SHARES: dict[str, float] = {
+    "deserialize": 0.260,
+    "serialize": 0.088,
+    "byte_size": 0.060,
+    "destructor": 0.139,
+    "constructor": 0.064,
+    "merge": 0.070,
+    "copy": 0.051,
+    "clear": 0.050,
+    "other": 0.218,
+}
+
+
+@dataclass(frozen=True)
+class SizeBucket:
+    """One histogram bucket over byte sizes, inclusive bounds.
+
+    ``hi`` is ``None`` for the open-ended top bucket; ``midpoint`` follows
+    the paper's interpolation rule (Section 3.6.4): bucket midpoint, with
+    the top bucket's representative size chosen to make byte totals work
+    out (we use 40 KiB).
+    """
+
+    lo: int
+    hi: int | None
+    share: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.lo} - {'inf' if self.hi is None else self.hi}"
+
+    @property
+    def midpoint(self) -> float:
+        if self.hi is None:
+            return 40960.0
+        return (self.lo + self.hi) / 2
+
+    def contains(self, size: int) -> bool:
+        return size >= self.lo and (self.hi is None or size <= self.hi)
+
+
+#: Figure 3: top-level message size distribution (fraction of messages).
+#: Anchors: cumulative 24% at 8 B, 56% at 32 B, 93% at 512 B, 0.08% in
+#: the top bucket.
+MESSAGE_SIZE_BUCKETS: tuple[SizeBucket, ...] = (
+    SizeBucket(0, 8, 0.24),
+    SizeBucket(9, 16, 0.14),
+    SizeBucket(17, 32, 0.18),
+    SizeBucket(33, 64, 0.12),
+    SizeBucket(65, 128, 0.10),
+    SizeBucket(129, 512, 0.15),
+    SizeBucket(513, 2048, 0.035),
+    SizeBucket(2049, 4096, 0.015),
+    SizeBucket(4097, 32768, 0.0192),
+    SizeBucket(32769, None, 0.0008),
+)
+
+#: Figure 4a: fraction of observed fields by primitive type (sub-messages
+#: accounted via the fields they contain).  Anchor: the varint-like types
+#: (int32, int64, enum, bool, uint64, ...) sum to over 56%.
+FIELD_COUNT_SHARES: dict[str, float] = {
+    "int32": 0.18,
+    "int64": 0.16,
+    "enum": 0.12,
+    "bool": 0.06,
+    "uint64": 0.05,
+    "string": 0.20,
+    "bytes": 0.05,
+    "double": 0.07,
+    "float": 0.04,
+    "fixed64": 0.02,
+    "fixed32": 0.015,
+    "other_varint": 0.035,
+}
+
+#: Figure 4b: fraction of message *bytes* by field type.  Anchor: bytes,
+#: string, and repeated bytes/string constitute over 92% of bytes.
+FIELD_BYTES_SHARES: dict[str, float] = {
+    "string": 0.48,
+    "bytes": 0.30,
+    "repeated string": 0.08,
+    "repeated bytes": 0.065,
+    "varint-like": 0.040,
+    "double": 0.015,
+    "float": 0.008,
+    "fixed": 0.012,
+}
+
+#: Figure 4c: bytes-field size distribution (fraction of bytes fields).
+#: Anchors: 4097-32768 holds 1.3% and 32769-inf 0.06% of fields; the top
+#: bucket carries at least 7.2x the bytes of the 0-8 bucket.
+BYTES_FIELD_SIZE_BUCKETS: tuple[SizeBucket, ...] = (
+    SizeBucket(0, 8, 0.41),
+    SizeBucket(9, 16, 0.19),
+    SizeBucket(17, 32, 0.145),
+    SizeBucket(33, 64, 0.10),
+    SizeBucket(65, 128, 0.08),
+    SizeBucket(129, 512, 0.042),
+    SizeBucket(513, 2048, 0.013),
+    SizeBucket(2049, 4096, 0.0064),
+    SizeBucket(4097, 32768, 0.013),
+    SizeBucket(32769, None, 0.0006),
+)
+
+#: Encoded-size distribution of varint-like field values (1-10 bytes),
+#: from the protobufz histograms (Section 3.6.4: "exact labels on size
+#: bins").  Small varints dominate: most ints are small counts/ids/enums;
+#: 10-byte encodings are negative int32/int64 values.
+VARINT_SIZE_SHARES: dict[int, float] = {
+    1: 0.52,
+    2: 0.16,
+    3: 0.09,
+    4: 0.06,
+    5: 0.05,
+    6: 0.025,
+    7: 0.02,
+    8: 0.015,
+    9: 0.01,
+    10: 0.05,
+}
+
+#: Figure 7: field-number usage density histogram (bucket width 0.05,
+#: labelled by lower edge; the "0.00" bucket is density < 1/64).
+#: Anchors: at most 8% of messages fall below 1/64; over 90% of messages
+#: populate fewer than 52% of their defined fields.
+DENSITY_HISTOGRAM: dict[float, float] = {
+    0.00: 0.08,   # density < 1/64: the only regime favouring prior work
+    0.05: 0.10,
+    0.10: 0.12,
+    0.15: 0.12,
+    0.20: 0.11,
+    0.25: 0.09,
+    0.30: 0.08,
+    0.35: 0.07,
+    0.40: 0.055,
+    0.45: 0.045,
+    0.50: 0.035,
+    0.55: 0.015,
+    0.60: 0.015,
+    0.65: 0.012,
+    0.70: 0.010,
+    0.75: 0.008,
+    0.80: 0.007,
+    0.85: 0.006,
+    0.90: 0.005,
+    0.95: 0.004,
+    1.00: 0.013,  # fully populated (small fixed-shape messages)
+}
+
+#: Section 3.8 anchors: cumulative fraction of protobuf *bytes* at or
+#: below each sub-message depth (top-level message = depth 1).
+DEPTH_CDF_POINTS: tuple[tuple[int, float], ...] = (
+    (1, 0.62),
+    (2, 0.85),
+    (4, 0.965),
+    (8, 0.996),
+    (12, 0.999),
+    (25, 0.99999),
+    (99, 1.0),
+)
+
+
+def validate_distribution(shares, tolerance: float = 1e-6) -> None:
+    """Raise ValueError unless the shares sum to 1."""
+    values = (list(shares.values()) if isinstance(shares, dict)
+              else [bucket.share for bucket in shares])
+    total = sum(values)
+    if abs(total - 1.0) > tolerance:
+        raise ValueError(f"distribution sums to {total}, expected 1.0")
+    if any(v < 0 for v in values):
+        raise ValueError("distribution has negative mass")
+
+
+def cumulative_message_size_share(limit: int) -> float:
+    """Fraction of messages with encoded size <= ``limit`` bytes."""
+    total = 0.0
+    for bucket in MESSAGE_SIZE_BUCKETS:
+        if bucket.hi is not None and bucket.hi <= limit:
+            total += bucket.share
+    return total
+
+
+def bucket_byte_volumes(buckets: tuple[SizeBucket, ...]) -> dict[str, float]:
+    """Relative byte volume per bucket (share x midpoint), normalised."""
+    raw = {bucket.label: bucket.share * bucket.midpoint
+           for bucket in buckets}
+    total = sum(raw.values())
+    return {label: volume / total for label, volume in raw.items()}
+
+
+def density_share_above(threshold: float) -> float:
+    """Fraction of messages with usage density strictly above
+    ``threshold`` (Section 3.7's 1/64 comparison).
+
+    The 0.00 bucket is *defined* as density < 1/64 (the regime where prior
+    work's per-instance tables would win); every other bucket lies above.
+    """
+    if threshold <= 1 / 64:
+        return 1.0 - DENSITY_HISTOGRAM[0.00]
+    return sum(share for edge, share in DENSITY_HISTOGRAM.items()
+               if edge > threshold)
+
+
+def depth_coverage(depth: int) -> float:
+    """Fraction of protobuf bytes at sub-message depth <= ``depth``,
+    linearly interpolated between the paper's anchor points."""
+    if depth < 1:
+        return 0.0
+    points = DEPTH_CDF_POINTS
+    for (d0, c0), (d1, c1) in zip(points, points[1:]):
+        if depth < d1:
+            if depth <= d0:
+                return c0
+            frac = (depth - d0) / (d1 - d0)
+            return c0 + frac * (c1 - c0)
+    return 1.0

@@ -1,0 +1,177 @@
+"""A Google-Wide-Profiling-style sampling profiler (Section 3.1.1).
+
+GWP visits random machines, samples cycle counts against symbols, and
+aggregates fleet-wide.  This module provides the same mechanism for our
+simulated hosts: operations report their cycle costs to a
+:class:`GwpSampler`, which statistically samples them (visit-based, like
+the real system) and aggregates a :class:`CycleProfile` -- where the
+cycles went, by protobuf operation category.
+
+Used two ways:
+
+- :func:`profile_software_service` instruments a software host running a
+  message workload with a chosen operation mix, re-deriving a
+  Figure 2-style breakdown from *execution* rather than from encoded
+  constants; and
+- :func:`accelerator_savings` applies measured accelerator speedups to a
+  profile, the Section 5.2 extrapolation applied to any workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cpu.model import SoftwareCpu
+from repro.cpu.ops import clear_cycles, copy_cycles, merge_cycles
+from repro.proto.descriptor import MessageDescriptor
+from repro.proto.message import Message
+
+#: Operation categories, mirroring Figure 2's rows.
+CATEGORIES = ("deserialize", "serialize", "byte_size", "merge", "copy",
+              "clear", "constructor", "destructor", "other")
+
+
+@dataclass
+class CycleProfile:
+    """Aggregated cycles per operation category."""
+
+    cycles: dict[str, float] = field(default_factory=dict)
+
+    def add(self, category: str, amount: float) -> None:
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown category {category!r}")
+        self.cycles[category] = self.cycles.get(category, 0.0) + amount
+
+    @property
+    def total(self) -> float:
+        return sum(self.cycles.values())
+
+    def shares(self) -> dict[str, float]:
+        """Fraction of profiled cycles per category."""
+        total = self.total
+        if total == 0:
+            return {}
+        return {category: amount / total
+                for category, amount in self.cycles.items()}
+
+    def top(self, count: int = 5) -> list[tuple[str, float]]:
+        return sorted(self.shares().items(), key=lambda kv: -kv[1])[:count]
+
+    def merge(self, other: "CycleProfile") -> None:
+        for category, amount in other.cycles.items():
+            self.add(category, amount)
+
+
+class GwpSampler:
+    """Statistical cycle sampling with visit semantics.
+
+    Each reported event is recorded with probability ``sample_rate`` and
+    up-weighted by ``1 / sample_rate``, so the expected profile equals
+    the true one while only a fraction of events are touched -- the
+    low-overhead property that lets the real GWP run fleet-wide.
+    """
+
+    def __init__(self, sample_rate: float = 1.0, seed: int = 0):
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError("sample_rate must lie in (0, 1]")
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed)
+        self.profile = CycleProfile()
+        self.events_seen = 0
+        self.events_recorded = 0
+
+    def record(self, category: str, cycles: float) -> None:
+        self.events_seen += 1
+        if self._rng.random() >= self.sample_rate:
+            return
+        self.events_recorded += 1
+        self.profile.add(category, cycles / self.sample_rate)
+
+
+#: Default per-message operation mix for service profiling: how many
+#: times each operation runs per message lifetime in a typical serving
+#: path (parse once, inspect, copy occasionally, serialize once...).
+DEFAULT_OP_MIX: dict[str, float] = {
+    "deserialize": 1.0,
+    "serialize": 1.0,
+    "copy": 0.3,
+    "merge": 0.15,
+    "clear": 0.5,
+}
+
+#: Fraction of a serialize call's cycles attributable to the ByteSize
+#: pass (footnote 4: 6.0 of 14.8 protobuf-percentage points).
+_BYTESIZE_SHARE_OF_SER = 6.0 / 14.8
+
+
+def profile_software_service(
+        cpu: SoftwareCpu, descriptor: MessageDescriptor,
+        messages: list[Message],
+        op_mix: dict[str, float] | None = None,
+        sampler: GwpSampler | None = None,
+        glue_overhead: float = 0.28) -> CycleProfile:
+    """Run a service's protobuf work on ``cpu`` and profile it.
+
+    ``op_mix`` gives expected executions of each operation per message;
+    fractional values are realised in expectation via the sampler's RNG.
+    ``glue_overhead`` adds the non-accelerable "other" category as a
+    fraction of total protobuf cycles (reflection, accessors, RPC glue).
+    """
+    mix = dict(DEFAULT_OP_MIX if op_mix is None else op_mix)
+    sampler = sampler or GwpSampler()
+    rng = random.Random(1234)
+    for message in messages:
+        wire = message.serialize()
+        repeats = {op: int(count) + (rng.random() < count - int(count))
+                   for op, count in mix.items()}
+        for _ in range(repeats.get("deserialize", 0)):
+            decoded, result = cpu.deserialize(descriptor, wire)
+            construct = sum(
+                cpu.params.event_cycles(op, arg)
+                for op, arg in result.trace
+                if op.value in ("obj_construct",))
+            sampler.record("deserialize", result.cycles - construct)
+            sampler.record("constructor", construct)
+            sampler.record("destructor",
+                           clear_cycles(cpu.params, decoded,
+                                        arena_backed=False))
+        for _ in range(repeats.get("serialize", 0)):
+            _, result = cpu.serialize(message)
+            byte_size = result.cycles * _BYTESIZE_SHARE_OF_SER
+            sampler.record("serialize", result.cycles - byte_size)
+            sampler.record("byte_size", byte_size)
+        for _ in range(repeats.get("copy", 0)):
+            sampler.record("copy", copy_cycles(cpu.params, message))
+        for _ in range(repeats.get("merge", 0)):
+            sampler.record("merge",
+                           merge_cycles(cpu.params, message, message))
+        for _ in range(repeats.get("clear", 0)):
+            sampler.record("clear",
+                           clear_cycles(cpu.params, message,
+                                        arena_backed=True))
+    accounted = sampler.profile.total
+    if glue_overhead > 0 and accounted > 0:
+        sampler.record("other",
+                       accounted * glue_overhead / (1 - glue_overhead)
+                       * sampler.sample_rate)
+    return sampler.profile
+
+
+def accelerator_savings(profile: CycleProfile,
+                        speedups: dict[str, float]) -> float:
+    """Fraction of profiled cycles an accelerator recovers.
+
+    ``speedups`` maps categories to measured speedup factors; categories
+    not present are left on the CPU.  A k-times speedup recovers
+    ``1 - 1/k`` of a category's cycles (the Section 5.2 arithmetic).
+    """
+    total = profile.total
+    if total == 0:
+        return 0.0
+    saved = 0.0
+    for category, speedup in speedups.items():
+        if speedup <= 0:
+            raise ValueError(f"speedup for {category} must be positive")
+        saved += profile.cycles.get(category, 0.0) * (1 - 1 / speedup)
+    return saved / total

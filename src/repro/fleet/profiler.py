@@ -1,0 +1,89 @@
+"""GWP-style fleet cycle attribution (Sections 3.1.1 and 3.2).
+
+Google-Wide Profiling samples stack traces across the fleet; joining them
+with the protobuf library's symbols yields Figure 2 (C++ protobuf cycles
+by operation) and the headline opportunity arithmetic:
+
+- protobuf operations are 9.6% of fleet cycles;
+- 88% of those are C++;
+- deserialization (2.2% of fleet cycles) + serialization including Byte
+  Size (1.25%) = the 3.45% fleet-wide acceleration opportunity;
+- Section 5.2 extrapolates that the measured speedups recover over 2.5%
+  of fleet cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fleet.distributions import (
+    CPP_SHARE_OF_PROTOBUF,
+    FLEET_OP_SHARES,
+    PROTOBUF_FLEET_CYCLE_SHARE,
+)
+
+#: Operations the paper's accelerator offloads today.
+ACCELERATED_OPS = ("deserialize", "serialize", "byte_size")
+
+#: Operations Section 7 identifies as addressable by reusing the same
+#: hardware blocks with new custom instructions.
+FUTURE_OPS = ("merge", "copy", "clear")
+
+
+@dataclass
+class GwpProfile:
+    """A synthesised fleet cycle profile."""
+
+    total_fleet_cycles: float = 1.0e15  # arbitrary scale; shares matter
+
+    @property
+    def protobuf_cycles(self) -> float:
+        return self.total_fleet_cycles * PROTOBUF_FLEET_CYCLE_SHARE
+
+    @property
+    def cpp_protobuf_cycles(self) -> float:
+        return self.protobuf_cycles * CPP_SHARE_OF_PROTOBUF
+
+    def op_cycles(self, op: str) -> float:
+        """Fleet cycles attributed to one C++ protobuf operation."""
+        return self.cpp_protobuf_cycles * FLEET_OP_SHARES[op]
+
+    def op_fleet_share(self, op: str) -> float:
+        """One operation's share of *all* fleet cycles."""
+        return self.op_cycles(op) / self.total_fleet_cycles
+
+    def figure2_rows(self) -> list[tuple[str, float]]:
+        """Figure 2: C++ protobuf cycle shares by operation, descending."""
+        return sorted(FLEET_OP_SHARES.items(), key=lambda kv: kv[1],
+                      reverse=True)
+
+
+def fleet_opportunity() -> dict[str, float]:
+    """Section 3.2/3.9 headline numbers as fleet-cycle fractions."""
+    profile = GwpProfile()
+    accelerated = sum(profile.op_fleet_share(op) for op in ACCELERATED_OPS)
+    future = sum(profile.op_fleet_share(op) for op in FUTURE_OPS)
+    return {
+        "protobuf_share": PROTOBUF_FLEET_CYCLE_SHARE,
+        "cpp_share_of_protobuf": CPP_SHARE_OF_PROTOBUF,
+        "deser_fleet_share": profile.op_fleet_share("deserialize"),
+        "ser_fleet_share": (profile.op_fleet_share("serialize")
+                            + profile.op_fleet_share("byte_size")),
+        "accelerated_opportunity": accelerated,
+        "future_ops_opportunity": future,
+    }
+
+
+def realized_savings(deser_speedup: float, ser_speedup: float) -> float:
+    """Fleet cycles recovered given measured accelerator speedups
+    (Section 5.2's "over 2.5% of fleet-wide cycles" extrapolation).
+
+    A kx speedup on an operation recovers (1 - 1/k) of its cycles.
+    """
+    if deser_speedup <= 0 or ser_speedup <= 0:
+        raise ValueError("speedups must be positive")
+    profile = GwpProfile()
+    deser = profile.op_fleet_share("deserialize") * (1 - 1 / deser_speedup)
+    ser = (profile.op_fleet_share("serialize")
+           + profile.op_fleet_share("byte_size")) * (1 - 1 / ser_speedup)
+    return deser + ser

@@ -1,0 +1,217 @@
+"""A protobufz-style message-shape sampler (Section 3.1.2).
+
+protobufz visits random machines and samples top-level messages as they
+are serialized/deserialized, recording complete shape information: the
+encoded size, the types and sizes of all present fields, and the message
+hierarchy.  Our Monte Carlo counterpart draws shapes from the published
+distributions; :class:`SampleAnalysis` then re-derives the Figure 3/4/7
+histograms from raw samples, validating the analysis pipeline end-to-end
+(the tests check convergence back to the inputs).
+
+The joint structure mirrors reality: a message's encoded size is drawn
+first (Figure 3), then its field population fills that budget, so large
+bytes fields only occur inside large messages.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.fleet.distributions import (
+    BYTES_FIELD_SIZE_BUCKETS,
+    DENSITY_HISTOGRAM,
+    DEPTH_CDF_POINTS,
+    FIELD_COUNT_SHARES,
+    MESSAGE_SIZE_BUCKETS,
+    SizeBucket,
+    VARINT_SIZE_SHARES,
+)
+
+_BYTES_LIKE = ("string", "bytes")
+_VARINT_LIKE = ("int32", "int64", "enum", "bool", "uint64", "other_varint")
+
+
+@dataclass(frozen=True)
+class FieldShape:
+    """One sampled field occurrence: its primitive type and wire bytes
+    (value only, excluding the key)."""
+
+    type_name: str
+    wire_bytes: int
+
+
+@dataclass
+class ShapeSample:
+    """One sampled top-level message shape."""
+
+    encoded_size: int
+    fields: list[FieldShape] = field(default_factory=list)
+    density: float = 0.0
+    max_depth: int = 1
+
+    @property
+    def field_bytes(self) -> int:
+        return sum(f.wire_bytes for f in self.fields)
+
+
+def _pick_bucket(rng: random.Random,
+                 buckets: tuple[SizeBucket, ...]) -> SizeBucket:
+    roll = rng.random()
+    acc = 0.0
+    for bucket in buckets:
+        acc += bucket.share
+        if roll < acc:
+            return bucket
+    return buckets[-1]
+
+
+def _size_within(rng: random.Random, bucket: SizeBucket) -> int:
+    """Log-uniform size inside a bucket (sizes are scale-free)."""
+    lo = max(bucket.lo, 1)
+    hi = bucket.hi if bucket.hi is not None else 131072
+    if hi <= lo:
+        return lo
+    return int(round(math.exp(rng.uniform(math.log(lo), math.log(hi)))))
+
+
+def _depth_pmf() -> list[tuple[int, float]]:
+    """Per-depth probability mass from the paper's byte-CDF anchors."""
+    pmf = []
+    previous = 0.0
+    for depth, cdf in DEPTH_CDF_POINTS:
+        pmf.append((depth, cdf - previous))
+        previous = cdf
+    return pmf
+
+
+class FleetSampler:
+    """Draws synthetic protobufz shape samples."""
+
+    def __init__(self, seed: int = 11):
+        self._rng = random.Random(seed)
+        self._field_names = list(FIELD_COUNT_SHARES)
+        self._field_weights = list(FIELD_COUNT_SHARES.values())
+        self._varint_sizes = list(VARINT_SIZE_SHARES)
+        self._varint_weights = list(VARINT_SIZE_SHARES.values())
+        self._depth_pmf = _depth_pmf()
+        self._density_edges = list(DENSITY_HISTOGRAM)
+        self._density_weights = list(DENSITY_HISTOGRAM.values())
+
+    def _field_value_bytes(self, type_name: str, budget: int) -> int:
+        rng = self._rng
+        if type_name in _BYTES_LIKE:
+            bucket = _pick_bucket(rng, BYTES_FIELD_SIZE_BUCKETS)
+            return min(_size_within(rng, bucket), max(budget, 1))
+        if type_name in _VARINT_LIKE:
+            return rng.choices(self._varint_sizes,
+                               self._varint_weights)[0]
+        if type_name in ("double", "fixed64"):
+            return 8
+        return 4  # float, fixed32
+
+    def sample(self) -> ShapeSample:
+        """Draw one top-level message shape."""
+        rng = self._rng
+        size = _size_within(rng, _pick_bucket(rng, MESSAGE_SIZE_BUCKETS))
+        sample = ShapeSample(encoded_size=size)
+        budget = size
+        while budget > 0:
+            type_name = rng.choices(self._field_names,
+                                    self._field_weights)[0]
+            value = self._field_value_bytes(type_name, budget)
+            key = 1  # field numbers are overwhelmingly single-byte keys
+            sample.fields.append(FieldShape(type_name, value))
+            budget -= value + key
+            if len(sample.fields) > 4096:
+                break
+        edge = rng.choices(self._density_edges, self._density_weights)[0]
+        sample.density = (rng.uniform(0.0, 1 / 64) if edge == 0.0
+                          else rng.uniform(edge, min(edge + 0.05, 1.0)))
+        depths, weights = zip(*self._depth_pmf)
+        sample.max_depth = rng.choices(depths, weights)[0]
+        return sample
+
+    def sample_many(self, count: int) -> list[ShapeSample]:
+        return [self.sample() for _ in range(count)]
+
+
+class SampleAnalysis:
+    """Re-derives the paper's Figure 3/4/7 views from raw shape samples."""
+
+    def __init__(self, samples: list[ShapeSample]):
+        if not samples:
+            raise ValueError("no samples to analyse")
+        self.samples = samples
+
+    def message_size_histogram(self) -> dict[str, float]:
+        """Figure 3: fraction of messages per size bucket."""
+        counts = {bucket.label: 0 for bucket in MESSAGE_SIZE_BUCKETS}
+        for sample in self.samples:
+            for bucket in MESSAGE_SIZE_BUCKETS:
+                if bucket.contains(sample.encoded_size):
+                    counts[bucket.label] += 1
+                    break
+        total = len(self.samples)
+        return {label: count / total for label, count in counts.items()}
+
+    def field_count_shares(self) -> dict[str, float]:
+        """Figure 4a: fraction of observed fields by type."""
+        counts: dict[str, int] = {}
+        for sample in self.samples:
+            for field_shape in sample.fields:
+                counts[field_shape.type_name] = (
+                    counts.get(field_shape.type_name, 0) + 1)
+        total = sum(counts.values())
+        return {name: count / total for name, count in counts.items()}
+
+    def field_bytes_shares(self) -> dict[str, float]:
+        """Figure 4b: fraction of message bytes by field type."""
+        volumes: dict[str, float] = {}
+        for sample in self.samples:
+            for field_shape in sample.fields:
+                volumes[field_shape.type_name] = (
+                    volumes.get(field_shape.type_name, 0)
+                    + field_shape.wire_bytes)
+        total = sum(volumes.values())
+        return {name: volume / total for name, volume in volumes.items()}
+
+    def bytes_like_byte_share(self) -> float:
+        """The paper's >92% headline: share of bytes in bytes-like fields."""
+        shares = self.field_bytes_shares()
+        return sum(shares.get(name, 0.0) for name in _BYTES_LIKE)
+
+    def varint_like_count_share(self) -> float:
+        """The paper's >56% headline: share of fields that are varint-like."""
+        shares = self.field_count_shares()
+        return sum(shares.get(name, 0.0) for name in _VARINT_LIKE)
+
+    def bytes_field_size_histogram(self) -> dict[str, float]:
+        """Figure 4c: size distribution of bytes-like fields."""
+        counts = {bucket.label: 0 for bucket in BYTES_FIELD_SIZE_BUCKETS}
+        total = 0
+        for sample in self.samples:
+            for field_shape in sample.fields:
+                if field_shape.type_name not in _BYTES_LIKE:
+                    continue
+                total += 1
+                for bucket in BYTES_FIELD_SIZE_BUCKETS:
+                    if bucket.contains(field_shape.wire_bytes):
+                        counts[bucket.label] += 1
+                        break
+        if total == 0:
+            return {label: 0.0 for label in counts}
+        return {label: count / total for label, count in counts.items()}
+
+    def density_share_above(self, threshold: float) -> float:
+        """Figure 7's comparison: messages with density above threshold."""
+        above = sum(1 for s in self.samples if s.density > threshold)
+        return above / len(self.samples)
+
+    def byte_share_at_depth(self, depth: int) -> float:
+        """Section 3.8: fraction of bytes at sub-message depth <= depth."""
+        total = sum(s.encoded_size for s in self.samples)
+        covered = sum(s.encoded_size for s in self.samples
+                      if s.max_depth <= depth)
+        return covered / total if total else 1.0

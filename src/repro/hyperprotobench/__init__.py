@@ -1,0 +1,32 @@
+"""HyperProtoBench: fleet-representative synthetic benchmarks (Section 5.2).
+
+The paper's generator fits distributions to protobufz "shape" samples of
+the five heaviest serialization users and five heaviest deserialization
+users in Google's fleet, then samples those distributions to emit a
+.proto file plus a benchmark per service -- bench0 through bench5.
+
+Our generator does the same against published-distribution-derived
+service profiles: each profile skews the fleet-wide distributions the way
+a particular class of heavy protobuf user does (RPC-ish small messages,
+storage blobs, deeply nested configuration, ...), and the generator emits
+a real schema (renderable as .proto text), a population of messages, and
+a :class:`repro.bench.runner.Workload` ready for the three-system runner.
+"""
+
+from repro.hyperprotobench.shapes import ServiceProfile, SERVICE_PROFILES
+from repro.hyperprotobench.generator import BenchGenerator, GeneratedBench
+from repro.hyperprotobench.workload import (
+    build_hyperprotobench,
+    bench_names,
+)
+from repro.hyperprotobench.fitting import fit_profile
+
+__all__ = [
+    "ServiceProfile",
+    "SERVICE_PROFILES",
+    "BenchGenerator",
+    "GeneratedBench",
+    "build_hyperprotobench",
+    "bench_names",
+    "fit_profile",
+]

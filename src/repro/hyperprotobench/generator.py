@@ -1,0 +1,214 @@
+"""The synthetic benchmark generator (Section 5.2).
+
+Given a :class:`~repro.hyperprotobench.shapes.ServiceProfile`, the
+generator produces:
+
+1. a schema representative of the service (renderable to .proto text via
+   :func:`repro.proto.writer.schema_to_proto`), with nested message types
+   down to the profile's depth; and
+2. a population of messages sampled from the profile's presence, size and
+   value distributions -- the benchmark "constructs, mutates, and
+   serializes/deserializes" these, as the paper's C++ benchmarks do.
+
+Generation is deterministic per (profile, seed) so benchmark runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import string as string_module
+from dataclasses import dataclass
+
+from repro.hyperprotobench.shapes import ServiceProfile
+from repro.proto.descriptor import (
+    EnumDescriptor,
+    FieldDescriptor,
+    MessageDescriptor,
+    Schema,
+)
+from repro.proto.message import Message
+from repro.proto.types import FieldType, Label, is_packable
+from repro.proto.writer import schema_to_proto
+
+_PRINTABLE = (string_module.ascii_letters + string_module.digits
+              + "_-./ ")
+
+
+@dataclass
+class GeneratedBench:
+    """One generated benchmark: schema, root type, and message batch."""
+
+    name: str
+    schema: Schema
+    root: MessageDescriptor
+    messages: list[Message]
+
+    @property
+    def proto_source(self) -> str:
+        """The benchmark's schema as .proto text (what the paper's
+        generator writes out)."""
+        return schema_to_proto(self.schema)
+
+
+class BenchGenerator:
+    """Samples a schema and workload from one service profile."""
+
+    def __init__(self, profile: ServiceProfile, seed: int = 0):
+        self.profile = profile
+        # hash() of the stable profile name would vary across interpreter
+        # runs (string-hash randomisation); derive the seed stably.
+        name_seed = sum(ord(c) << i % 24 for i, c in enumerate(profile.name))
+        self._rng = random.Random((name_seed ^ seed) & 0xFFFFFFFF)
+        self._type_counter = 0
+        self._status_enum = EnumDescriptor(
+            name=f"{profile.name.capitalize()}Status",
+            values={"UNKNOWN": 0, "OK": 1, "RETRY": 2, "FAILED": 3,
+                    "CANCELLED": 4, "DEADLINE": 5, "INTERNAL": 6,
+                    "DENIED": 7, "EXHAUSTED": 8})
+
+    # -- schema generation --------------------------------------------------
+
+    def _next_type_name(self, depth: int) -> str:
+        self._type_counter += 1
+        return f"{self.profile.name.capitalize()}M{self._type_counter}"
+
+    def _generate_type(self, schema: Schema, depth: int) -> MessageDescriptor:
+        profile = self.profile
+        rng = self._rng
+        name = self._next_type_name(depth)
+        count = max(1, int(rng.gauss(profile.fields_per_message,
+                                     profile.fields_per_message ** 0.5)))
+        scalar_names = list(profile.type_weights)
+        scalar_weights = list(profile.type_weights.values())
+        fields: list[FieldDescriptor] = []
+        number = 0
+        for index in range(count):
+            number += 1 if rng.random() < 0.85 else rng.randint(2, 5)
+            repeated = rng.random() < profile.repeated_probability
+            label = Label.REPEATED if repeated else Label.OPTIONAL
+            if (depth < profile.max_depth
+                    and rng.random() < profile.submessage_probability):
+                child = self._generate_type(schema, depth + 1)
+                fields.append(FieldDescriptor(
+                    name=f"sub{index}", number=number,
+                    field_type=FieldType.MESSAGE, label=label,
+                    type_name=child.name))
+                continue
+            field_type = rng.choices(scalar_names, scalar_weights)[0]
+            packed = (repeated and is_packable(field_type)
+                      and rng.random() < 0.8)
+            fields.append(FieldDescriptor(
+                name=f"f{index}", number=number, field_type=field_type,
+                label=label, packed=packed,
+                enum_type=(self._status_enum
+                           if field_type is FieldType.ENUM else None)))
+        descriptor = MessageDescriptor(name, fields)
+        schema.add_message(descriptor)
+        return descriptor
+
+    # -- value sampling ------------------------------------------------------
+
+    def _varint_magnitude(self) -> int:
+        """A value whose encoded size clusters around the profile mean."""
+        rng = self._rng
+        size = max(1, min(10, round(rng.expovariate(
+            1.0 / self.profile.varint_mean_size)) + 1))
+        if size == 1:
+            return rng.randint(0, 127)
+        lo = min(1 << 7 * (size - 1), 2**62)
+        hi = min((1 << 7 * size) - 1, 2**63 - 1)
+        return rng.randint(lo, max(lo, hi))
+
+    def _string_value(self) -> str:
+        rng = self._rng
+        size = int(rng.lognormvariate(self.profile.string_size_mu,
+                                      self.profile.string_size_sigma))
+        size = max(1, min(size, 65536))
+        return "".join(rng.choices(_PRINTABLE, k=size))
+
+    def _scalar_value(self, fd: FieldDescriptor):
+        rng = self._rng
+        ft = fd.field_type
+        if ft is FieldType.STRING:
+            return self._string_value()
+        if ft is FieldType.BYTES:
+            return self._string_value().encode("latin-1")
+        if ft is FieldType.BOOL:
+            return rng.random() < 0.5
+        if ft in (FieldType.FLOAT, FieldType.DOUBLE):
+            return rng.uniform(-1e6, 1e6)
+        if ft is FieldType.ENUM:
+            return rng.randint(0, 8)
+        if ft in (FieldType.SINT32, FieldType.SINT64):
+            magnitude = self._varint_magnitude()
+            if ft is FieldType.SINT32:
+                magnitude = min(magnitude, 2**30)
+            return magnitude if rng.random() < 0.5 else -magnitude
+        if ft in (FieldType.INT32, FieldType.UINT32, FieldType.FIXED32,
+                  FieldType.SFIXED32):
+            return min(self._varint_magnitude(), 2**31 - 1)
+        if ft in (FieldType.INT64, FieldType.SFIXED64):
+            magnitude = min(self._varint_magnitude(), 2**62)
+            # Occasional negative values exercise the 10-byte varint
+            # pathology the fleet data shows (VARINT_SIZE_SHARES[10]).
+            return -magnitude if rng.random() < 0.08 else magnitude
+        if ft is FieldType.FIXED64:
+            return min(self._varint_magnitude(), 2**63 - 1)
+        return min(self._varint_magnitude(), 2**63 - 1)  # UINT64
+
+    def _populate(self, descriptor: MessageDescriptor,
+                  depth: int) -> Message:
+        profile = self.profile
+        rng = self._rng
+        message = descriptor.new_message()
+        populated = 0
+        for fd in descriptor.fields:
+            if rng.random() >= profile.presence_probability:
+                continue
+            populated += 1
+            if fd.field_type is FieldType.MESSAGE:
+                assert fd.message_type is not None
+                if fd.is_repeated:
+                    count = self._repeat_count()
+                    for _ in range(count):
+                        message[fd.name]._items.append(
+                            self._populate(fd.message_type, depth + 1))
+                    message._hasbits.add(fd.number)
+                else:
+                    message[fd.name] = self._populate(fd.message_type,
+                                                      depth + 1)
+                continue
+            if fd.is_repeated:
+                message[fd.name] = [self._scalar_value(fd)
+                                    for _ in range(self._repeat_count())]
+            else:
+                message[fd.name] = self._scalar_value(fd)
+        if populated == 0 and descriptor.fields:
+            # Empty messages serialize to zero bytes; keep at least one
+            # field so every sampled message exercises the pipeline.
+            fd = min((f for f in descriptor.fields
+                      if f.field_type is not FieldType.MESSAGE),
+                     key=lambda f: f.number, default=None)
+            if fd is not None:
+                if fd.is_repeated:
+                    message[fd.name] = [self._scalar_value(fd)]
+                else:
+                    message[fd.name] = self._scalar_value(fd)
+        return message
+
+    def _repeat_count(self) -> int:
+        mean = self.profile.repeated_mean_elements
+        return max(1, int(self._rng.expovariate(1.0 / mean)) + 1)
+
+    # -- entry point -----------------------------------------------------------
+
+    def generate(self, batch: int | None = None) -> GeneratedBench:
+        """Produce the benchmark: schema plus a batch of messages."""
+        schema = Schema(package=self.profile.name)
+        schema.add_enum(self._status_enum)
+        root = self._generate_type(schema, depth=1)
+        schema.resolve()
+        size = batch if batch is not None else self.profile.batch
+        messages = [self._populate(root, depth=1) for _ in range(size)]
+        return GeneratedBench(self.profile.name, schema, root, messages)

@@ -1,0 +1,161 @@
+"""Service shape profiles for the HyperProtoBench generator.
+
+Each profile describes how one heavy protobuf-user service's message
+shapes deviate from the fleet-wide distributions of Section 3: its
+message-size regime, field-type mix, nesting depth, repeated-field usage,
+and string-size profile.  The six benchmarks cover the archetypes the
+paper's fleet analysis surfaces: RPC request/response traffic, storage
+blobs, logging/analytics events, deeply nested configuration, columnar
+export, and feature-vector traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.proto.types import FieldType
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Distribution parameters for one synthetic service benchmark."""
+
+    name: str
+    description: str
+    #: Mean fields per message (Poisson-ish).
+    fields_per_message: float
+    #: Relative weights of field types in this service's schemas.
+    type_weights: dict[FieldType, float]
+    #: Probability a field is repeated.
+    repeated_probability: float
+    #: Elements per repeated field (geometric mean).
+    repeated_mean_elements: float
+    #: Probability a field is a sub-message (per level).
+    submessage_probability: float
+    #: Maximum schema nesting depth.
+    max_depth: int
+    #: Log-normal parameters of string/bytes value sizes (mu, sigma in
+    #: natural-log bytes).
+    string_size_mu: float = 2.5
+    string_size_sigma: float = 1.0
+    #: Probability a defined field is populated in a sampled message
+    #: (Figure 7 usage density; fleet average is well under 52%).
+    presence_probability: float = 0.45
+    #: Typical varint magnitudes: mean encoded size in bytes.
+    varint_mean_size: float = 2.0
+    #: Messages per benchmark batch.
+    batch: int = 24
+
+
+_RPC_WEIGHTS = {
+    FieldType.INT64: 4, FieldType.INT32: 4, FieldType.ENUM: 3,
+    FieldType.BOOL: 2, FieldType.STRING: 5, FieldType.DOUBLE: 1,
+    FieldType.UINT64: 2,
+}
+
+_STORAGE_WEIGHTS = {
+    FieldType.BYTES: 6, FieldType.STRING: 3, FieldType.INT64: 2,
+    FieldType.FIXED64: 1, FieldType.BOOL: 1,
+}
+
+_LOGGING_WEIGHTS = {
+    FieldType.STRING: 5, FieldType.INT64: 3, FieldType.ENUM: 3,
+    FieldType.BOOL: 2, FieldType.INT32: 2, FieldType.FLOAT: 1,
+}
+
+_CONFIG_WEIGHTS = {
+    FieldType.STRING: 4, FieldType.BOOL: 3, FieldType.INT32: 3,
+    FieldType.ENUM: 2, FieldType.DOUBLE: 1,
+}
+
+_COLUMNAR_WEIGHTS = {
+    FieldType.INT64: 4, FieldType.DOUBLE: 3, FieldType.STRING: 4,
+    FieldType.BYTES: 2, FieldType.FIXED64: 1, FieldType.SINT64: 1,
+}
+
+_FEATURES_WEIGHTS = {
+    FieldType.FLOAT: 5, FieldType.DOUBLE: 2, FieldType.INT32: 2,
+    FieldType.STRING: 1, FieldType.UINT32: 1,
+}
+
+#: The six HyperProtoBench service profiles (bench0 .. bench5).
+SERVICE_PROFILES: tuple[ServiceProfile, ...] = (
+    ServiceProfile(
+        name="bench0",
+        description="RPC frontend: many small request/response messages",
+        fields_per_message=9,
+        type_weights=_RPC_WEIGHTS,
+        repeated_probability=0.10,
+        repeated_mean_elements=3,
+        submessage_probability=0.25,
+        max_depth=3,
+        string_size_mu=3.0, string_size_sigma=0.9,
+        presence_probability=0.40,
+        varint_mean_size=1.8,
+    ),
+    ServiceProfile(
+        name="bench1",
+        description="Blob storage metadata + payloads: bytes-dominated",
+        fields_per_message=6,
+        type_weights=_STORAGE_WEIGHTS,
+        repeated_probability=0.15,
+        repeated_mean_elements=2,
+        submessage_probability=0.15,
+        max_depth=2,
+        string_size_mu=5.5, string_size_sigma=1.6,
+        presence_probability=0.60,
+        varint_mean_size=3.0,
+    ),
+    ServiceProfile(
+        name="bench2",
+        description="Logging/analytics events: medium strings and enums",
+        fields_per_message=14,
+        type_weights=_LOGGING_WEIGHTS,
+        repeated_probability=0.20,
+        repeated_mean_elements=4,
+        submessage_probability=0.30,
+        max_depth=4,
+        string_size_mu=3.0, string_size_sigma=1.0,
+        presence_probability=0.35,
+        varint_mean_size=2.2,
+    ),
+    ServiceProfile(
+        name="bench3",
+        description="Deeply nested configuration snapshots",
+        fields_per_message=7,
+        type_weights=_CONFIG_WEIGHTS,
+        repeated_probability=0.25,
+        repeated_mean_elements=3,
+        submessage_probability=0.35,
+        max_depth=6,
+        string_size_mu=3.5, string_size_sigma=0.9,
+        presence_probability=0.50,
+        varint_mean_size=1.5,
+    ),
+    ServiceProfile(
+        name="bench4",
+        description="Columnar export rows: packed numeric vectors",
+        fields_per_message=10,
+        type_weights=_COLUMNAR_WEIGHTS,
+        repeated_probability=0.35,
+        repeated_mean_elements=5,
+        submessage_probability=0.10,
+        max_depth=2,
+        string_size_mu=3.6, string_size_sigma=1.1,
+        presence_probability=0.70,
+        varint_mean_size=2.6,
+    ),
+    ServiceProfile(
+        name="bench5",
+        description="ML feature vectors: float-heavy repeated fields",
+        fields_per_message=8,
+        type_weights=_FEATURES_WEIGHTS,
+        repeated_probability=0.50,
+        repeated_mean_elements=16,
+        submessage_probability=0.20,
+        max_depth=3,
+        string_size_mu=2.0, string_size_sigma=0.6,
+        presence_probability=0.55,
+        varint_mean_size=1.6,
+    ),
+)

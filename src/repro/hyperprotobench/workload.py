@@ -1,0 +1,28 @@
+"""HyperProtoBench workload construction for the three-system runner."""
+
+from __future__ import annotations
+
+from repro.bench.runner import Workload
+from repro.hyperprotobench.generator import BenchGenerator, GeneratedBench
+from repro.hyperprotobench.shapes import SERVICE_PROFILES
+
+
+def bench_names() -> list[str]:
+    """The six benchmark names of Figures 12 and 13."""
+    return [profile.name for profile in SERVICE_PROFILES]
+
+
+def generate_bench(name: str, seed: int = 0,
+                   batch: int | None = None) -> GeneratedBench:
+    """Generate the named benchmark (schema + message batch)."""
+    for profile in SERVICE_PROFILES:
+        if profile.name == name:
+            return BenchGenerator(profile, seed=seed).generate(batch=batch)
+    raise ValueError(f"unknown HyperProtoBench benchmark {name!r}")
+
+
+def build_hyperprotobench(name: str, seed: int = 0,
+                          batch: int | None = None) -> Workload:
+    """Build the named benchmark as a runnable workload."""
+    bench = generate_bench(name, seed=seed, batch=batch)
+    return Workload(bench.name, bench.root, bench.messages)

@@ -1,0 +1,46 @@
+"""Simulated memory substrate: flat memory, C++ object layouts, arenas.
+
+The paper's accelerator does not exchange Python objects with software --
+it reads and writes the *bytes* of C++ protobuf objects in DRAM.  This
+subpackage provides that substrate:
+
+- :mod:`repro.memory.memspace` -- a flat, byte-addressable simulated memory
+  with access statistics.
+- :mod:`repro.memory.layout` -- byte-for-byte C++ object images: generated
+  message classes (vptr + sparse hasbits + field slots), libstdc++
+  ``std::string`` with the small-string optimisation, and repeated fields.
+- :mod:`repro.memory.arena` -- accelerator arenas (Section 4.3): bump
+  allocators the accelerator carves objects and output buffers from.
+- :mod:`repro.memory.timing` -- a latency/bandwidth model of the L2-coherent
+  TileLink path the accelerator's memory interface wrappers use.
+"""
+
+from repro.memory.memspace import SimMemory, MemoryStats
+from repro.memory.arena import AcceleratorArena, ArenaExhausted
+from repro.memory.layout import (
+    MessageLayout,
+    LayoutCache,
+    StdString,
+    write_message_image,
+    read_message_image,
+    STRING_OBJECT_BYTES,
+    SSO_CAPACITY,
+    REPEATED_HEADER_BYTES,
+)
+from repro.memory.timing import MemoryTimingModel
+
+__all__ = [
+    "SimMemory",
+    "MemoryStats",
+    "AcceleratorArena",
+    "ArenaExhausted",
+    "MessageLayout",
+    "LayoutCache",
+    "StdString",
+    "write_message_image",
+    "read_message_image",
+    "STRING_OBJECT_BYTES",
+    "SSO_CAPACITY",
+    "REPEATED_HEADER_BYTES",
+    "MemoryTimingModel",
+]

@@ -1,0 +1,128 @@
+"""Accelerator arenas (Section 4.3 of the paper).
+
+The application pre-allocates arena regions and hands their pointers to the
+accelerator via the ``{ser,deser}_assign_arena`` RoCC instructions.  The
+accelerator then allocates deserialized objects (sub-messages, strings,
+repeated buffers) and serialized outputs with simple pointer increments,
+keeping the CPU off the allocation critical path.
+
+For serialization the arena holds two regions (Section 4.5.1): a data
+buffer that is written *high-to-low*, and a table of pointers to the start
+of each completed serialized message.
+"""
+
+from __future__ import annotations
+
+from repro.memory.memspace import SimMemory
+
+_ALIGNMENT = 8
+
+
+class ArenaExhausted(MemoryError):
+    """The arena region assigned to the accelerator is full.
+
+    Real hardware would raise an interrupt so software can assign a fresh
+    arena; our model surfaces the condition as this exception.
+    """
+
+
+class AcceleratorArena:
+    """A bump-pointer allocation region inside simulated memory."""
+
+    def __init__(self, memory: SimMemory, size: int = 4 << 20):
+        if size <= 0:
+            raise ValueError("arena size must be positive")
+        self.memory = memory
+        self.base = memory.allocate(size, alignment=64)
+        self.size = size
+        self._bump = self.base
+        self.allocations = 0
+
+    def allocate(self, size: int, alignment: int = _ALIGNMENT) -> int:
+        """Bump-allocate ``size`` bytes; returns the address."""
+        if size < 0:
+            raise ValueError("allocation size must be non-negative")
+        addr = -(-self._bump // alignment) * alignment
+        if addr + size > self.base + self.size:
+            raise ArenaExhausted(
+                f"arena of {self.size} bytes exhausted allocating {size}")
+        self._bump = addr + size
+        self.allocations += 1
+        return addr
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bump - self.base
+
+    @property
+    def bytes_free(self) -> int:
+        return self.size - self.bytes_used
+
+    def reset(self) -> None:
+        """Reclaim the whole arena at once."""
+        self._bump = self.base
+        self.allocations = 0
+
+
+class SerializerArena:
+    """The serializer's two-region arena (Section 4.5.1).
+
+    The *data* region is filled from its high address downward, because the
+    serializer iterates fields in reverse field-number order and must see
+    all of a sub-message's fields before it knows the sub-message length.
+    The *pointer table* region records where each completed top-level
+    serialized message begins.
+    """
+
+    def __init__(self, memory: SimMemory, data_size: int = 4 << 20,
+                 table_entries: int = 4096):
+        self.memory = memory
+        self.data_base = memory.allocate(data_size, alignment=64)
+        self.data_size = data_size
+        self._cursor = self.data_base + data_size  # writes grow downward
+        self.table_base = memory.allocate(table_entries * 16, alignment=64)
+        self.table_entries = table_entries
+        self._outputs: list[tuple[int, int]] = []
+
+    @property
+    def cursor(self) -> int:
+        """Current high-to-low write position (next byte goes below it)."""
+        return self._cursor
+
+    def push_bytes(self, data: bytes) -> int:
+        """Write ``data`` immediately below the cursor; returns its address."""
+        addr = self._cursor - len(data)
+        if addr < self.data_base:
+            raise ArenaExhausted("serializer output arena exhausted")
+        self.memory.write(addr, data)
+        self._cursor = addr
+        return addr
+
+    def finish_message(self) -> tuple[int, int]:
+        """Record the just-completed message (address, length) in the table."""
+        index = len(self._outputs)
+        if index >= self.table_entries:
+            raise ArenaExhausted("serializer pointer table exhausted")
+        start = self._cursor
+        if self._outputs:
+            prev_start, _ = self._outputs[-1]
+            length = prev_start - start
+        else:
+            length = self.data_base + self.data_size - start
+        self.memory.write_u64(self.table_base + index * 16, start)
+        self.memory.write_u64(self.table_base + index * 16 + 8, length)
+        self._outputs.append((start, length))
+        return start, length
+
+    def output(self, index: int) -> bytes:
+        """Read back the ``index``-th serialized output (API of Section 4.5.2)."""
+        start, length = self._outputs[index]
+        return self.memory.read(start, length)
+
+    @property
+    def output_count(self) -> int:
+        return len(self._outputs)
+
+    def reset(self) -> None:
+        self._cursor = self.data_base + self.data_size
+        self._outputs.clear()

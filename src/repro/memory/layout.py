@@ -1,0 +1,355 @@
+"""Byte-for-byte C++ object images in simulated memory.
+
+The accelerator serializes *from* and deserializes *into* the in-memory
+representation generated C++ code uses (Section 2.1.3): message objects
+with a vptr, a hasbits array, and typed field slots; ``std::string`` with
+libstdc++'s small-string optimisation; and vector-like repeated fields.
+
+Layout of a message object (all little-endian):
+
+====================  =======================================================
+offset                contents
+====================  =======================================================
+0                     vptr (8 B; a per-type sentinel in this model)
+8                     sparse hasbits array (Section 4.2): one bit per field
+                      number in ``[min_field_number, max_field_number]``,
+                      indexed by ``number - min_field_number``, rounded up
+                      to whole 64-bit words
+after hasbits         one slot per field in declaration order, naturally
+                      aligned: inline scalars, or 8 B pointers for strings/
+                      bytes (``std::string*``), sub-messages and repeated
+                      fields
+====================  =======================================================
+
+``std::string`` (32 B, libstdc++): ``[data_ptr, size, capacity | SSO buf]``
+with a 15-byte SSO capacity -- the "small string optimisation" the paper's
+deserializer handles in hardware (Section 4.4.7).
+
+Repeated field (24 B header): ``[data_ptr, size, capacity]`` with a
+contiguous element array (elements are inline scalars or 8 B pointers).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.memory.memspace import SimMemory
+from repro.proto.descriptor import FieldDescriptor, MessageDescriptor
+from repro.proto.message import Message
+from repro.proto.types import CPP_SCALAR_BYTES, FieldType
+
+#: sizeof(std::string) in 64-bit libstdc++.
+STRING_OBJECT_BYTES = 32
+
+#: Longest string stored inline in the SSO buffer.
+SSO_CAPACITY = 15
+
+#: Header bytes of a repeated-field object: data pointer, size, capacity.
+REPEATED_HEADER_BYTES = 24
+
+_POINTER_BYTES = 8
+_HASBITS_OFFSET = 8
+
+_SCALAR_PACK = {
+    FieldType.DOUBLE: "<d",
+    FieldType.FLOAT: "<f",
+    FieldType.INT32: "<i",
+    FieldType.SINT32: "<i",
+    FieldType.SFIXED32: "<i",
+    FieldType.ENUM: "<i",
+    FieldType.INT64: "<q",
+    FieldType.SINT64: "<q",
+    FieldType.SFIXED64: "<q",
+    FieldType.UINT32: "<I",
+    FieldType.FIXED32: "<I",
+    FieldType.UINT64: "<Q",
+    FieldType.FIXED64: "<Q",
+    FieldType.BOOL: "<B",
+}
+
+Allocator = Callable[[int, int], int]
+
+
+def _slot_width(fd: FieldDescriptor) -> int:
+    """Bytes occupied by the field's slot inside the message object."""
+    if fd.is_repeated or fd.field_type in (
+            FieldType.STRING, FieldType.BYTES, FieldType.MESSAGE):
+        return _POINTER_BYTES
+    return CPP_SCALAR_BYTES[fd.field_type]
+
+
+def element_width(fd: FieldDescriptor) -> int:
+    """Bytes per element in a repeated field's backing array."""
+    if fd.field_type in (FieldType.STRING, FieldType.BYTES,
+                         FieldType.MESSAGE):
+        return _POINTER_BYTES
+    return CPP_SCALAR_BYTES[fd.field_type]
+
+
+@dataclass(frozen=True)
+class MessageLayout:
+    """Computed object layout for one message type."""
+
+    descriptor: MessageDescriptor
+    vptr: int
+    hasbits_offset: int
+    hasbits_words: int
+    field_offsets: dict[int, int]  # field number -> byte offset
+    object_size: int
+
+    def hasbit_position(self, field_number: int) -> tuple[int, int]:
+        """(word_index, bit_index) of a field's presence bit.
+
+        The sparse representation indexes directly by field number relative
+        to the type's minimum defined field number (Section 4.2), so the
+        accelerator needs no per-field mapping table.
+        """
+        bit = field_number - self.descriptor.min_field_number
+        return bit // 64, bit % 64
+
+
+class LayoutCache:
+    """Memoised descriptor -> :class:`MessageLayout` computation.
+
+    Also assigns the per-type vptr sentinels that stand in for C++ vtable
+    pointers (the ADT header stores a "pointer to a default instance (or
+    vptr value)" -- Section 4.2).
+    """
+
+    _VPTR_BASE = 0x7F00_0000_0000
+
+    def __init__(self) -> None:
+        self._layouts: dict[int, MessageLayout] = {}
+        self._vptr_by_type: dict[int, int] = {}
+        self._type_by_vptr: dict[int, MessageDescriptor] = {}
+
+    def vptr_for(self, descriptor: MessageDescriptor) -> int:
+        key = id(descriptor)
+        if key not in self._vptr_by_type:
+            vptr = self._VPTR_BASE + 0x40 * (len(self._vptr_by_type) + 1)
+            self._vptr_by_type[key] = vptr
+            self._type_by_vptr[vptr] = descriptor
+        return self._vptr_by_type[key]
+
+    def type_for_vptr(self, vptr: int) -> MessageDescriptor:
+        return self._type_by_vptr[vptr]
+
+    def layout(self, descriptor: MessageDescriptor) -> MessageLayout:
+        key = id(descriptor)
+        cached = self._layouts.get(key)
+        if cached is not None:
+            return cached
+        span = descriptor.field_number_span
+        hasbits_words = max(1, -(-span // 64))
+        offset = _HASBITS_OFFSET + hasbits_words * 8
+        field_offsets: dict[int, int] = {}
+        for fd in descriptor.fields:
+            width = _slot_width(fd)
+            align = min(width, 8)
+            offset = -(-offset // align) * align
+            field_offsets[fd.number] = offset
+            offset += width
+        object_size = -(-offset // 8) * 8
+        layout = MessageLayout(
+            descriptor=descriptor,
+            vptr=self.vptr_for(descriptor),
+            hasbits_offset=_HASBITS_OFFSET,
+            hasbits_words=hasbits_words,
+            field_offsets=field_offsets,
+            object_size=object_size,
+        )
+        self._layouts[key] = layout
+        return layout
+
+
+# -- writing images -----------------------------------------------------------
+
+
+def _pack_scalar(fd: FieldDescriptor, value) -> bytes:
+    fmt = _SCALAR_PACK[fd.field_type]
+    if fd.field_type is FieldType.BOOL:
+        return struct.pack(fmt, 1 if value else 0)
+    return struct.pack(fmt, value)
+
+
+def _write_string_object(memory: SimMemory, alloc: Allocator,
+                         payload: bytes) -> int:
+    """Allocate and initialise a libstdc++ std::string; returns its address."""
+    addr = alloc(STRING_OBJECT_BYTES, 8)
+    size = len(payload)
+    if size <= SSO_CAPACITY:
+        data_ptr = addr + 16
+        memory.write_u64(addr, data_ptr)
+        memory.write_u64(addr + 8, size)
+        memory.write(addr + 16, payload.ljust(16, b"\x00"))
+    else:
+        data_ptr = alloc(size, 8)
+        memory.write(data_ptr, payload)
+        memory.write_u64(addr, data_ptr)
+        memory.write_u64(addr + 8, size)
+        memory.write_u64(addr + 16, size)  # heap capacity
+        memory.write_u64(addr + 24, 0)
+    return addr
+
+
+def _string_payload(fd: FieldDescriptor, value) -> bytes:
+    if fd.field_type is FieldType.STRING:
+        return value.encode("utf-8")
+    return bytes(value)
+
+
+def _write_repeated(memory: SimMemory, alloc: Allocator, cache: LayoutCache,
+                    fd: FieldDescriptor, items) -> int:
+    """Allocate a repeated-field object plus backing array."""
+    header = alloc(REPEATED_HEADER_BYTES, 8)
+    width = element_width(fd)
+    count = len(items)
+    array = alloc(max(count * width, 1), 8)
+    memory.write_u64(header, array)
+    memory.write_u64(header + 8, count)
+    memory.write_u64(header + 16, count)
+    for index, item in enumerate(items):
+        slot = array + index * width
+        if fd.field_type in (FieldType.STRING, FieldType.BYTES):
+            memory.write_u64(
+                slot, _write_string_object(memory, alloc,
+                                           _string_payload(fd, item)))
+        elif fd.field_type is FieldType.MESSAGE:
+            memory.write_u64(
+                slot, write_message_image(memory, alloc, item, cache))
+        else:
+            memory.write(slot, _pack_scalar(fd, item))
+    return header
+
+
+def write_message_image(memory: SimMemory, alloc: Allocator,
+                        message: Message, cache: LayoutCache,
+                        addr: int | None = None) -> int:
+    """Materialise ``message`` as a C++ object image; returns its address.
+
+    ``alloc`` decides where child objects go -- pass the software heap to
+    set up serializer inputs, or an accelerator arena's allocate for objects
+    the accelerator would own.
+    """
+    layout = cache.layout(message.descriptor)
+    if addr is None:
+        addr = alloc(layout.object_size, 8)
+    memory.fill(addr, layout.object_size, 0)
+    memory.write_u64(addr, layout.vptr)
+    hasbits = [0] * layout.hasbits_words
+    for fd in message.descriptor.fields:
+        if not message.has(fd.name):
+            continue
+        word, bit = layout.hasbit_position(fd.number)
+        hasbits[word] |= 1 << bit
+        slot = addr + layout.field_offsets[fd.number]
+        value = message[fd.name]
+        if fd.is_repeated:
+            memory.write_u64(
+                slot, _write_repeated(memory, alloc, cache, fd, list(value)))
+        elif fd.field_type in (FieldType.STRING, FieldType.BYTES):
+            memory.write_u64(
+                slot, _write_string_object(memory, alloc,
+                                           _string_payload(fd, value)))
+        elif fd.field_type is FieldType.MESSAGE:
+            memory.write_u64(
+                slot, write_message_image(memory, alloc, value, cache))
+        else:
+            memory.write(slot, _pack_scalar(fd, value))
+    for word_index, word in enumerate(hasbits):
+        memory.write_u64(addr + layout.hasbits_offset + word_index * 8, word)
+    return addr
+
+
+# -- reading images -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StdString:
+    """A decoded view of a std::string object image."""
+
+    address: int
+    data_ptr: int
+    size: int
+    is_sso: bool
+    payload: bytes
+
+
+def read_string_object(memory: SimMemory, addr: int) -> StdString:
+    """Decode the std::string at ``addr``."""
+    data_ptr = memory.read_u64(addr)
+    size = memory.read_u64(addr + 8)
+    is_sso = data_ptr == addr + 16
+    payload = memory.read(data_ptr, size)
+    return StdString(addr, data_ptr, size, is_sso, payload)
+
+
+def _read_scalar(memory: SimMemory, fd: FieldDescriptor, addr: int):
+    fmt = _SCALAR_PACK[fd.field_type]
+    width = CPP_SCALAR_BYTES[fd.field_type]
+    value = struct.unpack(fmt, memory.read(addr, width))[0]
+    if fd.field_type is FieldType.BOOL:
+        return bool(value)
+    return value
+
+
+def _read_string_value(memory: SimMemory, fd: FieldDescriptor, addr: int):
+    payload = read_string_object(memory, addr).payload
+    if fd.field_type is FieldType.STRING:
+        try:
+            return payload.decode("utf-8")
+        except UnicodeDecodeError:
+            return payload.decode("latin-1")
+    return payload
+
+
+def read_message_image(memory: SimMemory, descriptor: MessageDescriptor,
+                       addr: int, cache: LayoutCache) -> Message:
+    """Reconstruct a :class:`Message` from the object image at ``addr``.
+
+    Used by tests to check that the accelerator's deserializer produced a
+    correct object graph, and by examples to show software reading
+    accelerator-deserialized data.
+    """
+    layout = cache.layout(descriptor)
+    message = Message(descriptor)
+    hasbits = [
+        memory.read_u64(addr + layout.hasbits_offset + w * 8)
+        for w in range(layout.hasbits_words)
+    ]
+    for fd in descriptor.fields:
+        word, bit = layout.hasbit_position(fd.number)
+        if not hasbits[word] >> bit & 1:
+            continue
+        slot = addr + layout.field_offsets[fd.number]
+        if fd.is_repeated:
+            header = memory.read_u64(slot)
+            array = memory.read_u64(header)
+            count = memory.read_u64(header + 8)
+            width = element_width(fd)
+            repeated = message[fd.name]
+            for index in range(count):
+                item_addr = array + index * width
+                if fd.field_type in (FieldType.STRING, FieldType.BYTES):
+                    repeated.append(_read_string_value(
+                        memory, fd, memory.read_u64(item_addr)))
+                elif fd.field_type is FieldType.MESSAGE:
+                    assert fd.message_type is not None
+                    repeated.append(read_message_image(
+                        memory, fd.message_type,
+                        memory.read_u64(item_addr), cache))
+                else:
+                    repeated.append(_read_scalar(memory, fd, item_addr))
+            message._hasbits.add(fd.number)
+        elif fd.field_type in (FieldType.STRING, FieldType.BYTES):
+            message[fd.name] = _read_string_value(
+                memory, fd, memory.read_u64(slot))
+        elif fd.field_type is FieldType.MESSAGE:
+            assert fd.message_type is not None
+            message[fd.name] = read_message_image(
+                memory, fd.message_type, memory.read_u64(slot), cache)
+        else:
+            message[fd.name] = _read_scalar(memory, fd, slot)
+    return message

@@ -1,0 +1,112 @@
+"""A flat, byte-addressable simulated memory.
+
+Addresses are plain integers starting at :data:`BASE_ADDRESS` (so that 0
+can serve as a null pointer).  The memory records read/write statistics
+used by the timing models.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+#: First usable address; address 0 is reserved as the null pointer.
+BASE_ADDRESS = 0x1000
+
+_ALIGNMENT = 8
+
+
+@dataclass
+class MemoryStats:
+    """Aggregate access counters for one :class:`SimMemory`."""
+
+    reads: int = 0
+    read_bytes: int = 0
+    writes: int = 0
+    written_bytes: int = 0
+
+    def snapshot(self) -> "MemoryStats":
+        return MemoryStats(self.reads, self.read_bytes,
+                           self.writes, self.written_bytes)
+
+
+class SimMemory:
+    """A contiguous simulated memory with a bump heap.
+
+    The heap allocator hands out *software-owned* regions (top-level message
+    objects, serialized input buffers); the accelerator's own allocations go
+    through :class:`~repro.memory.arena.AcceleratorArena` regions carved out
+    of this memory.
+    """
+
+    def __init__(self, size: int = 64 << 20):
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self.size = size
+        self._data = bytearray(size)
+        self._brk = BASE_ADDRESS
+        self.stats = MemoryStats()
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self, size: int, alignment: int = _ALIGNMENT) -> int:
+        """Reserve ``size`` bytes on the software heap; returns the address."""
+        if size < 0:
+            raise ValueError("allocation size must be non-negative")
+        addr = -(-self._brk // alignment) * alignment
+        if addr + size - BASE_ADDRESS > self.size:
+            raise MemoryError(
+                f"simulated memory exhausted ({self.size} bytes)")
+        self._brk = addr + size
+        return addr
+
+    @property
+    def heap_top(self) -> int:
+        return self._brk
+
+    # -- raw access -----------------------------------------------------------
+
+    def _check(self, addr: int, length: int) -> None:
+        if addr < BASE_ADDRESS or addr + length - BASE_ADDRESS > self.size:
+            raise IndexError(
+                f"access [{addr:#x}, {addr + length:#x}) out of bounds")
+
+    def read(self, addr: int, length: int) -> bytes:
+        self._check(addr, length)
+        self.stats.reads += 1
+        self.stats.read_bytes += length
+        start = addr - BASE_ADDRESS
+        return bytes(self._data[start:start + length])
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self.stats.writes += 1
+        self.stats.written_bytes += len(data)
+        start = addr - BASE_ADDRESS
+        self._data[start:start + len(data)] = data
+
+    # -- typed helpers ---------------------------------------------------------
+
+    def read_u8(self, addr: int) -> int:
+        return self.read(addr, 1)[0]
+
+    def read_u32(self, addr: int) -> int:
+        return struct.unpack("<I", self.read(addr, 4))[0]
+
+    def read_u64(self, addr: int) -> int:
+        return struct.unpack("<Q", self.read(addr, 8))[0]
+
+    def read_i64(self, addr: int) -> int:
+        return struct.unpack("<q", self.read(addr, 8))[0]
+
+    def write_u8(self, addr: int, value: int) -> None:
+        self.write(addr, bytes((value & 0xFF,)))
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.write(addr, struct.pack("<I", value & 0xFFFFFFFF))
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, struct.pack("<Q", value & (2**64 - 1)))
+
+    def fill(self, addr: int, length: int, byte: int = 0) -> None:
+        self.write(addr, bytes([byte]) * length)

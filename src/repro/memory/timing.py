@@ -1,0 +1,107 @@
+"""Latency/bandwidth model of the accelerator's memory path.
+
+The accelerator accesses the same unified memory as the CPU over a coherent
+128-bit (16 B/beat) TileLink system bus, through memory interface wrappers
+that track a configurable number of outstanding out-of-order requests
+(Section 4.1).  This model charges cycles accordingly:
+
+- *streaming* accesses (memloader input, memwriter output) are pipelined
+  across outstanding requests, so they cost one startup latency plus one
+  cycle per beat;
+- *dependent* accesses (pointer chases into the C++ object graph, ADT
+  entry loads) pay the full round-trip latency because the next address is
+  unknown until the data returns -- the very behaviour that makes a
+  PCIe-attached design unattractive (Section 3.9);
+- *independent* random accesses overlap up to ``max_outstanding`` deep.
+
+Latencies default to an L2-resident working set (benchmarks run batched and
+warm, as the paper's do), with a configurable miss mix folded into an
+average memory access time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MemoryTimingModel:
+    """Cycle cost model for accelerator-side memory traffic."""
+
+    #: Bus beat width in bytes (128-bit TileLink system bus).
+    bytes_per_beat: int = 16
+    #: Round-trip latency (cycles) of an L2 hit from the accelerator.
+    l2_hit_cycles: int = 22
+    #: Round-trip latency of an LLC hit.
+    llc_hit_cycles: int = 45
+    #: Round-trip latency of a DRAM access.
+    dram_cycles: int = 110
+    #: Fraction of accesses served by each level (sums to 1).
+    l2_fraction: float = 0.85
+    llc_fraction: float = 0.12
+    #: Maximum outstanding requests the memory interface wrappers track.
+    max_outstanding: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.l2_fraction + self.llc_fraction <= 1:
+            raise ValueError("hit fractions must sum to at most 1")
+
+    @property
+    def dram_fraction(self) -> float:
+        return 1.0 - self.l2_fraction - self.llc_fraction
+
+    @property
+    def average_latency(self) -> float:
+        """Average round-trip latency in cycles (AMAT-style mix)."""
+        return (self.l2_fraction * self.l2_hit_cycles
+                + self.llc_fraction * self.llc_hit_cycles
+                + self.dram_fraction * self.dram_cycles)
+
+    def beats(self, nbytes: int) -> int:
+        """Bus beats needed to move ``nbytes``."""
+        if nbytes <= 0:
+            return 0
+        return -(-nbytes // self.bytes_per_beat)
+
+    #: Cache-line request granularity of the memory interface wrappers.
+    line_bytes: int = 64
+
+    @property
+    def stream_bytes_per_cycle(self) -> float:
+        """Sustained sequential bandwidth in bytes per cycle.
+
+        With ``max_outstanding`` line-sized requests in flight against a
+        round-trip latency of ``average_latency``, Little's law bounds
+        bandwidth at ``outstanding * line / latency``; the bus beat rate
+        caps it at ``bytes_per_beat`` per cycle.
+        """
+        inflight_rate = (self.max_outstanding * self.line_bytes
+                         / self.average_latency)
+        return min(float(self.bytes_per_beat), inflight_rate)
+
+    def stream_cycles(self, nbytes: int) -> float:
+        """Cycles to stream ``nbytes`` sequentially (pipelined).
+
+        One startup latency, then sustained-rate transfer at
+        :attr:`stream_bytes_per_cycle`.
+        """
+        if nbytes <= 0:
+            return 0.0
+        return self.average_latency + nbytes / self.stream_bytes_per_cycle
+
+    def dependent_access_cycles(self, nbytes: int) -> float:
+        """Cycles for a pointer-chasing access (full latency exposed)."""
+        if nbytes <= 0:
+            return 0.0
+        return self.average_latency + self.beats(nbytes)
+
+    def independent_access_cycles(self, nbytes: int, count: int = 1) -> float:
+        """Cycles for ``count`` mutually independent accesses of ``nbytes``.
+
+        Latency overlaps up to ``max_outstanding`` deep, so the exposed
+        latency is divided across the window.
+        """
+        if count <= 0 or nbytes <= 0:
+            return 0.0
+        exposed = self.average_latency / min(count, self.max_outstanding)
+        return count * (exposed + self.beats(nbytes))

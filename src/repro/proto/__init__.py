@@ -1,0 +1,130 @@
+"""A from-scratch proto2 implementation (Section 2 of the paper).
+
+This subpackage is the software substrate: the schema language, the wire
+format, dynamic in-memory messages, and the *software* serializer and
+deserializer that the accelerator is benchmarked against.
+
+Public API::
+
+    from repro.proto import parse_schema, FieldType, Message
+
+    schema = parse_schema('''
+        message Point {
+          required int32 x = 1;
+          required int32 y = 2;
+          optional string label = 3;
+        }
+    ''')
+    point = schema['Point'].new_message()
+    point['x'] = 3
+    data = point.serialize()
+    again = schema['Point'].parse(data)
+"""
+
+from repro.proto.errors import (
+    ProtoError,
+    SchemaError,
+    WireFormatError,
+    EncodeError,
+    DecodeError,
+)
+from repro.proto.types import (
+    FieldType,
+    WireType,
+    Label,
+    PerformanceClass,
+    performance_class,
+    wire_type_for,
+)
+from repro.proto.varint import (
+    encode_varint,
+    decode_varint,
+    varint_length,
+    encode_zigzag,
+    decode_zigzag,
+    MAX_VARINT_LENGTH,
+)
+from repro.proto.descriptor import (
+    FieldDescriptor,
+    MessageDescriptor,
+    EnumDescriptor,
+    MethodDescriptor,
+    Schema,
+    ServiceDescriptor,
+)
+from repro.proto.message import Message
+from repro.proto.parser import parse_schema
+from repro.proto.encoder import serialize_message, byte_size
+from repro.proto.decoder import parse_message
+from repro.proto.arena import Arena
+from repro.proto.writer import schema_to_proto
+from repro.proto.compiler import compile_schema, generate_source
+from repro.proto.text_format import message_from_text, message_to_text
+from repro.proto.json_format import message_from_json, message_to_json
+from repro.proto.stream import (
+    DelimitedWriter,
+    iter_delimited_payloads,
+    read_delimited_stream,
+    write_delimited,
+    write_delimited_stream,
+)
+from repro.proto.rpc import RpcError, ServiceHandler, Stub
+from repro.proto.inspect import RawField, decode_raw, format_raw
+from repro.proto.descriptor_pb import (
+    DESCRIPTOR_SCHEMA,
+    schema_from_file_descriptor,
+    schema_to_file_descriptor,
+)
+
+__all__ = [
+    "ProtoError",
+    "SchemaError",
+    "WireFormatError",
+    "EncodeError",
+    "DecodeError",
+    "FieldType",
+    "WireType",
+    "Label",
+    "PerformanceClass",
+    "performance_class",
+    "wire_type_for",
+    "encode_varint",
+    "decode_varint",
+    "varint_length",
+    "encode_zigzag",
+    "decode_zigzag",
+    "MAX_VARINT_LENGTH",
+    "FieldDescriptor",
+    "MessageDescriptor",
+    "EnumDescriptor",
+    "Schema",
+    "MethodDescriptor",
+    "ServiceDescriptor",
+    "Message",
+    "parse_schema",
+    "serialize_message",
+    "byte_size",
+    "parse_message",
+    "Arena",
+    "schema_to_proto",
+    "compile_schema",
+    "generate_source",
+    "message_from_text",
+    "message_to_text",
+    "message_from_json",
+    "message_to_json",
+    "DelimitedWriter",
+    "iter_delimited_payloads",
+    "read_delimited_stream",
+    "write_delimited",
+    "write_delimited_stream",
+    "RpcError",
+    "ServiceHandler",
+    "Stub",
+    "RawField",
+    "decode_raw",
+    "format_raw",
+    "DESCRIPTOR_SCHEMA",
+    "schema_from_file_descriptor",
+    "schema_to_file_descriptor",
+]

@@ -1,0 +1,83 @@
+"""protoc-style command line for the proto toolchain.
+
+Usage::
+
+    python -m repro.proto compile schema.proto            # generated code
+    python -m repro.proto decode schema.proto M < wire    # wire -> text
+    python -m repro.proto encode schema.proto M < text    # text -> hex
+    python -m repro.proto decode-raw < wire               # schema-free
+    python -m repro.proto reflect schema.proto            # descriptor hex
+
+``decode``/``decode-raw`` accept hex on stdin (whitespace ignored) so
+wire bytes paste cleanly into a terminal.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.proto.compiler import generate_source
+from repro.proto.errors import ProtoError
+from repro.proto.inspect import decode_raw, format_raw
+from repro.proto.descriptor_pb import schema_to_file_descriptor
+from repro.proto.parser import parse_schema
+from repro.proto.text_format import message_from_text, message_to_text
+
+_USAGE = __doc__ or ""
+
+
+def _load_schema(path: str):
+    return parse_schema(pathlib.Path(path).read_text())
+
+
+def _stdin_bytes() -> bytes:
+    text = sys.stdin.read()
+    compact = "".join(text.split())
+    if compact and all(c in "0123456789abcdefABCDEF" for c in compact) \
+            and len(compact) % 2 == 0:
+        return bytes.fromhex(compact)
+    return text.encode("latin-1")
+
+
+def main(argv: list[str], stdin_data: bytes | None = None) -> int:
+    if not argv:
+        print(_USAGE.strip())
+        return 1
+    command, *rest = argv
+    try:
+        if command == "compile":
+            (path,) = rest
+            print(generate_source(_load_schema(path)))
+        elif command == "reflect":
+            (path,) = rest
+            blob = schema_to_file_descriptor(
+                _load_schema(path), name=pathlib.Path(path).name)
+            print(blob.serialize().hex())
+        elif command == "decode-raw":
+            data = stdin_data if stdin_data is not None else _stdin_bytes()
+            print(format_raw(decode_raw(data)))
+        elif command == "decode":
+            path, type_name = rest
+            schema = _load_schema(path)
+            data = stdin_data if stdin_data is not None else _stdin_bytes()
+            print(message_to_text(schema[type_name].parse(data)), end="")
+        elif command == "encode":
+            path, type_name = rest
+            schema = _load_schema(path)
+            text = (stdin_data.decode("utf-8") if stdin_data is not None
+                    else sys.stdin.read())
+            message = message_from_text(schema[type_name], text)
+            print(message.serialize().hex())
+        else:
+            print(f"unknown command {command!r}")
+            print(_USAGE.strip())
+            return 1
+    except (ProtoError, ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

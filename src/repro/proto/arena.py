@@ -1,0 +1,88 @@
+"""Software arena allocation (Section 2.3 of the paper).
+
+Upstream protobuf's arena pre-allocates a large chunk of memory so message
+construction/destruction reduces to pointer bumps and a single bulk free.
+Our Python model tracks the same *accounting*: how many bytes each message
+would have consumed, how many chunk refills occurred, and amortised
+construction cost -- the quantities the CPU cost models and the paper's
+destructor discussion (Section 7) care about.
+
+This is the *software* arena; the accelerator's own arenas live in
+:mod:`repro.memory.arena`.
+"""
+
+from __future__ import annotations
+
+#: Default arena chunk size, matching upstream protobuf's StartBlockSize
+#: growth target (upstream starts at 256 B and doubles; we model the steady
+#: state a serving workload reaches).
+DEFAULT_CHUNK_BYTES = 8192
+
+_ALIGNMENT = 8
+
+
+class Arena:
+    """A bump-pointer allocation region for message objects.
+
+    Usage mirrors the C++ API::
+
+        arena = Arena()
+        msg = schema['Envelope'].new_message(arena=arena)
+        ...
+        arena.reset()   # frees every owned message at once
+    """
+
+    def __init__(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES):
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        self.chunk_bytes = chunk_bytes
+        self._owned: list = []
+        self._offset = 0
+        self._chunks = 1
+        self._total_allocated = 0
+
+    def register(self, message) -> None:
+        """Record ``message`` as arena-owned (called by Message.__init__)."""
+        self._owned.append(message)
+
+    def allocate(self, size: int) -> int:
+        """Bump-allocate ``size`` bytes; returns the arena-relative offset.
+
+        Models the pointer-increment fast path; crossing a chunk boundary
+        counts a refill (the slow path that hits the system allocator).
+        """
+        if size < 0:
+            raise ValueError("allocation size must be non-negative")
+        size = _align(size)
+        if self._offset + size > self._chunks * self.chunk_bytes:
+            self._chunks += 1 + size // self.chunk_bytes
+        offset = self._offset
+        self._offset += size
+        self._total_allocated += size
+        return offset
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._total_allocated
+
+    @property
+    def chunk_refills(self) -> int:
+        """Number of slow-path chunk acquisitions beyond the first."""
+        return self._chunks - 1
+
+    @property
+    def owned_messages(self) -> int:
+        return len(self._owned)
+
+    def reset(self) -> None:
+        """Free everything at once (the arena's destructor amortisation)."""
+        for message in self._owned:
+            message.clear()
+        self._owned.clear()
+        self._offset = 0
+        self._chunks = 1
+        self._total_allocated = 0
+
+
+def _align(size: int, alignment: int = _ALIGNMENT) -> int:
+    return (size + alignment - 1) & ~(alignment - 1)

@@ -1,0 +1,304 @@
+"""Self-hosting schema reflection: schemas as protobuf messages.
+
+Real protobuf describes schemas *in* protobuf: protoc emits
+``FileDescriptorProto`` messages (descriptor.proto), which runtimes use
+for reflection, RPC service discovery, and persisting schemas next to
+data.  This module implements the subset of descriptor.proto our schema
+model covers, **using the real field numbers and enum values** from
+upstream descriptor.proto -- so the wire bytes produced here are
+structurally compatible with real protoc output for the supported
+feature set.
+
+Round trip::
+
+    blob = schema_to_file_descriptor(schema, name="svc.proto").serialize()
+    again = schema_from_file_descriptor(
+        DESCRIPTOR_SCHEMA["FileDescriptorProto"].parse(blob))
+"""
+
+from __future__ import annotations
+
+from repro.proto.descriptor import (
+    EnumDescriptor,
+    FieldDescriptor,
+    MessageDescriptor,
+    Schema,
+)
+from repro.proto.errors import SchemaError
+from repro.proto.message import Message
+from repro.proto.parser import parse_schema
+from repro.proto.types import FieldType, Label
+
+#: The meta-schema: the supported subset of upstream descriptor.proto,
+#: with upstream's field numbers and enum values.
+DESCRIPTOR_SCHEMA = parse_schema("""
+    syntax = "proto2";
+    package google.protobuf;
+
+    message FileDescriptorProto {
+      optional string name = 1;
+      optional string package = 2;
+      repeated DescriptorProto message_type = 4;
+      repeated EnumDescriptorProto enum_type = 5;
+      optional string syntax = 12;
+    }
+
+    message DescriptorProto {
+      optional string name = 1;
+      repeated FieldDescriptorProto field = 2;
+      repeated DescriptorProto nested_type = 3;
+      repeated EnumDescriptorProto enum_type = 4;
+      optional MessageOptions options = 7;
+      repeated OneofDescriptorProto oneof_decl = 8;
+    }
+
+    message FieldDescriptorProto {
+      optional string name = 1;
+      optional int32 number = 3;
+      optional int32 label = 4;
+      optional int32 type = 5;
+      optional string type_name = 6;
+      optional string default_value = 7;
+      optional FieldOptions options = 8;
+      optional int32 oneof_index = 9;
+    }
+
+    message FieldOptions {
+      optional bool packed = 2;
+    }
+
+    message MessageOptions {
+      optional bool map_entry = 7;
+    }
+
+    message OneofDescriptorProto {
+      optional string name = 1;
+    }
+
+    message EnumDescriptorProto {
+      optional string name = 1;
+      repeated EnumValueDescriptorProto value = 2;
+    }
+
+    message EnumValueDescriptorProto {
+      optional string name = 1;
+      optional int32 number = 2;
+    }
+""")
+
+#: Upstream descriptor.proto FieldDescriptorProto.Type values.
+_TYPE_NUMBERS: dict[FieldType, int] = {
+    FieldType.DOUBLE: 1, FieldType.FLOAT: 2, FieldType.INT64: 3,
+    FieldType.UINT64: 4, FieldType.INT32: 5, FieldType.FIXED64: 6,
+    FieldType.FIXED32: 7, FieldType.BOOL: 8, FieldType.STRING: 9,
+    FieldType.GROUP: 10, FieldType.MESSAGE: 11, FieldType.BYTES: 12,
+    FieldType.UINT32: 13, FieldType.ENUM: 14, FieldType.SFIXED32: 15,
+    FieldType.SFIXED64: 16, FieldType.SINT32: 17, FieldType.SINT64: 18,
+}
+_TYPES_BY_NUMBER = {number: ft for ft, number in _TYPE_NUMBERS.items()}
+
+#: Upstream FieldDescriptorProto.Label values.
+_LABEL_NUMBERS = {Label.OPTIONAL: 1, Label.REQUIRED: 2, Label.REPEATED: 3}
+_LABELS_BY_NUMBER = {number: label
+                     for label, number in _LABEL_NUMBERS.items()}
+
+
+def _default_text(fd: FieldDescriptor) -> str | None:
+    if fd.default is None:
+        return None
+    if fd.field_type is FieldType.ENUM:
+        assert fd.enum_type is not None
+        for name, number in fd.enum_type.values.items():
+            if number == fd.default:
+                return name
+        return str(fd.default)
+    if isinstance(fd.default, bool):
+        return "true" if fd.default else "false"
+    if isinstance(fd.default, bytes):
+        return fd.default.decode("latin-1")
+    return str(fd.default)
+
+
+def _encode_field(fd: FieldDescriptor, oneof_names: list[str]) -> Message:
+    proto = DESCRIPTOR_SCHEMA["FieldDescriptorProto"].new_message()
+    proto["name"] = fd.name
+    proto["number"] = fd.number
+    proto["label"] = _LABEL_NUMBERS[fd.label]
+    proto["type"] = _TYPE_NUMBERS[fd.field_type]
+    if fd.field_type is FieldType.MESSAGE:
+        assert fd.type_name is not None
+        proto["type_name"] = "." + fd.type_name
+    elif fd.field_type is FieldType.ENUM:
+        assert fd.enum_type is not None
+        proto["type_name"] = "." + fd.enum_type.name
+    default = _default_text(fd)
+    if default is not None:
+        proto["default_value"] = default
+    if fd.packed:
+        proto.mutable("options")["packed"] = True
+    if fd.oneof_group is not None:
+        proto["oneof_index"] = oneof_names.index(fd.oneof_group)
+    return proto
+
+
+def _encode_enum(enum: EnumDescriptor) -> Message:
+    proto = DESCRIPTOR_SCHEMA["EnumDescriptorProto"].new_message()
+    proto["name"] = enum.name.rsplit(".", 1)[-1]
+    for name, number in enum.values.items():
+        value = proto["value"].add()
+        value["name"] = name
+        value["number"] = number
+    return proto
+
+
+def _encode_message(descriptor: MessageDescriptor,
+                    children: dict[str, list[MessageDescriptor]],
+                    nested_enums: dict[str, list[EnumDescriptor]]) -> Message:
+    proto = DESCRIPTOR_SCHEMA["DescriptorProto"].new_message()
+    proto["name"] = descriptor.name.rsplit(".", 1)[-1]
+    oneof_names = list(descriptor.oneof_groups)
+    for group in oneof_names:
+        decl = proto["oneof_decl"].add()
+        decl["name"] = group
+    for fd in descriptor.fields:
+        proto["field"].append(_encode_field(fd, oneof_names))
+    for child in children.get(descriptor.name, ()):
+        proto["nested_type"].append(
+            _encode_message(child, children, nested_enums))
+    for enum in nested_enums.get(descriptor.name, ()):
+        proto["enum_type"].append(_encode_enum(enum))
+    if descriptor.is_map_entry:
+        proto.mutable("options")["map_entry"] = True
+    return proto
+
+
+def schema_to_file_descriptor(schema: Schema,
+                              name: str = "schema.proto") -> Message:
+    """Encode ``schema`` as a FileDescriptorProto message."""
+    children: dict[str, list[MessageDescriptor]] = {}
+    top_level: list[MessageDescriptor] = []
+    for descriptor in schema.messages():
+        if "." in descriptor.name:
+            parent = descriptor.name.rsplit(".", 1)[0]
+            children.setdefault(parent, []).append(descriptor)
+        else:
+            top_level.append(descriptor)
+    nested_enums: dict[str, list[EnumDescriptor]] = {}
+    top_enums: list[EnumDescriptor] = []
+    for enum in schema.enums():
+        if "." in enum.name:
+            parent = enum.name.rsplit(".", 1)[0]
+            nested_enums.setdefault(parent, []).append(enum)
+        else:
+            top_enums.append(enum)
+    proto = DESCRIPTOR_SCHEMA["FileDescriptorProto"].new_message()
+    proto["name"] = name
+    if schema.package:
+        proto["package"] = schema.package
+    proto["syntax"] = schema.syntax
+    for descriptor in top_level:
+        proto["message_type"].append(
+            _encode_message(descriptor, children, nested_enums))
+    for enum in top_enums:
+        proto["enum_type"].append(_encode_enum(enum))
+    return proto
+
+
+# -- decoding -----------------------------------------------------------------
+
+
+def _parse_default(text: str, field_type: FieldType,
+                   enum: EnumDescriptor | None):
+    if field_type is FieldType.STRING:
+        return text
+    if field_type is FieldType.BYTES:
+        return text.encode("latin-1")
+    if field_type is FieldType.BOOL:
+        return text == "true"
+    if field_type in (FieldType.FLOAT, FieldType.DOUBLE):
+        return float(text)
+    if field_type is FieldType.ENUM:
+        assert enum is not None
+        return enum.values.get(text, int(text) if text.lstrip("-").isdigit()
+                               else 0)
+    return int(text)
+
+
+def _decode_message(proto: Message, prefix: str, schema: Schema,
+                    enums: dict[str, EnumDescriptor],
+                    map_entries: set[str]) -> None:
+    qname = prefix + proto["name"]
+    oneof_names = [decl["name"] for decl in proto["oneof_decl"]]
+    fields: list[FieldDescriptor] = []
+    for field_proto in proto["field"]:
+        type_number = field_proto["type"]
+        if type_number not in _TYPES_BY_NUMBER:
+            raise SchemaError(f"unknown field type number {type_number}")
+        field_type = _TYPES_BY_NUMBER[type_number]
+        label = _LABELS_BY_NUMBER.get(field_proto["label"])
+        if label is None:
+            raise SchemaError(
+                f"unknown label number {field_proto['label']}")
+        type_name = None
+        enum = None
+        if field_type is FieldType.MESSAGE:
+            type_name = field_proto["type_name"].lstrip(".")
+        elif field_type is FieldType.ENUM:
+            enum_name = field_proto["type_name"].lstrip(".")
+            enum = enums.get(enum_name)
+            if enum is None:
+                raise SchemaError(f"unknown enum type {enum_name}")
+        default = None
+        if field_proto.has("default_value"):
+            default = _parse_default(field_proto["default_value"],
+                                     field_type, enum)
+        oneof = None
+        if field_proto.has("oneof_index"):
+            oneof = oneof_names[field_proto["oneof_index"]]
+        fields.append(FieldDescriptor(
+            name=field_proto["name"], number=field_proto["number"],
+            field_type=field_type, label=label, type_name=type_name,
+            enum_type=enum,
+            packed=(field_proto.has("options")
+                    and field_proto["options"]["packed"]),
+            default=default, oneof_group=oneof))
+    is_map_entry = (proto.has("options")
+                    and proto["options"]["map_entry"])
+    schema.add_message(MessageDescriptor(qname, fields, full_name=qname,
+                                         is_map_entry=is_map_entry))
+    for nested in proto["nested_type"]:
+        _decode_message(nested, qname + ".", schema, enums, map_entries)
+
+
+def schema_from_file_descriptor(proto: Message) -> Schema:
+    """Decode a FileDescriptorProto message back into a Schema."""
+    if proto.descriptor is not DESCRIPTOR_SCHEMA["FileDescriptorProto"]:
+        raise TypeError("expected a FileDescriptorProto message")
+    schema = Schema(package=proto["package"])
+    if proto.has("syntax"):
+        schema.syntax = proto["syntax"]
+    enums: dict[str, EnumDescriptor] = {}
+    for enum_proto in proto["enum_type"]:
+        enums[enum_proto["name"]] = EnumDescriptor(
+            name=enum_proto["name"],
+            values={value["name"]: value["number"]
+                    for value in enum_proto["value"]})
+
+    def collect_nested(message_proto: Message, prefix: str) -> None:
+        for enum_proto in message_proto["enum_type"]:
+            name = prefix + message_proto["name"] + "." + enum_proto["name"]
+            enums[name] = EnumDescriptor(
+                name=name,
+                values={value["name"]: value["number"]
+                        for value in enum_proto["value"]})
+        for nested in message_proto["nested_type"]:
+            collect_nested(nested, prefix + message_proto["name"] + ".")
+
+    for message_proto in proto["message_type"]:
+        collect_nested(message_proto, "")
+    for enum in enums.values():
+        schema.add_enum(enum)
+    for message_proto in proto["message_type"]:
+        _decode_message(message_proto, "", schema, enums, set())
+    schema.resolve()
+    return schema

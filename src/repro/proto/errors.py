@@ -1,0 +1,24 @@
+"""Exception hierarchy for the proto2 implementation."""
+
+
+class ProtoError(Exception):
+    """Base class for all protobuf errors raised by this package."""
+
+
+class SchemaError(ProtoError):
+    """A .proto schema is malformed (parse error, duplicate field number,
+    reserved field number, unknown type reference, ...)."""
+
+
+class WireFormatError(ProtoError):
+    """Serialized bytes violate the protobuf wire format."""
+
+
+class EncodeError(ProtoError):
+    """A message cannot be serialized (e.g. missing required field or a
+    value out of range for its declared type)."""
+
+
+class DecodeError(WireFormatError):
+    """Serialized bytes cannot be decoded into the target message type
+    (truncated input, bad wire type for a field, malformed varint, ...)."""

@@ -1,0 +1,108 @@
+"""Schema-free wire inspection (``protoc --decode_raw``).
+
+Decodes arbitrary protobuf wire bytes with no schema: every field comes
+back as (field number, wire type, raw value), and length-delimited
+values are speculatively re-parsed as nested messages when their bytes
+happen to form valid wire format -- the same heuristic the real tooling
+uses.  Invaluable when debugging accelerator output against unknown
+buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.proto.errors import DecodeError
+from repro.proto.types import WireType
+from repro.proto.varint import decode_varint
+from repro.proto.wire import decode_tag
+
+
+@dataclass(frozen=True)
+class RawField:
+    """One decoded field occurrence."""
+
+    number: int
+    wire_type: WireType
+    value: object                     # int | bytes | tuple[RawField, ...]
+
+    @property
+    def is_group(self) -> bool:
+        return isinstance(self.value, tuple)
+
+
+def decode_raw(data: bytes, max_depth: int = 8) -> tuple[RawField, ...]:
+    """Decode wire bytes without a schema.
+
+    Varint fields decode to ints; fixed32/64 to ints (little-endian);
+    length-delimited values to bytes, or to a nested tuple of
+    :class:`RawField` when the payload itself parses as wire format
+    (nesting limited by ``max_depth``).
+    """
+    fields: list[RawField] = []
+    offset = 0
+    while offset < len(data):
+        number, wire_type, consumed = decode_tag(data, offset)
+        offset += consumed
+        if wire_type is WireType.VARINT:
+            value, consumed = decode_varint(data, offset)
+            offset += consumed
+        elif wire_type is WireType.FIXED64:
+            if offset + 8 > len(data):
+                raise DecodeError("truncated fixed64")
+            value = int.from_bytes(data[offset:offset + 8], "little")
+            offset += 8
+        elif wire_type is WireType.FIXED32:
+            if offset + 4 > len(data):
+                raise DecodeError("truncated fixed32")
+            value = int.from_bytes(data[offset:offset + 4], "little")
+            offset += 4
+        elif wire_type is WireType.LENGTH_DELIMITED:
+            length, consumed = decode_varint(data, offset)
+            offset += consumed
+            if offset + length > len(data):
+                raise DecodeError("truncated length-delimited value")
+            payload = data[offset:offset + length]
+            offset += length
+            value = payload
+            if payload and max_depth > 0:
+                nested = _try_parse_fields_depth(payload, max_depth - 1)
+                if nested is not None:
+                    value = nested
+        else:
+            raise DecodeError(
+                f"deprecated wire type {wire_type.name} at field {number}")
+        fields.append(RawField(number, wire_type, value))
+    return tuple(fields)
+
+
+def _try_parse_fields_depth(data: bytes,
+                            max_depth: int) -> tuple[RawField, ...] | None:
+    try:
+        return decode_raw(data, max_depth=max_depth)
+    except DecodeError:
+        return None
+
+
+def format_raw(fields: tuple[RawField, ...], indent: int = 0) -> str:
+    """Render decode_raw output like ``protoc --decode_raw``."""
+    pad = "  " * indent
+    lines: list[str] = []
+    for raw in fields:
+        if raw.is_group:
+            lines.append(f"{pad}{raw.number} {{")
+            lines.append(format_raw(raw.value, indent + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(raw.value, bytes):
+            try:
+                text = raw.value.decode("utf-8")
+                printable = text.isprintable() or text == ""
+            except UnicodeDecodeError:
+                printable = False
+            if printable:
+                lines.append(f'{pad}{raw.number}: "{text}"')
+            else:
+                lines.append(f"{pad}{raw.number}: {raw.value.hex()}")
+        else:
+            lines.append(f"{pad}{raw.number}: {raw.value}")
+    return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Canonical protobuf <-> JSON mapping (protobuf's JSON spec).
+
+Implements the upstream JSON mapping rules for the features this
+library supports:
+
+- field names render in lowerCamelCase (original names accepted on
+  parse);
+- ``int64``/``uint64``/``fixed64``/``sfixed64`` values render as JSON
+  *strings* (they exceed IEEE-754 exact range);
+- ``bytes`` render as standard base64;
+- enums render by value name (numbers accepted on parse);
+- ``map<K, V>`` fields render as JSON objects with string keys;
+- repeated fields render as arrays, sub-messages as objects;
+- non-finite floats render as the strings "NaN"/"Infinity"/"-Infinity".
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import math
+
+from repro.proto.descriptor import FieldDescriptor, MessageDescriptor
+from repro.proto.errors import DecodeError
+from repro.proto.message import Message
+from repro.proto.types import FieldType
+
+_STRING_INT_TYPES = frozenset({
+    FieldType.INT64, FieldType.UINT64, FieldType.SINT64,
+    FieldType.FIXED64, FieldType.SFIXED64,
+})
+
+
+def to_camel(name: str) -> str:
+    """snake_case -> lowerCamelCase, the JSON field-name rule."""
+    head, *rest = name.split("_")
+    return head + "".join(part.capitalize() for part in rest)
+
+
+def _scalar_to_json(fd: FieldDescriptor, value):
+    ft = fd.field_type
+    if ft in _STRING_INT_TYPES:
+        return str(value)
+    if ft is FieldType.BYTES:
+        return base64.b64encode(value).decode("ascii")
+    if ft is FieldType.ENUM:
+        assert fd.enum_type is not None
+        for name, number in fd.enum_type.values.items():
+            if number == value:
+                return name
+        return value
+    if ft in (FieldType.FLOAT, FieldType.DOUBLE):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    return value
+
+
+def _message_to_obj(message: Message) -> dict:
+    obj: dict = {}
+    for fd in message.descriptor.fields:
+        if not message.has(fd.name):
+            continue
+        key = to_camel(fd.name)
+        if fd.is_map:
+            assert fd.message_type is not None
+            value_fd = fd.message_type.field_by_name("value")
+            assert value_fd is not None
+            obj[key] = {
+                str(entry["key"]): (
+                    _message_to_obj(entry["value"])
+                    if value_fd.field_type is FieldType.MESSAGE
+                    else _scalar_to_json(value_fd, entry["value"]))
+                for entry in message[fd.name]
+            }
+        elif fd.is_repeated:
+            if fd.field_type is FieldType.MESSAGE:
+                obj[key] = [_message_to_obj(item)
+                            for item in message[fd.name]]
+            else:
+                obj[key] = [_scalar_to_json(fd, item)
+                            for item in message[fd.name]]
+        elif fd.field_type is FieldType.MESSAGE:
+            obj[key] = _message_to_obj(message[fd.name])
+        else:
+            obj[key] = _scalar_to_json(fd, message[fd.name])
+    return obj
+
+
+def message_to_json(message: Message, indent: int | None = None) -> str:
+    """Serialize ``message`` to canonical JSON text."""
+    return json.dumps(_message_to_obj(message), indent=indent,
+                      sort_keys=True)
+
+
+# -- parsing --------------------------------------------------------------------
+
+
+def _scalar_from_json(fd: FieldDescriptor, value):
+    ft = fd.field_type
+    if ft in _STRING_INT_TYPES:
+        if isinstance(value, str):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        raise DecodeError(f"{fd.name}: expected int64-as-string")
+    if ft is FieldType.BYTES:
+        if not isinstance(value, str):
+            raise DecodeError(f"{fd.name}: expected base64 string")
+        try:
+            return base64.b64decode(value, validate=True)
+        except Exception:
+            raise DecodeError(f"{fd.name}: invalid base64") from None
+    if ft in (FieldType.FLOAT, FieldType.DOUBLE):
+        if value == "NaN":
+            return math.nan
+        if value == "Infinity":
+            return math.inf
+        if value == "-Infinity":
+            return -math.inf
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise DecodeError(f"{fd.name}: expected a number")
+    if ft is FieldType.ENUM:
+        return value  # setter validates names and numbers
+    if ft is FieldType.BOOL:
+        if not isinstance(value, bool):
+            raise DecodeError(f"{fd.name}: expected a JSON bool")
+        return value
+    if ft is FieldType.STRING:
+        if not isinstance(value, str):
+            raise DecodeError(f"{fd.name}: expected a JSON string")
+        return value
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise DecodeError(f"{fd.name}: expected a JSON integer")
+    return value
+
+
+def _map_key_from_json(fd: FieldDescriptor, key: str):
+    if fd.field_type is FieldType.STRING:
+        return key
+    if fd.field_type is FieldType.BOOL:
+        if key not in ("true", "false"):
+            raise DecodeError(f"bad bool map key {key!r}")
+        return key == "true"
+    return int(key)
+
+
+def _obj_to_message(descriptor: MessageDescriptor, obj: dict,
+                    message: Message | None = None) -> Message:
+    if not isinstance(obj, dict):
+        raise DecodeError(f"{descriptor.name}: expected a JSON object")
+    message = message or descriptor.new_message()
+    by_json_name = {to_camel(fd.name): fd for fd in descriptor.fields}
+    by_json_name.update({fd.name: fd for fd in descriptor.fields})
+    for key, value in obj.items():
+        fd = by_json_name.get(key)
+        if fd is None:
+            raise DecodeError(
+                f"{descriptor.name}: unknown JSON field {key!r}")
+        if value is None:
+            continue  # JSON null means "absent"
+        if fd.is_map:
+            assert fd.message_type is not None
+            key_fd = fd.message_type.field_by_name("key")
+            value_fd = fd.message_type.field_by_name("value")
+            assert key_fd is not None and value_fd is not None
+            if not isinstance(value, dict):
+                raise DecodeError(f"{fd.name}: map fields need objects")
+            for raw_key, raw_value in value.items():
+                if value_fd.field_type is FieldType.MESSAGE:
+                    assert value_fd.message_type is not None
+                    entry_value = _obj_to_message(value_fd.message_type,
+                                                  raw_value)
+                else:
+                    entry_value = _scalar_from_json(value_fd, raw_value)
+                message.map_set(fd.name,
+                                _map_key_from_json(key_fd, raw_key),
+                                entry_value)
+        elif fd.is_repeated:
+            if not isinstance(value, list):
+                raise DecodeError(f"{fd.name}: repeated fields need arrays")
+            for item in value:
+                if fd.field_type is FieldType.MESSAGE:
+                    assert fd.message_type is not None
+                    message[fd.name]._items.append(
+                        _obj_to_message(fd.message_type, item))
+                    message._hasbits.add(fd.number)
+                else:
+                    message[fd.name].append(_scalar_from_json(fd, item))
+                    message._hasbits.add(fd.number)
+        elif fd.field_type is FieldType.MESSAGE:
+            assert fd.message_type is not None
+            child = _obj_to_message(fd.message_type, value)
+            message[fd.name] = child
+        else:
+            message[fd.name] = _scalar_from_json(fd, value)
+    return message
+
+
+def message_from_json(descriptor: MessageDescriptor,
+                      text: str) -> Message:
+    """Parse canonical JSON text into a new message of ``descriptor``."""
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise DecodeError(f"invalid JSON: {error}") from None
+    return _obj_to_message(descriptor, obj)

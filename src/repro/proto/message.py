@@ -1,0 +1,404 @@
+"""Dynamic in-memory protobuf messages.
+
+A :class:`Message` is the Python analogue of the C++ generated-class object
+described in Section 2.1.3 of the paper: scalar fields behave like C++
+primitives, string/bytes fields like ``std::string``, repeated fields like
+vectors, and sub-message fields like pointers to child objects.  Presence is
+tracked per-field in a *hasbits* set, mirroring protoc's generated hasbits
+member that the paper's accelerator repurposes (Section 4.2).
+
+Values are validated eagerly on assignment so that serialization never has
+to guess (the same contract the generated C++ setters provide).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Iterator
+
+from repro.proto.descriptor import FieldDescriptor, MessageDescriptor
+from repro.proto.errors import EncodeError
+from repro.proto.types import FieldType, int_range
+
+
+def _check_scalar(fd: FieldDescriptor, value):
+    """Validate and normalise one scalar value for field ``fd``."""
+    ft = fd.field_type
+    if ft is FieldType.BOOL:
+        if not isinstance(value, (bool, int)):
+            raise TypeError(f"{fd.name}: expected bool, got {type(value)}")
+        return bool(value)
+    if ft in (FieldType.FLOAT, FieldType.DOUBLE):
+        if not isinstance(value, (int, float)):
+            raise TypeError(f"{fd.name}: expected float, got {type(value)}")
+        value = float(value)
+        if ft is FieldType.FLOAT and math.isfinite(value):
+            # Round-trip through IEEE single precision, as a C++ float would.
+            value = struct.unpack("<f", struct.pack("<f", value))[0]
+        return value
+    if ft is FieldType.STRING:
+        if not isinstance(value, str):
+            raise TypeError(f"{fd.name}: expected str, got {type(value)}")
+        return value
+    if ft is FieldType.BYTES:
+        if not isinstance(value, (bytes, bytearray, memoryview)):
+            raise TypeError(f"{fd.name}: expected bytes, got {type(value)}")
+        return bytes(value)
+    if ft is FieldType.MESSAGE:
+        if not isinstance(value, Message):
+            raise TypeError(f"{fd.name}: expected Message, got {type(value)}")
+        assert fd.message_type is not None
+        if value.descriptor is not fd.message_type:
+            raise TypeError(
+                f"{fd.name}: expected {fd.message_type.name}, "
+                f"got {value.descriptor.name}")
+        return value
+    if ft is FieldType.ENUM:
+        if isinstance(value, str):
+            assert fd.enum_type is not None
+            if value not in fd.enum_type.values:
+                raise ValueError(f"{fd.name}: unknown enum value {value!r}")
+            value = fd.enum_type.values[value]
+        if not isinstance(value, int):
+            raise TypeError(f"{fd.name}: expected enum int/name")
+        lo, hi = int_range(FieldType.ENUM)
+        if not lo <= value <= hi:
+            raise ValueError(f"{fd.name}: enum value {value} out of range")
+        return value
+    # Integer types.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{fd.name}: expected int, got {type(value)}")
+    lo, hi = int_range(ft)
+    if not lo <= value <= hi:
+        raise ValueError(
+            f"{fd.name}: value {value} out of range for {ft.value}")
+    return value
+
+
+class RepeatedField:
+    """A validated list of elements of one field's type."""
+
+    __slots__ = ("_fd", "_items")
+
+    def __init__(self, fd: FieldDescriptor, items=()):
+        self._fd = fd
+        self._items: list = []
+        self.extend(items)
+
+    def append(self, value) -> None:
+        self._items.append(_check_scalar(self._fd, value))
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.append(value)
+
+    def add(self) -> "Message":
+        """Append and return a new empty sub-message (message fields only)."""
+        if self._fd.field_type is not FieldType.MESSAGE:
+            raise TypeError(f"{self._fd.name}: add() needs a message field")
+        assert self._fd.message_type is not None
+        child = Message(self._fd.message_type)
+        self._items.append(child)
+        return child
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def __setitem__(self, index, value) -> None:
+        self._items[index] = _check_scalar(self._fd, value)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RepeatedField):
+            return self._items == other._items
+        if isinstance(other, (list, tuple)):
+            return self._items == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"RepeatedField({self._fd.name}, {self._items!r})"
+
+
+class Message:
+    """A dynamic protobuf message instance.
+
+    Field access uses subscript syntax (``msg['x']``); presence is explicit
+    via :meth:`has` and :meth:`clear_field`.  Reading an absent singular
+    field returns the proto2 default, exactly as generated C++ getters do.
+    """
+
+    __slots__ = ("descriptor", "_values", "_hasbits", "arena",
+                 "_unknown")
+
+    def __init__(self, descriptor: MessageDescriptor, arena=None):
+        self.descriptor = descriptor
+        self._values: dict[int, object] = {}
+        self._hasbits: set[int] = set()
+        #: Preserved unknown fields: (field_number, wire_type_value,
+        #: value_bytes) triples, kept only when parsing with
+        #: keep_unknown=True and re-emitted after known fields.
+        self._unknown: list[tuple[int, int, bytes]] = []
+        self.arena = arena
+        if arena is not None:
+            arena.register(self)
+
+    # -- field access -------------------------------------------------------
+
+    def _field(self, name: str) -> FieldDescriptor:
+        fd = self.descriptor.field_by_name(name)
+        if fd is None:
+            raise KeyError(
+                f"{self.descriptor.name} has no field named {name!r}")
+        return fd
+
+    def __getitem__(self, name: str):
+        fd = self._field(name)
+        if fd.is_repeated:
+            existing = self._values.get(fd.number)
+            if existing is None:
+                existing = RepeatedField(fd)
+                self._values[fd.number] = existing
+            return existing
+        if fd.number in self._hasbits:
+            return self._values[fd.number]
+        return fd.default_scalar()
+
+    def _clear_oneof_siblings(self, fd: FieldDescriptor) -> None:
+        for number in self.descriptor.oneof_siblings(fd.number):
+            self._values.pop(number, None)
+            self._hasbits.discard(number)
+
+    def __setitem__(self, name: str, value) -> None:
+        fd = self._field(name)
+        if fd.oneof_group is not None:
+            self._clear_oneof_siblings(fd)
+        if fd.is_repeated:
+            if isinstance(value, RepeatedField):
+                value = list(value)
+            if not isinstance(value, (list, tuple)):
+                raise TypeError(f"{name}: repeated field needs a sequence")
+            self._values[fd.number] = RepeatedField(fd, value)
+            self._hasbits.add(fd.number)
+            return
+        self._values[fd.number] = _check_scalar(fd, value)
+        self._hasbits.add(fd.number)
+
+    def has(self, name: str) -> bool:
+        """True if the field was explicitly set (or, for repeated fields,
+        is non-empty)."""
+        fd = self._field(name)
+        if fd.is_repeated:
+            value = self._values.get(fd.number)
+            return value is not None and len(value) > 0
+        return fd.number in self._hasbits
+
+    def mutable(self, name: str) -> "Message":
+        """Return the sub-message for ``name``, creating it if absent.
+
+        Mirrors C++ ``mutable_foo()``.
+        """
+        fd = self._field(name)
+        if fd.field_type is not FieldType.MESSAGE or fd.is_repeated:
+            raise TypeError(f"{name}: mutable() needs a singular sub-message")
+        if fd.number not in self._hasbits:
+            if fd.oneof_group is not None:
+                self._clear_oneof_siblings(fd)
+            assert fd.message_type is not None
+            child = Message(fd.message_type, arena=self.arena)
+            self._values[fd.number] = child
+            self._hasbits.add(fd.number)
+        value = self._values[fd.number]
+        assert isinstance(value, Message)
+        return value
+
+    def clear_field(self, name: str) -> None:
+        fd = self._field(name)
+        self._values.pop(fd.number, None)
+        self._hasbits.discard(fd.number)
+
+    def clear(self) -> None:
+        """Clear every field (C++ ``Clear()``)."""
+        self._values.clear()
+        self._hasbits.clear()
+        self._unknown.clear()
+
+    @property
+    def unknown_fields(self) -> tuple[tuple[int, int, bytes], ...]:
+        """Preserved unknown fields (number, wire type, value bytes)."""
+        return tuple(self._unknown)
+
+    def present_field_numbers(self) -> list[int]:
+        """Field numbers with presence set, in increasing order.
+
+        Repeated fields count as present when non-empty, matching how the
+        serializer (and the accelerator's hasbits scan) treats them.
+        """
+        numbers = []
+        for fd in self.descriptor.fields:
+            if self.has(fd.name):
+                numbers.append(fd.number)
+        return numbers
+
+    def usage_density(self) -> float:
+        """The paper's Section 3.7 field-number usage density metric."""
+        return self.descriptor.usage_density(len(self.present_field_numbers()))
+
+    def which_oneof(self, group: str):
+        """The name of the set member of ``group``, or None."""
+        numbers = self.descriptor.oneof_groups.get(group)
+        if numbers is None:
+            raise KeyError(f"{self.descriptor.name} has no oneof {group!r}")
+        for number in numbers:
+            if number in self._hasbits:
+                fd = self.descriptor.field_by_number(number)
+                assert fd is not None
+                return fd.name
+        return None
+
+    # -- map fields -----------------------------------------------------------
+
+    def _map_field(self, name: str) -> FieldDescriptor:
+        fd = self._field(name)
+        if not fd.is_map:
+            raise TypeError(f"{name} is not a map field")
+        return fd
+
+    def map_set(self, name: str, key, value) -> None:
+        """Insert or overwrite one map entry (last key wins, as the
+        protobuf map wire contract specifies)."""
+        self._map_field(name)
+        for entry in self[name]:
+            if entry["key"] == key:
+                entry["value"] = value
+                return
+        entry = self[name].add()
+        entry["key"] = key
+        entry["value"] = value
+
+    def map_get(self, name: str, key, default=None):
+        """Look up one map entry's value."""
+        self._map_field(name)
+        for entry in self[name]:
+            if entry["key"] == key:
+                return entry["value"]
+        return default
+
+    def map_remove(self, name: str, key) -> bool:
+        """Delete one entry; returns True if it existed."""
+        self._map_field(name)
+        entries = self[name]
+        for index, entry in enumerate(entries):
+            if entry["key"] == key:
+                del entries._items[index]
+                if not entries:
+                    self._hasbits.discard(self._field(name).number)
+                return True
+        return False
+
+    def map_as_dict(self, name: str) -> dict:
+        """The map's contents as a plain dict (later keys win)."""
+        self._map_field(name)
+        return {entry["key"]: entry["value"] for entry in self[name]}
+
+    # -- whole-message operations --------------------------------------------
+
+    def merge_from(self, other: "Message") -> None:
+        """Protobuf MergeFrom: singular fields overwrite, repeated append,
+        sub-messages merge recursively."""
+        if other.descriptor is not self.descriptor:
+            raise TypeError("cannot merge messages of different types")
+        for fd in other.descriptor.fields:
+            if not other.has(fd.name):
+                continue
+            if fd.is_repeated:
+                self[fd.name].extend(
+                    item.copy() if isinstance(item, Message) else item
+                    for item in other[fd.name])
+                self._hasbits.add(fd.number)
+            elif fd.field_type is FieldType.MESSAGE:
+                self.mutable(fd.name).merge_from(other[fd.name])
+            else:
+                self[fd.name] = other[fd.name]
+        self._unknown.extend(other._unknown)
+
+    def copy(self) -> "Message":
+        """Deep copy (C++ copy constructor / ``CopyFrom``)."""
+        clone = Message(self.descriptor)
+        clone.merge_from(self)
+        return clone
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        if self.descriptor is not other.descriptor:
+            return False
+        for fd in self.descriptor.fields:
+            if self.has(fd.name) != other.has(fd.name):
+                return False
+            if not self.has(fd.name):
+                continue
+            if fd.is_map:
+                # Maps are semantically unordered: compare the final
+                # key -> value mapping (later entries win), not the
+                # underlying entry order.
+                if self.map_as_dict(fd.name) != other.map_as_dict(fd.name):
+                    return False
+            elif self[fd.name] != other[fd.name]:
+                return False
+        return self._unknown == other._unknown
+
+    def __repr__(self) -> str:
+        present = ", ".join(
+            f"{fd.name}={self[fd.name]!r}"
+            for fd in self.descriptor.fields if self.has(fd.name))
+        return f"{self.descriptor.name}({present})"
+
+    # -- serialization convenience --------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Serialize to the protobuf wire format (software path)."""
+        from repro.proto.encoder import serialize_message
+
+        return serialize_message(self)
+
+    def byte_size(self) -> int:
+        """Encoded size in bytes (C++ ``ByteSizeLong``)."""
+        from repro.proto.encoder import byte_size
+
+        return byte_size(self)
+
+    def check_initialized(self) -> None:
+        """Raise :class:`EncodeError` if any required field is missing."""
+        for fd in self.descriptor.fields:
+            if fd.is_required and not self.has(fd.name):
+                raise EncodeError(
+                    f"{self.descriptor.name}.{fd.name} is required but unset")
+            if fd.field_type is FieldType.MESSAGE and self.has(fd.name):
+                if fd.is_repeated:
+                    for child in self[fd.name]:
+                        child.check_initialized()
+                else:
+                    child = self[fd.name]
+                    if isinstance(child, Message):
+                        child.check_initialized()
+
+    def total_depth(self) -> int:
+        """Maximum sub-message nesting depth (top-level message = depth 1).
+
+        Used by the fleet study's depth distribution (Section 3.8).
+        """
+        deepest = 1
+        for fd in self.descriptor.fields:
+            if fd.field_type is not FieldType.MESSAGE or not self.has(fd.name):
+                continue
+            children = self[fd.name] if fd.is_repeated else [self[fd.name]]
+            for child in children:
+                if isinstance(child, Message):
+                    deepest = max(deepest, 1 + child.total_depth())
+        return deepest

@@ -1,0 +1,507 @@
+"""A parser for the proto2 schema language.
+
+Supports the subset of the proto2 language the paper's workloads use:
+``syntax``/``package`` declarations, (nested) ``message`` definitions,
+``enum`` definitions, the ``optional``/``required``/``repeated`` labels,
+all scalar types, sub-message fields, ``[packed = true]`` and
+``[default = ...]`` options, ``reserved`` statements, and comments.
+
+The entry point is :func:`parse_schema`, which returns a fully resolved
+:class:`~repro.proto.descriptor.Schema`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.proto.descriptor import (
+    EnumDescriptor,
+    FieldDescriptor,
+    MessageDescriptor,
+    MethodDescriptor,
+    Schema,
+    ServiceDescriptor,
+)
+from repro.proto.errors import SchemaError
+from repro.proto.types import FieldType, Label
+
+_SCALAR_TYPES = {t.value: t for t in FieldType
+                 if t not in (FieldType.MESSAGE, FieldType.GROUP,
+                              FieldType.ENUM)}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?(?:0x[0-9a-fA-F]+|\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\.\d+|inf|nan))
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<punct>[{}=\[\];,<>()])
+  | (?P<space>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens = []
+    line = 1
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "bad":
+            raise SchemaError(f"line {line}: unexpected character {text!r}")
+        if kind not in ("space", "comment"):
+            tokens.append(_Token(kind, text, line))
+        line += text.count("\n")
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SchemaError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise SchemaError(
+                f"line {token.line}: expected {text!r}, got {token.text!r}")
+        return token
+
+    def _expect_kind(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise SchemaError(
+                f"line {token.line}: expected {kind}, got {token.text!r}")
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self._pos += 1
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_file(self) -> Schema:
+        schema = Schema()
+        # Collect raw message bodies first; resolve type names afterwards so
+        # that forward and recursive references work.
+        raw_messages: list[tuple[str, list[dict]]] = []
+        enums: dict[str, EnumDescriptor] = {}
+        services: list[ServiceDescriptor] = []
+        while self._peek() is not None:
+            token = self._peek()
+            assert token is not None
+            if token.text == "syntax":
+                self._next()
+                self._expect("=")
+                value = self._expect_kind("string").text.strip('"')
+                if value not in ("proto2", "proto3"):
+                    raise SchemaError(f"unknown syntax {value!r}")
+                schema.syntax = value
+                self._expect(";")
+            elif token.text == "package":
+                self._next()
+                schema.package = self._expect_kind("ident").text
+                self._expect(";")
+            elif token.text == "import":
+                # Imports are accepted and ignored; all workloads in this
+                # repository are single-file.
+                self._next()
+                self._accept("public")
+                self._expect_kind("string")
+                self._expect(";")
+            elif token.text == "option":
+                self._skip_option()
+            elif token.text == "message":
+                raw_messages.extend(self._parse_message(prefix=""))
+            elif token.text == "enum":
+                enum = self._parse_enum(prefix="")
+                enums[enum.name] = enum
+            elif token.text == "service":
+                services.append(self._parse_service())
+            elif token.text == ";":
+                self._next()
+            else:
+                raise SchemaError(
+                    f"line {token.line}: unexpected {token.text!r}")
+        for enum in enums.values():
+            schema.add_enum(enum)
+        self._build_messages(schema, raw_messages, enums)
+        for service in services:
+            schema.add_service(service)
+        schema.resolve()
+        return schema
+
+    def _parse_service(self) -> ServiceDescriptor:
+        """``service Name { rpc M (In) returns (Out); ... }``"""
+        self._expect("service")
+        name = self._expect_kind("ident").text
+        self._expect("{")
+        methods: list[MethodDescriptor] = []
+        while not self._accept("}"):
+            token = self._peek()
+            if token is None:
+                raise SchemaError(f"service {name}: missing closing brace")
+            if token.text == "option":
+                self._skip_option()
+                continue
+            if token.text == ";":
+                self._next()
+                continue
+            self._expect("rpc")
+            method_name = self._expect_kind("ident").text
+            self._expect("(")
+            client_streaming = self._accept("stream")
+            input_type = self._expect_kind("ident").text
+            self._expect(")")
+            self._expect("returns")
+            self._expect("(")
+            server_streaming = self._accept("stream")
+            output_type = self._expect_kind("ident").text
+            self._expect(")")
+            if self._accept("{"):
+                # Method options block: skip to the matching brace.
+                depth = 1
+                while depth:
+                    text = self._next().text
+                    depth += text == "{"
+                    depth -= text == "}"
+            else:
+                self._expect(";")
+            methods.append(MethodDescriptor(
+                name=method_name, input_type=input_type,
+                output_type=output_type,
+                client_streaming=client_streaming,
+                server_streaming=server_streaming))
+        return ServiceDescriptor(name, methods)
+
+    def _skip_option(self) -> None:
+        self._expect("option")
+        while self._next().text != ";":
+            pass
+
+    def _parse_enum(self, prefix: str) -> EnumDescriptor:
+        self._expect("enum")
+        name = prefix + self._expect_kind("ident").text
+        self._expect("{")
+        values: dict[str, int] = {}
+        while not self._accept("}"):
+            token = self._next()
+            if token.text == "option":
+                self._pos -= 1
+                self._skip_option()
+                continue
+            if token.kind != "ident":
+                raise SchemaError(
+                    f"line {token.line}: bad enum entry {token.text!r}")
+            self._expect("=")
+            number = int(self._expect_kind("number").text, 0)
+            self._expect(";")
+            if token.text in values:
+                raise SchemaError(f"enum {name}: duplicate value {token.text}")
+            values[token.text] = number
+        return EnumDescriptor(name=name, values=values)
+
+    def _parse_message(self, prefix: str) -> list[tuple[str, list[dict]]]:
+        """Parse one message and its nested types.
+
+        Returns a flat list of (qualified_name, raw_fields) pairs; nested
+        messages are qualified as ``Outer.Inner``.
+        """
+        self._expect("message")
+        name = prefix + self._expect_kind("ident").text
+        self._expect("{")
+        fields: list[dict] = []
+        collected: list[tuple[str, list[dict]]] = []
+        nested_enums: list[EnumDescriptor] = []
+        while not self._accept("}"):
+            token = self._peek()
+            if token is None:
+                raise SchemaError(f"message {name}: missing closing brace")
+            if token.text == "message":
+                collected.extend(self._parse_message(prefix=name + "."))
+            elif token.text == "enum":
+                nested_enums.append(self._parse_enum(prefix=name + "."))
+            elif token.text == "oneof":
+                fields.extend(self._parse_oneof())
+            elif token.text == "option":
+                self._skip_option()
+            elif token.text == "reserved":
+                self._skip_reserved()
+            elif token.text == ";":
+                self._next()
+            else:
+                fields.append(self._parse_field())
+        collected.insert(0, (name, fields))
+        # Nested enums piggy-back on the raw field dicts for later lookup.
+        for enum in nested_enums:
+            collected.append((f"enum:{enum.name}", [{"enum": enum}]))
+        return collected
+
+    def _skip_reserved(self) -> None:
+        self._expect("reserved")
+        while self._next().text != ";":
+            pass
+
+    def _parse_field(self) -> dict:
+        token = self._next()
+        label = Label.OPTIONAL
+        if token.text in ("optional", "required", "repeated"):
+            label = Label(token.text)
+            token = self._next()
+        if token.kind != "ident":
+            raise SchemaError(
+                f"line {token.line}: expected field type, got {token.text!r}")
+        if token.text == "map" and self._accept("<"):
+            return self._parse_map_field(token.line, label)
+        type_text = token.text
+        name = self._expect_kind("ident").text
+        self._expect("=")
+        number = int(self._expect_kind("number").text, 0)
+        options = {}
+        if self._accept("["):
+            while True:
+                key = self._expect_kind("ident").text
+                self._expect("=")
+                value_token = self._next()
+                options[key] = value_token.text
+                if self._accept("]"):
+                    break
+                self._expect(",")
+        self._expect(";")
+        return {
+            "label": label,
+            "type_text": type_text,
+            "name": name,
+            "number": number,
+            "options": options,
+        }
+
+    def _parse_oneof(self) -> list[dict]:
+        """``oneof group { type field = N; ... }`` -- members are singular
+        fields tagged with their group; labels are not permitted."""
+        self._expect("oneof")
+        group = self._expect_kind("ident").text
+        self._expect("{")
+        members: list[dict] = []
+        while not self._accept("}"):
+            token = self._peek()
+            if token is None:
+                raise SchemaError(f"oneof {group}: missing closing brace")
+            if token.text in ("optional", "required", "repeated"):
+                raise SchemaError(
+                    f"oneof {group}: members take no field label")
+            raw = self._parse_field()
+            raw["oneof"] = group
+            members.append(raw)
+        if not members:
+            raise SchemaError(f"oneof {group} has no members")
+        return members
+
+    _MAP_KEY_TYPES = frozenset({
+        "int32", "int64", "uint32", "uint64", "sint32", "sint64",
+        "fixed32", "fixed64", "sfixed32", "sfixed64", "bool", "string",
+    })
+
+    def _parse_map_field(self, line: int, label: Label) -> dict:
+        """``map<K, V> name = N;`` -- wire-format sugar for a repeated
+        synthesized entry message with fields key=1, value=2."""
+        if label is not Label.OPTIONAL:
+            raise SchemaError(f"line {line}: map fields take no label")
+        key_text = self._expect_kind("ident").text
+        if key_text not in self._MAP_KEY_TYPES:
+            raise SchemaError(
+                f"line {line}: invalid map key type {key_text!r}")
+        self._expect(",")
+        value_text = self._expect_kind("ident").text
+        if value_text == "map":
+            raise SchemaError(f"line {line}: map values cannot be maps")
+        self._expect(">")
+        name = self._expect_kind("ident").text
+        self._expect("=")
+        number = int(self._expect_kind("number").text, 0)
+        self._expect(";")
+        return {
+            "label": Label.REPEATED,
+            "type_text": None,
+            "map": (key_text, value_text),
+            "name": name,
+            "number": number,
+            "options": {},
+        }
+
+    # -- descriptor construction ------------------------------------------
+
+    def _build_messages(
+        self,
+        schema: Schema,
+        raw_messages: list[tuple[str, list[dict]]],
+        top_enums: dict[str, EnumDescriptor],
+    ) -> None:
+        # Synthesize map entry types: each ``map<K, V> f = N`` becomes a
+        # hidden nested message ``Parent.FEntry { K key = 1; V value = 2 }``
+        # and the field itself a repeated reference to it.
+        entry_names: set[str] = set()
+        synthesized: list[tuple[str, list[dict]]] = []
+        for qname, raw_fields in raw_messages:
+            if qname.startswith("enum:"):
+                continue
+            for raw in raw_fields:
+                if "map" not in raw:
+                    continue
+                key_text, value_text = raw.pop("map")
+                entry_name = (f"{qname}."
+                              f"{_camel_case(raw['name'])}Entry")
+                entry_names.add(entry_name)
+                synthesized.append((entry_name, [
+                    {"label": Label.OPTIONAL, "type_text": key_text,
+                     "name": "key", "number": 1, "options": {}},
+                    {"label": Label.OPTIONAL, "type_text": value_text,
+                     "name": "value", "number": 2, "options": {}},
+                ]))
+                raw["type_text"] = entry_name
+        raw_messages = raw_messages + synthesized
+        message_names = {qname for qname, _ in raw_messages
+                         if not qname.startswith("enum:")}
+        enums = dict(top_enums)
+        for qname, fields in raw_messages:
+            if qname.startswith("enum:"):
+                enum = fields[0]["enum"]
+                enums[enum.name] = enum
+                schema.add_enum(enum)
+        for qname, raw_fields in raw_messages:
+            if qname.startswith("enum:"):
+                continue
+            descriptors = [
+                self._build_field(raw, qname, message_names, enums)
+                for raw in raw_fields
+            ]
+            if schema.syntax == "proto3":
+                for fd in descriptors:
+                    if fd.field_type is FieldType.STRING:
+                        fd.validate_utf8 = True
+            schema.add_message(MessageDescriptor(
+                qname, descriptors, full_name=qname,
+                is_map_entry=qname in entry_names))
+
+    def _build_field(self, raw: dict, scope: str,
+                     message_names: set[str],
+                     enums: dict[str, EnumDescriptor]) -> FieldDescriptor:
+        type_text = raw["type_text"]
+        options = raw["options"]
+        packed = options.get("packed", "false") == "true"
+        default = _parse_default(options.get("default"))
+        oneof = raw.get("oneof")
+        if type_text in _SCALAR_TYPES:
+            field_type = _SCALAR_TYPES[type_text]
+            return FieldDescriptor(
+                name=raw["name"], number=raw["number"],
+                field_type=field_type, label=raw["label"],
+                packed=packed, oneof_group=oneof,
+                default=_coerce_default(default, field_type))
+        resolved = _resolve_type_name(type_text, scope, message_names,
+                                      set(enums))
+        if resolved is None:
+            raise SchemaError(
+                f"{scope}.{raw['name']}: unknown type {type_text!r}")
+        if resolved in enums:
+            enum = enums[resolved]
+            enum_default = default
+            if isinstance(default, str):
+                if default not in enum.values:
+                    raise SchemaError(
+                        f"{scope}.{raw['name']}: unknown enum default "
+                        f"{default!r}")
+                enum_default = enum.values[default]
+            return FieldDescriptor(
+                name=raw["name"], number=raw["number"],
+                field_type=FieldType.ENUM, label=raw["label"],
+                enum_type=enum, packed=packed, default=enum_default,
+                oneof_group=oneof)
+        return FieldDescriptor(
+            name=raw["name"], number=raw["number"],
+            field_type=FieldType.MESSAGE, label=raw["label"],
+            type_name=resolved, oneof_group=oneof)
+
+
+def _resolve_type_name(type_text: str, scope: str,
+                       message_names: set[str],
+                       enum_names: set[str]) -> str | None:
+    """Resolve a type reference the way protoc does: innermost scope out."""
+    known = message_names | enum_names
+    if type_text.startswith("."):
+        stripped = type_text[1:]
+        return stripped if stripped in known else None
+    parts = scope.split(".")
+    for depth in range(len(parts), -1, -1):
+        candidate = ".".join(parts[:depth] + [type_text])
+        if candidate in known:
+            return candidate
+    return type_text if type_text in known else None
+
+
+def _camel_case(name: str) -> str:
+    """protoc's map-entry naming: field_name -> FieldNameEntry prefix."""
+    return "".join(part.capitalize() for part in name.split("_"))
+
+
+def _parse_default(text: str | None):
+    if text is None:
+        return None
+    if text.startswith('"'):
+        return text.strip('"')
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text  # enum value name; resolved by caller
+
+
+def _coerce_default(default, field_type: FieldType):
+    if default is None:
+        return None
+    if field_type in (FieldType.FLOAT, FieldType.DOUBLE):
+        return float(default)
+    if field_type is FieldType.BYTES and isinstance(default, str):
+        return default.encode("utf-8")
+    return default
+
+
+def parse_schema(source: str) -> Schema:
+    """Parse proto2 source text into a resolved :class:`Schema`."""
+    return _Parser(_tokenize(source)).parse_file()

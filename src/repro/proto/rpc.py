@@ -1,0 +1,115 @@
+"""A minimal RPC runtime over service definitions.
+
+Protobuf is a data *and service* description system (Section 2); this
+module provides the service half for our simulated world: a
+:class:`ServiceHandler` dispatches wire-format requests to registered
+Python callables, and a :class:`Stub` gives callers typed methods.  Both
+ends can serialize through the accelerator (``use_accelerator=True``),
+putting the RPC-side share of the serialization tax (Section 3.4) on
+the offload path.
+
+The transport is any callable ``(full_method_name, request_bytes) ->
+response_bytes`` -- in-process by default, but the seam where a real
+network would go.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.proto.descriptor import ServiceDescriptor
+from repro.proto.errors import ProtoError
+from repro.proto.message import Message
+
+Transport = Callable[[str, bytes], bytes]
+
+
+class RpcError(ProtoError):
+    """A call failed: unknown method, handler error, or bad payload."""
+
+
+class ServiceHandler:
+    """Server side: routes decoded requests to application callables."""
+
+    def __init__(self, service: ServiceDescriptor, accelerator=None):
+        self.service = service
+        self._accelerator = accelerator
+        self._handlers: dict[str, Callable[[Message], Message]] = {}
+        self.calls_served = 0
+
+    def register(self, method_name: str,
+                 handler: Callable[[Message], Message]) -> None:
+        """Attach the application function implementing one method."""
+        self.service.method(method_name)  # validates existence
+        self._handlers[method_name] = handler
+
+    def _decode(self, descriptor, data: bytes) -> Message:
+        if self._accelerator is not None:
+            result = self._accelerator.deserialize(descriptor, data)
+            return self._accelerator.read_message(descriptor,
+                                                  result.dest_addr)
+        return descriptor.parse(data)
+
+    def _encode(self, message: Message) -> bytes:
+        if self._accelerator is not None:
+            addr = self._accelerator.load_object(message)
+            return self._accelerator.serialize(message.descriptor,
+                                               addr).data
+        return message.serialize()
+
+    def __call__(self, full_method: str, request_bytes: bytes) -> bytes:
+        """The transport-facing entry point."""
+        prefix = f"/{self.service.name}/"
+        if not full_method.startswith(prefix):
+            raise RpcError(f"no such service route {full_method!r}")
+        method_name = full_method[len(prefix):]
+        handler = self._handlers.get(method_name)
+        if handler is None:
+            raise RpcError(f"method {method_name!r} is not implemented")
+        method = self.service.method(method_name)
+        assert method.input_descriptor is not None
+        assert method.output_descriptor is not None
+        request = self._decode(method.input_descriptor, request_bytes)
+        response = handler(request)
+        if (not isinstance(response, Message)
+                or response.descriptor is not method.output_descriptor):
+            raise RpcError(
+                f"{method_name}: handler must return "
+                f"{method.output_type}")
+        self.calls_served += 1
+        return self._encode(response)
+
+
+class Stub:
+    """Client side: ``stub.call('Method', request) -> response``."""
+
+    def __init__(self, service: ServiceDescriptor, transport: Transport,
+                 accelerator=None):
+        self.service = service
+        self._transport = transport
+        self._accelerator = accelerator
+        self.calls_made = 0
+
+    def call(self, method_name: str, request: Message) -> Message:
+        method = self.service.method(method_name)
+        assert method.input_descriptor is not None
+        assert method.output_descriptor is not None
+        if request.descriptor is not method.input_descriptor:
+            raise RpcError(
+                f"{method_name} expects {method.input_type}, got "
+                f"{request.descriptor.name}")
+        if self._accelerator is not None:
+            addr = self._accelerator.load_object(request)
+            payload = self._accelerator.serialize(request.descriptor,
+                                                  addr).data
+        else:
+            payload = request.serialize()
+        response_bytes = self._transport(
+            self.service.full_method_name(method_name), payload)
+        self.calls_made += 1
+        if self._accelerator is not None:
+            result = self._accelerator.deserialize(
+                method.output_descriptor, response_bytes)
+            return self._accelerator.read_message(
+                method.output_descriptor, result.dest_addr)
+        return method.output_descriptor.parse(response_bytes)

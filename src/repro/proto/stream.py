@@ -1,0 +1,78 @@
+"""Length-delimited message streams (``writeDelimitedTo`` and friends).
+
+Protobuf messages carry no self-delimiting framing, so streams and log
+files prefix each message with its varint-encoded length -- the framing
+the upstream library exposes as ``writeDelimitedTo`` /
+``parseDelimitedFrom``.  Storage systems (a major non-RPC serialization
+user per Section 3.4) lean on exactly this format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.proto.decoder import parse_message
+from repro.proto.descriptor import MessageDescriptor
+from repro.proto.errors import DecodeError
+from repro.proto.message import Message
+from repro.proto.varint import decode_varint, encode_varint
+
+
+def write_delimited(message: Message) -> bytes:
+    """One message framed with its varint length prefix."""
+    payload = message.serialize()
+    return encode_varint(len(payload)) + payload
+
+
+def write_delimited_stream(messages: list[Message]) -> bytes:
+    """Frame a batch of messages into one contiguous stream."""
+    return b"".join(write_delimited(message) for message in messages)
+
+
+def iter_delimited_payloads(data: bytes) -> Iterator[bytes]:
+    """Yield each framed message's wire bytes from a stream."""
+    offset = 0
+    while offset < len(data):
+        length, consumed = decode_varint(data, offset)
+        offset += consumed
+        end = offset + length
+        if end > len(data):
+            raise DecodeError("truncated delimited stream")
+        yield data[offset:end]
+        offset = end
+
+
+def read_delimited_stream(descriptor: MessageDescriptor,
+                          data: bytes) -> list[Message]:
+    """Parse every framed message in the stream (software path)."""
+    return [parse_message(descriptor, payload)
+            for payload in iter_delimited_payloads(data)]
+
+
+class DelimitedWriter:
+    """Incrementally build a delimited stream (an appendable log)."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self.message_count = 0
+
+    def append(self, message: Message) -> int:
+        """Frame and append; returns the framed size in bytes."""
+        framed = write_delimited(message)
+        self._chunks.append(framed)
+        self.message_count += 1
+        return len(framed)
+
+    def append_wire(self, payload: bytes) -> int:
+        """Frame pre-serialized wire bytes (e.g. accelerator output)."""
+        framed = encode_varint(len(payload)) + payload
+        self._chunks.append(framed)
+        self.message_count += 1
+        return len(framed)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(len(chunk) for chunk in self._chunks)

@@ -1,0 +1,217 @@
+"""Protobuf text format (C++ ``DebugString`` / ``TextFormat::Parse``).
+
+Emission via :func:`message_to_text`, parsing via
+:func:`message_from_text` -- the human-readable sibling of the wire
+format, used for golden files, configs, and debugging.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.proto.descriptor import MessageDescriptor
+from repro.proto.errors import DecodeError
+from repro.proto.message import Message
+from repro.proto.types import FieldType
+
+_INDENT = "  "
+
+
+def _format_scalar(fd, value) -> str:
+    ft = fd.field_type
+    if ft is FieldType.STRING:
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if ft is FieldType.BYTES:
+        escaped = "".join(
+            chr(b) if 32 <= b < 127 and b not in (34, 92)
+            else f"\\{b:03o}"
+            for b in value)
+        return f'"{escaped}"'
+    if ft is FieldType.BOOL:
+        return "true" if value else "false"
+    if ft is FieldType.ENUM and fd.enum_type is not None:
+        for name, number in fd.enum_type.values.items():
+            if number == value:
+                return name
+        return str(value)
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _emit(message: Message, depth: int, lines: list[str]) -> None:
+    pad = _INDENT * depth
+    for fd in message.descriptor.fields:
+        if not message.has(fd.name):
+            continue
+        values = message[fd.name] if fd.is_repeated else [message[fd.name]]
+        for value in values:
+            if fd.field_type is FieldType.MESSAGE:
+                lines.append(f"{pad}{fd.name} {{")
+                _emit(value, depth + 1, lines)
+                lines.append(f"{pad}}}")
+            else:
+                lines.append(f"{pad}{fd.name}: {_format_scalar(fd, value)}")
+
+
+def message_to_text(message: Message) -> str:
+    """Render ``message`` in protobuf text format."""
+    lines: list[str] = []
+    _emit(message, 0, lines)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- parsing --------------------------------------------------------------------
+
+_TEXT_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<scalar>[-+]?[0-9][0-9a-fA-FxX.eE+-]*|[-+]?\.[0-9][0-9eE+-]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[{}:<>])
+  | (?P<space>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+def _text_tokens(source: str) -> list[tuple[str, str]]:
+    tokens = []
+    for match in _TEXT_TOKEN_RE.finditer(source):
+        kind = match.lastgroup
+        if kind in ("space", "comment"):
+            continue
+        if kind == "bad":
+            raise DecodeError(
+                f"text format: unexpected character {match.group()!r}")
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+def _unescape(text: str) -> bytes:
+    body = text[1:-1]
+    out = bytearray()
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char != "\\":
+            out += char.encode("utf-8")
+            index += 1
+            continue
+        index += 1
+        escape = body[index]
+        simple = {"n": b"\n", "t": b"\t", "r": b"\r", '"': b'"',
+                  "'": b"'", "\\": b"\\"}
+        if escape in simple:
+            out += simple[escape]
+            index += 1
+        elif escape.isdigit():
+            octal = body[index:index + 3]
+            out.append(int(octal, 8))
+            index += 3
+        elif escape == "x":
+            out.append(int(body[index + 1:index + 3], 16))
+            index += 3
+        else:
+            raise DecodeError(f"text format: bad escape \\{escape}")
+    return bytes(out)
+
+
+class _TextParser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self):
+        return self._tokens[self._pos] if self._pos < len(self._tokens) \
+            else (None, None)
+
+    def _next(self):
+        kind, text = self._peek()
+        if kind is None:
+            raise DecodeError("text format: unexpected end of input")
+        self._pos += 1
+        return kind, text
+
+    def parse_fields(self, message: Message, terminator: str | None) -> None:
+        while True:
+            kind, text = self._peek()
+            if kind is None:
+                if terminator is None:
+                    return
+                raise DecodeError(
+                    f"text format: missing closing {terminator!r}")
+            if text == terminator:
+                self._pos += 1
+                return
+            if kind != "ident":
+                raise DecodeError(
+                    f"text format: expected field name, got {text!r}")
+            self._pos += 1
+            self._parse_field(message, text)
+
+    def _parse_field(self, message: Message, name: str) -> None:
+        fd = message.descriptor.field_by_name(name)
+        if fd is None:
+            raise DecodeError(f"text format: unknown field {name!r}")
+        kind, text = self._peek()
+        if text in ("{", "<"):
+            if fd.field_type is not FieldType.MESSAGE:
+                raise DecodeError(
+                    f"text format: {name} is not a message field")
+            self._pos += 1
+            closing = "}" if text == "{" else ">"
+            assert fd.message_type is not None
+            if fd.is_repeated:
+                child = message[name].add()
+            else:
+                child = message.mutable(name)
+            self.parse_fields(child, closing)
+            return
+        if text != ":":
+            raise DecodeError(f"text format: expected ':' after {name}")
+        self._pos += 1
+        value = self._parse_scalar(fd)
+        if fd.is_repeated:
+            message[name].append(value)
+            message._hasbits.add(fd.number)
+        else:
+            message[name] = value
+
+    def _parse_scalar(self, fd):
+        kind, text = self._next()
+        ft = fd.field_type
+        if ft is FieldType.STRING:
+            if kind != "string":
+                raise DecodeError(f"text format: {fd.name} needs a string")
+            return _unescape(text).decode("utf-8")
+        if ft is FieldType.BYTES:
+            if kind != "string":
+                raise DecodeError(f"text format: {fd.name} needs a string")
+            return _unescape(text)
+        if ft is FieldType.BOOL:
+            if text in ("true", "1"):
+                return True
+            if text in ("false", "0"):
+                return False
+            raise DecodeError(f"text format: bad bool {text!r}")
+        if ft is FieldType.ENUM:
+            if kind == "ident":
+                return text  # validated by the setter against the enum
+            return int(text, 0)
+        if ft in (FieldType.FLOAT, FieldType.DOUBLE):
+            return float(text)
+        if kind != "scalar":
+            raise DecodeError(
+                f"text format: {fd.name} needs a number, got {text!r}")
+        return int(text, 0)
+
+
+def message_from_text(descriptor: MessageDescriptor,
+                      source: str) -> Message:
+    """Parse protobuf text format into a new message of ``descriptor``."""
+    message = descriptor.new_message()
+    parser = _TextParser(_text_tokens(source))
+    parser.parse_fields(message, terminator=None)
+    return message

@@ -1,0 +1,57 @@
+"""Serialization/deserialization event traces.
+
+The software encoder and decoder optionally record a trace of the primitive
+operations they perform (varint encodes, memcpys, allocations, per-field
+dispatch, ...).  The CPU cost models in :mod:`repro.cpu` replay these traces
+and charge cycles per event, which is how we model the BOOM and Xeon
+baselines mechanistically rather than with opaque lookup tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Op(enum.Enum):
+    """Primitive software ser/deser operations that cost CPU cycles."""
+
+    TAG_ENCODE = "tag_encode"          # arg: encoded tag bytes
+    TAG_DECODE = "tag_decode"          # arg: encoded tag bytes
+    VARINT_ENCODE = "varint_encode"    # arg: encoded varint bytes
+    VARINT_DECODE = "varint_decode"    # arg: encoded varint bytes
+    ZIGZAG = "zigzag"                  # arg: 1
+    FIXED_WRITE = "fixed_write"        # arg: width in bytes
+    FIXED_READ = "fixed_read"          # arg: width in bytes
+    MEMCPY = "memcpy"                  # arg: bytes copied
+    ALLOC = "alloc"                    # arg: bytes allocated
+    FIELD_CHECK = "field_check"        # arg: defined fields scanned (ser)
+    FIELD_DISPATCH = "field_dispatch"  # arg: 1, per decoded field (deser)
+    BYTESIZE_FIELD = "bytesize_field"  # arg: 1, per field in ByteSize pass
+    MSG_ENTER = "msg_enter"            # arg: 1 (sub-message setup)
+    MSG_EXIT = "msg_exit"              # arg: 1
+    OBJ_CONSTRUCT = "obj_construct"    # arg: object size in bytes (deser)
+
+
+@dataclass
+class Trace:
+    """An append-only list of (op, arg) events with simple aggregation."""
+
+    events: list[tuple[Op, int]] = field(default_factory=list)
+
+    def emit(self, op: Op, arg: int = 1) -> None:
+        self.events.append((op, arg))
+
+    def count(self, op: Op) -> int:
+        """Number of events of type ``op``."""
+        return sum(1 for event_op, _ in self.events if event_op is op)
+
+    def total(self, op: Op) -> int:
+        """Sum of args over events of type ``op``."""
+        return sum(arg for event_op, arg in self.events if event_op is op)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

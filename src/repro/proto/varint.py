@@ -1,0 +1,118 @@
+"""Variable-length integer (varint) and zig-zag codecs.
+
+The protobuf varint algorithm (Section 2.1.2 of the paper) consumes 7 bits
+at a time from the least-significant side of a fixed-width value; each
+output byte carries those 7 bits plus a continuation bit.  A 64-bit value
+therefore encodes to between 1 and 10 bytes.
+
+These functions are the single source of truth for varint handling across
+the software library, the CPU cost models (which charge per encoded byte),
+and the accelerator's combinational varint unit.
+"""
+
+from __future__ import annotations
+
+from repro.proto.errors import DecodeError
+
+#: Maximum encoded length of a 64-bit varint (ceil(64 / 7) = 10 bytes).
+MAX_VARINT_LENGTH = 10
+
+_U64_MASK = (1 << 64) - 1
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer < 2**64 as a protobuf varint.
+
+    Negative Python ints must be converted to their unsigned two's
+    complement form by the caller (see :func:`encode_signed`).
+    """
+    if value < 0:
+        raise ValueError("varint payload must be non-negative; "
+                         "use encode_signed for two's-complement values")
+    if value > _U64_MASK:
+        raise ValueError(f"varint payload {value:#x} exceeds 64 bits")
+    out = bytearray()
+    while True:
+        bits = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bits | 0x80)
+        else:
+            out.append(bits)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``data`` starting at ``offset``.
+
+    Returns ``(value, n_bytes_consumed)``.  Raises :class:`DecodeError` on a
+    truncated varint or one longer than 10 bytes.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    end = len(data)
+    while True:
+        if pos >= end:
+            raise DecodeError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            break
+        shift += 7
+        if shift >= 7 * MAX_VARINT_LENGTH:
+            raise DecodeError("varint longer than 10 bytes")
+    if result > _U64_MASK:
+        # A 10-byte varint can carry up to 70 payload bits; protobuf
+        # truncates to 64 (exactly what C++ parsers do on the wire).
+        result &= _U64_MASK
+    return result, pos - offset
+
+
+def varint_length(value: int) -> int:
+    """Number of bytes :func:`encode_varint` will produce for ``value``."""
+    if value < 0:
+        raise ValueError("varint payload must be non-negative")
+    if value == 0:
+        return 1
+    return (value.bit_length() + 6) // 7
+
+
+def encode_signed(value: int) -> int:
+    """Map a signed 64-bit int to its unsigned two's-complement varint payload.
+
+    proto2 ``int32``/``int64`` fields encode negative values as the full
+    64-bit two's complement, which is why a negative int32 costs 10 wire
+    bytes -- the pathology the paper's varint-10 microbenchmark exercises.
+    """
+    if not -(2**63) <= value <= 2**64 - 1:
+        raise ValueError(f"value {value} out of 64-bit range")
+    return value & _U64_MASK
+
+
+def decode_signed(payload: int, bits: int = 64) -> int:
+    """Inverse of :func:`encode_signed`, reinterpreting as ``bits``-wide."""
+    payload &= (1 << bits) - 1
+    if payload >= 1 << (bits - 1):
+        payload -= 1 << bits
+    return payload
+
+
+def encode_zigzag(value: int, bits: int = 64) -> int:
+    """Zig-zag encode a signed integer (sint32/sint64 wire payload).
+
+    Maps 0, -1, 1, -2, ... to 0, 1, 2, 3, ... so that small-magnitude
+    negative numbers stay short on the wire.
+    """
+    limit = 1 << (bits - 1)
+    if not -limit <= value < limit:
+        raise ValueError(f"value {value} out of {bits}-bit signed range")
+    return ((value << 1) ^ (value >> (bits - 1))) & ((1 << bits) - 1)
+
+
+def decode_zigzag(payload: int) -> int:
+    """Inverse of :func:`encode_zigzag`."""
+    if payload < 0:
+        raise ValueError("zig-zag payload must be non-negative")
+    return (payload >> 1) ^ -(payload & 1)

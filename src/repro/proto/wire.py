@@ -1,0 +1,77 @@
+"""Wire-format primitives: tags (keys) and unknown-field skipping.
+
+A field's *key* on the wire is ``(field_number << 3) | wire_type`` encoded
+as a varint (Section 2.1.2).
+"""
+
+from __future__ import annotations
+
+from repro.proto.errors import DecodeError
+from repro.proto.types import WireType
+from repro.proto.varint import decode_varint, encode_varint, varint_length
+
+_WIRE_TYPE_BITS = 3
+_WIRE_TYPE_MASK = (1 << _WIRE_TYPE_BITS) - 1
+
+
+def make_tag(field_number: int, wire_type: WireType) -> int:
+    """Combine a field number and wire type into the numeric tag."""
+    if field_number < 1:
+        raise ValueError(f"invalid field number {field_number}")
+    return (field_number << _WIRE_TYPE_BITS) | int(wire_type)
+
+
+def split_tag(tag: int) -> tuple[int, WireType]:
+    """Split a numeric tag into (field_number, wire_type)."""
+    wire_value = tag & _WIRE_TYPE_MASK
+    try:
+        wire_type = WireType(wire_value)
+    except ValueError:
+        raise DecodeError(f"invalid wire type {wire_value}") from None
+    field_number = tag >> _WIRE_TYPE_BITS
+    if field_number < 1:
+        raise DecodeError(f"invalid field number {field_number}")
+    return field_number, wire_type
+
+
+def encode_tag(field_number: int, wire_type: WireType) -> bytes:
+    """Encode a key as wire bytes."""
+    return encode_varint(make_tag(field_number, wire_type))
+
+
+def decode_tag(data: bytes, offset: int) -> tuple[int, WireType, int]:
+    """Decode a key; returns (field_number, wire_type, bytes_consumed)."""
+    tag, consumed = decode_varint(data, offset)
+    field_number, wire_type = split_tag(tag)
+    return field_number, wire_type, consumed
+
+
+def tag_length(field_number: int, wire_type: WireType) -> int:
+    """Encoded length of a key in bytes."""
+    return varint_length(make_tag(field_number, wire_type))
+
+
+def skip_field(data: bytes, offset: int, wire_type: WireType) -> int:
+    """Skip one unknown field's value; returns the new offset.
+
+    proto2 requires parsers to skip fields they do not know about (schema
+    evolution, Section 2.1.1).  Deprecated group wire types are rejected.
+    """
+    if wire_type is WireType.VARINT:
+        _, consumed = decode_varint(data, offset)
+        return offset + consumed
+    if wire_type is WireType.FIXED64:
+        if offset + 8 > len(data):
+            raise DecodeError("truncated fixed64 value")
+        return offset + 8
+    if wire_type is WireType.FIXED32:
+        if offset + 4 > len(data):
+            raise DecodeError("truncated fixed32 value")
+        return offset + 4
+    if wire_type is WireType.LENGTH_DELIMITED:
+        length, consumed = decode_varint(data, offset)
+        end = offset + consumed + length
+        if end > len(data):
+            raise DecodeError("truncated length-delimited value")
+        return end
+    raise DecodeError(f"cannot skip deprecated wire type {wire_type.name}")

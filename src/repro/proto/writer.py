@@ -1,0 +1,153 @@
+"""Emit a Schema back as .proto source text.
+
+Used by the HyperProtoBench generator to materialise its synthetic
+schemas as real .proto files (as the paper's generator does), and by the
+test suite to check parser round trips.
+"""
+
+from __future__ import annotations
+
+from repro.proto.descriptor import (
+    EnumDescriptor,
+    FieldDescriptor,
+    MessageDescriptor,
+    Schema,
+)
+from repro.proto.types import FieldType
+
+
+def _field_line(fd: FieldDescriptor, scope: str) -> str:
+    if fd.is_map:
+        assert fd.message_type is not None
+        key_fd = fd.message_type.field_by_name("key")
+        value_fd = fd.message_type.field_by_name("value")
+        assert key_fd is not None and value_fd is not None
+        if value_fd.field_type is FieldType.MESSAGE:
+            value_text = value_fd.type_name
+        elif value_fd.field_type is FieldType.ENUM:
+            assert value_fd.enum_type is not None
+            value_text = value_fd.enum_type.name
+        else:
+            value_text = value_fd.field_type.value
+        return (f"map<{key_fd.field_type.value}, {value_text}> "
+                f"{fd.name} = {fd.number};")
+    if fd.field_type is FieldType.MESSAGE:
+        type_text = fd.type_name
+    elif fd.field_type is FieldType.ENUM:
+        assert fd.enum_type is not None
+        type_text = fd.enum_type.name
+    else:
+        type_text = fd.field_type.value
+    assert type_text is not None
+    # Use a fully qualified (leading-dot) reference when the target lives
+    # outside this message's scope chain, so round trips are unambiguous.
+    if "." in type_text and not type_text.startswith(scope + "."):
+        type_text = "." + type_text
+    options = []
+    if fd.packed:
+        options.append("packed = true")
+    if fd.default is not None:
+        options.append(f"default = {_default_text(fd)}")
+    suffix = f" [{', '.join(options)}]" if options else ""
+    return (f"{fd.label.value} {type_text} {fd.name} = {fd.number}"
+            f"{suffix};")
+
+
+def _default_text(fd: FieldDescriptor) -> str:
+    value = fd.default
+    if fd.field_type is FieldType.ENUM:
+        assert fd.enum_type is not None
+        for name, number in fd.enum_type.values.items():
+            if number == value:
+                return name
+        return str(value)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f'"{value}"'
+    if isinstance(value, bytes):
+        return f'"{value.decode("latin-1")}"'
+    return str(value)
+
+
+def _enum_block(enum: EnumDescriptor, indent: str) -> list[str]:
+    short = enum.name.rsplit(".", 1)[-1]
+    lines = [f"{indent}enum {short} {{"]
+    for name, number in enum.values.items():
+        lines.append(f"{indent}  {name} = {number};")
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def schema_to_proto(schema: Schema) -> str:
+    """Render ``schema`` as proto2 source text.
+
+    Nested message types (``Outer.Inner``) are emitted nested inside their
+    parents; top-level types at file scope.
+    """
+    lines = [f'syntax = "{schema.syntax}";', ""]
+    if schema.package:
+        lines.append(f"package {schema.package};")
+        lines.append("")
+    children: dict[str, list[MessageDescriptor]] = {}
+    top_level: list[MessageDescriptor] = []
+    for descriptor in schema.messages():
+        if descriptor.is_map_entry:
+            continue  # re-synthesized from the map<...> field line
+        if "." in descriptor.name:
+            parent = descriptor.name.rsplit(".", 1)[0]
+            children.setdefault(parent, []).append(descriptor)
+        else:
+            top_level.append(descriptor)
+    top_enums = [e for e in schema.enums() if "." not in e.name]
+    nested_enums: dict[str, list[EnumDescriptor]] = {}
+    for enum in schema.enums():
+        if "." in enum.name:
+            parent = enum.name.rsplit(".", 1)[0]
+            nested_enums.setdefault(parent, []).append(enum)
+    for enum in top_enums:
+        lines.extend(_enum_block(enum, ""))
+        lines.append("")
+
+    def emit_message(descriptor: MessageDescriptor, depth: int) -> None:
+        indent = "  " * depth
+        short = descriptor.name.rsplit(".", 1)[-1]
+        lines.append(f"{indent}message {short} {{")
+        for enum in nested_enums.get(descriptor.name, ()):
+            lines.extend(_enum_block(enum, indent + "  "))
+        for child in children.get(descriptor.name, ()):
+            emit_message(child, depth + 1)
+        emitted_groups: set[str] = set()
+        for fd in descriptor.fields:
+            if fd.oneof_group is not None:
+                if fd.oneof_group in emitted_groups:
+                    continue
+                emitted_groups.add(fd.oneof_group)
+                lines.append(f"{indent}  oneof {fd.oneof_group} {{")
+                for number in descriptor.oneof_groups[fd.oneof_group]:
+                    member = descriptor.field_by_number(number)
+                    assert member is not None
+                    member_line = _field_line(member, descriptor.name)
+                    # oneof members take no label.
+                    member_line = member_line.removeprefix("optional ")
+                    lines.append(f"{indent}    {member_line}")
+                lines.append(f"{indent}  }}")
+                continue
+            lines.append(f"{indent}  {_field_line(fd, descriptor.name)}")
+        lines.append(f"{indent}}}")
+
+    for descriptor in top_level:
+        emit_message(descriptor, 0)
+        lines.append("")
+    for service in schema.services():
+        lines.append(f"service {service.name} {{")
+        for method in service.methods:
+            input_text = ("stream " if method.client_streaming
+                          else "") + method.input_type
+            output_text = ("stream " if method.server_streaming
+                           else "") + method.output_type
+            lines.append(f"  rpc {method.name} ({input_text}) "
+                         f"returns ({output_text});")
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)

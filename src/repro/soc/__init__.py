@@ -1,0 +1,26 @@
+"""SoC integration substrate: RoCC interface, TLBs, and the system bus.
+
+Models the glue of Figure 8: the BOOM core dispatches custom RISC-V
+instructions to the accelerator over the RoCC interface; the accelerator's
+memory interface wrappers translate virtual addresses through private TLBs
+backed by the page-table walker, and move data over the 128-bit TileLink
+system bus shared with the core.
+"""
+
+from repro.soc.config import SoCConfig
+from repro.soc.rocc import RoccFunct, RoccInstruction, RoccInterface
+from repro.soc.tlb import Tlb, TlbStats
+from repro.soc.bus import SystemBus
+from repro.soc.multitile import MultiTileModel, TileWorkProfile
+
+__all__ = [
+    "SoCConfig",
+    "RoccFunct",
+    "RoccInstruction",
+    "RoccInterface",
+    "Tlb",
+    "TlbStats",
+    "SystemBus",
+    "MultiTileModel",
+    "TileWorkProfile",
+]

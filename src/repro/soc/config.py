@@ -1,0 +1,46 @@
+"""Top-level SoC configuration (the knobs of Figure 8 and Section 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.timing import MemoryTimingModel
+
+
+@dataclass
+class SoCConfig:
+    """Parameters of the simulated accelerated RISC-V SoC.
+
+    Defaults follow the paper's evaluated configuration: BOOM core and
+    accelerator both at 2 GHz, a 128-bit TileLink system bus, and on-chip
+    sub-message context stacks sized for depth 25 (Section 3.8: 99.999% of
+    message bytes are at depth <= 25; deeper nesting spills to memory).
+    """
+
+    #: Core and accelerator clock in Hz (paper models both at 2 GHz).
+    clock_hz: float = 2.0e9
+    #: Number of parallel field serializer units (Section 4.5.4).
+    field_serializer_units: int = 4
+    #: On-chip sub-message context stack depth before spilling (Section 3.8).
+    context_stack_depth: int = 25
+    #: Extra cycles per stack level when spilling context to memory.
+    stack_spill_cycles: int = 40
+    #: TLB entries per memory interface wrapper.
+    tlb_entries: int = 32
+    #: Page-table-walk latency in cycles on a TLB miss.
+    ptw_cycles: int = 80
+    #: Cycles for the CPU to issue one RoCC custom instruction.
+    rocc_dispatch_cycles: int = 4
+    #: Cycles for the post-offload fence visible to the CPU (Section 4.1).
+    fence_cycles: int = 12
+    #: Memory timing for the accelerator's TileLink path.
+    memory: MemoryTimingModel = field(default_factory=MemoryTimingModel)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def gbits_per_second(self, payload_bytes: int, cycles: float) -> float:
+        """Throughput metric used throughout the paper's Figures 11-13."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        return payload_bytes * 8 / self.cycles_to_seconds(cycles) / 1e9

@@ -1,0 +1,51 @@
+"""Tests for the Section 5.3 ASIC area/frequency model."""
+
+import pytest
+
+from repro.accel.asic_model import AsicModel
+
+
+class TestPaperNumbers:
+    """The paper: deserializer 1.95 GHz / 0.133 mm^2; serializer
+    1.84 GHz / 0.278 mm^2 in a commercial 22 nm process."""
+
+    def test_deserializer(self):
+        unit = AsicModel().deserializer
+        assert unit.frequency_ghz == pytest.approx(1.95, rel=0.02)
+        assert unit.area_mm2 == pytest.approx(0.133, rel=0.03)
+
+    def test_serializer(self):
+        unit = AsicModel().serializer
+        assert unit.frequency_ghz == pytest.approx(1.84, rel=0.02)
+        assert unit.area_mm2 == pytest.approx(0.278, rel=0.03)
+
+    def test_serializer_bigger_and_slower(self):
+        model = AsicModel()
+        assert model.serializer.area_mm2 > model.deserializer.area_mm2
+        assert model.serializer.frequency_ghz < \
+            model.deserializer.frequency_ghz
+
+
+class TestScaling:
+    def test_more_fsus_cost_area(self):
+        small = AsicModel(num_field_serializer_units=2)
+        large = AsicModel(num_field_serializer_units=8)
+        assert large.serializer.area_mm2 > small.serializer.area_mm2
+        # FSU count does not change the deserializer.
+        assert large.deserializer.area_mm2 == small.deserializer.area_mm2
+
+    def test_deeper_stacks_cost_area(self):
+        shallow = AsicModel(context_stack_depth=12)
+        deep = AsicModel(context_stack_depth=100)
+        assert deep.deserializer.area_mm2 > shallow.deserializer.area_mm2
+        assert deep.serializer.area_mm2 > shallow.serializer.area_mm2
+
+    def test_breakdown_sums_to_total(self):
+        unit = AsicModel().deserializer
+        assert sum(area for _, area in unit.breakdown()) == \
+            pytest.approx(unit.area_mm2)
+
+    def test_report_format(self):
+        report = AsicModel().report()
+        assert "deserializer" in report and "serializer" in report
+        assert "GHz" in report and "mm^2" in report

@@ -1,0 +1,233 @@
+"""Tests for the Section 7 clear/copy/merge extension unit."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.accel.driver import ProtoAccelerator
+from repro.proto import parse_schema
+from repro.proto.encoder import serialize_message
+
+from tests.strategies import schema_and_message, schema_and_two_messages
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message Inner { optional int32 a = 1; repeated int32 xs = 2; }
+        message M {
+          optional int64 x = 1;
+          optional string s = 2;
+          repeated uint32 nums = 3;
+          optional Inner inner = 4;
+          repeated Inner kids = 5;
+          repeated string labels = 6;
+          optional bytes raw = 7;
+          optional double d = 8;
+        }
+    """)
+
+
+def _accel(schema):
+    accel = ProtoAccelerator()
+    accel.register_schema(schema)
+    return accel
+
+
+def _rich_message(schema):
+    m = schema["M"].new_message()
+    m["x"] = -9
+    m["s"] = "a string long enough to live on the heap, not in SSO"
+    m["nums"] = [1, 2, 3]
+    inner = m.mutable("inner")
+    inner["a"] = 7
+    inner["xs"] = [10, 20]
+    kid = m["kids"].add()
+    kid["a"] = 1
+    m["labels"] = ["x", "y" * 30]
+    m["raw"] = bytes(range(20))
+    m["d"] = 1.25
+    return m
+
+
+class TestClear:
+    def test_clear_drops_all_presence(self, schema):
+        accel = _accel(schema)
+        m = _rich_message(schema)
+        addr = accel.load_object(m)
+        stats = accel.clear_message(schema["M"], addr)
+        back = accel.read_message(schema["M"], addr)
+        assert back.present_field_numbers() == []
+        assert stats.cycles > 0
+
+    def test_cleared_object_reusable_for_deser(self, schema):
+        accel = _accel(schema)
+        m = _rich_message(schema)
+        addr = accel.load_object(m)
+        accel.clear_message(schema["M"], addr)
+        # A cleared object can be re-serialized (to empty bytes).
+        result = accel.serialize(schema["M"], addr)
+        assert result.data == b""
+
+
+class TestCopy:
+    def test_deep_copy_equals_source(self, schema):
+        accel = _accel(schema)
+        m = _rich_message(schema)
+        src = accel.load_object(m)
+        dest, stats = accel.copy_message(schema["M"], src)
+        assert accel.read_message(schema["M"], dest) == m
+        assert stats.fields_processed > 0
+        assert stats.arena_bytes > 0
+
+    def test_copy_is_independent_of_source(self, schema):
+        accel = _accel(schema)
+        m = _rich_message(schema)
+        src = accel.load_object(m)
+        dest, _ = accel.copy_message(schema["M"], src)
+        # Mutate the source image; the copy must not change.
+        accel.clear_message(schema["M"], src)
+        assert accel.read_message(schema["M"], dest) == m
+
+    def test_copy_empty_message(self, schema):
+        accel = _accel(schema)
+        src = accel.load_object(schema["M"].new_message())
+        dest, stats = accel.copy_message(schema["M"], src)
+        assert accel.read_message(schema["M"],
+                                  dest).present_field_numbers() == []
+        assert stats.fields_processed == 0
+
+    def test_copy_serializes_identically(self, schema):
+        accel = _accel(schema)
+        m = _rich_message(schema)
+        dest, _ = accel.copy_message(schema["M"], accel.load_object(m))
+        assert accel.serialize(schema["M"], dest).data == m.serialize()
+
+
+class TestMerge:
+    def test_merge_matches_software_semantics(self, schema):
+        accel = _accel(schema)
+        a = _rich_message(schema)
+        b = schema["M"].new_message()
+        b["x"] = 100
+        b["nums"] = [9]
+        b.mutable("inner")["a"] = 42
+        kid = b["kids"].add()
+        kid["a"] = 2
+        expected = a.copy()
+        expected.merge_from(b)
+        dest = accel.load_object(a)
+        src = accel.load_object(b)
+        stats = accel.merge_messages(schema["M"], src, dest)
+        assert accel.read_message(schema["M"], dest) == expected
+        assert stats.fields_processed > 0
+
+    def test_merge_into_empty_acts_as_copy(self, schema):
+        accel = _accel(schema)
+        m = _rich_message(schema)
+        dest = accel.load_object(schema["M"].new_message())
+        src = accel.load_object(m)
+        accel.merge_messages(schema["M"], src, dest)
+        assert accel.read_message(schema["M"], dest) == m
+
+    def test_merge_appends_repeated(self, schema):
+        accel = _accel(schema)
+        a = schema["M"].new_message()
+        a["nums"] = [1, 2]
+        a["labels"] = ["one"]
+        b = schema["M"].new_message()
+        b["nums"] = [3]
+        b["labels"] = ["two", "three"]
+        dest = accel.load_object(a)
+        src = accel.load_object(b)
+        accel.merge_messages(schema["M"], src, dest)
+        merged = accel.read_message(schema["M"], dest)
+        assert list(merged["nums"]) == [1, 2, 3]
+        assert list(merged["labels"]) == ["one", "two", "three"]
+
+    def test_merge_overwrites_singular(self, schema):
+        accel = _accel(schema)
+        a = schema["M"].new_message()
+        a["x"] = 1
+        a["s"] = "old"
+        b = schema["M"].new_message()
+        b["s"] = "new value that is much longer than before"
+        dest = accel.load_object(a)
+        src = accel.load_object(b)
+        accel.merge_messages(schema["M"], src, dest)
+        merged = accel.read_message(schema["M"], dest)
+        assert merged["x"] == 1
+        assert merged["s"] == b["s"]
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schema_and_message())
+def test_copy_property(pair):
+    """copy(image(m)) reads back equal to m for arbitrary messages."""
+    schema, message = pair
+    accel = ProtoAccelerator()
+    accel.register_types([schema["Root"]])
+    src = accel.load_object(message)
+    dest, _ = accel.copy_message(message.descriptor, src)
+    assert accel.read_message(message.descriptor, dest) == message
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schema_and_two_messages())
+def test_merge_property(triple):
+    """Accelerator merge == software merge_from for arbitrary same-schema
+    message pairs."""
+    schema, dest_msg, src_msg = triple
+    accel = ProtoAccelerator()
+    accel.register_types([schema["Root"]])
+    dest = accel.load_object(dest_msg)
+    src = accel.load_object(src_msg)
+    expected = dest_msg.copy()
+    expected.merge_from(src_msg)
+    accel.merge_messages(dest_msg.descriptor, src, dest)
+    assert accel.read_message(dest_msg.descriptor, dest) == expected
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schema_and_message())
+def test_clear_property(pair):
+    """clear(image(m)) serializes to empty bytes for arbitrary messages."""
+    schema, message = pair
+    accel = ProtoAccelerator()
+    accel.register_types([schema["Root"]])
+    addr = accel.load_object(message)
+    accel.clear_message(message.descriptor, addr)
+    assert accel.serialize(message.descriptor, addr).data == b""
+
+
+class TestCpuOpBaselines:
+    def test_software_costs_positive_and_ordered(self, schema):
+        from repro.cpu.boom import BOOM_PARAMS
+        from repro.cpu.ops import clear_cycles, copy_cycles, merge_cycles
+
+        m = _rich_message(schema)
+        clear = clear_cycles(BOOM_PARAMS, m)
+        copy = copy_cycles(BOOM_PARAMS, m)
+        merge = merge_cycles(BOOM_PARAMS, m)
+        assert 0 < clear < copy
+        assert merge > 0
+
+    def test_arena_backed_clear_cheaper(self, schema):
+        from repro.cpu.boom import BOOM_PARAMS
+        from repro.cpu.ops import clear_cycles
+
+        m = _rich_message(schema)
+        assert clear_cycles(BOOM_PARAMS, m, arena_backed=True) < \
+            clear_cycles(BOOM_PARAMS, m, arena_backed=False)
+
+    def test_accelerator_beats_software(self, schema):
+        from repro.cpu.boom import BOOM_PARAMS
+        from repro.cpu.ops import copy_cycles
+
+        accel = _accel(schema)
+        m = _rich_message(schema)
+        src = accel.load_object(m)
+        _, stats = accel.copy_message(schema["M"], src)
+        assert stats.cycles < copy_cycles(BOOM_PARAMS, m)

@@ -1,0 +1,259 @@
+"""Tests for the deserializer unit: functional behaviour and cycle model."""
+
+import pytest
+
+from repro.accel.driver import ProtoAccelerator
+from repro.memory.arena import ArenaExhausted
+from repro.proto import parse_schema
+from repro.proto.errors import DecodeError
+from repro.proto.wire import encode_tag
+from repro.proto.types import WireType
+from repro.soc.config import SoCConfig
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message Inner { optional int32 a = 1; optional string tag = 2; }
+        message M {
+          optional int64 x = 1;
+          optional string s = 2;
+          repeated int32 packed_nums = 3 [packed = true];
+          repeated uint32 plain_nums = 4;
+          optional Inner inner = 5;
+          repeated Inner kids = 6;
+          optional sint32 z = 7;
+          optional bool b = 8;
+          optional double d = 9;
+          optional float f = 10;
+          optional bytes raw = 11;
+          repeated string labels = 12;
+          repeated double packed_ds = 13 [packed = true];
+        }
+        message Deep { optional Deep next = 1; optional int32 v = 2; }
+    """)
+
+
+def _accel_for(schema):
+    accel = ProtoAccelerator()
+    accel.register_schema(schema)
+    return accel
+
+
+def _roundtrip(accel, descriptor, message):
+    data = message.serialize()
+    result = accel.deserialize(descriptor, data)
+    return accel.read_message(descriptor, result.dest_addr), result.stats
+
+
+class TestFunctional:
+    def test_scalars(self, schema):
+        accel = _accel_for(schema)
+        m = schema["M"].new_message()
+        m["x"] = -42
+        m["z"] = -7
+        m["b"] = True
+        m["d"] = 3.25
+        m["f"] = -0.5
+        back, stats = _roundtrip(accel, schema["M"], m)
+        assert back == m
+        assert stats.fields_parsed == 5
+
+    def test_strings_and_bytes(self, schema):
+        accel = _accel_for(schema)
+        m = schema["M"].new_message()
+        m["s"] = "short"
+        m["raw"] = bytes(range(100))
+        back, stats = _roundtrip(accel, schema["M"], m)
+        assert back == m
+        assert stats.strings == 2
+
+    def test_long_string(self, schema):
+        accel = _accel_for(schema)
+        m = schema["M"].new_message()
+        m["s"] = "z" * 5000
+        back, _ = _roundtrip(accel, schema["M"], m)
+        assert back["s"] == m["s"]
+
+    def test_packed_repeated(self, schema):
+        accel = _accel_for(schema)
+        m = schema["M"].new_message()
+        m["packed_nums"] = [0, 1, -1, 2**31 - 1, -(2**31)]
+        m["packed_ds"] = [1.0, -2.5]
+        back, _ = _roundtrip(accel, schema["M"], m)
+        assert back == m
+
+    def test_unpacked_repeated(self, schema):
+        accel = _accel_for(schema)
+        m = schema["M"].new_message()
+        m["plain_nums"] = [7, 8, 9]
+        back, stats = _roundtrip(accel, schema["M"], m)
+        assert back == m
+        assert stats.repeated_elements == 3
+
+    def test_repeated_strings(self, schema):
+        accel = _accel_for(schema)
+        m = schema["M"].new_message()
+        m["labels"] = ["a", "b" * 40, ""]
+        back, _ = _roundtrip(accel, schema["M"], m)
+        assert back == m
+
+    def test_submessage(self, schema):
+        accel = _accel_for(schema)
+        m = schema["M"].new_message()
+        inner = m.mutable("inner")
+        inner["a"] = 5
+        inner["tag"] = "hi"
+        back, stats = _roundtrip(accel, schema["M"], m)
+        assert back == m
+        assert stats.submessages == 1
+
+    def test_repeated_submessages(self, schema):
+        accel = _accel_for(schema)
+        m = schema["M"].new_message()
+        for index in range(4):
+            kid = m["kids"].add()
+            kid["a"] = index
+        back, _ = _roundtrip(accel, schema["M"], m)
+        assert back == m
+
+    def test_deep_nesting(self, schema):
+        accel = _accel_for(schema)
+        m = schema["Deep"].new_message()
+        node = m
+        for level in range(30):
+            node["v"] = level
+            node = node.mutable("next")
+        node["v"] = 99
+        back, stats = _roundtrip(accel, schema["Deep"], m)
+        assert back == m
+        assert stats.max_stack_depth == 31
+        # Depth beyond the on-chip stacks (25) spills to memory.
+        assert stats.stack_spills > 0
+
+    def test_interleaved_repeated_fields_reopen(self, schema):
+        # Same unpacked field appears, another field intervenes, then the
+        # first continues: the tagged region closes and reopens.
+        accel = _accel_for(schema)
+        data = (encode_tag(4, WireType.VARINT) + b"\x01"
+                + encode_tag(1, WireType.VARINT) + b"\x05"
+                + encode_tag(4, WireType.VARINT) + b"\x02")
+        result = accel.deserialize(schema["M"], data)
+        back = accel.read_message(schema["M"], result.dest_addr)
+        assert list(back["plain_nums"]) == [1, 2]
+        assert back["x"] == 5
+
+    def test_split_submessage_merges(self, schema):
+        data = (b"\x2a\x02\x08\x07" + b"\x2a\x04\x12\x02hi")
+        accel = _accel_for(schema)
+        result = accel.deserialize(schema["M"], data)
+        back = accel.read_message(schema["M"], result.dest_addr)
+        assert back["inner"]["a"] == 7
+        assert back["inner"]["tag"] == "hi"
+
+    def test_unknown_fields_skipped(self, schema):
+        accel = _accel_for(schema)
+        data = (encode_tag(55, WireType.VARINT) + b"\x07"
+                + encode_tag(56, WireType.LENGTH_DELIMITED) + b"\x02xy"
+                + encode_tag(1, WireType.VARINT) + b"\x03")
+        result = accel.deserialize(schema["M"], data)
+        back = accel.read_message(schema["M"], result.dest_addr)
+        assert back["x"] == 3
+        assert result.stats.unknown_fields_skipped == 2
+
+    def test_empty_message(self, schema):
+        accel = _accel_for(schema)
+        result = accel.deserialize(schema["M"], b"")
+        back = accel.read_message(schema["M"], result.dest_addr)
+        assert back.present_field_numbers() == []
+
+    def test_matches_software_parser(self, schema, kitchen_schema,
+                                     kitchen_message):
+        accel = ProtoAccelerator()
+        accel.register_schema(kitchen_schema)
+        data = kitchen_message.serialize()
+        result = accel.deserialize(kitchen_schema["Outer"], data)
+        back = accel.read_message(kitchen_schema["Outer"],
+                                  result.dest_addr)
+        software = kitchen_schema["Outer"].parse(data)
+        assert back == software == kitchen_message
+
+
+class TestErrors:
+    def test_truncated_input(self, schema):
+        accel = _accel_for(schema)
+        with pytest.raises(DecodeError):
+            accel.deserialize(schema["M"], b"\x12\x05hi")
+
+    def test_truncated_submessage(self, schema):
+        accel = _accel_for(schema)
+        with pytest.raises(DecodeError):
+            accel.deserialize(schema["M"], b"\x2a\x10\x08\x01")
+
+    def test_bad_wire_type(self, schema):
+        accel = _accel_for(schema)
+        data = encode_tag(1, WireType.FIXED32) + b"\x00" * 4
+        with pytest.raises(DecodeError):
+            accel.deserialize(schema["M"], data)
+
+    def test_arena_exhaustion_surfaces(self, schema):
+        accel = ProtoAccelerator(deser_arena_bytes=256)
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["s"] = "x" * 1024
+        with pytest.raises(ArenaExhausted):
+            accel.deserialize(schema["M"], m.serialize())
+
+    def test_requires_arena_assignment(self, schema):
+        from repro.accel.deserializer import DeserializerUnit
+        from repro.memory.memspace import SimMemory
+
+        unit = DeserializerUnit(SimMemory())
+        with pytest.raises(RuntimeError):
+            unit.deserialize(0x2000, 0x3000, 0x4000, 0)
+
+
+class TestCycleModel:
+    def test_cycles_positive_and_scale_with_size(self, schema):
+        accel = _accel_for(schema)
+        small = schema["M"].new_message()
+        small["x"] = 1
+        big = schema["M"].new_message()
+        big["s"] = "q" * 4096
+        _, small_stats = _roundtrip(accel, schema["M"], small)
+        _, big_stats = _roundtrip(accel, schema["M"], big)
+        assert 0 < small_stats.cycles < big_stats.cycles
+
+    def test_adt_cache_warms_across_messages(self, schema):
+        accel = _accel_for(schema)
+        m = schema["M"].new_message()
+        m["x"] = 1
+        data = m.serialize()
+        first = accel.deserialize(schema["M"], data).stats
+        second = accel.deserialize(schema["M"], data).stats
+        assert second.cycles <= first.cycles
+
+    def test_varint_size_does_not_slow_fsm(self, schema):
+        # Single-cycle varint decode: a 10-byte varint costs the same FSM
+        # cycles as a 1-byte varint, so throughput rises with size.
+        accel = _accel_for(schema)
+        small = schema["M"].new_message()
+        small["x"] = 1
+        large = schema["M"].new_message()
+        large["x"] = -1  # 10-byte varint
+        _, s = _roundtrip(accel, schema["M"], small)
+        accel2 = _accel_for(schema)
+        large_data = large.serialize()
+        l = accel2.deserialize(schema["M"], large_data).stats
+        small_gbps = s.wire_bytes / s.cycles
+        large_gbps = l.wire_bytes / l.cycles
+        assert large_gbps > small_gbps
+
+    def test_bulk_copy_rate_is_16_bytes_per_cycle(self, schema):
+        accel = _accel_for(schema)
+        m = schema["M"].new_message()
+        m["s"] = "x" * 16384
+        _, stats = _roundtrip(accel, schema["M"], m)
+        # Bytes per cycle should approach (not exceed) the window width.
+        rate = stats.wire_bytes / stats.cycles
+        assert 4.0 < rate <= 16.0

@@ -1,0 +1,97 @@
+"""Tests for the device driver / modified-library API."""
+
+import pytest
+
+from repro.accel.driver import ProtoAccelerator
+from repro.proto import parse_schema
+from repro.soc.rocc import RoccFunct
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message M { optional int64 x = 1; optional string s = 2; }
+    """)
+
+
+class TestRoccProtocol:
+    def test_arena_assignment_on_construction(self, schema):
+        accel = ProtoAccelerator()
+        functs = [inst.funct for inst in accel.rocc.log]
+        assert RoccFunct.DESER_ASSIGN_ARENA in functs
+        assert RoccFunct.SER_ASSIGN_ARENA in functs
+
+    def test_deser_issues_info_then_do(self, schema):
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["x"] = 1
+        accel.deserialize(schema["M"], m.serialize())
+        functs = [inst.funct for inst in accel.rocc.log]
+        info = functs.index(RoccFunct.DESER_INFO)
+        assert functs[info + 1] is RoccFunct.DO_PROTO_DESER
+
+    def test_batch_ends_with_completion_fence(self, schema):
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["x"] = 1
+        accel.deserialize_batch(schema["M"], [m.serialize()] * 3)
+        assert accel.rocc.log[-1].funct is \
+            RoccFunct.BLOCK_FOR_DESER_COMPLETION
+        assert accel.rocc.inflight_deserializations == 0
+
+    def test_ser_instruction_order(self, schema):
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["x"] = 1
+        accel.serialize(schema["M"], accel.load_object(m))
+        functs = [inst.funct for inst in accel.rocc.log]
+        info = functs.index(RoccFunct.SER_INFO)
+        assert functs[info + 1] is RoccFunct.DO_PROTO_SER
+
+
+class TestBatching:
+    def test_deserialize_batch_returns_all(self, schema):
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        messages = []
+        for index in range(5):
+            m = schema["M"].new_message()
+            m["x"] = index
+            messages.append(m)
+        addresses, stats = accel.deserialize_batch(
+            schema["M"], [m.serialize() for m in messages])
+        assert len(addresses) == 5
+        for addr, message in zip(addresses, messages):
+            assert accel.read_message(schema["M"], addr) == message
+        assert stats.wire_bytes == sum(len(m.serialize())
+                                       for m in messages)
+
+    def test_serialize_batch_round_trip(self, schema):
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["s"] = "payload"
+        outputs, stats = accel.serialize_batch(
+            schema["M"], [accel.load_object(m)] * 4)
+        assert all(output == m.serialize() for output in outputs)
+        assert stats.output_bytes == 4 * len(m.serialize())
+
+
+class TestMaintenance:
+    def test_reset_arenas_allows_reuse(self, schema):
+        accel = ProtoAccelerator(deser_arena_bytes=4096,
+                                 ser_arena_bytes=4096)
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["s"] = "x" * 500
+        for _ in range(8):
+            accel.deserialize(schema["M"], m.serialize())
+            accel.serialize(schema["M"], accel.load_object(m))
+            accel.reset_arenas()
+
+    def test_throughput_helper(self, schema):
+        accel = ProtoAccelerator()
+        assert accel.throughput_gbps(250, 1000) == pytest.approx(4.0)

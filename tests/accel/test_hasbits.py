@@ -1,0 +1,75 @@
+"""Tests for the sparse-vs-dense hasbits trade-off model."""
+
+import pytest
+
+from repro.accel.hasbits import (
+    break_even_present_fields,
+    compare,
+    dense_cost,
+    sparse_cost,
+    sparse_wins,
+)
+from repro.proto import parse_schema
+
+
+def _type_with(span: int, defined: int):
+    step = max(1, (span - 1) // max(defined - 1, 1)) if defined > 1 else 1
+    numbers = [1 + i * step for i in range(defined - 1)] + [span]
+    fields = "\n".join(f"optional int32 f{n} = {n};"
+                       for n in sorted(set(numbers)))
+    return parse_schema(f"message T {{ {fields} }}")["T"]
+
+
+class TestCosts:
+    def test_sparse_streams_span_words(self):
+        descriptor = _type_with(span=100, defined=5)
+        assert sparse_cost(descriptor).bitfield_bits == 128  # 2 words
+        assert sparse_cost(descriptor).mapping_bits == 0
+
+    def test_dense_streams_defined_words_plus_mapping(self):
+        descriptor = _type_with(span=100, defined=5)
+        cost = dense_cost(descriptor, present_fields=3)
+        assert cost.bitfield_bits == 64
+        assert cost.mapping_bits == 3 * 32
+
+    def test_contiguous_types_always_favour_sparse(self):
+        # span == defined: sparse streams the same words and skips the
+        # mapping reads entirely.
+        descriptor = _type_with(span=10, defined=10)
+        for present in range(11):
+            assert sparse_wins(descriptor, present)
+
+    def test_extremely_sparse_type_can_favour_dense(self):
+        wide = parse_schema("""
+            message W {
+              optional int32 lo = 1;
+              optional int32 hi = 2000;
+            }
+        """)["W"]
+        # 2000-bit sparse field vs 64 dense bits + 1 mapping read.
+        assert not sparse_wins(wide, present_fields=1)
+        assert break_even_present_fields(wide) > 10
+
+
+class TestFleetConclusion:
+    def test_typical_fleet_shapes_favour_sparse(self):
+        from repro.fleet.protodb import ProtoDb
+
+        wins = 0
+        total = 0
+        for record in ProtoDb(types=400):
+            descriptor = _type_with(
+                span=min(record.field_number_span, 300),
+                defined=min(record.defined_fields,
+                            record.field_number_span, 40))
+            present = max(1, int(record.defined_fields * 0.45))
+            total += 1
+            wins += sparse_wins(descriptor, present)
+        assert wins / total > 0.9
+
+    def test_compare_dict(self):
+        descriptor = _type_with(span=64, defined=8)
+        result = compare(descriptor, present_fields=4)
+        assert result["sparse_bits"] == 64
+        assert result["dense_bits"] == 64 + 128
+        assert result["sparse_wins"] == 1.0

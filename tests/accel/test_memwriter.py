@@ -1,0 +1,77 @@
+"""Tests for the memwriter unit (high-to-low writes, length stack)."""
+
+import pytest
+
+from repro.accel.memwriter import Memwriter
+from repro.memory.arena import ArenaExhausted, SerializerArena
+from repro.memory.memspace import SimMemory
+from repro.memory.timing import MemoryTimingModel
+
+
+@pytest.fixture()
+def memwriter():
+    return Memwriter(SerializerArena(SimMemory(), data_size=4096),
+                     MemoryTimingModel())
+
+
+class TestPushing:
+    def test_high_to_low_layout(self, memwriter):
+        memwriter.push(b"tail")
+        memwriter.push(b"head-")
+        start = memwriter.arena.cursor
+        assert memwriter.arena.memory.read(start, 9) == b"head-tail"
+
+    def test_cycles_per_push(self, memwriter):
+        memwriter.push(b"ab")           # 1 cycle minimum
+        memwriter.push(b"x" * 48)       # 3 beats
+        assert memwriter.cycles == pytest.approx(4.0)
+        assert memwriter.bytes_written == 50
+
+    def test_empty_push_free(self, memwriter):
+        cursor = memwriter.arena.cursor
+        memwriter.push(b"")
+        assert memwriter.arena.cursor == cursor
+        assert memwriter.cycles == 0.0
+
+
+class TestLengthStack:
+    def test_end_returns_bytes_since_begin(self, memwriter):
+        memwriter.begin_message()
+        memwriter.push(b"12345")
+        memwriter.push(b"678")
+        assert memwriter.end_message() == 8
+
+    def test_nested_messages(self, memwriter):
+        memwriter.begin_message()          # outer
+        memwriter.push(b"oo")
+        memwriter.begin_message()          # inner
+        memwriter.push(b"iii")
+        assert memwriter.end_message() == 3
+        memwriter.push(b"k")               # inner key, counted in outer
+        assert memwriter.end_message() == 6
+        assert memwriter.depth == 0
+
+    def test_unbalanced_end_rejected(self, memwriter):
+        with pytest.raises(RuntimeError):
+            memwriter.end_message()
+
+    def test_depth_tracking(self, memwriter):
+        assert memwriter.depth == 0
+        memwriter.begin_message()
+        memwriter.begin_message()
+        assert memwriter.depth == 2
+
+
+class TestTopLevel:
+    def test_finish_records_pointer_table_entry(self, memwriter):
+        memwriter.push(b"payload")
+        addr, length = memwriter.finish_top_level()
+        assert length == 7
+        assert memwriter.arena.output(0) == b"payload"
+        assert addr == memwriter.arena.cursor
+
+    def test_arena_exhaustion_propagates(self):
+        memwriter = Memwriter(SerializerArena(SimMemory(), data_size=16),
+                              MemoryTimingModel())
+        with pytest.raises(ArenaExhausted):
+            memwriter.push(b"x" * 64)

@@ -1,0 +1,95 @@
+"""Tests for performance counters and arena auto-renewal."""
+
+import pytest
+
+from repro.accel.driver import ProtoAccelerator
+from repro.accel.perf import collect
+from repro.memory.arena import ArenaExhausted
+from repro.proto import parse_schema
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message M { optional string s = 1; optional sint64 z = 2; }
+    """)
+
+
+class TestPerfCounters:
+    def test_counters_accumulate(self, schema):
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["s"] = "payload"
+        m["z"] = -5
+        accel.deserialize(schema["M"], m.serialize())
+        accel.serialize(schema["M"], accel.load_object(m))
+        report = collect(accel)
+        assert report.rocc_instructions >= 6
+        assert report.varint_decodes > 0
+        assert report.varint_encodes > 0
+        assert report.zigzag_ops >= 2  # decode + encode of z
+        assert report.deser_arena_bytes_used > 0
+        assert report.ser_outputs == 1
+        assert report.memory_read_bytes > 0
+
+    def test_render_contains_all_sections(self, schema):
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        text = collect(accel).render()
+        for fragment in ("RoCC", "varint", "UTF-8", "ADT", "TLB",
+                         "arena", "memory"):
+            assert fragment in text
+
+    def test_adt_hit_rate_bounds(self, schema):
+        accel = ProtoAccelerator()
+        report = collect(accel)
+        assert report.adt_cache_hit_rate == 1.0  # no accesses yet
+
+
+class TestArenaRenewal:
+    def test_exhaustion_raises_without_opt_in(self, schema):
+        accel = ProtoAccelerator(deser_arena_bytes=256)
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["s"] = "x" * 1024
+        with pytest.raises(ArenaExhausted):
+            accel.deserialize(schema["M"], m.serialize())
+
+    def test_auto_renewal_recovers(self, schema):
+        accel = ProtoAccelerator(deser_arena_bytes=2048)
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["s"] = "y" * 1500
+        wire = m.serialize()
+        # Each op consumes ~1.5 KB of arena; the second would exhaust a
+        # 2 KB arena without renewal.
+        first = accel.deserialize(schema["M"], wire, auto_renew_arena=True)
+        second = accel.deserialize(schema["M"], wire,
+                                   auto_renew_arena=True)
+        for result in (first, second):
+            assert accel.read_message(schema["M"], result.dest_addr) == m
+        # The renewal's interrupt cost shows up in the second op.
+        assert second.stats.cycles >= \
+            first.stats.cycles + ProtoAccelerator.ARENA_RENEWAL_CYCLES / 2
+
+    def test_renewal_charges_interrupt_cycles(self, schema):
+        accel = ProtoAccelerator(deser_arena_bytes=2048)
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["s"] = "z" * 1500
+        wire = m.serialize()
+        accel.deserialize(schema["M"], wire, auto_renew_arena=True)
+        renewed = accel.deserialize(schema["M"], wire,
+                                    auto_renew_arena=True)
+        assert renewed.stats.cycles > \
+            ProtoAccelerator.ARENA_RENEWAL_CYCLES
+
+    def test_message_too_big_for_any_arena_still_fails(self, schema):
+        accel = ProtoAccelerator(deser_arena_bytes=512)
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["s"] = "w" * 4096
+        with pytest.raises(ArenaExhausted):
+            accel.deserialize(schema["M"], m.serialize(),
+                              auto_renew_arena=True)

@@ -1,0 +1,74 @@
+"""Tests for the near-core vs PCIe placement model."""
+
+import pytest
+
+from repro.accel.deserializer import DeserStats
+from repro.accel.driver import ProtoAccelerator
+from repro.accel.placement import (
+    PcieAttachedModel,
+    fleet_message_share_won_by_near_core,
+    non_rpc_deser_share,
+)
+from repro.proto import parse_schema
+
+
+class TestPcieModel:
+    def test_dispatch_dominates_small_messages(self):
+        pcie = PcieAttachedModel()
+        tiny = DeserStats(wire_bytes=16, fields_parsed=2)
+        assert pcie.deserialize_cycles(tiny) >= pcie.dispatch_cycles
+
+    def test_dependent_ops_expose_round_trips(self):
+        pcie = PcieAttachedModel()
+        flat = DeserStats(wire_bytes=100, fields_parsed=10)
+        nested = DeserStats(wire_bytes=100, fields_parsed=10,
+                            submessages=3, strings=2)
+        assert pcie.deserialize_cycles(nested) - \
+            pcie.deserialize_cycles(flat) == \
+            pytest.approx(5 * pcie.round_trip_cycles)
+
+    def test_dma_cost_scales_with_bytes(self):
+        pcie = PcieAttachedModel()
+        small = DeserStats(wire_bytes=1000)
+        large = DeserStats(wire_bytes=31000)
+        delta = (pcie.deserialize_cycles(large)
+                 - pcie.deserialize_cycles(small))
+        assert delta == pytest.approx(30000 / pcie.dma_bytes_per_cycle)
+
+    def test_crossover_positive_when_near_core_faster_per_byte(self):
+        pcie = PcieAttachedModel()
+        crossover = pcie.crossover_bytes(0.1, 40.0)
+        assert crossover > 512  # beyond 93% of fleet messages
+
+    def test_crossover_zero_when_near_core_slower_per_byte(self):
+        pcie = PcieAttachedModel()
+        assert pcie.crossover_bytes(10.0, 40.0) == 0.0
+
+
+class TestFleetShares:
+    def test_share_monotone_in_crossover(self):
+        assert fleet_message_share_won_by_near_core(8) <= \
+            fleet_message_share_won_by_near_core(512) <= \
+            fleet_message_share_won_by_near_core(40000)
+
+    def test_crossover_above_512_wins_most_messages(self):
+        # Figure 3: 93% of messages are <= 512 B.
+        assert fleet_message_share_won_by_near_core(513) >= 0.93
+
+    def test_non_rpc_share_matches_section_34(self):
+        assert non_rpc_deser_share() == pytest.approx(0.837)
+
+
+class TestEndToEnd:
+    def test_near_core_beats_pcie_on_fleet_median_message(self):
+        schema = parse_schema(
+            "message M { optional int64 a = 1; optional string s = 2; }")
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m["a"] = 12345
+        m["s"] = "twenty-byte payload"
+        result = accel.deserialize(schema["M"], m.serialize())
+        pcie = PcieAttachedModel()
+        assert pcie.deserialize_cycles(result.stats) > \
+            10 * result.stats.cycles

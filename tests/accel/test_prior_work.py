@@ -1,0 +1,85 @@
+"""Tests for the Section 3.7 prior-work comparison model."""
+
+import pytest
+
+from repro.accel.prior_work import (
+    adt_wins,
+    break_even_density,
+    fleet_share_favouring_adts,
+    message_cost_comparison,
+    per_instance_table_cost,
+    per_type_adt_cost,
+)
+from repro.proto import parse_schema
+
+
+class TestCostFunctions:
+    def test_per_instance_scales_with_present_fields(self):
+        assert per_instance_table_cost(10).total_bits == \
+            2 * per_instance_table_cost(5).total_bits
+
+    def test_per_instance_burdens_setter_path(self):
+        cost = per_instance_table_cost(8)
+        assert cost.setter_path_bits_written == 8 * 64
+
+    def test_adt_scheme_is_free_on_setter_path(self):
+        cost = per_type_adt_cost(100)
+        assert cost.setter_path_bits_written == 0
+        assert cost.accel_bits_read == 100
+
+    def test_break_even_is_1_over_64(self):
+        assert break_even_density() == pytest.approx(1 / 64)
+
+
+class TestWinner:
+    def test_dense_messages_favour_adts(self):
+        # 10 present fields in a span of 12: density ~0.83.
+        assert adt_wins(present_fields=10, field_number_span=12)
+
+    def test_pathologically_sparse_favours_per_instance(self):
+        # 1 present field in a span of 10,000: density 1e-4 << 1/64.
+        assert not adt_wins(present_fields=1, field_number_span=10_000)
+
+    def test_exact_break_even_counts_double_sided(self):
+        # At density exactly 1/128 (span = 128 x present), prior work's
+        # write+read equals our read.
+        assert not adt_wins(present_fields=1, field_number_span=128)
+        assert adt_wins(present_fields=1, field_number_span=127)
+
+
+class TestFleetConclusion:
+    def test_at_least_92_percent_favour_adts(self):
+        assert fleet_share_favouring_adts() >= 0.92
+
+    def test_double_counted_is_even_more_favourable(self):
+        assert fleet_share_favouring_adts(double_counted=True) >= \
+            fleet_share_favouring_adts()
+
+
+class TestConcreteMessages:
+    def test_typical_rpc_message(self):
+        schema = parse_schema("""
+            message Req {
+              optional int64 a = 1;
+              optional string b = 2;
+              optional int32 c = 3;
+              optional bool d = 4;
+            }
+        """)
+        message = schema["Req"].new_message()
+        message["a"] = 1
+        message["b"] = "q"
+        comparison = message_cost_comparison(message)
+        assert comparison["adt_bits"] == 4          # span of 4 bits read
+        assert comparison["per_instance_bits"] == 2 * 2 * 64
+        assert comparison["setter_path_bits_saved"] == 128
+
+    def test_hyperprotobench_population(self):
+        from repro.hyperprotobench import build_hyperprotobench
+
+        workload = build_hyperprotobench("bench0", batch=16)
+        wins = sum(
+            1 for message in workload.messages
+            if message_cost_comparison(message)["adt_bits"]
+            <= message_cost_comparison(message)["per_instance_bits"])
+        assert wins / len(workload.messages) > 0.9

@@ -1,0 +1,166 @@
+"""Tests for the serializer unit: wire-identical output, cycle model."""
+
+import pytest
+
+from repro.accel.driver import ProtoAccelerator
+from repro.proto import parse_schema
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message Inner { optional int32 a = 1; optional string tag = 2; }
+        message M {
+          optional int64 x = 1;
+          optional string s = 2;
+          repeated int32 packed_nums = 3 [packed = true];
+          repeated uint32 plain_nums = 4;
+          optional Inner inner = 5;
+          repeated Inner kids = 6;
+          optional sint64 z = 7;
+          optional bool b = 8;
+          optional double d = 9;
+          optional bytes raw = 10;
+          repeated string labels = 11;
+          optional int32 sparse = 50;
+        }
+        message Deep { optional Deep next = 1; optional int32 v = 2; }
+    """)
+
+
+def _serialize_on_accel(schema, message):
+    accel = ProtoAccelerator()
+    accel.register_schema(schema)
+    addr = accel.load_object(message)
+    return accel.serialize(message.descriptor, addr)
+
+
+class TestWireIdentical:
+    """The paper's byte-compatibility property (Section 4.5.1): reverse
+    field order + high-to-low writes == software output byte-for-byte."""
+
+    def test_scalars(self, schema):
+        m = schema["M"].new_message()
+        m["x"] = -5
+        m["z"] = -1000
+        m["b"] = True
+        m["d"] = 2.5
+        assert _serialize_on_accel(schema, m).data == m.serialize()
+
+    def test_strings(self, schema):
+        m = schema["M"].new_message()
+        m["s"] = "hello world, longer than SSO buffers allow here"
+        m["raw"] = bytes(range(50))
+        assert _serialize_on_accel(schema, m).data == m.serialize()
+
+    def test_packed(self, schema):
+        m = schema["M"].new_message()
+        m["packed_nums"] = [3, 270, 86942, -1]
+        assert _serialize_on_accel(schema, m).data == m.serialize()
+
+    def test_unpacked(self, schema):
+        m = schema["M"].new_message()
+        m["plain_nums"] = [1, 2, 3]
+        assert _serialize_on_accel(schema, m).data == m.serialize()
+
+    def test_repeated_strings_keep_order(self, schema):
+        m = schema["M"].new_message()
+        m["labels"] = ["first", "second", "third" * 10]
+        assert _serialize_on_accel(schema, m).data == m.serialize()
+
+    def test_submessage_lengths_injected(self, schema):
+        m = schema["M"].new_message()
+        inner = m.mutable("inner")
+        inner["a"] = 7
+        inner["tag"] = "deep"
+        assert _serialize_on_accel(schema, m).data == m.serialize()
+
+    def test_repeated_submessages(self, schema):
+        m = schema["M"].new_message()
+        for i in range(3):
+            kid = m["kids"].add()
+            kid["a"] = i
+            kid["tag"] = f"kid{i}"
+        assert _serialize_on_accel(schema, m).data == m.serialize()
+
+    def test_sparse_field_numbers(self, schema):
+        m = schema["M"].new_message()
+        m["x"] = 1
+        m["sparse"] = 2
+        assert _serialize_on_accel(schema, m).data == m.serialize()
+
+    def test_empty_message(self, schema):
+        m = schema["M"].new_message()
+        result = _serialize_on_accel(schema, m)
+        assert result.data == b""
+
+    def test_deep_nesting(self, schema):
+        m = schema["Deep"].new_message()
+        node = m
+        for level in range(30):
+            node["v"] = level
+            node = node.mutable("next")
+        node["v"] = -1
+        result = _serialize_on_accel(schema, m)
+        assert result.data == m.serialize()
+        assert result.stats.stack_spills > 0
+
+    def test_kitchen_sink(self, kitchen_schema, kitchen_message):
+        result = _serialize_on_accel(kitchen_schema, kitchen_message)
+        assert result.data == kitchen_message.serialize()
+
+
+class TestStatsAndCycles:
+    def test_output_bytes_reported(self, schema):
+        m = schema["M"].new_message()
+        m["s"] = "abcdef"
+        result = _serialize_on_accel(schema, m)
+        assert result.stats.output_bytes == len(result.data)
+
+    def test_pipeline_stage_totals_tracked(self, schema):
+        m = schema["M"].new_message()
+        m["x"] = 1
+        m["s"] = "y" * 100
+        result = _serialize_on_accel(schema, m)
+        stats = result.stats
+        assert stats.frontend_cycles > 0
+        assert stats.fsu_cycles > 0
+        assert stats.memwriter_cycles > 0
+        assert stats.cycles >= max(stats.frontend_cycles,
+                                   stats.memwriter_cycles)
+
+    def test_more_fsus_do_not_slow_down(self, schema):
+        from repro.soc.config import SoCConfig
+
+        m = schema["M"].new_message()
+        m["plain_nums"] = list(range(64))
+        baseline = ProtoAccelerator(config=SoCConfig(
+            field_serializer_units=1))
+        baseline.register_schema(schema)
+        wide = ProtoAccelerator(config=SoCConfig(field_serializer_units=8))
+        wide.register_schema(schema)
+        slow = baseline.serialize(schema["M"],
+                                  baseline.load_object(m)).stats
+        fast = wide.serialize(schema["M"], wide.load_object(m)).stats
+        assert fast.cycles <= slow.cycles
+
+    def test_requires_arena(self, schema):
+        from repro.accel.serializer import SerializerUnit
+        from repro.memory.memspace import SimMemory
+
+        unit = SerializerUnit(SimMemory())
+        with pytest.raises(RuntimeError):
+            unit.serialize(0x2000, 0x3000)
+
+    def test_outputs_accumulate_in_pointer_table(self, schema):
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        first = schema["M"].new_message()
+        first["x"] = 1
+        second = schema["M"].new_message()
+        second["s"] = "two"
+        outputs, _ = accel.serialize_batch(
+            schema["M"],
+            [accel.load_object(first), accel.load_object(second)])
+        assert outputs[0] == first.serialize()
+        assert outputs[1] == second.serialize()

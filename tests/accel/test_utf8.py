@@ -1,0 +1,120 @@
+"""Tests for proto3 UTF-8 validation (Section 7)."""
+
+import pytest
+
+from repro.accel.driver import ProtoAccelerator
+from repro.accel.utf8_unit import Utf8ValidationUnit
+from repro.proto import parse_schema
+from repro.proto.errors import DecodeError
+from repro.proto.varint import encode_varint
+from repro.proto.wire import encode_tag
+from repro.proto.types import WireType
+
+PROTO3 = parse_schema("""
+    syntax = "proto3";
+    message M {
+      optional string s = 1;
+      optional bytes raw = 2;
+      repeated string labels = 3;
+    }
+""")
+
+PROTO2 = parse_schema("""
+    syntax = "proto2";
+    message M { optional string s = 1; }
+""")
+
+_INVALID = b"\xff\xfe invalid"
+
+
+def _string_field(number: int, payload: bytes) -> bytes:
+    return (encode_tag(number, WireType.LENGTH_DELIMITED)
+            + encode_varint(len(payload)) + payload)
+
+
+class TestUnit:
+    def test_valid_passes(self):
+        unit = Utf8ValidationUnit()
+        unit.validate("héllo ☃".encode("utf-8"))
+        assert unit.strings_validated == 1
+        assert unit.faults == 0
+
+    def test_invalid_faults(self):
+        unit = Utf8ValidationUnit()
+        with pytest.raises(DecodeError):
+            unit.validate(_INVALID)
+        assert unit.faults == 1
+
+    def test_truncated_multibyte_faults(self):
+        unit = Utf8ValidationUnit()
+        with pytest.raises(DecodeError):
+            unit.validate("é".encode("utf-8")[:1])
+
+
+class TestParserMarksProto3Strings:
+    def test_string_fields_flagged(self):
+        descriptor = PROTO3["M"]
+        assert descriptor.field_by_name("s").validate_utf8
+        assert descriptor.field_by_name("labels").validate_utf8
+
+    def test_bytes_fields_not_flagged(self):
+        assert not PROTO3["M"].field_by_name("raw").validate_utf8
+
+    def test_proto2_strings_not_flagged(self):
+        assert not PROTO2["M"].field_by_name("s").validate_utf8
+
+
+class TestAcceleratorValidation:
+    def test_valid_proto3_string_accepted(self):
+        accel = ProtoAccelerator()
+        accel.register_schema(PROTO3)
+        data = _string_field(1, "héllo".encode("utf-8"))
+        result = accel.deserialize(PROTO3["M"], data)
+        back = accel.read_message(PROTO3["M"], result.dest_addr)
+        assert back["s"] == "héllo"
+        assert accel.deserializer.utf8_unit.strings_validated >= 1
+
+    def test_invalid_proto3_string_rejected(self):
+        accel = ProtoAccelerator()
+        accel.register_schema(PROTO3)
+        with pytest.raises(DecodeError):
+            accel.deserialize(PROTO3["M"], _string_field(1, _INVALID))
+        assert accel.deserializer.utf8_unit.faults == 1
+
+    def test_invalid_repeated_string_rejected(self):
+        accel = ProtoAccelerator()
+        accel.register_schema(PROTO3)
+        with pytest.raises(DecodeError):
+            accel.deserialize(PROTO3["M"], _string_field(3, _INVALID))
+
+    def test_bytes_payload_not_validated(self):
+        accel = ProtoAccelerator()
+        accel.register_schema(PROTO3)
+        result = accel.deserialize(PROTO3["M"], _string_field(2, _INVALID))
+        back = accel.read_message(PROTO3["M"], result.dest_addr)
+        assert back["raw"] == _INVALID
+
+    def test_proto2_string_tolerates_invalid(self):
+        accel = ProtoAccelerator()
+        accel.register_schema(PROTO2)
+        result = accel.deserialize(PROTO2["M"], _string_field(1, _INVALID))
+        back = accel.read_message(PROTO2["M"], result.dest_addr)
+        assert back["s"] == _INVALID.decode("latin-1")
+
+
+class TestSoftwareParserValidation:
+    def test_proto3_software_parser_rejects(self):
+        with pytest.raises(DecodeError):
+            PROTO3["M"].parse(_string_field(1, _INVALID))
+
+    def test_proto2_software_parser_tolerates(self):
+        message = PROTO2["M"].parse(_string_field(1, _INVALID))
+        assert message["s"] == _INVALID.decode("latin-1")
+
+    def test_software_and_accel_agree_on_valid_proto3(self):
+        accel = ProtoAccelerator()
+        accel.register_schema(PROTO3)
+        data = _string_field(1, "naïve ☕".encode("utf-8"))
+        result = accel.deserialize(PROTO3["M"], data)
+        assert accel.read_message(PROTO3["M"], result.dest_addr) == \
+            PROTO3["M"].parse(data)

@@ -1,0 +1,50 @@
+"""Tests for the combinational varint unit."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accel.varint_unit import CombinationalVarintUnit
+from repro.proto.errors import DecodeError
+from repro.proto.varint import encode_varint
+
+
+class TestDecode:
+    def test_decodes_from_window_head(self):
+        unit = CombinationalVarintUnit()
+        window = encode_varint(300) + b"\xff" * 8
+        assert unit.decode(window) == (300, 2)
+
+    def test_reports_encoded_length_for_discard(self):
+        # Section 4.4.4: the parser emits the encoded length N so the
+        # memloader can discard the N-byte key at the end of the cycle.
+        unit = CombinationalVarintUnit()
+        for value in (0, 127, 128, 2**35, 2**63):
+            encoded = encode_varint(value)
+            assert unit.decode(encoded + b"\x00" * 6)[1] == len(encoded)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(DecodeError):
+            CombinationalVarintUnit().decode(b"")
+
+    def test_counts_invocations(self):
+        unit = CombinationalVarintUnit()
+        unit.decode(b"\x01")
+        unit.decode(b"\x02")
+        unit.encode(5)
+        assert unit.decodes == 2
+        assert unit.encodes == 1
+
+
+class TestEncode:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_matches_software_codec(self, value):
+        unit = CombinationalVarintUnit()
+        assert unit.encode(value) == encode_varint(value)
+
+
+class TestZigZag:
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_zigzag_stages_are_inverse(self, value):
+        unit = CombinationalVarintUnit()
+        assert unit.zigzag_decode(unit.zigzag_encode(value)) == value
+        assert unit.zigzag_ops == 2

@@ -1,0 +1,94 @@
+"""Tests for the Section 5.1 microbenchmark definitions."""
+
+import pytest
+
+from repro.bench.microbench import (
+    alloc_bench_names,
+    build_microbench,
+    nonalloc_bench_names,
+    varint_value,
+)
+from repro.proto.varint import varint_length
+
+
+class TestVarintValue:
+    @pytest.mark.parametrize("n", range(11))
+    def test_encodes_to_requested_size(self, n):
+        assert varint_length(varint_value(n)) == max(1, n)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            varint_value(11)
+
+
+class TestBenchNames:
+    def test_nonalloc_set_matches_figure_11a(self):
+        names = nonalloc_bench_names()
+        assert names[0] == "varint-0" and names[10] == "varint-10"
+        assert names[-2:] == ["double", "float"]
+        assert len(names) == 13
+
+    def test_alloc_set_matches_figure_11c(self):
+        names = alloc_bench_names()
+        assert "varint-5-R" in names
+        assert "string_very_long" in names
+        assert "bool-SUB" in names
+        assert len(names) == 20
+
+
+class TestWorkloads:
+    def test_varint_benches_have_five_fields(self):
+        workload = build_microbench("varint-5", batch=2)
+        assert len(workload.descriptor.fields) == 5
+        for message in workload.messages:
+            assert len(message.present_field_numbers()) == 5
+
+    def test_varint_wire_size(self):
+        workload = build_microbench("varint-5", batch=1)
+        # 5 fields x (1-byte key + 5-byte varint) = 30 bytes.
+        assert len(workload.messages[0].serialize()) == 30
+
+    def test_string_sizes(self):
+        for name, size in (("string", 8), ("string_15", 15),
+                           ("string_long", 2048),
+                           ("string_very_long", 32768)):
+            workload = build_microbench(name, batch=1)
+            assert len(workload.messages[0]["f1"]) == size
+
+    def test_repeated_benches(self):
+        workload = build_microbench("varint-3-R", batch=1)
+        for fd in workload.descriptor.fields:
+            assert fd.is_repeated
+        assert len(workload.messages[0]["f1"]) == 8
+
+    def test_sub_benches_have_nested_message(self):
+        workload = build_microbench("double-SUB", batch=1)
+        message = workload.messages[0]
+        assert message.has("sub")
+        assert message["sub"]["v"] != 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_microbench("varint-99")
+        with pytest.raises(ValueError):
+            build_microbench("nonsense")
+
+    def test_batch_size_respected(self):
+        assert len(build_microbench("float", batch=7).messages) == 7
+
+    def test_middle_varint_sits_at_fleet_median(self):
+        # Section 5.1: five fields per message were chosen so the
+        # middle-sized non-repeated varint benchmark falls roughly at the
+        # median of the Figure 3 message-size distribution (~56% of
+        # messages are <= 32 B).
+        from repro.fleet.distributions import (
+            cumulative_message_size_share,
+        )
+
+        workload = build_microbench("varint-5", batch=1)
+        size = len(workload.messages[0].serialize())
+        assert 24 <= size <= 40
+        # The message lands in the 17-32 B bucket, which straddles the
+        # 50th percentile (CDF is 38% entering it, 56% leaving it).
+        assert cumulative_message_size_share(size - 14) < 0.5
+        assert cumulative_message_size_share(size + 2) > 0.5

@@ -1,0 +1,48 @@
+"""Tests for result formatting and geomean summaries."""
+
+import pytest
+
+from repro.bench.report import format_results_table, geomean, speedup_summary
+from repro.bench.runner import BenchmarkResult, SystemResult
+
+
+def _result(name, boom, xeon, accel):
+    result = BenchmarkResult(name, "deserialize")
+    for system, gbps in (("riscv-boom", boom), ("Xeon", xeon),
+                         ("riscv-boom-accel", accel)):
+        result.results[system] = SystemResult(system, gbps, 1000.0, 100)
+    return result
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestSpeedupSummary:
+    def test_geomean_of_ratios(self):
+        results = [_result("a", 1.0, 2.0, 8.0), _result("b", 2.0, 4.0, 4.0)]
+        summary = speedup_summary(results)
+        assert summary["vs riscv-boom"] == pytest.approx(4.0)
+        assert summary["vs Xeon"] == pytest.approx(2.0)
+
+
+class TestTable:
+    def test_format_contains_rows_and_geomean(self):
+        table = format_results_table(
+            [_result("bench-a", 1.0, 2.0, 4.0)], title="Title")
+        assert "Title" in table
+        assert "bench-a" in table
+        assert "geomean" in table
+        assert "riscv-boom-accel" in table

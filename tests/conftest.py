@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.proto import parse_schema
+
+
+KITCHEN_SINK_PROTO = """
+syntax = "proto2";
+
+message Inner {
+  optional int32 a = 1;
+  optional string tag = 2;
+  repeated uint32 counts = 3;
+}
+
+message Outer {
+  required int64 x = 1;
+  optional string name = 2;
+  repeated double vals = 3 [packed = true];
+  optional Inner inner = 4;
+  optional sint32 delta = 5;
+  optional sint64 big_delta = 6;
+  optional bool flag = 7;
+  optional float ratio = 8;
+  repeated Inner kids = 9;
+  repeated uint32 nums = 10;
+  optional fixed32 crc = 11;
+  optional fixed64 stamp = 12;
+  optional sfixed32 scrc = 13;
+  optional sfixed64 sstamp = 14;
+  optional bytes blob = 15;
+  optional uint64 counter = 16;
+  repeated string labels = 17;
+  optional int32 small = 18 [default = 42];
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def kitchen_schema():
+    """A schema touching every field type and qualifier."""
+    return parse_schema(KITCHEN_SINK_PROTO)
+
+
+@pytest.fixture()
+def kitchen_message(kitchen_schema):
+    """A fully populated Outer message."""
+    outer = kitchen_schema["Outer"].new_message()
+    outer["x"] = -123456789
+    outer["name"] = "a string that is longer than the SSO buffer size"
+    outer["vals"] = [1.5, -2.25, 3.0, 0.0]
+    inner = outer.mutable("inner")
+    inner["a"] = -7
+    inner["tag"] = "ok"
+    inner["counts"] = [1, 2, 3]
+    outer["delta"] = -1000
+    outer["big_delta"] = -(2**40)
+    outer["flag"] = True
+    outer["ratio"] = 2.5
+    kid = outer["kids"].add()
+    kid["a"] = 1
+    kid2 = outer["kids"].add()
+    kid2["tag"] = "second child"
+    outer["nums"] = [0, 300, 70000]
+    outer["crc"] = 0xDEADBEEF
+    outer["stamp"] = 2**61
+    outer["scrc"] = -12345
+    outer["sstamp"] = -(2**50)
+    outer["blob"] = bytes(range(64))
+    outer["counter"] = 2**63
+    outer["labels"] = ["x", "y" * 20, ""]
+    return outer
+
+
+@pytest.fixture()
+def accelerator():
+    """A fresh accelerator device on its own simulated memory."""
+    from repro.accel.driver import ProtoAccelerator
+
+    return ProtoAccelerator()

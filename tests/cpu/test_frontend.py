@@ -1,0 +1,81 @@
+"""Tests for the Section 7 frontend-pressure model."""
+
+import pytest
+
+from repro.cpu.boom import BOOM_PARAMS
+from repro.cpu.frontend import (
+    analyze,
+    cold_call_penalty_cycles,
+    generated_code_lines,
+)
+from repro.cpu.xeon import XEON_PARAMS
+from repro.proto import parse_schema
+
+
+@pytest.fixture()
+def wide_schema():
+    fields = "\n".join(f"optional int32 f{i} = {i};"
+                       for i in range(1, 41))
+    return parse_schema(f"message Wide {{ {fields} }}"
+                        "message Narrow { optional int32 a = 1; }")
+
+
+class TestCodeFootprint:
+    def test_grows_with_field_count(self, wide_schema):
+        assert generated_code_lines(wide_schema["Wide"]) > \
+            generated_code_lines(wide_schema["Narrow"])
+
+    def test_counts_reachable_subtypes_once(self):
+        schema = parse_schema("""
+            message Leaf { optional int32 a = 1; }
+            message Root {
+              optional Leaf x = 1;
+              optional Leaf y = 2;
+            }
+        """)
+        root_lines = generated_code_lines(schema["Root"])
+        leaf_lines = generated_code_lines(schema["Leaf"])
+        # Leaf's code is shared, not duplicated per reference.
+        assert root_lines < 2 * leaf_lines + 10
+
+    def test_recursive_types_terminate(self):
+        schema = parse_schema(
+            "message Node { optional Node next = 1; }")
+        assert generated_code_lines(schema["Node"]) > 0
+
+
+class TestPenalty:
+    def test_zero_when_warm(self, wide_schema):
+        assert cold_call_penalty_cycles(BOOM_PARAMS, wide_schema["Wide"],
+                                        miss_fraction=0.0) == 0.0
+
+    def test_scales_with_miss_fraction(self, wide_schema):
+        full = cold_call_penalty_cycles(BOOM_PARAMS, wide_schema["Wide"],
+                                        1.0)
+        half = cold_call_penalty_cycles(BOOM_PARAMS, wide_schema["Wide"],
+                                        0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_invalid_fraction_rejected(self, wide_schema):
+        with pytest.raises(ValueError):
+            cold_call_penalty_cycles(BOOM_PARAMS, wide_schema["Wide"], 1.5)
+
+    def test_boom_pays_more_than_xeon(self, wide_schema):
+        assert cold_call_penalty_cycles(
+            BOOM_PARAMS, wide_schema["Wide"]) > cold_call_penalty_cycles(
+            XEON_PARAMS, wide_schema["Wide"])
+
+
+class TestReport:
+    def test_penalty_can_rival_warm_work(self, wide_schema):
+        # The paper's claim: frontend pressure can cost as many cycles
+        # as the protobuf work itself.  A wide, cheap message shows it.
+        report = analyze(BOOM_PARAMS, wide_schema["Wide"],
+                         warm_cycles=800.0)
+        assert report.penalty_ratio > 1.0
+
+    def test_cold_cycles_sum(self, wide_schema):
+        report = analyze(BOOM_PARAMS, wide_schema["Narrow"],
+                         warm_cycles=100.0, miss_fraction=0.5)
+        assert report.cold_cycles == pytest.approx(
+            100.0 + report.cold_penalty)

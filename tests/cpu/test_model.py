@@ -1,0 +1,116 @@
+"""Tests for the event-trace CPU cost model."""
+
+import pytest
+
+from repro.cpu.boom import BOOM_PARAMS, boom_cpu
+from repro.cpu.xeon import XEON_PARAMS, xeon_cpu
+from repro.proto import parse_schema
+from repro.proto.trace import Op, Trace
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message Inner { optional int32 a = 1; }
+        message M {
+          optional int64 x = 1;
+          optional string s = 2;
+          optional Inner inner = 3;
+        }
+    """)
+
+
+class TestEventCosts:
+    def test_varint_cost_scales_with_bytes(self):
+        params = BOOM_PARAMS
+        one = params.event_cycles(Op.VARINT_DECODE, 1)
+        ten = params.event_cycles(Op.VARINT_DECODE, 10)
+        assert ten > one
+        assert ten - one == pytest.approx(9 * params.varint_decode_per_byte)
+
+    def test_memcpy_cold_slower_than_warm(self):
+        params = XEON_PARAMS
+        warm = params.event_cycles(Op.MEMCPY, 4096, cold_memcpy=False)
+        cold = params.event_cycles(Op.MEMCPY, 4096, cold_memcpy=True)
+        assert cold > warm
+
+    def test_trace_cycles_sums_events(self):
+        trace = Trace()
+        trace.emit(Op.ZIGZAG)
+        trace.emit(Op.ZIGZAG)
+        assert BOOM_PARAMS.trace_cycles(trace) == \
+            pytest.approx(2 * BOOM_PARAMS.zigzag)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            BOOM_PARAMS.event_cycles("not-an-op", 1)  # type: ignore
+
+
+class TestSoftwareCpu:
+    def test_deserialize_functional_and_costed(self, schema):
+        cpu = boom_cpu()
+        m = schema["M"].new_message()
+        m["x"] = 5
+        m["s"] = "hello"
+        data = m.serialize()
+        decoded, result = cpu.deserialize(schema["M"], data)
+        assert decoded == m
+        assert result.cycles > cpu.params.call_overhead_deser
+        assert result.wire_bytes == len(data)
+
+    def test_serialize_functional_and_costed(self, schema):
+        cpu = xeon_cpu()
+        m = schema["M"].new_message()
+        m["x"] = 5
+        data, result = cpu.serialize(m)
+        assert data == m.serialize()
+        assert result.cycles > cpu.params.call_overhead_ser
+
+    def test_batch_cycles_additive(self, schema):
+        cpu = boom_cpu()
+        m = schema["M"].new_message()
+        m["x"] = 1
+        single = cpu.deserialize(schema["M"], m.serialize())[1].cycles
+        batch = cpu.deserialize_batch_cycles(schema["M"],
+                                             [m.serialize()] * 3)
+        assert batch == pytest.approx(3 * single)
+
+    def test_gbits_per_second(self, schema):
+        cpu = boom_cpu()
+        # 250 bytes in 1000 cycles at 2 GHz = 4 Gbit/s.
+        assert cpu.gbits_per_second(250, 1000) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            cpu.gbits_per_second(100, 0)
+
+
+class TestMicroarchitecturalOrdering:
+    """The relationships the paper's host comparison relies on."""
+
+    def test_xeon_clock_higher(self):
+        assert XEON_PARAMS.clock_hz > BOOM_PARAMS.clock_hz
+
+    def test_xeon_cheaper_per_event(self):
+        for op, arg in ((Op.FIELD_DISPATCH, 1), (Op.VARINT_DECODE, 5),
+                        (Op.ALLOC, 1), (Op.TAG_DECODE, 1)):
+            assert XEON_PARAMS.event_cycles(op, arg) < \
+                BOOM_PARAMS.event_cycles(op, arg)
+
+    def test_xeon_memcpy_bandwidth_higher(self):
+        assert XEON_PARAMS.memcpy_bytes_per_cycle > \
+            BOOM_PARAMS.memcpy_bytes_per_cycle
+        assert XEON_PARAMS.memcpy_cold_bytes_per_cycle > \
+            BOOM_PARAMS.memcpy_cold_bytes_per_cycle
+
+    def test_xeon_faster_end_to_end(self, schema):
+        m = schema["M"].new_message()
+        m["x"] = 123
+        m["s"] = "payload data here"
+        m.mutable("inner")["a"] = 1
+        data = m.serialize()
+        boom = boom_cpu()
+        xeon = xeon_cpu()
+        boom_cycles = boom.deserialize(schema["M"], data)[1].cycles
+        xeon_cycles = xeon.deserialize(schema["M"], data)[1].cycles
+        boom_gbps = boom.gbits_per_second(len(data), boom_cycles)
+        xeon_gbps = xeon.gbits_per_second(len(data), xeon_cycles)
+        assert xeon_gbps > boom_gbps

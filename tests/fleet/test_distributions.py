@@ -1,0 +1,158 @@
+"""Tests pinning the fleet distributions to the paper's anchors."""
+
+import pytest
+
+from repro.fleet.distributions import (
+    BYTES_FIELD_SIZE_BUCKETS,
+    DENSITY_HISTOGRAM,
+    DEPTH_CDF_POINTS,
+    FIELD_BYTES_SHARES,
+    FIELD_COUNT_SHARES,
+    FLEET_OP_SHARES,
+    MESSAGE_SIZE_BUCKETS,
+    PROTO2_BYTES_SHARE,
+    PROTOBUF_FLEET_CYCLE_SHARE,
+    CPP_SHARE_OF_PROTOBUF,
+    RPC_SHARE_OF_DESER,
+    RPC_SHARE_OF_SER,
+    VARINT_SIZE_SHARES,
+    SizeBucket,
+    bucket_byte_volumes,
+    cumulative_message_size_share,
+    density_share_above,
+    depth_coverage,
+    validate_distribution,
+)
+
+
+class TestNormalisation:
+    @pytest.mark.parametrize("dist", [
+        FLEET_OP_SHARES, FIELD_COUNT_SHARES, FIELD_BYTES_SHARES,
+        VARINT_SIZE_SHARES, DENSITY_HISTOGRAM,
+        MESSAGE_SIZE_BUCKETS, BYTES_FIELD_SIZE_BUCKETS,
+    ])
+    def test_sums_to_one(self, dist):
+        validate_distribution(dist)
+
+    def test_validator_rejects_bad(self):
+        with pytest.raises(ValueError):
+            validate_distribution({"a": 0.5, "b": 0.4})
+
+
+class TestSection32Scalars:
+    def test_protobuf_share(self):
+        assert PROTOBUF_FLEET_CYCLE_SHARE == pytest.approx(0.096)
+        assert CPP_SHARE_OF_PROTOBUF == pytest.approx(0.88)
+
+    def test_deser_fleet_share_is_2_2_percent(self):
+        deser = (PROTOBUF_FLEET_CYCLE_SHARE * CPP_SHARE_OF_PROTOBUF
+                 * FLEET_OP_SHARES["deserialize"])
+        assert deser == pytest.approx(0.022, rel=0.02)
+
+    def test_ser_fleet_share_is_1_25_percent(self):
+        ser = (PROTOBUF_FLEET_CYCLE_SHARE * CPP_SHARE_OF_PROTOBUF
+               * (FLEET_OP_SHARES["serialize"]
+                  + FLEET_OP_SHARES["byte_size"]))
+        assert ser == pytest.approx(0.0125, rel=0.02)
+
+    def test_footnote4_serialize_and_bytesize(self):
+        assert FLEET_OP_SHARES["serialize"] == pytest.approx(0.088)
+        assert FLEET_OP_SHARES["byte_size"] == pytest.approx(0.060)
+
+    def test_section7_future_ops(self):
+        merge_copy_clear = (FLEET_OP_SHARES["merge"]
+                            + FLEET_OP_SHARES["copy"]
+                            + FLEET_OP_SHARES["clear"])
+        assert merge_copy_clear == pytest.approx(0.171, abs=0.001)
+        assert FLEET_OP_SHARES["constructor"] == pytest.approx(0.064)
+        assert FLEET_OP_SHARES["destructor"] == pytest.approx(0.139)
+
+
+class TestFigure3:
+    def test_cdf_anchors(self):
+        assert cumulative_message_size_share(8) == pytest.approx(0.24)
+        assert cumulative_message_size_share(32) == pytest.approx(0.56)
+        assert cumulative_message_size_share(512) == pytest.approx(0.93)
+
+    def test_top_bucket_tiny_by_count(self):
+        assert MESSAGE_SIZE_BUCKETS[-1].share == pytest.approx(0.0008)
+
+    def test_top_bucket_dominates_by_bytes(self):
+        # Section 3.5: [32769, inf) holds at least 13.7x the bytes of
+        # [0, 8] despite holding 0.08% of messages.
+        volumes = bucket_byte_volumes(MESSAGE_SIZE_BUCKETS)
+        assert volumes["32769 - inf"] / volumes["0 - 8"] >= 13.7
+
+
+class TestFigure4:
+    def test_varint_like_over_56_percent_of_fields(self):
+        varint_like = sum(FIELD_COUNT_SHARES[t] for t in (
+            "int32", "int64", "enum", "bool", "uint64", "other_varint"))
+        assert varint_like > 0.56
+
+    def test_bytes_like_over_92_percent_of_bytes(self):
+        bytes_like = sum(FIELD_BYTES_SHARES[t] for t in (
+            "string", "bytes", "repeated string", "repeated bytes"))
+        assert bytes_like > 0.92
+
+    def test_figure_4c_tail_anchors(self):
+        by_label = {b.label: b.share for b in BYTES_FIELD_SIZE_BUCKETS}
+        assert by_label["4097 - 32768"] == pytest.approx(0.013)
+        assert by_label["32769 - inf"] == pytest.approx(0.0006)
+
+    def test_figure_4c_byte_volume_ratio(self):
+        # Section 3.6.3: the top bucket has at least 7.2x the bytes of
+        # the 0-8 bucket.
+        volumes = bucket_byte_volumes(BYTES_FIELD_SIZE_BUCKETS)
+        assert volumes["32769 - inf"] / volumes["0 - 8"] >= 7.2
+
+
+class TestFigure7:
+    def test_at_least_92_percent_above_1_64(self):
+        assert density_share_above(1 / 64) >= 0.92
+
+    def test_over_90_percent_below_52_percent_density(self):
+        below = 1.0 - density_share_above(0.52)
+        assert below > 0.90
+
+
+class TestSection38Depth:
+    def test_anchors(self):
+        assert depth_coverage(12) >= 0.999
+        assert depth_coverage(25) >= 0.99999
+        assert depth_coverage(99) == 1.0
+
+    def test_monotone(self):
+        values = [depth_coverage(d) for d in range(1, 100)]
+        assert values == sorted(values)
+
+    def test_interpolation_between_anchors(self):
+        assert depth_coverage(1) < depth_coverage(3) < depth_coverage(12)
+
+    def test_below_depth_one(self):
+        assert depth_coverage(0) == 0.0
+
+
+class TestOtherScalars:
+    def test_proto2_share(self):
+        assert PROTO2_BYTES_SHARE == pytest.approx(0.96)
+
+    def test_rpc_shares(self):
+        # Section 3.4: most ser/deser is NOT RPC-initiated, the argument
+        # against NIC placement.
+        assert RPC_SHARE_OF_DESER == pytest.approx(0.163)
+        assert RPC_SHARE_OF_SER == pytest.approx(0.352)
+        assert 1 - RPC_SHARE_OF_DESER > 0.83
+        assert 1 - RPC_SHARE_OF_SER > 0.64
+
+
+class TestSizeBucket:
+    def test_contains(self):
+        bucket = SizeBucket(9, 16, 0.1)
+        assert bucket.contains(9) and bucket.contains(16)
+        assert not bucket.contains(8) and not bucket.contains(17)
+
+    def test_open_top_bucket(self):
+        top = SizeBucket(32769, None, 0.1)
+        assert top.contains(10**9)
+        assert top.label == "32769 - inf"

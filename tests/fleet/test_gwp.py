@@ -1,0 +1,129 @@
+"""Tests for the GWP-style sampling profiler."""
+
+import pytest
+
+from repro.cpu.boom import boom_cpu
+from repro.fleet.gwp import (
+    CycleProfile,
+    GwpSampler,
+    accelerator_savings,
+    profile_software_service,
+)
+from repro.hyperprotobench import build_hyperprotobench
+from repro.proto import parse_schema
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_hyperprotobench("bench0", batch=16)
+
+
+class TestCycleProfile:
+    def test_add_and_shares(self):
+        profile = CycleProfile()
+        profile.add("deserialize", 75.0)
+        profile.add("serialize", 25.0)
+        assert profile.total == 100.0
+        assert profile.shares()["deserialize"] == 0.75
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            CycleProfile().add("transmogrify", 1.0)
+
+    def test_top_sorted(self):
+        profile = CycleProfile()
+        profile.add("clear", 1.0)
+        profile.add("deserialize", 9.0)
+        assert profile.top(1) == [("deserialize", 0.9)]
+
+    def test_merge(self):
+        a = CycleProfile()
+        a.add("copy", 2.0)
+        b = CycleProfile()
+        b.add("copy", 3.0)
+        a.merge(b)
+        assert a.cycles["copy"] == 5.0
+
+    def test_empty_shares(self):
+        assert CycleProfile().shares() == {}
+
+
+class TestSampler:
+    def test_full_rate_records_everything(self):
+        sampler = GwpSampler(sample_rate=1.0)
+        for _ in range(50):
+            sampler.record("serialize", 10.0)
+        assert sampler.events_recorded == 50
+        assert sampler.profile.total == 500.0
+
+    def test_sampling_is_unbiased(self):
+        sampler = GwpSampler(sample_rate=0.2, seed=3)
+        for _ in range(5000):
+            sampler.record("serialize", 10.0)
+        # Expected total is 50,000 regardless of the rate.
+        assert sampler.profile.total == pytest.approx(50_000, rel=0.1)
+        assert sampler.events_recorded < 1500
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            GwpSampler(sample_rate=0.0)
+        with pytest.raises(ValueError):
+            GwpSampler(sample_rate=1.5)
+
+
+class TestServiceProfiling:
+    def test_profile_covers_expected_categories(self, workload):
+        profile = profile_software_service(
+            boom_cpu(), workload.descriptor, workload.messages)
+        shares = profile.shares()
+        for category in ("deserialize", "serialize", "byte_size",
+                         "constructor", "destructor", "other"):
+            assert shares.get(category, 0) > 0, category
+
+    def test_deserialize_dominates(self, workload):
+        # Figure 2's headline relationship: deserialization is the
+        # largest protobuf consumer.
+        profile = profile_software_service(
+            boom_cpu(), workload.descriptor, workload.messages)
+        assert profile.top(1)[0][0] == "deserialize"
+
+    def test_glue_share_matches_parameter(self, workload):
+        profile = profile_software_service(
+            boom_cpu(), workload.descriptor, workload.messages,
+            glue_overhead=0.25)
+        assert profile.shares()["other"] == pytest.approx(0.25, abs=0.02)
+
+    def test_custom_op_mix(self, workload):
+        profile = profile_software_service(
+            boom_cpu(), workload.descriptor, workload.messages,
+            op_mix={"serialize": 1.0}, glue_overhead=0.0)
+        assert "deserialize" not in profile.cycles
+        assert profile.cycles["serialize"] > 0
+
+
+class TestSavings:
+    def test_savings_arithmetic(self):
+        profile = CycleProfile()
+        profile.add("deserialize", 60.0)
+        profile.add("other", 40.0)
+        saved = accelerator_savings(profile, {"deserialize": 6.0})
+        assert saved == pytest.approx(0.6 * (1 - 1 / 6.0))
+
+    def test_uncovered_categories_save_nothing(self):
+        profile = CycleProfile()
+        profile.add("other", 10.0)
+        assert accelerator_savings(profile, {"deserialize": 10.0}) == 0.0
+
+    def test_invalid_speedup_rejected(self):
+        profile = CycleProfile()
+        profile.add("copy", 1.0)
+        with pytest.raises(ValueError):
+            accelerator_savings(profile, {"copy": 0.0})
+
+    def test_end_to_end_savings_meaningful(self, workload):
+        profile = profile_software_service(
+            boom_cpu(), workload.descriptor, workload.messages)
+        saved = accelerator_savings(profile, {
+            "deserialize": 8.0, "serialize": 10.0, "byte_size": 10.0,
+            "merge": 8.0, "copy": 10.0, "clear": 15.0})
+        assert 0.3 < saved < 0.9

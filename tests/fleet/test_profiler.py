@@ -1,0 +1,60 @@
+"""Tests for the GWP cycle-attribution model (Section 3.2 arithmetic)."""
+
+import pytest
+
+from repro.fleet.profiler import (
+    GwpProfile,
+    fleet_opportunity,
+    realized_savings,
+)
+
+
+class TestOpportunity:
+    def test_headline_numbers(self):
+        numbers = fleet_opportunity()
+        assert numbers["protobuf_share"] == pytest.approx(0.096)
+        assert numbers["deser_fleet_share"] == pytest.approx(0.022,
+                                                             rel=0.02)
+        assert numbers["ser_fleet_share"] == pytest.approx(0.0125,
+                                                           rel=0.02)
+        # Section 3.2: the 3.45% opportunity.
+        assert numbers["accelerated_opportunity"] == pytest.approx(
+            0.0345, rel=0.02)
+
+    def test_future_ops_are_17_percent_of_protobuf(self):
+        numbers = fleet_opportunity()
+        profile = GwpProfile()
+        assert numbers["future_ops_opportunity"] == pytest.approx(
+            profile.cpp_protobuf_cycles * 0.171
+            / profile.total_fleet_cycles, rel=0.02)
+
+
+class TestRealizedSavings:
+    def test_section52_extrapolation(self):
+        # With the paper's 6.2x HyperProtoBench speedup the recovered
+        # cycles exceed 2.5% of the fleet ("savings of over 2.5%").
+        assert realized_savings(6.2, 6.2) > 0.025
+
+    def test_infinite_speedup_bounded_by_opportunity(self):
+        assert realized_savings(1e9, 1e9) == pytest.approx(0.0345,
+                                                           rel=0.02)
+
+    def test_no_speedup_no_savings(self):
+        assert realized_savings(1.0, 1.0) == 0.0
+
+    def test_invalid_speedups_rejected(self):
+        with pytest.raises(ValueError):
+            realized_savings(0, 1)
+
+
+class TestFigure2Rows:
+    def test_rows_sorted_descending(self):
+        rows = GwpProfile().figure2_rows()
+        shares = [share for _, share in rows]
+        assert shares == sorted(shares, reverse=True)
+        assert rows[0][0] == "deserialize"
+
+    def test_op_cycles_scale(self):
+        profile = GwpProfile(total_fleet_cycles=100.0)
+        assert profile.op_cycles("deserialize") == pytest.approx(
+            100.0 * 0.096 * 0.88 * 0.26)

@@ -1,0 +1,37 @@
+"""Tests for the synthetic protodb."""
+
+from repro.fleet.protodb import MessageTypeRecord, ProtoDb
+
+
+class TestProtoDb:
+    def test_population_size(self):
+        db = ProtoDb(types=500)
+        assert len(db) == 500
+
+    def test_deterministic_per_seed(self):
+        a = [r.field_number_span for r in ProtoDb(types=50, seed=3)]
+        b = [r.field_number_span for r in ProtoDb(types=50, seed=3)]
+        assert a == b
+
+    def test_proto2_dominates(self):
+        db = ProtoDb(types=2000)
+        assert db.proto2_share() > 0.9
+
+    def test_spans_cover_defined_fields(self):
+        for record in ProtoDb(types=300):
+            assert record.field_number_span >= record.defined_fields
+            assert record.min_field_number >= 1
+
+    def test_field_type_mix_counts(self):
+        for record in ProtoDb(types=100):
+            assert sum(record.field_type_mix.values()) == \
+                record.defined_fields
+
+    def test_span_histogram(self):
+        db = ProtoDb(types=200)
+        histogram = db.span_histogram()
+        assert sum(histogram.values()) == 200
+
+    def test_record_accessor(self):
+        db = ProtoDb(types=10)
+        assert isinstance(db.record(0), MessageTypeRecord)

@@ -1,0 +1,65 @@
+"""Tests for the protobufz-style sampler and its analysis pipeline."""
+
+import pytest
+
+from repro.fleet.sampler import FleetSampler, SampleAnalysis
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return SampleAnalysis(FleetSampler(seed=5).sample_many(15000))
+
+
+class TestSampling:
+    def test_deterministic_per_seed(self):
+        a = FleetSampler(seed=1).sample_many(50)
+        b = FleetSampler(seed=1).sample_many(50)
+        assert [s.encoded_size for s in a] == [s.encoded_size for s in b]
+
+    def test_fields_fit_budget_roughly(self):
+        for sample in FleetSampler(seed=2).sample_many(200):
+            # Field value bytes can only marginally exceed the message
+            # size (final field truncation is budget-capped).
+            assert sample.field_bytes <= sample.encoded_size + 16
+
+    def test_density_in_unit_interval(self):
+        for sample in FleetSampler(seed=3).sample_many(200):
+            assert 0.0 <= sample.density <= 1.0
+
+    def test_depth_at_least_one(self):
+        for sample in FleetSampler(seed=4).sample_many(200):
+            assert 1 <= sample.max_depth < 100
+
+
+class TestFigureReconstruction:
+    """Monte Carlo re-derivation converges back to the inputs."""
+
+    def test_figure3_histogram(self, analysis):
+        histogram = analysis.message_size_histogram()
+        assert histogram["0 - 8"] == pytest.approx(0.24, abs=0.03)
+        small = (histogram["0 - 8"] + histogram["9 - 16"]
+                 + histogram["17 - 32"])
+        assert small == pytest.approx(0.56, abs=0.04)
+
+    def test_figure4a_varint_like_majority(self, analysis):
+        assert analysis.varint_like_count_share() > 0.5
+
+    def test_figure4b_bytes_like_dominates(self, analysis):
+        assert analysis.bytes_like_byte_share() > 0.80
+
+    def test_figure4c_small_fields_dominate_count(self, analysis):
+        histogram = analysis.bytes_field_size_histogram()
+        assert histogram["0 - 8"] > 0.3
+
+    def test_figure7_density(self, analysis):
+        assert analysis.density_share_above(1 / 64) == \
+            pytest.approx(0.92, abs=0.03)
+
+    def test_depth_coverage(self, analysis):
+        assert analysis.byte_share_at_depth(12) >= 0.99
+        assert analysis.byte_share_at_depth(25) >= \
+            analysis.byte_share_at_depth(12)
+
+    def test_empty_analysis_rejected(self):
+        with pytest.raises(ValueError):
+            SampleAnalysis([])

@@ -1,0 +1,74 @@
+"""Tests for profile fitting from shape samples."""
+
+import pytest
+
+from repro.fleet.sampler import FleetSampler, ShapeSample, FieldShape
+from repro.hyperprotobench.fitting import fit_profile
+from repro.hyperprotobench.generator import BenchGenerator
+from repro.proto.types import FieldType
+
+
+@pytest.fixture(scope="module")
+def fleet_samples():
+    return FleetSampler(seed=41).sample_many(3000)
+
+
+class TestFitting:
+    def test_fits_fleet_samples(self, fleet_samples):
+        profile = fit_profile("fitted", fleet_samples)
+        assert profile.name == "fitted"
+        assert profile.fields_per_message > 1
+        assert FieldType.STRING in profile.type_weights
+        assert 0.05 <= profile.presence_probability <= 0.95
+        assert profile.max_depth >= 1
+
+    def test_type_mix_tracks_samples(self, fleet_samples):
+        profile = fit_profile("fitted", fleet_samples)
+        weights = profile.type_weights
+        # Fleet samples are drawn with int32 the most common type
+        # (FIELD_COUNT_SHARES); the fit must recover that ordering.
+        assert weights[FieldType.INT32] >= weights[FieldType.FLOAT]
+
+    def test_overrides_win(self, fleet_samples):
+        profile = fit_profile("fitted", fleet_samples,
+                              repeated_probability=0.5, max_depth=2)
+        assert profile.repeated_probability == 0.5
+        assert profile.max_depth == 2
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_profile("x", [])
+
+    def test_unknown_types_only_rejected(self):
+        sample = ShapeSample(encoded_size=8,
+                             fields=[FieldShape("mystery", 4)])
+        with pytest.raises(ValueError):
+            fit_profile("x", [sample])
+
+
+class TestFittedGeneration:
+    def test_generated_workload_resembles_samples(self, fleet_samples):
+        string_heavy = [s for s in fleet_samples
+                        if any(f.type_name == "string"
+                               for f in s.fields)]
+        profile = fit_profile("fitted", string_heavy, batch=16,
+                              submessage_probability=0.1)
+        bench = BenchGenerator(profile, seed=3).generate()
+        assert len(bench.messages) == 16
+        sizes = [len(m.serialize()) for m in bench.messages]
+        assert all(size > 0 for size in sizes)
+        # The fitted generator must produce string content.
+        has_string = any(
+            fd.field_type is FieldType.STRING
+            for m in bench.messages for fd in m.descriptor.fields)
+        assert has_string
+
+    def test_fitted_bench_runs_on_three_systems(self, fleet_samples):
+        from repro.bench.runner import Workload, run_deserialization
+
+        profile = fit_profile("fitted", fleet_samples[:500], batch=6,
+                              submessage_probability=0.15, max_depth=3)
+        bench = BenchGenerator(profile, seed=5).generate()
+        workload = Workload(bench.name, bench.root, bench.messages)
+        result = run_deserialization(workload)
+        assert result.gbps("riscv-boom-accel") > result.gbps("riscv-boom")

@@ -1,0 +1,85 @@
+"""Tests for the HyperProtoBench generator."""
+
+import pytest
+
+from repro.hyperprotobench.generator import BenchGenerator
+from repro.hyperprotobench.shapes import SERVICE_PROFILES
+from repro.hyperprotobench.workload import (
+    bench_names,
+    build_hyperprotobench,
+    generate_bench,
+)
+from repro.proto import parse_schema
+from repro.proto.types import FieldType
+
+
+class TestProfiles:
+    def test_six_benchmarks(self):
+        assert bench_names() == [f"bench{i}" for i in range(6)]
+
+    def test_profiles_distinct(self):
+        descriptions = {p.description for p in SERVICE_PROFILES}
+        assert len(descriptions) == 6
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_bench("bench0", seed=9, batch=4)
+        b = generate_bench("bench0", seed=9, batch=4)
+        assert a.proto_source == b.proto_source
+        assert [m.serialize() for m in a.messages] == \
+            [m.serialize() for m in b.messages]
+
+    def test_different_seeds_differ(self):
+        a = generate_bench("bench0", seed=1, batch=4)
+        b = generate_bench("bench0", seed=2, batch=4)
+        assert [m.serialize() for m in a.messages] != \
+            [m.serialize() for m in b.messages]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            generate_bench("bench99")
+
+    def test_proto_source_parses(self):
+        for name in bench_names():
+            bench = generate_bench(name, batch=1)
+            reparsed = parse_schema(bench.proto_source)
+            assert bench.root.name in reparsed
+
+    def test_messages_nonempty_and_serializable(self):
+        for name in bench_names():
+            bench = generate_bench(name, batch=6)
+            assert len(bench.messages) == 6
+            for message in bench.messages:
+                assert len(message.serialize()) > 0
+
+    def test_depth_respects_profile(self):
+        profile = SERVICE_PROFILES[3]  # bench3: max_depth 8
+        bench = BenchGenerator(profile, seed=1).generate(batch=8)
+        assert max(m.total_depth() for m in bench.messages) <= \
+            profile.max_depth
+
+    def test_storage_profile_is_bytes_heavy(self):
+        bench = generate_bench("bench1", batch=8)
+        total = 0
+        bytes_like = 0
+        for message in bench.messages:
+            for fd in message.descriptor.fields:
+                if not message.has(fd.name):
+                    continue
+                values = (message[fd.name] if fd.is_repeated
+                          else [message[fd.name]])
+                for value in values:
+                    if fd.field_type in (FieldType.BYTES,
+                                         FieldType.STRING):
+                        bytes_like += len(value)
+                    total += 1
+        assert bytes_like > 0
+
+
+class TestWorkloadBridge:
+    def test_build_workload(self):
+        workload = build_hyperprotobench("bench0", batch=4)
+        assert workload.name == "bench0"
+        assert len(workload.messages) == 4
+        assert workload.total_wire_bytes() > 0

@@ -1,0 +1,85 @@
+"""Cycle-model regression guards.
+
+The behavioral cycle model is calibrated against the paper (see
+EXPERIMENTS.md); these tests pin canonical operations to bands so an
+accidental change to a unit's cycle accounting shows up as a failure
+rather than silently skewing every figure.
+"""
+
+import pytest
+
+from repro.accel.driver import ProtoAccelerator
+from repro.bench.microbench import build_microbench
+
+
+def _deser_cycles_per_message(name: str, batch: int = 16) -> float:
+    workload = build_microbench(name, batch=batch)
+    accel = ProtoAccelerator()
+    accel.register_types([workload.descriptor])
+    buffers = [m.serialize() for m in workload.messages]
+    _, stats = accel.deserialize_batch(workload.descriptor, buffers)
+    return stats.cycles / batch
+
+
+def _ser_cycles_per_message(name: str, batch: int = 16) -> float:
+    workload = build_microbench(name, batch=batch)
+    accel = ProtoAccelerator()
+    accel.register_types([workload.descriptor])
+    addresses = [accel.load_object(m) for m in workload.messages]
+    _, stats = accel.serialize_batch(workload.descriptor, addresses)
+    return stats.cycles / batch
+
+
+class TestDeserializerBands:
+    def test_varint5_message(self):
+        # 5 fields x (parseKey + typeInfo + write) + dispatch + stream
+        # startup: ~55-60 cycles in the committed calibration.
+        assert 45 <= _deser_cycles_per_message("varint-5") <= 80
+
+    def test_small_string_message(self):
+        assert 45 <= _deser_cycles_per_message("string") <= 90
+
+    def test_very_long_string_is_copy_bound(self):
+        cycles = _deser_cycles_per_message("string_very_long")
+        # ~32 KiB at 16 B/cycle = 2048 copy cycles + overheads.
+        assert 2050 <= cycles <= 3500
+
+    def test_submessage_overhead(self):
+        flat = _deser_cycles_per_message("varint-1")
+        nested = _deser_cycles_per_message("bool-SUB")
+        # One sub-message costs setup + ADT header + finish, i.e. more
+        # than a scalar field but far less than a second dispatch.
+        assert nested > flat - 10
+        assert nested < flat + 40
+
+
+class TestSerializerBands:
+    def test_varint5_message(self):
+        assert 10 <= _ser_cycles_per_message("varint-5") <= 30
+
+    def test_very_long_string_is_copy_bound(self):
+        cycles = _ser_cycles_per_message("string_very_long")
+        assert 2050 <= cycles <= 3000
+
+    def test_ser_faster_than_deser_on_small_messages(self):
+        # The paper's structural asymmetry: serialization parallelises,
+        # deserialization is serial (Section 2.2).
+        assert _ser_cycles_per_message("varint-5") < \
+            _deser_cycles_per_message("varint-5")
+
+
+class TestThroughputAnchors:
+    """Absolute Gbit/s anchors used in DESIGN.md's calibration notes."""
+
+    @pytest.mark.parametrize("name,lo,hi", [
+        ("varint-5", 6.0, 12.0),      # deser anchor ~8-9 Gbit/s
+        ("varint-10", 11.0, 20.0),
+    ])
+    def test_deser_anchors(self, name, lo, hi):
+        workload = build_microbench(name, batch=16)
+        accel = ProtoAccelerator()
+        accel.register_types([workload.descriptor])
+        buffers = [m.serialize() for m in workload.messages]
+        _, stats = accel.deserialize_batch(workload.descriptor, buffers)
+        gbps = accel.throughput_gbps(stats.wire_bytes, stats.cycles)
+        assert lo <= gbps <= hi

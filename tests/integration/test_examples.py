@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs end-to-end without error."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+_EXAMPLES = sorted(path.stem for path in _EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", _EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_examples_discovered():
+    assert len(_EXAMPLES) >= 7
+    assert "quickstart" in _EXAMPLES
+
+
+@pytest.mark.parametrize("name", _EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"

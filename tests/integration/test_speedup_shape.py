@@ -1,0 +1,139 @@
+"""Integration tests pinning the paper's headline result *shape*.
+
+We do not assert absolute Gbit/s (our substrate is a simulator, not the
+authors' testbed); we assert who wins, roughly by how much, and where the
+orderings hold -- the reproduction contract from DESIGN.md.
+"""
+
+import pytest
+
+from repro.bench.microbench import build_microbench
+from repro.bench.report import geomean, speedup_summary
+from repro.bench.runner import run_deserialization, run_serialization
+
+_SMALL_BATCH = 8
+
+
+def _speedups(names, runner):
+    results = [runner(build_microbench(name, batch=_SMALL_BATCH))
+               for name in names]
+    return results, speedup_summary(results)
+
+
+class TestOrdering:
+    """On every microbenchmark: accel > Xeon-or-BOOM, Xeon > BOOM except
+    where the paper itself shows otherwise (none in these subsets)."""
+
+    @pytest.mark.parametrize("name", ["varint-1", "varint-5", "varint-10",
+                                      "double", "float"])
+    def test_deser_ordering(self, name):
+        result = run_deserialization(build_microbench(name,
+                                                      batch=_SMALL_BATCH))
+        assert result.gbps("riscv-boom-accel") > result.gbps("Xeon") > \
+            result.gbps("riscv-boom")
+
+    @pytest.mark.parametrize("name", ["varint-1", "varint-5", "string",
+                                      "bool-SUB"])
+    def test_ser_ordering(self, name):
+        result = run_serialization(build_microbench(name,
+                                                    batch=_SMALL_BATCH))
+        assert result.gbps("riscv-boom-accel") > result.gbps("Xeon") > \
+            result.gbps("riscv-boom")
+
+
+class TestVarintScaling:
+    """All systems deserialize larger varints at higher Gbit/s
+    (Section 5.1.1's observation)."""
+
+    def test_monotone_for_accelerator(self):
+        values = []
+        for n in (1, 4, 7, 10):
+            result = run_deserialization(
+                build_microbench(f"varint-{n}", batch=_SMALL_BATCH))
+            values.append(result.gbps("riscv-boom-accel"))
+        assert values == sorted(values)
+
+    def test_monotone_for_boom(self):
+        values = []
+        for n in (1, 4, 7, 10):
+            result = run_deserialization(
+                build_microbench(f"varint-{n}", batch=_SMALL_BATCH))
+            values.append(result.gbps("riscv-boom"))
+        assert values == sorted(values)
+
+
+class TestHeadlineBands:
+    """Geomean speedups fall in bands around the paper's numbers."""
+
+    def test_deser_nonalloc_band(self):
+        # Paper: 7.0x vs BOOM, 2.6x vs Xeon.
+        _, speedups = _speedups(
+            [f"varint-{n}" for n in range(0, 11, 2)] + ["double", "float"],
+            run_deserialization)
+        assert 4.0 < speedups["vs riscv-boom"] < 11.0
+        assert 1.5 < speedups["vs Xeon"] < 4.5
+
+    def test_ser_inline_band(self):
+        # Paper: 15.5x vs BOOM, 4.5x vs Xeon.
+        _, speedups = _speedups(
+            [f"varint-{n}" for n in range(0, 11, 2)] + ["double", "float"],
+            run_serialization)
+        assert 9.0 < speedups["vs riscv-boom"] < 24.0
+        assert 2.5 < speedups["vs Xeon"] < 7.5
+
+    def test_deser_alloc_band(self):
+        # Paper: 14.2x vs BOOM, 6.9x vs Xeon.
+        _, speedups = _speedups(
+            ["varint-2-R", "varint-8-R", "string", "string_long",
+             "double-R", "bool-SUB", "string-SUB"],
+            run_deserialization)
+        assert 6.0 < speedups["vs riscv-boom"] < 25.0
+        assert 2.5 < speedups["vs Xeon"] < 12.0
+
+    def test_ser_noninline_band(self):
+        # Paper: 10.1x vs BOOM, 2.8x vs Xeon.
+        _, speedups = _speedups(
+            ["varint-2-R", "varint-8-R", "string", "string_long",
+             "double-R", "bool-SUB", "string-SUB"],
+            run_serialization)
+        assert 5.0 < speedups["vs riscv-boom"] < 20.0
+        assert 1.5 < speedups["vs Xeon"] < 6.0
+
+
+class TestLongStrings:
+    """Long strings become memcpy: CPUs get competitive (Section 5.1)."""
+
+    def test_advantage_shrinks_with_string_size(self):
+        small = run_deserialization(build_microbench("string",
+                                                     batch=_SMALL_BATCH))
+        large = run_deserialization(
+            build_microbench("string_very_long", batch=_SMALL_BATCH))
+        assert large.speedup("riscv-boom-accel") < \
+            small.speedup("riscv-boom-accel")
+
+    def test_xeon_excels_at_very_long_string_serialization(self):
+        # Section 5.1.2: "the Xeon also performs extremely well on the
+        # very-long-string benchmark, notably better than deserialization".
+        ser = run_serialization(build_microbench("string_very_long",
+                                                 batch=_SMALL_BATCH))
+        deser = run_deserialization(build_microbench("string_very_long",
+                                                     batch=_SMALL_BATCH))
+        assert ser.gbps("Xeon") > deser.gbps("Xeon")
+
+
+class TestHyperProtoBench:
+    def test_combined_speedup_band(self):
+        # Paper: 6.2x vs BOOM, 3.8x vs Xeon on average.
+        from repro.hyperprotobench import bench_names, build_hyperprotobench
+
+        deser, ser = [], []
+        for name in bench_names():
+            workload = build_hyperprotobench(name, batch=6)
+            deser.append(run_deserialization(workload))
+            ser.append(run_serialization(workload))
+        vs_boom = geomean([speedup_summary(deser)["vs riscv-boom"],
+                           speedup_summary(ser)["vs riscv-boom"]])
+        vs_xeon = geomean([speedup_summary(deser)["vs Xeon"],
+                           speedup_summary(ser)["vs Xeon"]])
+        assert 4.0 < vs_boom < 14.0
+        assert 2.0 < vs_xeon < 6.5

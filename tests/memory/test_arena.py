@@ -1,0 +1,85 @@
+"""Tests for accelerator arenas (Section 4.3)."""
+
+import pytest
+
+from repro.memory.arena import (
+    AcceleratorArena,
+    ArenaExhausted,
+    SerializerArena,
+)
+from repro.memory.memspace import SimMemory
+
+
+class TestAcceleratorArena:
+    def test_bump_allocation(self):
+        arena = AcceleratorArena(SimMemory(), size=1024)
+        a = arena.allocate(16)
+        b = arena.allocate(16)
+        assert b == a + 16
+        assert arena.allocations == 2
+        assert arena.bytes_used == 32
+
+    def test_alignment(self):
+        arena = AcceleratorArena(SimMemory(), size=1024)
+        arena.allocate(3)
+        addr = arena.allocate(8, alignment=16)
+        assert addr % 16 == 0
+
+    def test_exhaustion_raises(self):
+        arena = AcceleratorArena(SimMemory(), size=64)
+        with pytest.raises(ArenaExhausted):
+            arena.allocate(128)
+
+    def test_reset(self):
+        memory = SimMemory()
+        arena = AcceleratorArena(memory, size=1024)
+        first = arena.allocate(64)
+        arena.reset()
+        assert arena.bytes_used == 0
+        assert arena.allocate(64) == first
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorArena(SimMemory(), size=64).allocate(-1)
+
+
+class TestSerializerArena:
+    def test_pushes_grow_downward(self):
+        arena = SerializerArena(SimMemory(), data_size=4096)
+        first = arena.push_bytes(b"abc")
+        second = arena.push_bytes(b"de")
+        assert second == first - 2
+        assert arena.memory.read(second, 5) == b"deabc"
+
+    def test_finish_message_records_pointer(self):
+        arena = SerializerArena(SimMemory(), data_size=4096)
+        arena.push_bytes(b"hello")
+        addr, length = arena.finish_message()
+        assert length == 5
+        assert arena.output(0) == b"hello"
+        # The pointer table in memory holds (addr, length).
+        assert arena.memory.read_u64(arena.table_base) == addr
+        assert arena.memory.read_u64(arena.table_base + 8) == 5
+
+    def test_multiple_outputs(self):
+        arena = SerializerArena(SimMemory(), data_size=4096)
+        arena.push_bytes(b"first")
+        arena.finish_message()
+        arena.push_bytes(b"second!")
+        arena.finish_message()
+        assert arena.output(0) == b"first"
+        assert arena.output(1) == b"second!"
+        assert arena.output_count == 2
+
+    def test_exhaustion(self):
+        arena = SerializerArena(SimMemory(), data_size=64)
+        with pytest.raises(ArenaExhausted):
+            arena.push_bytes(b"x" * 128)
+
+    def test_reset(self):
+        arena = SerializerArena(SimMemory(), data_size=4096)
+        arena.push_bytes(b"data")
+        arena.finish_message()
+        arena.reset()
+        assert arena.output_count == 0
+        assert arena.cursor == arena.data_base + arena.data_size

@@ -1,0 +1,164 @@
+"""Tests for C++ object images: layout, SSO strings, round trips."""
+
+import pytest
+
+from repro.memory.layout import (
+    LayoutCache,
+    SSO_CAPACITY,
+    STRING_OBJECT_BYTES,
+    read_message_image,
+    read_string_object,
+    write_message_image,
+)
+from repro.memory.memspace import SimMemory
+from repro.proto import parse_schema
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message Inner { optional int32 a = 1; }
+        message M {
+          optional int64 x = 1;
+          optional bool b = 2;
+          optional int32 y = 3;
+          optional string s = 4;
+          optional Inner inner = 5;
+          repeated double ds = 6;
+          optional int32 sparse = 40;
+        }
+    """)
+
+
+class TestLayoutComputation:
+    def test_vptr_at_offset_zero_and_hasbits_after(self, schema):
+        cache = LayoutCache()
+        layout = cache.layout(schema["M"])
+        assert layout.hasbits_offset == 8
+        assert layout.vptr != 0
+
+    def test_hasbits_sized_by_span(self, schema):
+        cache = LayoutCache()
+        layout = cache.layout(schema["M"])
+        # span 1..40 = 40 bits -> one 64-bit word
+        assert layout.hasbits_words == 1
+
+    def test_wide_span_multiple_words(self):
+        schema = parse_schema("""
+            message W { optional int32 a = 1; optional int32 b = 200; }
+        """)
+        layout = LayoutCache().layout(schema["W"])
+        assert layout.hasbits_words == 4  # span 200 -> ceil(200/64)
+
+    def test_field_slots_aligned(self, schema):
+        layout = LayoutCache().layout(schema["M"])
+        assert layout.field_offsets[1] % 8 == 0   # int64
+        assert layout.field_offsets[4] % 8 == 0   # string pointer
+        assert layout.field_offsets[3] % 4 == 0   # int32
+
+    def test_object_size_covers_all_slots(self, schema):
+        layout = LayoutCache().layout(schema["M"])
+        assert layout.object_size >= max(layout.field_offsets.values()) + 4
+        assert layout.object_size % 8 == 0
+
+    def test_hasbit_position_relative_to_min(self):
+        schema = parse_schema("""
+            message S { optional int32 a = 100; optional int32 b = 103; }
+        """)
+        layout = LayoutCache().layout(schema["S"])
+        assert layout.hasbit_position(100) == (0, 0)
+        assert layout.hasbit_position(103) == (0, 3)
+
+    def test_layouts_memoised(self, schema):
+        cache = LayoutCache()
+        assert cache.layout(schema["M"]) is cache.layout(schema["M"])
+
+    def test_distinct_vptrs_per_type(self, schema):
+        cache = LayoutCache()
+        assert cache.vptr_for(schema["M"]) != cache.vptr_for(schema["Inner"])
+        assert cache.type_for_vptr(cache.vptr_for(schema["M"])) is \
+            schema["M"]
+
+
+class TestStringObjects:
+    def test_sso_string(self, schema):
+        memory = SimMemory()
+        cache = LayoutCache()
+        m = schema["M"].new_message()
+        m["s"] = "short"
+        addr = write_message_image(memory, memory.allocate, m, cache)
+        layout = cache.layout(schema["M"])
+        string_addr = memory.read_u64(addr + layout.field_offsets[4])
+        view = read_string_object(memory, string_addr)
+        assert view.is_sso
+        assert view.payload == b"short"
+        assert view.data_ptr == string_addr + 16
+
+    def test_heap_string(self, schema):
+        memory = SimMemory()
+        cache = LayoutCache()
+        m = schema["M"].new_message()
+        m["s"] = "x" * (SSO_CAPACITY + 1)
+        addr = write_message_image(memory, memory.allocate, m, cache)
+        layout = cache.layout(schema["M"])
+        view = read_string_object(
+            memory, memory.read_u64(addr + layout.field_offsets[4]))
+        assert not view.is_sso
+        assert view.size == SSO_CAPACITY + 1
+
+    def test_sso_boundary(self, schema):
+        memory = SimMemory()
+        cache = LayoutCache()
+        m = schema["M"].new_message()
+        m["s"] = "y" * SSO_CAPACITY
+        addr = write_message_image(memory, memory.allocate, m, cache)
+        layout = cache.layout(schema["M"])
+        view = read_string_object(
+            memory, memory.read_u64(addr + layout.field_offsets[4]))
+        assert view.is_sso
+
+    def test_string_object_is_32_bytes(self):
+        assert STRING_OBJECT_BYTES == 32
+
+
+class TestImageRoundTrip:
+    def test_full_round_trip(self, kitchen_schema, kitchen_message):
+        memory = SimMemory()
+        cache = LayoutCache()
+        addr = write_message_image(memory, memory.allocate,
+                                   kitchen_message, cache)
+        back = read_message_image(memory, kitchen_schema["Outer"], addr,
+                                  cache)
+        assert back == kitchen_message
+
+    def test_hasbits_reflect_presence(self, schema):
+        memory = SimMemory()
+        cache = LayoutCache()
+        m = schema["M"].new_message()
+        m["b"] = True
+        m["sparse"] = 9
+        addr = write_message_image(memory, memory.allocate, m, cache)
+        layout = cache.layout(schema["M"])
+        word = memory.read_u64(addr + layout.hasbits_offset)
+        assert word >> (2 - 1) & 1   # field 2, min=1
+        assert word >> (40 - 1) & 1
+        assert not word >> (1 - 1) & 1
+
+    def test_empty_message_round_trip(self, schema):
+        memory = SimMemory()
+        cache = LayoutCache()
+        m = schema["M"].new_message()
+        addr = write_message_image(memory, memory.allocate, m, cache)
+        assert read_message_image(memory, schema["M"], addr, cache) == m
+
+    def test_repeated_submessages(self, schema):
+        memory = SimMemory()
+        cache = LayoutCache()
+        m = schema["M"].new_message()
+        m["ds"] = [1.0, 2.5, -3.25]
+        inner = m.mutable("inner")
+        inner["a"] = -1
+        addr = write_message_image(memory, memory.allocate, m, cache)
+        back = read_message_image(memory, schema["M"], addr, cache)
+        assert list(back["ds"]) == [1.0, 2.5, -3.25]
+        assert back["inner"]["a"] == -1

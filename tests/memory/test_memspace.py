@@ -1,0 +1,73 @@
+"""Tests for the flat simulated memory."""
+
+import pytest
+
+from repro.memory.memspace import BASE_ADDRESS, SimMemory
+
+
+class TestAllocation:
+    def test_first_allocation_at_base(self):
+        memory = SimMemory()
+        assert memory.allocate(16) == BASE_ADDRESS
+
+    def test_alignment(self):
+        memory = SimMemory()
+        memory.allocate(3)
+        addr = memory.allocate(8, alignment=64)
+        assert addr % 64 == 0
+
+    def test_exhaustion(self):
+        memory = SimMemory(size=4096)
+        with pytest.raises(MemoryError):
+            memory.allocate(1 << 20)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimMemory().allocate(-1)
+
+
+class TestAccess:
+    def test_write_read(self):
+        memory = SimMemory()
+        addr = memory.allocate(16)
+        memory.write(addr, b"hello")
+        assert memory.read(addr, 5) == b"hello"
+
+    def test_typed_helpers(self):
+        memory = SimMemory()
+        addr = memory.allocate(32)
+        memory.write_u64(addr, 2**63 + 5)
+        assert memory.read_u64(addr) == 2**63 + 5
+        memory.write_u32(addr + 8, 0xDEADBEEF)
+        assert memory.read_u32(addr + 8) == 0xDEADBEEF
+        memory.write_u8(addr + 12, 0x7F)
+        assert memory.read_u8(addr + 12) == 0x7F
+
+    def test_signed_read(self):
+        memory = SimMemory()
+        addr = memory.allocate(8)
+        memory.write_u64(addr, (1 << 64) - 1)
+        assert memory.read_i64(addr) == -1
+
+    def test_fill(self):
+        memory = SimMemory()
+        addr = memory.allocate(8)
+        memory.fill(addr, 8, 0xAB)
+        assert memory.read(addr, 8) == b"\xab" * 8
+
+    def test_out_of_bounds_rejected(self):
+        memory = SimMemory(size=4096)
+        with pytest.raises(IndexError):
+            memory.read(0, 1)  # below BASE_ADDRESS (null page)
+        with pytest.raises(IndexError):
+            memory.read(BASE_ADDRESS + 4096, 1)
+
+    def test_stats(self):
+        memory = SimMemory()
+        addr = memory.allocate(16)
+        memory.write(addr, b"abcd")
+        memory.read(addr, 4)
+        assert memory.stats.writes == 1
+        assert memory.stats.written_bytes == 4
+        assert memory.stats.reads == 1
+        assert memory.stats.read_bytes == 4

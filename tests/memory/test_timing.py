@@ -1,0 +1,51 @@
+"""Tests for the memory timing model."""
+
+import pytest
+
+from repro.memory.timing import MemoryTimingModel
+
+
+class TestBeats:
+    def test_beat_counting(self):
+        timing = MemoryTimingModel()
+        assert timing.beats(0) == 0
+        assert timing.beats(1) == 1
+        assert timing.beats(16) == 1
+        assert timing.beats(17) == 2
+        assert timing.beats(256) == 16
+
+
+class TestLatencies:
+    def test_average_latency_mixes_levels(self):
+        timing = MemoryTimingModel(l2_fraction=1.0, llc_fraction=0.0)
+        assert timing.average_latency == timing.l2_hit_cycles
+        dram_only = MemoryTimingModel(l2_fraction=0.0, llc_fraction=0.0)
+        assert dram_only.average_latency == dram_only.dram_cycles
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTimingModel(l2_fraction=0.9, llc_fraction=0.2)
+
+    def test_stream_amortises_latency(self):
+        timing = MemoryTimingModel()
+        small = timing.stream_cycles(16)
+        large = timing.stream_cycles(16 * 1000)
+        # Streaming pays one startup latency regardless of length.
+        assert large - small == pytest.approx(999)
+
+    def test_dependent_access_pays_full_latency(self):
+        timing = MemoryTimingModel()
+        assert timing.dependent_access_cycles(8) == \
+            pytest.approx(timing.average_latency + 1)
+
+    def test_independent_accesses_overlap(self):
+        timing = MemoryTimingModel(max_outstanding=8)
+        serial = 8 * timing.dependent_access_cycles(8)
+        overlapped = timing.independent_access_cycles(8, count=8)
+        assert overlapped < serial
+
+    def test_zero_bytes_free(self):
+        timing = MemoryTimingModel()
+        assert timing.stream_cycles(0) == 0
+        assert timing.dependent_access_cycles(0) == 0
+        assert timing.independent_access_cycles(0, 5) == 0

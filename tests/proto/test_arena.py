@@ -1,0 +1,69 @@
+"""Tests for software arena allocation (Section 2.3)."""
+
+import pytest
+
+from repro.proto import parse_schema
+from repro.proto.arena import Arena
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("message M { optional int32 a = 1; }")
+
+
+class TestArena:
+    def test_messages_register(self, schema):
+        arena = Arena()
+        schema["M"].new_message(arena=arena)
+        schema["M"].new_message(arena=arena)
+        assert arena.owned_messages == 2
+
+    def test_allocate_bumps(self):
+        arena = Arena()
+        first = arena.allocate(24)
+        second = arena.allocate(8)
+        assert second == first + 24
+        assert arena.bytes_allocated == 32
+
+    def test_alignment(self):
+        arena = Arena()
+        arena.allocate(3)
+        offset = arena.allocate(8)
+        assert offset % 8 == 0
+
+    def test_chunk_refills(self):
+        arena = Arena(chunk_bytes=64)
+        assert arena.chunk_refills == 0
+        arena.allocate(100)
+        assert arena.chunk_refills >= 1
+
+    def test_reset_clears_messages(self, schema):
+        arena = Arena()
+        m = schema["M"].new_message(arena=arena)
+        m["a"] = 1
+        arena.reset()
+        assert arena.owned_messages == 0
+        assert not m.has("a")
+        assert arena.bytes_allocated == 0
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            Arena().allocate(-1)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            Arena(chunk_bytes=0)
+
+    def test_decoder_threads_arena_to_children(self):
+        schema = parse_schema("""
+            message Inner { optional int32 a = 1; }
+            message Outer { optional Inner inner = 1; }
+        """)
+        arena = Arena()
+        outer = schema["Outer"].new_message(arena=arena)
+        outer.mutable("inner")["a"] = 1
+        data = outer.serialize()
+        parsed = schema["Outer"].parse(data, arena=arena)
+        assert parsed["inner"]["a"] == 1
+        # top-level + inner for both the built and the parsed trees
+        assert arena.owned_messages == 4

@@ -1,0 +1,213 @@
+"""Tests for protoc-style code generation."""
+
+import pytest
+
+from repro.proto import parse_schema
+from repro.proto.compiler import compile_schema, generate_source
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema("""
+        enum Mode { OFF = 0; ON = 1; }
+        message Inner { optional int32 a = 1; }
+        message Outer {
+          required int64 x = 1;
+          optional string name = 2;
+          repeated int32 nums = 3;
+          optional Inner inner = 4;
+          repeated Inner kids = 5;
+          optional Mode mode = 6;
+          optional bool class = 7;
+        }
+    """)
+
+
+@pytest.fixture(scope="module")
+def generated(schema):
+    return compile_schema(schema, module_name="outer_pb2")
+
+
+class TestGeneratedClasses:
+    def test_classes_exist(self, generated):
+        assert hasattr(generated, "Outer")
+        assert hasattr(generated, "Inner")
+        assert hasattr(generated, "Mode")
+
+    def test_scalar_accessors(self, generated):
+        outer = generated.Outer()
+        outer.x = 42
+        assert outer.x == 42
+        assert outer.has_x()
+        outer.clear_x()
+        assert not outer.has_x()
+
+    def test_default_read_through(self, generated):
+        outer = generated.Outer()
+        assert outer.name == ""
+        assert not outer.has_name()
+
+    def test_validation_enforced(self, generated):
+        outer = generated.Outer()
+        with pytest.raises(TypeError):
+            outer.x = "nope"
+
+    def test_repeated_scalar(self, generated):
+        outer = generated.Outer()
+        outer.nums = [1, 2]
+        outer.add_nums(3)
+        assert list(outer.nums) == [1, 2, 3]
+
+    def test_submessage_wrapping(self, generated):
+        outer = generated.Outer()
+        inner = outer.mutable_inner()
+        assert isinstance(inner, generated.Inner)
+        inner.a = 7
+        assert outer.inner.a == 7
+        assert outer.has_inner()
+
+    def test_repeated_submessage(self, generated):
+        outer = generated.Outer()
+        kid = outer.add_kids()
+        kid.a = 5
+        assert [k.a for k in outer.kids] == [5]
+
+    def test_enum_constants(self, generated):
+        assert generated.Mode.OFF == 0
+        assert generated.Mode.ON == 1
+        outer = generated.Outer()
+        outer.mode = generated.Mode.ON
+        assert outer.mode == 1
+
+    def test_keyword_field_renamed(self, generated):
+        outer = generated.Outer()
+        outer.class_ = True
+        assert outer.class_ is True
+
+    def test_serialize_parse_round_trip(self, generated):
+        outer = generated.Outer()
+        outer.x = -1
+        outer.name = "hello"
+        outer.mutable_inner().a = 9
+        data = outer.serialize()
+        again = generated.Outer.parse(data)
+        assert again == outer
+        assert again.inner.a == 9
+
+    def test_wire_identical_to_dynamic_api(self, schema, generated):
+        outer = generated.Outer()
+        outer.x = 5
+        outer.name = "abc"
+        dynamic = schema["Outer"].new_message()
+        dynamic["x"] = 5
+        dynamic["name"] = "abc"
+        assert outer.serialize() == dynamic.serialize()
+
+    def test_copy_and_merge(self, generated):
+        a = generated.Outer()
+        a.x = 1
+        b = a.copy()
+        b.x = 2
+        assert a.x == 1
+        a.merge_from(b)
+        assert a.x == 2
+
+    def test_byte_size(self, generated):
+        outer = generated.Outer()
+        outer.x = 300
+        assert outer.byte_size() == len(outer.serialize())
+
+    def test_unwrap_for_runtime_interop(self, schema, generated):
+        from repro.accel.driver import ProtoAccelerator
+
+        outer = generated.Outer()
+        outer.x = 77
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        addr = accel.load_object(outer.unwrap())
+        assert accel.serialize(schema["Outer"], addr).data == \
+            outer.serialize()
+
+
+class TestOneofAndMapGeneration:
+    @pytest.fixture(scope="class")
+    def module(self):
+        schema = parse_schema("""
+            message M {
+              oneof payload { string text = 1; int64 num = 2; }
+              map<string, int32> counters = 5;
+            }
+        """)
+        return compile_schema(schema, module_name="m_pb2")
+
+    def test_which_oneof(self, module):
+        m = module.M()
+        m.text = "hi"
+        assert m.which_oneof("payload") == "text"
+        m.num = 3
+        assert m.which_oneof("payload") == "num"
+        assert not m.has_text()
+
+    def test_map_accessors(self, module):
+        m = module.M()
+        m.set_counters("hits", 2)
+        m.set_counters("hits", 3)
+        assert m.get_counters("hits") == 3
+        assert m.counters == {"hits": 3}
+        assert m.remove_counters("hits")
+        assert m.counters == {}
+
+    def test_entry_class_hidden(self, module):
+        assert not hasattr(module, "M_CountersEntry")
+
+
+class TestServiceStubs:
+    @pytest.fixture(scope="class")
+    def svc_module(self):
+        schema = parse_schema("""
+            message Ping { optional int32 n = 1; }
+            message Pong { optional int32 n = 1; }
+            service Game { rpc Play (Ping) returns (Pong); }
+        """)
+        return schema, compile_schema(schema, module_name="game_pb2")
+
+    def test_stub_generated(self, svc_module):
+        _, module = svc_module
+        assert hasattr(module, "GameStub")
+
+    def test_stub_end_to_end(self, svc_module):
+        from repro.proto.rpc import ServiceHandler
+
+        schema, module = svc_module
+        handler = ServiceHandler(schema.service("Game"))
+
+        def play(request):
+            response = schema["Pong"].new_message()
+            response["n"] = request["n"] + 1
+            return response
+
+        handler.register("Play", play)
+        stub = module.GameStub(transport=handler)
+        ping = module.Ping()
+        ping.n = 41
+        pong = stub.Play(ping)
+        assert isinstance(pong, module.Pong)
+        assert pong.n == 42
+
+
+class TestGeneratedSource:
+    def test_source_is_readable(self, schema):
+        source = generate_source(schema)
+        assert "DO NOT EDIT" in source
+        assert "class Outer:" in source
+        assert "def mutable_inner" in source
+        assert '"""repeated int32 = 3"""' in source
+
+    def test_source_attached_to_module(self, generated):
+        assert "class Outer:" in generated.__source__
+
+    def test_source_compiles_standalone(self, schema):
+        source = generate_source(schema)
+        namespace = {"_SCHEMA": schema}
+        exec(compile(source, "<test>", "exec"), namespace)
+        assert "Outer" in namespace

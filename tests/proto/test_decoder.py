@@ -1,0 +1,207 @@
+"""Tests for the software deserializer."""
+
+import pytest
+
+from repro.proto import parse_schema
+from repro.proto.decoder import merge_from_wire, parse_message
+from repro.proto.encoder import serialize_message
+from repro.proto.errors import DecodeError
+from repro.proto.trace import Op, Trace
+from repro.proto.varint import encode_varint
+from repro.proto.wire import encode_tag
+from repro.proto.types import WireType
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message Inner { optional int32 a = 1; repeated int32 xs = 2; }
+        message M {
+          optional int32 i = 1;
+          optional string s = 2;
+          repeated int32 packed_nums = 3 [packed = true];
+          repeated int32 plain_nums = 4;
+          optional Inner inner = 5;
+          optional sint64 z = 6;
+          optional uint32 u = 7;
+          optional bytes raw = 8;
+        }
+    """)
+
+
+class TestBasicDecoding:
+    def test_varint_field(self, schema):
+        m = parse_message(schema["M"], b"\x08\x96\x01")
+        assert m["i"] == 150
+
+    def test_negative_int32(self, schema):
+        m = parse_message(schema["M"], b"\x08" + b"\xff" * 9 + b"\x01")
+        assert m["i"] == -1
+
+    def test_string(self, schema):
+        m = parse_message(schema["M"], b"\x12\x05hello")
+        assert m["s"] == "hello"
+
+    def test_bytes(self, schema):
+        m = parse_message(schema["M"], b"\x42\x03\x00\x01\x02")
+        assert m["raw"] == b"\x00\x01\x02"
+
+    def test_sint64(self, schema):
+        m = parse_message(schema["M"], b"\x30\x03")
+        assert m["z"] == -2
+
+    def test_uint32_wraps_to_32_bits(self, schema):
+        data = b"\x38" + encode_varint(2**32 + 5)
+        m = parse_message(schema["M"], data)
+        assert m["u"] == 5
+
+    def test_empty_input(self, schema):
+        m = parse_message(schema["M"], b"")
+        assert m.present_field_numbers() == []
+
+    def test_last_value_wins_for_singular(self, schema):
+        m = parse_message(schema["M"], b"\x08\x01\x08\x02")
+        assert m["i"] == 2
+
+
+class TestRepeated:
+    def test_packed(self, schema):
+        m = parse_message(schema["M"],
+                          b"\x1a\x06\x03\x8e\x02\x9e\xa7\x05")
+        assert list(m["packed_nums"]) == [3, 270, 86942]
+
+    def test_unpacked(self, schema):
+        m = parse_message(schema["M"], b"\x20\x01\x20\x02")
+        assert list(m["plain_nums"]) == [1, 2]
+
+    def test_packed_encoding_accepted_for_unpacked_field(self, schema):
+        # proto2 parsers must accept both encodings regardless of the
+        # declared packed option.
+        data = encode_tag(4, WireType.LENGTH_DELIMITED) + b"\x02\x01\x02"
+        m = parse_message(schema["M"], data)
+        assert list(m["plain_nums"]) == [1, 2]
+
+    def test_unpacked_encoding_accepted_for_packed_field(self, schema):
+        data = (encode_tag(3, WireType.VARINT) + b"\x07"
+                + encode_tag(3, WireType.VARINT) + b"\x08")
+        m = parse_message(schema["M"], data)
+        assert list(m["packed_nums"]) == [7, 8]
+
+    def test_interleaved_repeated_fields(self, schema):
+        data = b"\x20\x01\x12\x01x\x20\x02"
+        m = parse_message(schema["M"], data)
+        assert list(m["plain_nums"]) == [1, 2]
+        assert m["s"] == "x"
+
+
+class TestSubMessages:
+    def test_nested(self, schema):
+        m = parse_message(schema["M"], b"\x2a\x02\x08\x07")
+        assert m["inner"]["a"] == 7
+
+    def test_empty_submessage(self, schema):
+        m = parse_message(schema["M"], b"\x2a\x00")
+        assert m.has("inner")
+        assert m["inner"].present_field_numbers() == []
+
+    def test_split_submessage_merges(self, schema):
+        # Two occurrences of a singular sub-message field merge.
+        data = b"\x2a\x02\x08\x07" + b"\x2a\x03\x12\x01\x05"
+        m = parse_message(schema["M"], data)
+        assert m["inner"]["a"] == 7
+        assert list(m["inner"]["xs"]) == [5]
+
+
+class TestUnknownFields:
+    def test_unknown_varint_skipped(self, schema):
+        data = encode_tag(30, WireType.VARINT) + b"\x05" + b"\x08\x01"
+        m = parse_message(schema["M"], data)
+        assert m["i"] == 1
+
+    def test_unknown_length_delimited_skipped(self, schema):
+        data = (encode_tag(31, WireType.LENGTH_DELIMITED) + b"\x03abc"
+                + b"\x08\x02")
+        m = parse_message(schema["M"], data)
+        assert m["i"] == 2
+
+    def test_unknown_fixed_skipped(self, schema):
+        data = (encode_tag(32, WireType.FIXED64) + b"\x00" * 8
+                + encode_tag(33, WireType.FIXED32) + b"\x00" * 4)
+        m = parse_message(schema["M"], data)
+        assert m.present_field_numbers() == []
+
+
+class TestErrors:
+    def test_truncated_varint(self, schema):
+        with pytest.raises(DecodeError):
+            parse_message(schema["M"], b"\x08\x80")
+
+    def test_truncated_string(self, schema):
+        with pytest.raises(DecodeError):
+            parse_message(schema["M"], b"\x12\x05hi")
+
+    def test_truncated_submessage(self, schema):
+        with pytest.raises(DecodeError):
+            parse_message(schema["M"], b"\x2a\x05\x08\x01")
+
+    def test_wrong_wire_type_for_field(self, schema):
+        data = encode_tag(1, WireType.FIXED32) + b"\x00" * 4
+        with pytest.raises(DecodeError):
+            parse_message(schema["M"], data)
+
+    def test_group_wire_type_rejected(self, schema):
+        data = encode_tag(30, WireType.START_GROUP)
+        with pytest.raises(DecodeError):
+            parse_message(schema["M"], data)
+
+
+class TestMergeFromWire:
+    def test_merge_into_existing(self, schema):
+        m = schema["M"].new_message()
+        m["i"] = 1
+        merge_from_wire(m, b"\x12\x02ab")
+        assert m["i"] == 1
+        assert m["s"] == "ab"
+
+
+class TestTraceEvents:
+    def test_dispatch_per_field(self, schema):
+        trace = Trace()
+        parse_message(schema["M"], b"\x08\x01\x12\x01x", trace=trace)
+        assert trace.count(Op.FIELD_DISPATCH) == 2
+        assert trace.count(Op.TAG_DECODE) == 2
+
+    def test_string_alloc_and_memcpy(self, schema):
+        trace = Trace()
+        parse_message(schema["M"], b"\x12\x05hello", trace=trace)
+        assert trace.count(Op.ALLOC) == 1
+        assert trace.total(Op.MEMCPY) == 5
+
+    def test_submessage_construct(self, schema):
+        trace = Trace()
+        parse_message(schema["M"], b"\x2a\x02\x08\x07", trace=trace)
+        assert trace.count(Op.OBJ_CONSTRUCT) == 1
+        assert trace.count(Op.MSG_ENTER) == 1
+
+    def test_first_repeated_element_allocates(self, schema):
+        trace = Trace()
+        parse_message(schema["M"], b"\x20\x01\x20\x02", trace=trace)
+        assert trace.count(Op.ALLOC) == 1
+
+
+class TestRequiredOnParse:
+    def test_opt_in_required_check(self):
+        from repro.proto import parse_schema
+
+        schema = parse_schema("""
+            message R { required int32 a = 1; optional int32 b = 2; }
+        """)
+        # Default: lenient, like MergePartialFromString.
+        lenient = parse_message(schema["R"], b"\x10\x05")
+        assert lenient["b"] == 5
+        # Opt-in: missing required field rejects the parse.
+        with pytest.raises(DecodeError):
+            parse_message(schema["R"], b"\x10\x05", check_required=True)
+        strict = parse_message(schema["R"], b"\x08\x01",
+                               check_required=True)
+        assert strict["a"] == 1

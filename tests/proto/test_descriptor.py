@@ -1,0 +1,114 @@
+"""Tests for descriptors: field numbering, spans, density, validation."""
+
+import pytest
+
+from repro.proto.descriptor import (
+    EnumDescriptor,
+    FieldDescriptor,
+    MessageDescriptor,
+    Schema,
+)
+from repro.proto.errors import SchemaError
+from repro.proto.types import FieldType, Label
+
+
+def _field(number, name=None, **kwargs):
+    return FieldDescriptor(name=name or f"f{number}", number=number,
+                           field_type=kwargs.pop("field_type",
+                                                 FieldType.INT32),
+                           **kwargs)
+
+
+class TestFieldDescriptor:
+    def test_reserved_range_rejected(self):
+        with pytest.raises(SchemaError):
+            _field(19000)
+        _field(18999)
+        _field(20000)
+
+    def test_max_field_number(self):
+        _field(2**29 - 1)
+        with pytest.raises(SchemaError):
+            _field(2**29)
+
+    def test_group_rejected(self):
+        with pytest.raises(SchemaError):
+            _field(1, field_type=FieldType.GROUP)
+
+    def test_message_needs_type_name(self):
+        with pytest.raises(SchemaError):
+            _field(1, field_type=FieldType.MESSAGE)
+
+    def test_defaults_by_type(self):
+        assert _field(1, field_type=FieldType.STRING).default_scalar() == ""
+        assert _field(1, field_type=FieldType.BYTES).default_scalar() == b""
+        assert _field(1, field_type=FieldType.BOOL).default_scalar() is False
+        assert _field(1, field_type=FieldType.DOUBLE).default_scalar() == 0.0
+        assert _field(1).default_scalar() == 0
+
+
+class TestMessageDescriptor:
+    def test_span(self):
+        descriptor = MessageDescriptor("M", [_field(3), _field(10)])
+        assert descriptor.min_field_number == 3
+        assert descriptor.max_field_number == 10
+        assert descriptor.field_number_span == 8
+
+    def test_empty_span_zero(self):
+        descriptor = MessageDescriptor("M", [])
+        assert descriptor.field_number_span == 0
+
+    def test_hasbit_indices_follow_declaration_order(self):
+        descriptor = MessageDescriptor("M", [_field(5), _field(2)])
+        assert descriptor.field_by_number(5).hasbit_index == 0
+        assert descriptor.field_by_number(2).hasbit_index == 1
+
+    def test_usage_density(self):
+        descriptor = MessageDescriptor("M", [_field(1), _field(64)])
+        assert descriptor.usage_density(2) == pytest.approx(2 / 64)
+        # The Section 3.7 comparison point: density above 1/64 favours
+        # the paper's per-type ADT design.
+        assert descriptor.usage_density(2) > 1 / 64
+
+    def test_lookup_miss_returns_none(self):
+        descriptor = MessageDescriptor("M", [_field(1)])
+        assert descriptor.field_by_number(2) is None
+        assert descriptor.field_by_name("zzz") is None
+
+
+class TestEnumDescriptor:
+    def test_default_is_first_value(self):
+        enum = EnumDescriptor("E", {"B": 5, "A": 1})
+        assert enum.default_value() == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            EnumDescriptor("E", {})
+
+
+class TestSchema:
+    def test_resolve_links_message_types(self):
+        schema = Schema()
+        schema.add_message(MessageDescriptor("Leaf", [_field(1)]))
+        schema.add_message(MessageDescriptor("Root", [
+            _field(1, field_type=FieldType.MESSAGE, type_name="Leaf")]))
+        schema.resolve()
+        assert schema["Root"].field_by_number(1).message_type is \
+            schema["Leaf"]
+
+    def test_resolve_dangling_reference_raises(self):
+        schema = Schema()
+        schema.add_message(MessageDescriptor("Root", [
+            _field(1, field_type=FieldType.MESSAGE, type_name="Nope")]))
+        with pytest.raises(SchemaError):
+            schema.resolve()
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(SchemaError):
+            Schema()["Missing"]
+
+    def test_contains(self):
+        schema = Schema()
+        schema.add_message(MessageDescriptor("M", []))
+        assert "M" in schema
+        assert "N" not in schema

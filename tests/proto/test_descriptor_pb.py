@@ -1,0 +1,170 @@
+"""Tests for descriptor.proto-style schema reflection."""
+
+import pytest
+
+from repro.proto import parse_schema
+from repro.proto.descriptor_pb import (
+    DESCRIPTOR_SCHEMA,
+    schema_from_file_descriptor,
+    schema_to_file_descriptor,
+)
+
+SOURCE = """
+syntax = "proto2";
+package demo;
+
+enum Mode { OFF = 0; ON = 1; }
+
+message Inner {
+  optional int32 a = 1;
+  enum Kind { PLAIN = 0; FANCY = 3; }
+  optional Kind kind = 2;
+}
+
+message Outer {
+  required int64 x = 1;
+  optional string name = 2 [default = "anon"];
+  repeated double vals = 3 [packed = true];
+  optional Inner inner = 4;
+  repeated Inner kids = 5;
+  optional Mode mode = 6 [default = ON];
+  oneof payload { string text = 10; int64 num = 11; }
+  map<string, int32> counts = 20;
+}
+"""
+
+
+def _equivalent(a, b) -> bool:
+    if {m.name for m in a.messages()} != {m.name for m in b.messages()}:
+        return False
+    for message in a.messages():
+        other = b[message.name]
+        if message.is_map_entry != other.is_map_entry:
+            return False
+        if message.oneof_groups != other.oneof_groups:
+            return False
+        for fd in message.fields:
+            od = other.field_by_number(fd.number)
+            if od is None:
+                return False
+            if (od.name, od.field_type, od.label, od.packed, od.default,
+                    od.type_name, od.oneof_group) != \
+                    (fd.name, fd.field_type, fd.label, fd.packed,
+                     fd.default, fd.type_name, fd.oneof_group):
+                return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(SOURCE)
+
+
+class TestEncoding:
+    def test_file_level_metadata(self, schema):
+        proto = schema_to_file_descriptor(schema, name="demo.proto")
+        assert proto["name"] == "demo.proto"
+        assert proto["package"] == "demo"
+        assert proto["syntax"] == "proto2"
+
+    def test_upstream_type_numbers(self, schema):
+        proto = schema_to_file_descriptor(schema)
+        outer = next(m for m in proto["message_type"]
+                     if m["name"] == "Outer")
+        by_name = {f["name"]: f for f in outer["field"]}
+        assert by_name["x"]["type"] == 3        # TYPE_INT64
+        assert by_name["name"]["type"] == 9     # TYPE_STRING
+        assert by_name["vals"]["type"] == 1     # TYPE_DOUBLE
+        assert by_name["inner"]["type"] == 11   # TYPE_MESSAGE
+        assert by_name["mode"]["type"] == 14    # TYPE_ENUM
+        assert by_name["x"]["label"] == 2       # LABEL_REQUIRED
+        assert by_name["vals"]["label"] == 3    # LABEL_REPEATED
+
+    def test_type_names_are_fully_qualified(self, schema):
+        proto = schema_to_file_descriptor(schema)
+        outer = next(m for m in proto["message_type"]
+                     if m["name"] == "Outer")
+        by_name = {f["name"]: f for f in outer["field"]}
+        assert by_name["inner"]["type_name"] == ".Inner"
+        assert by_name["mode"]["type_name"] == ".Mode"
+
+    def test_nested_types_nest(self, schema):
+        proto = schema_to_file_descriptor(schema)
+        outer = next(m for m in proto["message_type"]
+                     if m["name"] == "Outer")
+        nested = [n["name"] for n in outer["nested_type"]]
+        assert "CountsEntry" in nested
+        entry = next(n for n in outer["nested_type"]
+                     if n["name"] == "CountsEntry")
+        assert entry["options"]["map_entry"] is True
+
+    def test_oneof_decls_and_indices(self, schema):
+        proto = schema_to_file_descriptor(schema)
+        outer = next(m for m in proto["message_type"]
+                     if m["name"] == "Outer")
+        assert [d["name"] for d in outer["oneof_decl"]] == ["payload"]
+        by_name = {f["name"]: f for f in outer["field"]}
+        assert by_name["text"]["oneof_index"] == 0
+        assert by_name["num"]["oneof_index"] == 0
+        assert not by_name["x"].has("oneof_index")
+
+    def test_defaults_and_packed(self, schema):
+        proto = schema_to_file_descriptor(schema)
+        outer = next(m for m in proto["message_type"]
+                     if m["name"] == "Outer")
+        by_name = {f["name"]: f for f in outer["field"]}
+        assert by_name["name"]["default_value"] == "anon"
+        assert by_name["mode"]["default_value"] == "ON"
+        assert by_name["vals"]["options"]["packed"] is True
+
+
+class TestRoundTrip:
+    def test_in_memory_round_trip(self, schema):
+        proto = schema_to_file_descriptor(schema)
+        again = schema_from_file_descriptor(proto)
+        assert _equivalent(schema, again)
+
+    def test_wire_round_trip(self, schema):
+        blob = schema_to_file_descriptor(schema).serialize()
+        parsed = DESCRIPTOR_SCHEMA["FileDescriptorProto"].parse(blob)
+        again = schema_from_file_descriptor(parsed)
+        assert _equivalent(schema, again)
+        assert again.syntax == "proto2"
+        assert again.package == "demo"
+
+    def test_rebuilt_schema_is_functional(self, schema):
+        blob = schema_to_file_descriptor(schema).serialize()
+        again = schema_from_file_descriptor(
+            DESCRIPTOR_SCHEMA["FileDescriptorProto"].parse(blob))
+        m = again["Outer"].new_message()
+        m["x"] = 1
+        m["num"] = 7
+        m.map_set("counts", "k", 2)
+        back = again["Outer"].parse(m.serialize())
+        assert back == m
+        assert back.which_oneof("payload") == "num"
+
+    def test_wrong_message_type_rejected(self, schema):
+        with pytest.raises(TypeError):
+            schema_from_file_descriptor(
+                DESCRIPTOR_SCHEMA["DescriptorProto"].new_message())
+
+
+class TestSelfHosting:
+    def test_meta_schema_describes_itself(self):
+        """descriptor.proto can describe descriptor.proto."""
+        proto = schema_to_file_descriptor(DESCRIPTOR_SCHEMA,
+                                          name="descriptor.proto")
+        blob = proto.serialize()
+        parsed = DESCRIPTOR_SCHEMA["FileDescriptorProto"].parse(blob)
+        again = schema_from_file_descriptor(parsed)
+        assert _equivalent(DESCRIPTOR_SCHEMA, again)
+
+    def test_hyperprotobench_schemas_reflect(self):
+        from repro.hyperprotobench.workload import generate_bench
+
+        bench = generate_bench("bench2", batch=1)
+        blob = schema_to_file_descriptor(bench.schema).serialize()
+        again = schema_from_file_descriptor(
+            DESCRIPTOR_SCHEMA["FileDescriptorProto"].parse(blob))
+        assert _equivalent(bench.schema, again)

@@ -1,0 +1,199 @@
+"""Edge-case coverage across the proto stack."""
+
+import pytest
+
+from repro.proto import parse_schema
+from repro.proto.errors import DecodeError, EncodeError
+from repro.proto.text_format import message_to_text
+from repro.proto.varint import encode_varint
+from repro.proto.writer import schema_to_proto
+
+
+class TestEnumRoundTrips:
+    @pytest.fixture()
+    def schema(self):
+        return parse_schema("""
+            enum Level { ZERO = 0; LOW = 1; HIGH = 5; NEGATIVE = -2; }
+            message M {
+              optional Level level = 1;
+              repeated Level history = 2;
+              repeated Level packed_history = 3 [packed = true];
+            }
+        """)
+
+    def test_negative_enum_is_ten_wire_bytes(self, schema):
+        m = schema["M"].new_message()
+        m["level"] = -2
+        data = m.serialize()
+        assert len(data) == 11
+        assert schema["M"].parse(data)["level"] == -2
+
+    def test_enum_by_name_and_value(self, schema):
+        m = schema["M"].new_message()
+        m["level"] = "HIGH"
+        assert m["level"] == 5
+        m["history"] = ["LOW", 5, "ZERO"]
+        assert list(m["history"]) == [1, 5, 0]
+
+    def test_packed_enum_round_trip(self, schema):
+        m = schema["M"].new_message()
+        m["packed_history"] = [0, 1, 5]
+        assert schema["M"].parse(m.serialize()) == m
+
+    def test_unknown_enum_name_rejected(self, schema):
+        m = schema["M"].new_message()
+        with pytest.raises(ValueError):
+            m["level"] = "MEDIUM"
+
+    def test_accelerator_enum_round_trip(self, schema):
+        from repro.accel.driver import ProtoAccelerator
+
+        m = schema["M"].new_message()
+        m["level"] = -2
+        m["history"] = [1, 5]
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        result = accel.deserialize(schema["M"], m.serialize())
+        assert accel.read_message(schema["M"], result.dest_addr) == m
+        obj = accel.load_object(m)
+        assert accel.serialize(schema["M"], obj).data == m.serialize()
+
+
+class TestExtremeValues:
+    @pytest.fixture()
+    def schema(self):
+        return parse_schema("""
+            message M {
+              optional double d = 1;
+              optional float f = 2;
+              optional uint64 u = 3;
+              optional sint64 s = 4;
+              optional fixed64 x = 5;
+            }
+        """)
+
+    @pytest.mark.parametrize("name,value", [
+        ("d", 1.7976931348623157e308),
+        ("d", -0.0),
+        ("d", 5e-324),
+        ("f", 3.4028234663852886e38),
+        ("u", 2**64 - 1),
+        ("s", -(2**63)),
+        ("s", 2**63 - 1),
+        ("x", 2**64 - 1),
+    ])
+    def test_boundary_round_trip(self, schema, name, value):
+        m = schema["M"].new_message()
+        m[name] = value
+        assert schema["M"].parse(m.serialize())[name] == value
+
+    def test_accelerator_boundary_values(self, schema):
+        from repro.accel.driver import ProtoAccelerator
+
+        m = schema["M"].new_message()
+        m["d"] = -0.0
+        m["u"] = 2**64 - 1
+        m["s"] = -(2**63)
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        result = accel.deserialize(schema["M"], m.serialize())
+        assert accel.read_message(schema["M"], result.dest_addr) == m
+
+
+class TestDeeplyNestedSchemas:
+    def test_five_levels_of_nesting(self):
+        schema = parse_schema("""
+            message A {
+              message B {
+                message C {
+                  message D {
+                    message E { optional int32 x = 1; }
+                    optional E e = 1;
+                  }
+                  optional D d = 1;
+                }
+                optional C c = 1;
+              }
+              optional B b = 1;
+            }
+        """)
+        assert "A.B.C.D.E" in schema
+        m = schema["A"].new_message()
+        m.mutable("b").mutable("c").mutable("d").mutable("e")["x"] = 7
+        back = schema["A"].parse(m.serialize())
+        assert back["b"]["c"]["d"]["e"]["x"] == 7
+
+    def test_sibling_scope_resolution(self):
+        schema = parse_schema("""
+            message Outer {
+              message Inner { optional int32 a = 1; }
+              message Other { optional Inner peer = 1; }
+            }
+        """)
+        fd = schema["Outer.Other"].field_by_name("peer")
+        assert fd.message_type is schema["Outer.Inner"]
+
+
+class TestTextFormatCoverage:
+    def test_oneof_and_map_render(self):
+        schema = parse_schema("""
+            message M {
+              oneof payload { string text = 1; int64 num = 2; }
+              map<string, int32> counts = 3;
+            }
+        """)
+        m = schema["M"].new_message()
+        m["num"] = 5
+        m.map_set("counts", "k", 1)
+        text = message_to_text(m)
+        assert "num: 5" in text
+        assert "counts {" in text
+        assert 'key: "k"' in text
+
+
+class TestWriterCoverage:
+    def test_proto3_syntax_preserved(self):
+        schema = parse_schema(
+            'syntax = "proto3"; message M { optional string s = 1; }')
+        emitted = schema_to_proto(schema)
+        assert 'syntax = "proto3";' in emitted
+        reparsed = parse_schema(emitted)
+        assert reparsed["M"].field_by_name("s").validate_utf8
+
+    def test_package_preserved(self):
+        schema = parse_schema("package a.b; message M { }")
+        assert "package a.b;" in schema_to_proto(schema)
+
+
+class TestRequiredFieldsInSubMessages:
+    def test_nested_required_enforced(self):
+        schema = parse_schema("""
+            message Inner { required int32 a = 1; }
+            message Outer { optional Inner inner = 1; }
+        """)
+        m = schema["Outer"].new_message()
+        m.mutable("inner")
+        with pytest.raises(EncodeError):
+            m.serialize()
+        m["inner"]["a"] = 1
+        assert m.serialize()
+
+
+class TestDecoderLimits:
+    def test_zero_length_packed_field(self):
+        schema = parse_schema(
+            "message M { repeated int32 xs = 1 [packed = true]; }")
+        m = schema["M"].parse(b"\x0a\x00")
+        # An empty packed payload marks presence but adds no elements.
+        assert len(m["xs"]) == 0
+
+    def test_truncated_packed_payload(self):
+        schema = parse_schema(
+            "message M { repeated int32 xs = 1 [packed = true]; }")
+        with pytest.raises(DecodeError):
+            schema["M"].parse(b"\x0a" + encode_varint(100) + b"\x01")
+
+    def test_string_spanning_exact_buffer(self):
+        schema = parse_schema("message M { optional string s = 1; }")
+        payload = b"\x0a\x03abc"
+        assert schema["M"].parse(payload)["s"] == "abc"

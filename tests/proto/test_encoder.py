@@ -1,0 +1,150 @@
+"""Tests for the software serializer and ByteSize pass."""
+
+import pytest
+
+from repro.proto import parse_schema
+from repro.proto.encoder import byte_size, serialize_message
+from repro.proto.errors import EncodeError
+from repro.proto.trace import Op, Trace
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message Inner { optional int32 a = 1; }
+        message M {
+          optional int32 i = 1;
+          optional string s = 2;
+          repeated int32 packed_nums = 3 [packed = true];
+          repeated int32 plain_nums = 4;
+          optional Inner inner = 5;
+          optional double d = 6;
+          optional float f = 7;
+          optional sint32 z = 8;
+          optional bool b = 9;
+          optional fixed32 f32 = 10;
+        }
+    """)
+
+
+class TestKnownEncodings:
+    def test_varint_field(self, schema):
+        m = schema["M"].new_message()
+        m["i"] = 150
+        assert m.serialize() == b"\x08\x96\x01"
+
+    def test_string_field(self, schema):
+        m = schema["M"].new_message()
+        m["s"] = "testing"
+        assert m.serialize() == b"\x12\x07testing"
+
+    def test_negative_int32_is_ten_bytes(self, schema):
+        m = schema["M"].new_message()
+        m["i"] = -1
+        data = m.serialize()
+        assert len(data) == 11  # 1 key + 10 varint bytes
+        assert data[1:] == b"\xff" * 9 + b"\x01"
+
+    def test_sint32_zigzag(self, schema):
+        m = schema["M"].new_message()
+        m["z"] = -1
+        assert m.serialize() == b"\x40\x01"
+
+    def test_bool_true(self, schema):
+        m = schema["M"].new_message()
+        m["b"] = True
+        assert m.serialize() == b"\x48\x01"
+
+    def test_fixed32_little_endian(self, schema):
+        m = schema["M"].new_message()
+        m["f32"] = 0x01020304
+        assert m.serialize() == b"\x55\x04\x03\x02\x01"
+
+    def test_packed_repeated(self, schema):
+        m = schema["M"].new_message()
+        m["packed_nums"] = [3, 270, 86942]
+        # Canonical packed example from the encoding docs (field 4 there,
+        # field 3 here).
+        assert m.serialize() == b"\x1a\x06\x03\x8e\x02\x9e\xa7\x05"
+
+    def test_unpacked_repeated_repeats_key(self, schema):
+        m = schema["M"].new_message()
+        m["plain_nums"] = [1, 2]
+        assert m.serialize() == b"\x20\x01\x20\x02"
+
+    def test_sub_message_framing(self, schema):
+        m = schema["M"].new_message()
+        m.mutable("inner")["a"] = 1
+        assert m.serialize() == b"\x2a\x02\x08\x01"
+
+    def test_empty_sub_message_zero_bytes(self, schema):
+        # Figure 1's note: empty messages take no bytes in encoded form.
+        m = schema["M"].new_message()
+        m.mutable("inner")
+        assert m.serialize() == b"\x2a\x00"
+
+    def test_empty_message(self, schema):
+        assert schema["M"].new_message().serialize() == b""
+
+    def test_fields_in_increasing_number_order(self, schema):
+        m = schema["M"].new_message()
+        m["b"] = True
+        m["i"] = 1
+        data = m.serialize()
+        assert data == b"\x08\x01\x48\x01"
+
+
+class TestByteSize:
+    def test_matches_serialized_length(self, schema, kitchen_message):
+        m = schema["M"].new_message()
+        m["i"] = 300
+        m["s"] = "hello"
+        m["packed_nums"] = [1, 2, 3]
+        assert byte_size(m) == len(serialize_message(m))
+        assert kitchen_message.byte_size() == \
+            len(kitchen_message.serialize())
+
+    def test_empty_is_zero(self, schema):
+        assert byte_size(schema["M"].new_message()) == 0
+
+
+class TestRequiredEnforcement:
+    def test_missing_required_raises(self):
+        schema = parse_schema("message R { required int32 a = 1; }")
+        m = schema["R"].new_message()
+        with pytest.raises(EncodeError):
+            serialize_message(m)
+
+    def test_check_can_be_disabled(self):
+        schema = parse_schema("message R { required int32 a = 1; }")
+        m = schema["R"].new_message()
+        assert serialize_message(m, check_required=False) == b""
+
+
+class TestTraceEvents:
+    def test_trace_counts_fields(self, schema):
+        m = schema["M"].new_message()
+        m["i"] = 1
+        m["s"] = "hello"
+        trace = Trace()
+        serialize_message(m, trace=trace)
+        # Two passes (ByteSize + encode) over 10 defined fields each.
+        assert trace.count(Op.FIELD_CHECK) == 20
+        assert trace.count(Op.BYTESIZE_FIELD) == 2
+        assert trace.count(Op.TAG_ENCODE) == 2
+        assert trace.total(Op.MEMCPY) == 5
+
+    def test_trace_varint_bytes(self, schema):
+        m = schema["M"].new_message()
+        m["i"] = 2**28  # 5-byte varint
+        trace = Trace()
+        serialize_message(m, trace=trace)
+        assert trace.total(Op.VARINT_ENCODE) == 5
+
+    def test_submessage_enter_exit(self, schema):
+        m = schema["M"].new_message()
+        m.mutable("inner")["a"] = 1
+        trace = Trace()
+        serialize_message(m, trace=trace)
+        assert trace.count(Op.MSG_ENTER) == 1
+        assert trace.count(Op.MSG_EXIT) == 1

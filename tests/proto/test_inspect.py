@@ -1,0 +1,104 @@
+"""Tests for schema-free wire inspection."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.proto import parse_schema
+from repro.proto.errors import DecodeError
+from repro.proto.inspect import decode_raw, format_raw
+from repro.proto.types import WireType
+
+from tests.strategies import schema_and_message
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message Inner { optional int32 a = 1; }
+        message M {
+          optional int64 x = 1;
+          optional string s = 2;
+          optional Inner inner = 3;
+          optional fixed32 f = 4;
+          optional double d = 5;
+        }
+    """)
+
+
+class TestDecodeRaw:
+    def test_varint_field(self):
+        fields = decode_raw(b"\x08\x96\x01")
+        assert fields == (fields[0],)
+        assert fields[0].number == 1
+        assert fields[0].wire_type is WireType.VARINT
+        assert fields[0].value == 150
+
+    def test_fixed_fields(self, schema):
+        m = schema["M"].new_message()
+        m["f"] = 0x01020304
+        m["d"] = 1.0
+        fields = decode_raw(m.serialize())
+        by_number = {raw.number: raw for raw in fields}
+        assert by_number[4].value == 0x01020304
+        assert by_number[5].wire_type is WireType.FIXED64
+
+    def test_string_stays_bytes(self, schema):
+        m = schema["M"].new_message()
+        m["s"] = "hello"
+        fields = decode_raw(m.serialize())
+        assert fields[0].value == b"hello"
+
+    def test_nested_message_speculatively_parsed(self, schema):
+        m = schema["M"].new_message()
+        m.mutable("inner")["a"] = 7
+        fields = decode_raw(m.serialize())
+        assert fields[0].is_group
+        assert fields[0].value[0].value == 7
+
+    def test_depth_limit(self, schema):
+        m = schema["M"].new_message()
+        m.mutable("inner")["a"] = 1
+        fields = decode_raw(m.serialize(), max_depth=0)
+        assert isinstance(fields[0].value, bytes)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_raw(b"\x08")
+        with pytest.raises(DecodeError):
+            decode_raw(b"\x12\x05hi")
+
+    def test_empty_input(self):
+        assert decode_raw(b"") == ()
+
+
+class TestFormatRaw:
+    def test_protoc_style_rendering(self, schema):
+        m = schema["M"].new_message()
+        m["x"] = 150
+        m["s"] = "hello"
+        m.mutable("inner")["a"] = 1
+        text = format_raw(decode_raw(m.serialize()))
+        assert "1: 150" in text
+        assert '2: "hello"' in text
+        assert "3 {" in text
+
+    def test_binary_bytes_render_as_hex(self, schema):
+        m = schema["M"].new_message()
+        m["s"] = "\x00\x01"  # non-printable
+        text = format_raw(decode_raw(m.serialize()))
+        assert "0001" in text
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schema_and_message())
+def test_decode_raw_accepts_all_valid_wire(pair):
+    """Any valid serialization decodes without a schema, and the field
+    numbers observed are a subset of the schema's."""
+    _, message = pair
+    from repro.proto.encoder import serialize_message
+
+    data = serialize_message(message, check_required=False)
+    fields = decode_raw(data)
+    defined = {fd.number for fd in message.descriptor.fields}
+    assert {raw.number for raw in fields} <= defined

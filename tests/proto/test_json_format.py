@@ -1,0 +1,147 @@
+"""Tests for the canonical JSON mapping."""
+
+import json
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.proto import parse_schema
+from repro.proto.errors import DecodeError
+from repro.proto.json_format import (
+    message_from_json,
+    message_to_json,
+    to_camel,
+)
+
+from tests.strategies import schema_and_message
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        enum Color { RED = 0; GREEN = 1; }
+        message Inner { optional int32 a = 1; }
+        message M {
+          optional int64 big_number = 1;
+          optional uint64 bigger_number = 2;
+          optional string display_name = 3;
+          optional bytes raw_data = 4;
+          optional Color color = 5;
+          optional double ratio = 6;
+          optional bool is_ready = 7;
+          repeated int32 small_nums = 8;
+          optional Inner inner_msg = 9;
+          repeated Inner kids = 10;
+          map<string, int32> counts = 11;
+          map<int32, string> names = 12;
+        }
+    """)
+
+
+class TestNaming:
+    def test_camel_case(self):
+        assert to_camel("display_name") == "displayName"
+        assert to_camel("a") == "a"
+        assert to_camel("a_b_c") == "aBC"
+
+    def test_emission_uses_camel(self, schema):
+        m = schema["M"].new_message()
+        m["display_name"] = "x"
+        assert '"displayName"' in message_to_json(m)
+
+    def test_parse_accepts_both_names(self, schema):
+        for key in ("displayName", "display_name"):
+            m = message_from_json(schema["M"], f'{{"{key}": "v"}}')
+            assert m["display_name"] == "v"
+
+
+class TestCanonicalRules:
+    def test_int64_as_string(self, schema):
+        m = schema["M"].new_message()
+        m["big_number"] = 2**62
+        obj = json.loads(message_to_json(m))
+        assert obj["bigNumber"] == str(2**62)
+
+    def test_bytes_as_base64(self, schema):
+        m = schema["M"].new_message()
+        m["raw_data"] = b"\x00\x01\xff"
+        obj = json.loads(message_to_json(m))
+        assert obj["rawData"] == "AAH/"
+
+    def test_enum_by_name(self, schema):
+        m = schema["M"].new_message()
+        m["color"] = 1
+        assert json.loads(message_to_json(m))["color"] == "GREEN"
+
+    def test_nonfinite_floats(self, schema):
+        m = schema["M"].new_message()
+        m["ratio"] = math.inf
+        assert json.loads(message_to_json(m))["ratio"] == "Infinity"
+
+    def test_map_as_object(self, schema):
+        m = schema["M"].new_message()
+        m.map_set("counts", "hits", 3)
+        m.map_set("names", 7, "seven")
+        obj = json.loads(message_to_json(m))
+        assert obj["counts"] == {"hits": 3}
+        assert obj["names"] == {"7": "seven"}
+
+    def test_nested_objects_and_arrays(self, schema):
+        m = schema["M"].new_message()
+        m.mutable("inner_msg")["a"] = 1
+        kid = m["kids"].add()
+        kid["a"] = 2
+        obj = json.loads(message_to_json(m))
+        assert obj["innerMsg"] == {"a": 1}
+        assert obj["kids"] == [{"a": 2}]
+
+
+class TestParsing:
+    def test_full_round_trip(self, schema):
+        m = schema["M"].new_message()
+        m["big_number"] = -(2**55)
+        m["bigger_number"] = 2**63
+        m["display_name"] = "naïve ☃"
+        m["raw_data"] = bytes(range(20))
+        m["color"] = "GREEN"
+        m["ratio"] = -2.5
+        m["is_ready"] = True
+        m["small_nums"] = [1, -2, 3]
+        m.mutable("inner_msg")["a"] = 9
+        m.map_set("counts", "k", 1)
+        text = message_to_json(m)
+        assert message_from_json(schema["M"], text) == m
+
+    def test_null_means_absent(self, schema):
+        m = message_from_json(schema["M"], '{"displayName": null}')
+        assert not m.has("display_name")
+
+    def test_enum_number_accepted(self, schema):
+        assert message_from_json(schema["M"], '{"color": 1}')["color"] == 1
+
+    def test_unknown_field_rejected(self, schema):
+        with pytest.raises(DecodeError):
+            message_from_json(schema["M"], '{"nope": 1}')
+
+    def test_type_errors_rejected(self, schema):
+        for bad in ('{"isReady": "yes"}', '{"smallNums": 5}',
+                    '{"rawData": "@@@"}', '{"innerMsg": [1]}',
+                    '{"counts": [1]}'):
+            with pytest.raises(DecodeError):
+                message_from_json(schema["M"], bad)
+
+    def test_invalid_json_rejected(self, schema):
+        with pytest.raises(DecodeError):
+            message_from_json(schema["M"], "{nope")
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schema_and_message())
+def test_json_property_round_trip(pair):
+    """JSON emit/parse round-trips arbitrary messages (NaN excluded by
+    the strategy, which draws finite floats only)."""
+    _, message = pair
+    text = message_to_json(message)
+    assert message_from_json(message.descriptor, text) == message

@@ -1,0 +1,178 @@
+"""Tests for map<K, V> fields."""
+
+import pytest
+
+from repro.proto import parse_schema
+from repro.proto.errors import SchemaError
+from repro.proto.types import FieldType
+from repro.proto.writer import schema_to_proto
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message Inner { optional int32 a = 1; }
+        message M {
+          map<string, int64> counters = 1;
+          map<int32, string> names = 2;
+          map<string, Inner> children = 3;
+          optional int32 other = 4;
+        }
+    """)
+
+
+class TestSchemaDesugaring:
+    def test_map_field_is_repeated_entry_message(self, schema):
+        fd = schema["M"].field_by_name("counters")
+        assert fd.is_repeated
+        assert fd.is_map
+        assert fd.message_type is not None
+        assert fd.message_type.is_map_entry
+        assert fd.message_type.name == "M.CountersEntry"
+
+    def test_entry_type_shape(self, schema):
+        entry = schema["M.CountersEntry"]
+        key = entry.field_by_name("key")
+        value = entry.field_by_name("value")
+        assert key.number == 1 and key.field_type is FieldType.STRING
+        assert value.number == 2 and value.field_type is FieldType.INT64
+
+    def test_message_valued_map(self, schema):
+        entry = schema["M.ChildrenEntry"]
+        assert entry.field_by_name("value").message_type is schema["Inner"]
+
+    def test_invalid_key_type_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("message M { map<double, int32> x = 1; }")
+        with pytest.raises(SchemaError):
+            parse_schema("message M { map<bytes, int32> x = 1; }")
+
+    def test_label_on_map_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("message M { repeated map<int32, int32> x = 1; }")
+
+    def test_nested_map_value_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("message M { map<int32, map> x = 1; }")
+
+    def test_non_map_fields_unaffected(self, schema):
+        assert not schema["M"].field_by_name("other").is_map
+
+
+class TestMapAccess:
+    def test_set_get(self, schema):
+        m = schema["M"].new_message()
+        m.map_set("counters", "hits", 3)
+        m.map_set("counters", "misses", 1)
+        assert m.map_get("counters", "hits") == 3
+        assert m.map_get("counters", "absent") is None
+        assert m.map_get("counters", "absent", 0) == 0
+
+    def test_set_overwrites(self, schema):
+        m = schema["M"].new_message()
+        m.map_set("counters", "hits", 1)
+        m.map_set("counters", "hits", 2)
+        assert m.map_as_dict("counters") == {"hits": 2}
+        assert len(m["counters"]) == 1
+
+    def test_remove(self, schema):
+        m = schema["M"].new_message()
+        m.map_set("counters", "hits", 1)
+        assert m.map_remove("counters", "hits")
+        assert not m.map_remove("counters", "hits")
+        assert not m.has("counters")
+
+    def test_message_values(self, schema):
+        m = schema["M"].new_message()
+        child = schema["Inner"].new_message()
+        child["a"] = 9
+        m.map_set("children", "first", child)
+        assert m.map_get("children", "first")["a"] == 9
+
+    def test_map_helpers_reject_non_map(self, schema):
+        m = schema["M"].new_message()
+        with pytest.raises(TypeError):
+            m.map_set("other", "k", 1)
+
+
+class TestMapEquality:
+    def test_entry_order_does_not_matter(self, schema):
+        a = schema["M"].new_message()
+        a.map_set("counters", "x", 1)
+        a.map_set("counters", "y", 2)
+        b = schema["M"].new_message()
+        b.map_set("counters", "y", 2)
+        b.map_set("counters", "x", 1)
+        assert a == b
+
+    def test_later_duplicate_key_wins_in_comparison(self, schema):
+        # Simulate duplicate wire entries by appending raw entries.
+        a = schema["M"].new_message()
+        first = a["counters"].add()
+        first["key"] = "k"
+        first["value"] = 1
+        second = a["counters"].add()
+        second["key"] = "k"
+        second["value"] = 2
+        b = schema["M"].new_message()
+        b.map_set("counters", "k", 2)
+        assert a == b
+
+    def test_different_values_unequal(self, schema):
+        a = schema["M"].new_message()
+        a.map_set("counters", "x", 1)
+        b = schema["M"].new_message()
+        b.map_set("counters", "x", 9)
+        assert a != b
+
+
+class TestWireFormat:
+    def test_round_trip(self, schema):
+        m = schema["M"].new_message()
+        m.map_set("counters", "a", 1)
+        m.map_set("counters", "b", -5)
+        m.map_set("names", 7, "seven")
+        data = m.serialize()
+        back = schema["M"].parse(data)
+        assert back.map_as_dict("counters") == {"a": 1, "b": -5}
+        assert back.map_as_dict("names") == {7: "seven"}
+
+    def test_wire_is_repeated_entry_messages(self, schema):
+        # map<string,int64> f=1 with {"a": 1} must serialize exactly as a
+        # repeated embedded message {key="a", value=1}.
+        m = schema["M"].new_message()
+        m.map_set("counters", "a", 1)
+        assert m.serialize() == b"\x0a\x05\x0a\x01a\x10\x01"
+
+    def test_accelerator_handles_maps_unchanged(self, schema):
+        # Maps are pure sugar, so the accelerator needs no new states.
+        from repro.accel.driver import ProtoAccelerator
+
+        m = schema["M"].new_message()
+        m.map_set("counters", "x", 42)
+        child = schema["Inner"].new_message()
+        child["a"] = 3
+        m.map_set("children", "c", child)
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        wire = m.serialize()
+        result = accel.deserialize(schema["M"], wire)
+        assert accel.read_message(schema["M"], result.dest_addr) == m
+        obj = accel.load_object(m)
+        assert accel.serialize(schema["M"], obj).data == wire
+
+
+class TestWriterEmission:
+    def test_map_emitted_as_map_syntax(self, schema):
+        emitted = schema_to_proto(schema)
+        assert "map<string, int64> counters = 1;" in emitted
+        assert "map<string, Inner> children = 3;" in emitted
+        assert "CountersEntry" not in emitted
+
+    def test_emitted_schema_reparses(self, schema):
+        reparsed = parse_schema(schema_to_proto(schema))
+        assert reparsed["M"].field_by_name("counters").is_map
+        m = reparsed["M"].new_message()
+        m.map_set("counters", "k", 1)
+        assert schema["M"].parse(m.serialize()).map_as_dict(
+            "counters") == {"k": 1}

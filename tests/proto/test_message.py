@@ -1,0 +1,199 @@
+"""Tests for dynamic messages: presence, accessors, merge/copy/clear."""
+
+import pytest
+
+from repro.proto import parse_schema
+from repro.proto.errors import EncodeError
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message Inner { optional int32 a = 1; repeated int32 xs = 2; }
+        message M {
+          required int64 req = 1;
+          optional string name = 2;
+          repeated int32 nums = 3;
+          optional Inner inner = 4;
+          repeated Inner kids = 5;
+          optional bool flag = 6;
+          optional int32 with_default = 10 [default = 7];
+        }
+    """)
+
+
+class TestPresence:
+    def test_unset_fields_absent(self, schema):
+        m = schema["M"].new_message()
+        assert not m.has("req")
+        assert not m.has("name")
+
+    def test_set_then_present(self, schema):
+        m = schema["M"].new_message()
+        m["req"] = 5
+        assert m.has("req")
+
+    def test_absent_scalar_returns_default(self, schema):
+        m = schema["M"].new_message()
+        assert m["name"] == ""
+        assert m["flag"] is False
+        assert m["with_default"] == 7
+
+    def test_clear_field(self, schema):
+        m = schema["M"].new_message()
+        m["name"] = "x"
+        m.clear_field("name")
+        assert not m.has("name")
+        assert m["name"] == ""
+
+    def test_empty_repeated_not_present(self, schema):
+        m = schema["M"].new_message()
+        assert not m.has("nums")
+        m["nums"].append(1)
+        assert m.has("nums")
+
+    def test_present_field_numbers_sorted(self, schema):
+        m = schema["M"].new_message()
+        m["flag"] = True
+        m["req"] = 1
+        assert m.present_field_numbers() == [1, 6]
+
+    def test_usage_density(self, schema):
+        m = schema["M"].new_message()
+        m["req"] = 1
+        m["flag"] = True
+        # span is 1..10 -> 10; 2 of 10 present.
+        assert m.usage_density() == pytest.approx(0.2)
+
+
+class TestValidation:
+    def test_type_errors(self, schema):
+        m = schema["M"].new_message()
+        with pytest.raises(TypeError):
+            m["req"] = "not an int"
+        with pytest.raises(TypeError):
+            m["name"] = 42
+        with pytest.raises(TypeError):
+            m["flag"] = "yes"
+
+    def test_range_errors(self, schema):
+        m = schema["M"].new_message()
+        with pytest.raises(ValueError):
+            m["nums"] = [2**31]  # int32 overflow
+        with pytest.raises(ValueError):
+            m["req"] = 2**63
+
+    def test_unknown_field_raises_keyerror(self, schema):
+        m = schema["M"].new_message()
+        with pytest.raises(KeyError):
+            m["nope"]
+
+    def test_wrong_message_type_rejected(self, schema):
+        m = schema["M"].new_message()
+        other = schema["M"].new_message()
+        with pytest.raises(TypeError):
+            m["inner"] = other
+
+    def test_bool_not_accepted_as_int(self, schema):
+        m = schema["M"].new_message()
+        with pytest.raises(TypeError):
+            m["req"] = True
+
+    def test_float_field_rounds_to_single_precision(self):
+        schema = parse_schema("message F { optional float x = 1; }")
+        m = schema["F"].new_message()
+        m["x"] = 1.1
+        import struct
+        assert m["x"] == struct.unpack("<f", struct.pack("<f", 1.1))[0]
+
+
+class TestSubMessages:
+    def test_mutable_creates_child(self, schema):
+        m = schema["M"].new_message()
+        child = m.mutable("inner")
+        child["a"] = 3
+        assert m.has("inner")
+        assert m["inner"]["a"] == 3
+
+    def test_mutable_idempotent(self, schema):
+        m = schema["M"].new_message()
+        assert m.mutable("inner") is m.mutable("inner")
+
+    def test_repeated_add(self, schema):
+        m = schema["M"].new_message()
+        kid = m["kids"].add()
+        kid["a"] = 1
+        assert len(m["kids"]) == 1
+
+    def test_mutable_on_scalar_rejected(self, schema):
+        m = schema["M"].new_message()
+        with pytest.raises(TypeError):
+            m.mutable("name")
+
+
+class TestWholeMessageOps:
+    def test_equality(self, schema):
+        a = schema["M"].new_message()
+        b = schema["M"].new_message()
+        assert a == b
+        a["req"] = 1
+        assert a != b
+        b["req"] = 1
+        assert a == b
+
+    def test_copy_is_deep(self, schema):
+        a = schema["M"].new_message()
+        a.mutable("inner")["a"] = 5
+        b = a.copy()
+        b["inner"]["a"] = 9
+        assert a["inner"]["a"] == 5
+
+    def test_merge_overwrites_scalars(self, schema):
+        a = schema["M"].new_message()
+        b = schema["M"].new_message()
+        a["name"] = "old"
+        b["name"] = "new"
+        a.merge_from(b)
+        assert a["name"] == "new"
+
+    def test_merge_appends_repeated(self, schema):
+        a = schema["M"].new_message()
+        b = schema["M"].new_message()
+        a["nums"] = [1]
+        b["nums"] = [2, 3]
+        a.merge_from(b)
+        assert list(a["nums"]) == [1, 2, 3]
+
+    def test_merge_recurses_submessages(self, schema):
+        a = schema["M"].new_message()
+        b = schema["M"].new_message()
+        a.mutable("inner")["a"] = 1
+        b.mutable("inner")["xs"] = [9]
+        a.merge_from(b)
+        assert a["inner"]["a"] == 1
+        assert list(a["inner"]["xs"]) == [9]
+
+    def test_clear(self, schema):
+        m = schema["M"].new_message()
+        m["req"] = 1
+        m["nums"] = [1, 2]
+        m.clear()
+        assert m.present_field_numbers() == []
+
+    def test_check_initialized_missing_required(self, schema):
+        m = schema["M"].new_message()
+        with pytest.raises(EncodeError):
+            m.check_initialized()
+        m["req"] = 0
+        m.check_initialized()
+
+    def test_total_depth(self, schema):
+        m = schema["M"].new_message()
+        assert m.total_depth() == 1
+        m.mutable("inner")["a"] = 1
+        assert m.total_depth() == 2
+
+    def test_repr_shows_present_fields(self, schema):
+        m = schema["M"].new_message()
+        m["req"] = 3
+        assert "req=3" in repr(m)

@@ -1,0 +1,165 @@
+"""Tests for oneof groups: schema, semantics, wire, and accelerator."""
+
+import pytest
+
+from repro.accel.driver import ProtoAccelerator
+from repro.proto import parse_schema
+from repro.proto.errors import SchemaError
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        message Inner { optional int32 a = 1; }
+        message M {
+          optional int32 before = 1;
+          oneof payload {
+            string text = 2;
+            int64 num = 3;
+            Inner sub = 4;
+          }
+          oneof status {
+            bool ok = 10;
+            string error = 11;
+          }
+          optional int32 after = 20;
+        }
+    """)
+
+
+class TestSchema:
+    def test_groups_recorded(self, schema):
+        assert schema["M"].oneof_groups == {
+            "payload": (2, 3, 4), "status": (10, 11)}
+
+    def test_members_tagged(self, schema):
+        assert schema["M"].field_by_name("text").oneof_group == "payload"
+        assert schema["M"].field_by_name("before").oneof_group is None
+
+    def test_siblings(self, schema):
+        assert schema["M"].oneof_siblings(2) == (3, 4)
+        assert schema["M"].oneof_siblings(1) == ()
+
+    def test_label_in_oneof_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("""
+                message M { oneof g { optional int32 a = 1; } }
+            """)
+
+    def test_empty_oneof_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("message M { oneof g { } }")
+
+
+class TestSemantics:
+    def test_setting_member_clears_siblings(self, schema):
+        m = schema["M"].new_message()
+        m["text"] = "hello"
+        m["num"] = 5
+        assert not m.has("text")
+        assert m.has("num")
+        assert m.which_oneof("payload") == "num"
+
+    def test_groups_independent(self, schema):
+        m = schema["M"].new_message()
+        m["text"] = "hi"
+        m["ok"] = True
+        assert m.has("text") and m.has("ok")
+
+    def test_mutable_submessage_clears_siblings(self, schema):
+        m = schema["M"].new_message()
+        m["num"] = 1
+        m.mutable("sub")["a"] = 2
+        assert m.which_oneof("payload") == "sub"
+        assert not m.has("num")
+
+    def test_non_members_unaffected(self, schema):
+        m = schema["M"].new_message()
+        m["before"] = 1
+        m["text"] = "x"
+        m["num"] = 2
+        assert m.has("before")
+
+    def test_which_oneof_unset(self, schema):
+        m = schema["M"].new_message()
+        assert m.which_oneof("payload") is None
+        with pytest.raises(KeyError):
+            m.which_oneof("nonexistent")
+
+
+class TestWire:
+    def test_round_trip(self, schema):
+        m = schema["M"].new_message()
+        m["num"] = -3
+        m["error"] = "boom"
+        back = schema["M"].parse(m.serialize())
+        assert back == m
+        assert back.which_oneof("payload") == "num"
+        assert back.which_oneof("status") == "error"
+
+    def test_wire_last_member_wins(self, schema):
+        # Two members of the same oneof on the wire: parsers keep only
+        # the last one, per the protobuf spec.
+        data = b"\x12\x02hi" + b"\x18\x07"  # text then num
+        back = schema["M"].parse(data)
+        assert back.which_oneof("payload") == "num"
+        assert back["num"] == 7
+        assert not back.has("text")
+
+
+class TestAccelerator:
+    def test_accel_deser_matches_software(self, schema):
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        data = b"\x12\x02hi" + b"\x18\x07"  # both members on the wire
+        result = accel.deserialize(schema["M"], data)
+        observed = accel.read_message(schema["M"], result.dest_addr)
+        assert observed == schema["M"].parse(data)
+        assert observed.which_oneof("payload") == "num"
+
+    def test_accel_serialize_oneof(self, schema):
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        m = schema["M"].new_message()
+        m.mutable("sub")["a"] = 9
+        m["ok"] = True
+        addr = accel.load_object(m)
+        assert accel.serialize(schema["M"], addr).data == m.serialize()
+
+    def test_accel_merge_respects_oneof(self, schema):
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        dest_msg = schema["M"].new_message()
+        dest_msg["text"] = "old"
+        src_msg = schema["M"].new_message()
+        src_msg["num"] = 42
+        expected = dest_msg.copy()
+        expected.merge_from(src_msg)
+        dest = accel.load_object(dest_msg)
+        src = accel.load_object(src_msg)
+        accel.merge_messages(schema["M"], src, dest)
+        merged = accel.read_message(schema["M"], dest)
+        assert merged == expected
+        assert merged.which_oneof("payload") == "num"
+
+    def test_adt_group_limit_enforced(self):
+        wide = parse_schema("""
+            message W {
+              oneof a { int32 a1 = 1; int32 a2 = 2; }
+              oneof b { int32 b1 = 3; int32 b2 = 4; }
+              oneof c { int32 c1 = 5; int32 c2 = 6; }
+            }
+        """)
+        accel = ProtoAccelerator()
+        with pytest.raises(SchemaError):
+            accel.register_schema(wide)
+
+    def test_adt_word_span_limit_enforced(self):
+        spread = parse_schema("""
+            message S {
+              oneof g { int32 low = 1; int32 high = 100; }
+            }
+        """)
+        accel = ProtoAccelerator()
+        with pytest.raises(SchemaError):
+            accel.register_schema(spread)

@@ -1,0 +1,210 @@
+"""Tests for the .proto language parser."""
+
+import pytest
+
+from repro.proto import parse_schema
+from repro.proto.errors import SchemaError
+from repro.proto.types import FieldType, Label
+
+
+class TestBasicParsing:
+    def test_single_message(self):
+        schema = parse_schema("message M { optional int32 a = 1; }")
+        descriptor = schema["M"]
+        fd = descriptor.field_by_name("a")
+        assert fd is not None
+        assert fd.field_type is FieldType.INT32
+        assert fd.number == 1
+        assert fd.label is Label.OPTIONAL
+
+    def test_syntax_declaration(self):
+        schema = parse_schema('syntax = "proto2"; message M { }')
+        assert schema.syntax == "proto2"
+
+    def test_proto3_syntax_accepted(self):
+        schema = parse_schema('syntax = "proto3"; message M { }')
+        assert schema.syntax == "proto3"
+
+    def test_unknown_syntax_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema('syntax = "proto9"; message M { }')
+
+    def test_package(self):
+        schema = parse_schema("package foo.bar; message M { }")
+        assert schema.package == "foo.bar"
+
+    def test_all_scalar_types(self):
+        fields = "\n".join(
+            f"optional {t} f{i} = {i + 1};"
+            for i, t in enumerate([
+                "double", "float", "int32", "int64", "uint32", "uint64",
+                "sint32", "sint64", "fixed32", "fixed64", "sfixed32",
+                "sfixed64", "bool", "string", "bytes"]))
+        schema = parse_schema(f"message M {{ {fields} }}")
+        assert len(schema["M"].fields) == 15
+
+    def test_comments_ignored(self):
+        schema = parse_schema("""
+            // a line comment
+            message M {
+              /* a block
+                 comment */
+              optional int32 a = 1;  // trailing
+            }
+        """)
+        assert schema["M"].field_by_name("a") is not None
+
+    def test_empty_message(self):
+        schema = parse_schema("message Empty { }")
+        assert schema["Empty"].fields == ()
+        assert schema["Empty"].field_number_span == 0
+
+
+class TestLabelsAndOptions:
+    def test_required(self):
+        schema = parse_schema("message M { required int64 a = 1; }")
+        assert schema["M"].field_by_name("a").is_required
+
+    def test_repeated_packed(self):
+        schema = parse_schema(
+            "message M { repeated int32 a = 1 [packed = true]; }")
+        fd = schema["M"].field_by_name("a")
+        assert fd.is_repeated and fd.packed
+
+    def test_packed_on_string_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema(
+                "message M { repeated string a = 1 [packed = true]; }")
+
+    def test_packed_on_singular_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema(
+                "message M { optional int32 a = 1 [packed = true]; }")
+
+    def test_default_int(self):
+        schema = parse_schema(
+            "message M { optional int32 a = 1 [default = -5]; }")
+        assert schema["M"].new_message()["a"] == -5
+
+    def test_default_string(self):
+        schema = parse_schema(
+            'message M { optional string a = 1 [default = "hi"]; }')
+        assert schema["M"].new_message()["a"] == "hi"
+
+    def test_default_bool(self):
+        schema = parse_schema(
+            "message M { optional bool a = 1 [default = true]; }")
+        assert schema["M"].new_message()["a"] is True
+
+    def test_default_float(self):
+        schema = parse_schema(
+            "message M { optional double a = 1 [default = 2.5]; }")
+        assert schema["M"].new_message()["a"] == 2.5
+
+
+class TestMessagesAndEnums:
+    def test_sub_message_reference(self):
+        schema = parse_schema("""
+            message Inner { optional int32 a = 1; }
+            message Outer { optional Inner inner = 1; }
+        """)
+        fd = schema["Outer"].field_by_name("inner")
+        assert fd.field_type is FieldType.MESSAGE
+        assert fd.message_type is schema["Inner"]
+
+    def test_forward_reference(self):
+        schema = parse_schema("""
+            message Outer { optional Inner inner = 1; }
+            message Inner { optional int32 a = 1; }
+        """)
+        assert schema["Outer"].field_by_name("inner").message_type is \
+            schema["Inner"]
+
+    def test_recursive_message(self):
+        schema = parse_schema(
+            "message Node { optional Node next = 1; optional int32 v = 2; }")
+        fd = schema["Node"].field_by_name("next")
+        assert fd.message_type is schema["Node"]
+
+    def test_nested_message(self):
+        schema = parse_schema("""
+            message Outer {
+              message Inner { optional int32 a = 1; }
+              optional Inner inner = 1;
+            }
+        """)
+        assert "Outer.Inner" in schema
+        assert schema["Outer"].field_by_name("inner").message_type is \
+            schema["Outer.Inner"]
+
+    def test_enum(self):
+        schema = parse_schema("""
+            enum Color { RED = 0; GREEN = 1; BLUE = 2; }
+            message M { optional Color c = 1; }
+        """)
+        fd = schema["M"].field_by_name("c")
+        assert fd.field_type is FieldType.ENUM
+        assert fd.enum_type.values == {"RED": 0, "GREEN": 1, "BLUE": 2}
+
+    def test_enum_default_by_name(self):
+        schema = parse_schema("""
+            enum Color { RED = 0; GREEN = 1; }
+            message M { optional Color c = 1 [default = GREEN]; }
+        """)
+        assert schema["M"].new_message()["c"] == 1
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("message M { optional Missing x = 1; }")
+
+    def test_reserved_statement_skipped(self):
+        schema = parse_schema("""
+            message M {
+              reserved 2, 3;
+              reserved "old_name";
+              optional int32 a = 1;
+            }
+        """)
+        assert len(schema["M"].fields) == 1
+
+    def test_option_statements_skipped(self):
+        schema = parse_schema("""
+            option java_package = "com.example";
+            message M {
+              option deprecated = true;
+              optional int32 a = 1;
+            }
+        """)
+        assert schema["M"].field_by_name("a") is not None
+
+
+class TestErrors:
+    def test_duplicate_field_number(self):
+        with pytest.raises(SchemaError):
+            parse_schema(
+                "message M { optional int32 a = 1; optional int32 b = 1; }")
+
+    def test_duplicate_field_name(self):
+        with pytest.raises(SchemaError):
+            parse_schema(
+                "message M { optional int32 a = 1; optional int64 a = 2; }")
+
+    def test_reserved_field_number_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("message M { optional int32 a = 19500; }")
+
+    def test_field_number_zero_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("message M { optional int32 a = 0; }")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("message M { optional int32 a = ; }")
+
+    def test_unclosed_brace_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("message M { optional int32 a = 1;")
+
+    def test_duplicate_message_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("message M { } message M { }")

@@ -1,0 +1,150 @@
+"""Schema evolution: the compatibility rules proto2 exists to provide.
+
+Section 2.1.1: fields are numbered for stability across renames, may be
+optionally present, and unknown fields are skipped -- so services can
+upgrade independently and persisted data stays readable.  These tests
+pin the compatibility matrix between schema versions, for the software
+paths and through the accelerator.
+"""
+
+import pytest
+
+from repro.accel.driver import ProtoAccelerator
+from repro.proto import parse_schema
+
+V1 = parse_schema("""
+    message Event {
+      required int64 id = 1;
+      optional string name = 2;
+      optional int32 code = 3;
+    }
+""")
+
+V2 = parse_schema("""
+    message Event {
+      required int64 id = 1;
+      optional string title = 2;          // renamed: number is identity
+      optional int64 code = 3;            // widened int32 -> int64
+      optional double weight = 4;         // added field
+      repeated string tags = 5;           // added repeated field
+    }
+""")
+
+V3_REMOVED = parse_schema("""
+    message Event {
+      required int64 id = 1;
+      reserved 2, 3;
+      optional double weight = 4;
+    }
+""")
+
+
+def _v1_event():
+    event = V1["Event"].new_message()
+    event["id"] = 42
+    event["name"] = "launch"
+    event["code"] = 7
+    return event
+
+
+def _v2_event():
+    event = V2["Event"].new_message()
+    event["id"] = 99
+    event["title"] = "upgraded"
+    event["code"] = 2**40          # value only a v2 writer can produce
+    event["weight"] = 0.5
+    event["tags"] = ["a", "b"]
+    return event
+
+
+class TestForwardCompatibility:
+    """Old data read by new readers."""
+
+    def test_rename_is_transparent(self):
+        new = V2["Event"].parse(_v1_event().serialize())
+        assert new["title"] == "launch"  # same number, new name
+
+    def test_widened_int_reads_old_values(self):
+        new = V2["Event"].parse(_v1_event().serialize())
+        assert new["code"] == 7
+
+    def test_added_fields_read_defaults(self):
+        new = V2["Event"].parse(_v1_event().serialize())
+        assert not new.has("weight")
+        assert new["weight"] == 0.0
+        assert len(new["tags"]) == 0
+
+
+class TestBackwardCompatibility:
+    """New data read by old readers."""
+
+    def test_unknown_fields_skipped(self):
+        old = V1["Event"].parse(_v2_event().serialize())
+        assert old["id"] == 99
+        assert old["name"] == "upgraded"
+
+    def test_widened_value_truncates_like_cpp(self):
+        # An int64 value beyond int32 range, read through an int32 field,
+        # truncates to the low 32 bits -- C++ semantics, data preserved
+        # modulo width.
+        old = V1["Event"].parse(_v2_event().serialize())
+        assert old["code"] == (2**40) % 2**32
+
+    def test_removed_fields_skipped_by_v3(self):
+        v3 = V3_REMOVED["Event"].parse(_v2_event().serialize())
+        assert v3["id"] == 99
+        assert v3["weight"] == 0.5
+        assert v3.present_field_numbers() == [1, 4]
+
+
+class TestRoundTripThroughVersions:
+    def test_v1_to_v2_to_v1_preserves_shared_fields(self):
+        original = _v1_event()
+        through_v2 = V2["Event"].parse(original.serialize())
+        back = V1["Event"].parse(through_v2.serialize())
+        assert back["id"] == original["id"]
+        assert back["name"] == original["name"]
+
+
+class TestAcceleratorEvolution:
+    """The accelerator is programmed per-type by ADTs, so each service
+    version gets its own tables -- and compatibility must still hold."""
+
+    def test_accel_new_reader_old_data(self):
+        accel = ProtoAccelerator()
+        accel.register_schema(V2)
+        result = accel.deserialize(V2["Event"], _v1_event().serialize())
+        observed = accel.read_message(V2["Event"], result.dest_addr)
+        assert observed["title"] == "launch"
+        assert observed["code"] == 7
+
+    def test_accel_old_reader_new_data_skips_unknowns(self):
+        accel = ProtoAccelerator()
+        accel.register_schema(V1)
+        wire = _v2_event().serialize()
+        result = accel.deserialize(V1["Event"], wire)
+        observed = accel.read_message(V1["Event"], result.dest_addr)
+        assert observed["id"] == 99
+        assert result.stats.unknown_fields_skipped >= 3
+
+    def test_accel_v3_reader_handles_reserved_holes(self):
+        # V3's ADT has undefined entries for the reserved numbers; the
+        # deserializer must skip fields 2 and 3 via the hole entries.
+        accel = ProtoAccelerator()
+        accel.register_schema(V3_REMOVED)
+        result = accel.deserialize(V3_REMOVED["Event"],
+                                   _v2_event().serialize())
+        observed = accel.read_message(V3_REMOVED["Event"],
+                                      result.dest_addr)
+        assert observed["weight"] == 0.5
+        assert result.stats.unknown_fields_skipped >= 2
+
+    def test_accel_and_software_agree_across_versions(self):
+        wire = _v2_event().serialize()
+        for schema in (V1, V2, V3_REMOVED):
+            accel = ProtoAccelerator()
+            accel.register_schema(schema)
+            result = accel.deserialize(schema["Event"], wire)
+            assert accel.read_message(schema["Event"],
+                                      result.dest_addr) == \
+                schema["Event"].parse(wire)

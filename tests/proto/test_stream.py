@@ -1,0 +1,92 @@
+"""Tests for length-delimited message streams."""
+
+import pytest
+
+from repro.proto import parse_schema
+from repro.proto.errors import DecodeError
+from repro.proto.stream import (
+    DelimitedWriter,
+    iter_delimited_payloads,
+    read_delimited_stream,
+    write_delimited,
+    write_delimited_stream,
+)
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema(
+        "message Rec { optional int64 id = 1; optional string body = 2; }")
+
+
+def _records(schema, count):
+    records = []
+    for index in range(count):
+        record = schema["Rec"].new_message()
+        record["id"] = index
+        record["body"] = f"record body {index}" * (index + 1)
+        records.append(record)
+    return records
+
+
+class TestFraming:
+    def test_single_message_frame(self, schema):
+        record = _records(schema, 1)[0]
+        framed = write_delimited(record)
+        payload = record.serialize()
+        assert framed.endswith(payload)
+        assert framed[0] == len(payload)
+
+    def test_stream_round_trip(self, schema):
+        records = _records(schema, 5)
+        stream = write_delimited_stream(records)
+        assert read_delimited_stream(schema["Rec"], stream) == records
+
+    def test_empty_stream(self, schema):
+        assert read_delimited_stream(schema["Rec"], b"") == []
+
+    def test_empty_message_framed_as_zero_length(self, schema):
+        record = schema["Rec"].new_message()
+        assert write_delimited(record) == b"\x00"
+        assert read_delimited_stream(schema["Rec"], b"\x00") == [record]
+
+    def test_truncated_stream_rejected(self, schema):
+        stream = write_delimited_stream(_records(schema, 2))
+        with pytest.raises(DecodeError):
+            list(iter_delimited_payloads(stream[:-3]))
+
+    def test_payload_iteration_is_lazy(self, schema):
+        stream = write_delimited_stream(_records(schema, 3))
+        iterator = iter_delimited_payloads(stream)
+        first = next(iterator)
+        assert schema["Rec"].parse(first)["id"] == 0
+
+
+class TestDelimitedWriter:
+    def test_incremental_append(self, schema):
+        writer = DelimitedWriter()
+        records = _records(schema, 4)
+        for record in records:
+            writer.append(record)
+        assert writer.message_count == 4
+        assert read_delimited_stream(schema["Rec"],
+                                     writer.getvalue()) == records
+
+    def test_append_wire_accepts_accelerator_output(self, schema):
+        from repro.accel.driver import ProtoAccelerator
+
+        accel = ProtoAccelerator()
+        accel.register_schema(schema)
+        record = _records(schema, 1)[0]
+        output = accel.serialize(schema["Rec"],
+                                 accel.load_object(record))
+        writer = DelimitedWriter()
+        writer.append_wire(output.data)
+        assert read_delimited_stream(schema["Rec"],
+                                     writer.getvalue()) == [record]
+
+    def test_size_accounting(self, schema):
+        writer = DelimitedWriter()
+        total = sum(writer.append(record)
+                    for record in _records(schema, 3))
+        assert writer.size_bytes == total == len(writer.getvalue())

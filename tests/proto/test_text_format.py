@@ -1,0 +1,54 @@
+"""Tests for text-format emission."""
+
+from repro.proto import parse_schema
+from repro.proto.text_format import message_to_text
+
+
+def test_scalar_rendering():
+    schema = parse_schema("""
+        enum Color { RED = 0; GREEN = 1; }
+        message M {
+          optional int32 i = 1;
+          optional string s = 2;
+          optional bool b = 3;
+          optional double d = 4;
+          optional Color c = 5;
+          optional bytes raw = 6;
+        }
+    """)
+    m = schema["M"].new_message()
+    m["i"] = -5
+    m["s"] = 'say "hi"'
+    m["b"] = True
+    m["d"] = 1.5
+    m["c"] = "GREEN"
+    m["raw"] = b"a\x00b"
+    text = message_to_text(m)
+    assert "i: -5" in text
+    assert 's: "say \\"hi\\""' in text
+    assert "b: true" in text
+    assert "d: 1.5" in text
+    assert "c: GREEN" in text
+    assert 'raw: "a\\000b"' in text
+
+
+def test_nested_and_repeated():
+    schema = parse_schema("""
+        message Inner { optional int32 a = 1; }
+        message M {
+          repeated int32 xs = 1;
+          optional Inner inner = 2;
+        }
+    """)
+    m = schema["M"].new_message()
+    m["xs"] = [1, 2]
+    m.mutable("inner")["a"] = 3
+    text = message_to_text(m)
+    assert text.count("xs:") == 2
+    assert "inner {" in text
+    assert "  a: 3" in text
+
+
+def test_empty_message_renders_empty():
+    schema = parse_schema("message M { optional int32 a = 1; }")
+    assert message_to_text(schema["M"].new_message()) == ""

@@ -1,0 +1,113 @@
+"""Tests for text-format parsing and emit/parse round trips."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.proto import parse_schema
+from repro.proto.errors import DecodeError
+from repro.proto.text_format import message_from_text, message_to_text
+
+from tests.strategies import schema_and_message
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema("""
+        enum Color { RED = 0; GREEN = 1; }
+        message Inner { optional int32 a = 1; }
+        message M {
+          optional int64 x = 1;
+          optional string s = 2;
+          optional bool b = 3;
+          optional double d = 4;
+          optional Color c = 5;
+          optional bytes raw = 6;
+          repeated int32 nums = 7;
+          optional Inner inner = 8;
+          repeated Inner kids = 9;
+        }
+    """)
+
+
+class TestParsing:
+    def test_scalars(self, schema):
+        m = message_from_text(schema["M"], """
+            x: -42
+            s: "hello"
+            b: true
+            d: 2.5
+            c: GREEN
+        """)
+        assert m["x"] == -42
+        assert m["s"] == "hello"
+        assert m["b"] is True
+        assert m["d"] == 2.5
+        assert m["c"] == 1
+
+    def test_string_escapes(self, schema):
+        m = message_from_text(schema["M"], r's: "a\nb\"c\\d"')
+        assert m["s"] == 'a\nb"c\\d'
+
+    def test_bytes_octal_and_hex_escapes(self, schema):
+        m = message_from_text(schema["M"], r'raw: "\000\xff!"')
+        assert m["raw"] == b"\x00\xff!"
+
+    def test_repeated_by_repetition(self, schema):
+        m = message_from_text(schema["M"], "nums: 1 nums: 2 nums: 3")
+        assert list(m["nums"]) == [1, 2, 3]
+
+    def test_nested_braces_and_angles(self, schema):
+        m = message_from_text(schema["M"],
+                              "inner { a: 5 } kids < a: 1 > kids { a: 2 }")
+        assert m["inner"]["a"] == 5
+        assert [k["a"] for k in m["kids"]] == [1, 2]
+
+    def test_comments_ignored(self, schema):
+        m = message_from_text(schema["M"], "x: 1  # trailing comment\n")
+        assert m["x"] == 1
+
+    def test_enum_by_number(self, schema):
+        assert message_from_text(schema["M"], "c: 1")["c"] == 1
+
+    def test_hex_integers(self, schema):
+        assert message_from_text(schema["M"], "x: 0x10")["x"] == 16
+
+
+class TestErrors:
+    def test_unknown_field(self, schema):
+        with pytest.raises(DecodeError):
+            message_from_text(schema["M"], "zzz: 1")
+
+    def test_missing_colon(self, schema):
+        with pytest.raises(DecodeError):
+            message_from_text(schema["M"], "x 1")
+
+    def test_unclosed_brace(self, schema):
+        with pytest.raises(DecodeError):
+            message_from_text(schema["M"], "inner { a: 1")
+
+    def test_wrong_scalar_kind(self, schema):
+        with pytest.raises(DecodeError):
+            message_from_text(schema["M"], "s: 5")
+        with pytest.raises(DecodeError):
+            message_from_text(schema["M"], 'x: "nope"')
+
+    def test_braces_on_scalar_field(self, schema):
+        with pytest.raises(DecodeError):
+            message_from_text(schema["M"], "x { }")
+
+
+class TestRoundTrip:
+    def test_emit_parse_round_trip(self, schema, kitchen_schema,
+                                   kitchen_message):
+        text = message_to_text(kitchen_message)
+        back = message_from_text(kitchen_schema["Outer"], text)
+        assert back == kitchen_message
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(schema_and_message())
+    def test_property_round_trip(self, pair):
+        _, message = pair
+        text = message_to_text(message)
+        assert message_from_text(message.descriptor, text) == message

@@ -1,0 +1,135 @@
+"""Tests for the type tables, including the paper's Table 1 classes."""
+
+import pytest
+
+from repro.proto.types import (
+    FieldType,
+    Label,
+    PerformanceClass,
+    WireType,
+    CPP_SCALAR_BYTES,
+    FIXED_WIDTH_BYTES,
+    int_range,
+    is_integer_type,
+    is_packable,
+    performance_class,
+    wire_type_for,
+)
+
+
+class TestWireTypes:
+    @pytest.mark.parametrize("field_type,expected", [
+        (FieldType.INT32, WireType.VARINT),
+        (FieldType.INT64, WireType.VARINT),
+        (FieldType.UINT32, WireType.VARINT),
+        (FieldType.UINT64, WireType.VARINT),
+        (FieldType.SINT32, WireType.VARINT),
+        (FieldType.SINT64, WireType.VARINT),
+        (FieldType.BOOL, WireType.VARINT),
+        (FieldType.ENUM, WireType.VARINT),
+        (FieldType.DOUBLE, WireType.FIXED64),
+        (FieldType.FIXED64, WireType.FIXED64),
+        (FieldType.SFIXED64, WireType.FIXED64),
+        (FieldType.FLOAT, WireType.FIXED32),
+        (FieldType.FIXED32, WireType.FIXED32),
+        (FieldType.SFIXED32, WireType.FIXED32),
+        (FieldType.STRING, WireType.LENGTH_DELIMITED),
+        (FieldType.BYTES, WireType.LENGTH_DELIMITED),
+        (FieldType.MESSAGE, WireType.LENGTH_DELIMITED),
+    ])
+    def test_section_212_mapping(self, field_type, expected):
+        assert wire_type_for(field_type) is expected
+
+    def test_group_has_no_wire_type(self):
+        with pytest.raises(ValueError):
+            wire_type_for(FieldType.GROUP)
+
+    def test_wire_type_values_match_spec(self):
+        assert WireType.VARINT == 0
+        assert WireType.FIXED64 == 1
+        assert WireType.LENGTH_DELIMITED == 2
+        assert WireType.FIXED32 == 5
+
+
+class TestTable1Classes:
+    """Table 1: performance-similar type groups."""
+
+    def test_bytes_like(self):
+        for ft in (FieldType.BYTES, FieldType.STRING):
+            assert performance_class(ft) is PerformanceClass.BYTES_LIKE
+
+    def test_varint_like(self):
+        for ft in (FieldType.SINT64, FieldType.SINT32, FieldType.UINT64,
+                   FieldType.UINT32, FieldType.INT64, FieldType.INT32,
+                   FieldType.ENUM, FieldType.BOOL):
+            assert performance_class(ft) is PerformanceClass.VARINT_LIKE
+
+    def test_float_like(self):
+        assert performance_class(FieldType.FLOAT) is \
+            PerformanceClass.FLOAT_LIKE
+
+    def test_double_like(self):
+        assert performance_class(FieldType.DOUBLE) is \
+            PerformanceClass.DOUBLE_LIKE
+
+    def test_fixed_classes(self):
+        assert performance_class(FieldType.FIXED32) is \
+            PerformanceClass.FIXED32_LIKE
+        assert performance_class(FieldType.SFIXED32) is \
+            PerformanceClass.FIXED32_LIKE
+        assert performance_class(FieldType.FIXED64) is \
+            PerformanceClass.FIXED64_LIKE
+        assert performance_class(FieldType.SFIXED64) is \
+            PerformanceClass.FIXED64_LIKE
+
+    def test_every_wire_type_has_a_class(self):
+        for ft in FieldType:
+            if ft is FieldType.GROUP:
+                continue
+            assert performance_class(ft) is not None
+
+
+class TestPackability:
+    def test_numeric_types_packable(self):
+        for ft in (FieldType.INT32, FieldType.DOUBLE, FieldType.BOOL,
+                   FieldType.FIXED32, FieldType.ENUM, FieldType.SINT64):
+            assert is_packable(ft)
+
+    def test_length_delimited_not_packable(self):
+        for ft in (FieldType.STRING, FieldType.BYTES, FieldType.MESSAGE):
+            assert not is_packable(ft)
+
+
+class TestWidths:
+    def test_fixed_width_wire_sizes(self):
+        assert FIXED_WIDTH_BYTES[FieldType.DOUBLE] == 8
+        assert FIXED_WIDTH_BYTES[FieldType.FLOAT] == 4
+        assert FIXED_WIDTH_BYTES[FieldType.FIXED64] == 8
+        assert FIXED_WIDTH_BYTES[FieldType.SFIXED32] == 4
+
+    def test_cpp_scalar_widths(self):
+        assert CPP_SCALAR_BYTES[FieldType.BOOL] == 1
+        assert CPP_SCALAR_BYTES[FieldType.INT32] == 4
+        assert CPP_SCALAR_BYTES[FieldType.INT64] == 8
+        assert CPP_SCALAR_BYTES[FieldType.ENUM] == 4
+
+
+class TestRanges:
+    def test_int32_range(self):
+        assert int_range(FieldType.INT32) == (-(2**31), 2**31 - 1)
+
+    def test_uint64_range(self):
+        assert int_range(FieldType.UINT64) == (0, 2**64 - 1)
+
+    def test_is_integer_type(self):
+        assert is_integer_type(FieldType.INT32)
+        assert is_integer_type(FieldType.BOOL)
+        assert not is_integer_type(FieldType.STRING)
+        assert not is_integer_type(FieldType.DOUBLE)
+
+
+class TestLabels:
+    def test_labels_parse_from_keywords(self):
+        assert Label("optional") is Label.OPTIONAL
+        assert Label("required") is Label.REQUIRED
+        assert Label("repeated") is Label.REPEATED

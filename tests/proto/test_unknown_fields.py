@@ -1,0 +1,100 @@
+"""Tests for opt-in unknown-field preservation."""
+
+import pytest
+
+from repro.proto import parse_schema
+from repro.proto.decoder import parse_message
+
+NEW = parse_schema("""
+    message Event {
+      optional int64 id = 1;
+      optional string note = 2;
+      optional double extra = 9;
+      optional Inner child = 10;
+    }
+    message Inner { optional int32 a = 1; optional string b = 7; }
+""")
+
+OLD = parse_schema("""
+    message Event {
+      optional int64 id = 1;
+      optional Inner child = 10;
+    }
+    message Inner { optional int32 a = 1; }
+""")
+
+
+def _new_event():
+    event = NEW["Event"].new_message()
+    event["id"] = 5
+    event["note"] = "from the future"
+    event["extra"] = 1.25
+    child = event.mutable("child")
+    child["a"] = 1
+    child["b"] = "nested future"
+    return event
+
+
+class TestPreservation:
+    def test_default_drops_unknowns(self):
+        old = OLD["Event"].parse(_new_event().serialize())
+        assert old.unknown_fields == ()
+
+    def test_opt_in_preserves(self):
+        old = parse_message(OLD["Event"], _new_event().serialize(),
+                            keep_unknown=True)
+        numbers = [number for number, _, _ in old.unknown_fields]
+        assert numbers == [2, 9]
+
+    def test_round_trip_preserves_all_data(self):
+        # Unknown fields re-emit after known fields (upstream's
+        # UnknownFieldSet placement), so the bytes may reorder -- but a
+        # new reader recovers every field exactly.
+        wire = _new_event().serialize()
+        old = parse_message(OLD["Event"], wire, keep_unknown=True)
+        assert NEW["Event"].parse(old.serialize()) == _new_event()
+        assert len(old.serialize()) == len(wire)
+
+    def test_nested_unknowns_preserved(self):
+        wire = _new_event().serialize()
+        old = parse_message(OLD["Event"], wire, keep_unknown=True)
+        assert old["child"].unknown_fields != ()
+        # And the new reader sees the intermediary's output intact.
+        recovered = NEW["Event"].parse(old.serialize())
+        assert recovered == _new_event()
+
+    def test_byte_size_includes_unknowns(self):
+        wire = _new_event().serialize()
+        old = parse_message(OLD["Event"], wire, keep_unknown=True)
+        assert old.byte_size() == len(wire)
+
+    def test_clear_drops_unknowns(self):
+        old = parse_message(OLD["Event"], _new_event().serialize(),
+                            keep_unknown=True)
+        old.clear()
+        assert old.unknown_fields == ()
+
+    def test_copy_and_merge_carry_unknowns(self):
+        old = parse_message(OLD["Event"], _new_event().serialize(),
+                            keep_unknown=True)
+        clone = old.copy()
+        assert clone.unknown_fields == old.unknown_fields
+        fresh = OLD["Event"].new_message()
+        fresh.merge_from(old)
+        assert fresh.unknown_fields == old.unknown_fields
+
+    def test_equality_considers_unknowns(self):
+        wire = _new_event().serialize()
+        with_unknowns = parse_message(OLD["Event"], wire,
+                                      keep_unknown=True)
+        without = parse_message(OLD["Event"], wire, keep_unknown=False)
+        assert with_unknowns != without
+
+    def test_modified_then_reserialized_keeps_unknowns_after_fields(self):
+        old = parse_message(OLD["Event"], _new_event().serialize(),
+                            keep_unknown=True)
+        old["id"] = 6  # intermediary edits a known field
+        recovered = NEW["Event"].parse(old.serialize())
+        assert recovered["id"] == 6
+        assert recovered["note"] == "from the future"
+        assert recovered["extra"] == 1.25

@@ -1,0 +1,146 @@
+"""Unit and property tests for the varint and zig-zag codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.proto.errors import DecodeError
+from repro.proto.varint import (
+    MAX_VARINT_LENGTH,
+    decode_signed,
+    decode_varint,
+    decode_zigzag,
+    encode_signed,
+    encode_varint,
+    encode_zigzag,
+    varint_length,
+)
+
+
+class TestEncodeVarint:
+    def test_zero_is_one_byte(self):
+        assert encode_varint(0) == b"\x00"
+
+    def test_single_byte_values(self):
+        assert encode_varint(1) == b"\x01"
+        assert encode_varint(127) == b"\x7f"
+
+    def test_two_byte_boundary(self):
+        assert encode_varint(128) == b"\x80\x01"
+
+    def test_known_vector_300(self):
+        # The canonical example from the protobuf encoding docs.
+        assert encode_varint(300) == b"\xac\x02"
+
+    def test_max_uint64_is_ten_bytes(self):
+        encoded = encode_varint(2**64 - 1)
+        assert len(encoded) == MAX_VARINT_LENGTH
+        assert encoded == b"\xff" * 9 + b"\x01"
+
+    def test_continuation_bits(self):
+        encoded = encode_varint(2**35)
+        assert all(b & 0x80 for b in encoded[:-1])
+        assert not encoded[-1] & 0x80
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(2**64)
+
+
+class TestDecodeVarint:
+    def test_decode_known(self):
+        assert decode_varint(b"\xac\x02") == (300, 2)
+
+    def test_decode_with_offset(self):
+        assert decode_varint(b"\xff\xac\x02", offset=1) == (300, 2)
+
+    def test_truncated_raises(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"\x80")
+
+    def test_empty_raises(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"")
+
+    def test_overlong_raises(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"\x80" * 11)
+
+    def test_ten_byte_truncates_to_64_bits(self):
+        # A 10-byte varint with all payload bits set decodes to u64 max,
+        # matching C++ parser behaviour.
+        value, length = decode_varint(b"\xff" * 9 + b"\x7f")
+        assert length == 10
+        assert value == 2**64 - 1
+
+
+class TestVarintLength:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 1), (1, 1), (127, 1), (128, 2), (16383, 2), (16384, 3),
+        (2**28 - 1, 4), (2**28, 5), (2**63, 10), (2**64 - 1, 10),
+    ])
+    def test_boundaries(self, value, expected):
+        assert varint_length(value) == expected
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_matches_encoding(self, value):
+        assert varint_length(value) == len(encode_varint(value))
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_encode_decode_inverse(self, value):
+        encoded = encode_varint(value)
+        assert decode_varint(encoded) == (value, len(encoded))
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.binary(min_size=0, max_size=4))
+    def test_decode_ignores_trailing_bytes(self, value, suffix):
+        encoded = encode_varint(value)
+        decoded, consumed = decode_varint(encoded + suffix)
+        assert (decoded, consumed) == (value, len(encoded))
+
+
+class TestSigned:
+    def test_negative_int_encodes_to_ten_bytes(self):
+        # The paper's varint-10 pathology: negative int32/int64 values
+        # occupy the full 10 wire bytes.
+        payload = encode_signed(-1)
+        assert varint_length(payload) == 10
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_signed_round_trip(self, value):
+        assert decode_signed(encode_signed(value)) == value
+
+
+class TestZigZag:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4), (2147483647, 4294967294),
+        (-2147483648, 4294967295),
+    ])
+    def test_known_vectors(self, value, expected):
+        # Vectors from the protobuf encoding documentation.
+        assert encode_zigzag(value) == expected
+
+    def test_small_negative_stays_small(self):
+        # The whole point of zig-zag: -1 is one wire byte, not ten.
+        assert varint_length(encode_zigzag(-1)) == 1
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_round_trip(self, value):
+        assert decode_zigzag(encode_zigzag(value)) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_32_bit_round_trip(self, value):
+        assert decode_zigzag(encode_zigzag(value, bits=32)) == value
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_zigzag(2**63)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            decode_zigzag(-1)

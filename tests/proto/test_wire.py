@@ -1,0 +1,79 @@
+"""Tests for wire-format tag handling and unknown-field skipping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.proto.errors import DecodeError
+from repro.proto.types import WireType
+from repro.proto.varint import encode_varint
+from repro.proto.wire import (
+    decode_tag,
+    encode_tag,
+    make_tag,
+    skip_field,
+    split_tag,
+    tag_length,
+)
+
+
+class TestTags:
+    def test_make_tag(self):
+        assert make_tag(1, WireType.VARINT) == 0x08
+        assert make_tag(2, WireType.LENGTH_DELIMITED) == 0x12
+
+    def test_split_tag(self):
+        assert split_tag(0x08) == (1, WireType.VARINT)
+        assert split_tag(0x12) == (2, WireType.LENGTH_DELIMITED)
+
+    def test_invalid_wire_type_rejected(self):
+        with pytest.raises(DecodeError):
+            split_tag(make_tag(1, WireType.VARINT) | 0x07)
+
+    def test_field_number_zero_rejected(self):
+        with pytest.raises(DecodeError):
+            split_tag(0x00)
+
+    def test_encode_decode(self):
+        data = encode_tag(150, WireType.FIXED64)
+        number, wire_type, consumed = decode_tag(data, 0)
+        assert (number, wire_type, consumed) == (150, WireType.FIXED64,
+                                                 len(data))
+
+    def test_tag_length_one_byte_until_field_16(self):
+        assert tag_length(15, WireType.VARINT) == 1
+        assert tag_length(16, WireType.VARINT) == 2
+
+    @given(st.integers(min_value=1, max_value=2**29 - 1),
+           st.sampled_from([WireType.VARINT, WireType.FIXED64,
+                            WireType.LENGTH_DELIMITED, WireType.FIXED32]))
+    def test_round_trip(self, number, wire_type):
+        data = encode_tag(number, wire_type)
+        assert decode_tag(data, 0) == (number, wire_type, len(data))
+
+
+class TestSkipField:
+    def test_skip_varint(self):
+        data = encode_varint(2**40) + b"rest"
+        assert skip_field(data, 0, WireType.VARINT) == len(data) - 4
+
+    def test_skip_fixed(self):
+        assert skip_field(b"\x00" * 12, 0, WireType.FIXED64) == 8
+        assert skip_field(b"\x00" * 12, 0, WireType.FIXED32) == 4
+
+    def test_skip_length_delimited(self):
+        data = encode_varint(5) + b"hello" + b"rest"
+        assert skip_field(data, 0, WireType.LENGTH_DELIMITED) == \
+            len(data) - 4
+
+    def test_skip_truncated_fixed_raises(self):
+        with pytest.raises(DecodeError):
+            skip_field(b"\x00" * 3, 0, WireType.FIXED64)
+
+    def test_skip_truncated_length_delimited_raises(self):
+        with pytest.raises(DecodeError):
+            skip_field(encode_varint(100) + b"short", 0,
+                       WireType.LENGTH_DELIMITED)
+
+    def test_skip_group_rejected(self):
+        with pytest.raises(DecodeError):
+            skip_field(b"\x00", 0, WireType.START_GROUP)

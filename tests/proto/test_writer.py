@@ -1,0 +1,80 @@
+"""Tests for .proto emission and parse/write round trips."""
+
+from repro.proto import parse_schema
+from repro.proto.writer import schema_to_proto
+
+
+SOURCE = """
+syntax = "proto2";
+
+enum Mode { OFF = 0; ON = 1; }
+
+message Inner {
+  optional int32 a = 1;
+}
+
+message Outer {
+  required int64 x = 1;
+  optional string name = 2 [default = "anon"];
+  repeated double vals = 3 [packed = true];
+  optional Inner inner = 4;
+  repeated Inner kids = 7;
+  optional Mode mode = 9 [default = ON];
+}
+"""
+
+
+def _schemas_equivalent(a, b) -> bool:
+    if {m.name for m in a.messages()} != {m.name for m in b.messages()}:
+        return False
+    for message in a.messages():
+        other = b[message.name]
+        if len(message.fields) != len(other.fields):
+            return False
+        for fd in message.fields:
+            od = other.field_by_number(fd.number)
+            if od is None or od.name != fd.name:
+                return False
+            if (od.field_type, od.label, od.packed, od.default) != \
+                    (fd.field_type, fd.label, fd.packed, fd.default):
+                return False
+            if fd.type_name != od.type_name:
+                return False
+    return True
+
+
+def test_round_trip_through_text():
+    schema = parse_schema(SOURCE)
+    emitted = schema_to_proto(schema)
+    reparsed = parse_schema(emitted)
+    assert _schemas_equivalent(schema, reparsed)
+
+
+def test_emits_nested_messages_nested():
+    schema = parse_schema("""
+        message Outer {
+          message Inner { optional int32 a = 1; }
+          optional Inner inner = 1;
+        }
+    """)
+    emitted = schema_to_proto(schema)
+    assert "message Outer {" in emitted
+    assert emitted.index("message Inner") > emitted.index("message Outer")
+    reparsed = parse_schema(emitted)
+    assert "Outer.Inner" in reparsed
+
+
+def test_emits_options():
+    schema = parse_schema(SOURCE)
+    emitted = schema_to_proto(schema)
+    assert "packed = true" in emitted
+    assert 'default = "anon"' in emitted
+    assert "default = ON" in emitted
+
+
+def test_hyperprotobench_schemas_round_trip():
+    from repro.hyperprotobench.workload import generate_bench
+
+    bench = generate_bench("bench0", batch=1)
+    reparsed = parse_schema(bench.proto_source)
+    assert _schemas_equivalent(bench.schema, reparsed)

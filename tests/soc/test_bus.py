@@ -1,0 +1,25 @@
+"""Tests for the system-bus occupancy ledger."""
+
+from repro.soc.bus import SystemBus
+
+
+def test_beat_rounding():
+    bus = SystemBus()
+    assert bus.record_read(1) == 1
+    assert bus.record_read(16) == 1
+    assert bus.record_write(17) == 2
+    assert bus.total_beats == 4
+
+
+def test_zero_bytes_free():
+    bus = SystemBus()
+    assert bus.record_read(0) == 0
+    assert bus.total_beats == 0
+
+
+def test_utilization():
+    bus = SystemBus()
+    bus.record_read(160)  # 10 beats
+    assert bus.utilization(100) == 0.1
+    assert bus.utilization(5) == 1.0  # clamped
+    assert bus.utilization(0) == 0.0

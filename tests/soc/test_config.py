@@ -1,0 +1,28 @@
+"""Tests for SoC configuration and the throughput metric."""
+
+import pytest
+
+from repro.soc.config import SoCConfig
+
+
+def test_defaults_follow_paper():
+    config = SoCConfig()
+    assert config.clock_hz == 2.0e9          # Section 5: 2 GHz
+    assert config.context_stack_depth == 25  # Section 3.8
+    assert config.memory.bytes_per_beat == 16  # 128-bit TileLink
+
+
+def test_gbits_per_second():
+    config = SoCConfig()
+    # 250 bytes in 1000 cycles at 2 GHz = 250*8 bits / 500 ns = 4 Gbit/s
+    assert config.gbits_per_second(250, 1000) == pytest.approx(4.0)
+
+
+def test_cycles_to_seconds():
+    config = SoCConfig()
+    assert config.cycles_to_seconds(2.0e9) == pytest.approx(1.0)
+
+
+def test_zero_cycles_rejected():
+    with pytest.raises(ValueError):
+        SoCConfig().gbits_per_second(100, 0)

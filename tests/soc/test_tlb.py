@@ -1,0 +1,67 @@
+"""Tests for the TLB/PTW model."""
+
+import pytest
+
+from repro.soc.tlb import PAGE_BYTES, Tlb
+
+
+class TestTlb:
+    def test_first_access_misses(self):
+        tlb = Tlb(entries=4, ptw_cycles=80)
+        _, penalty = tlb.translate(0x10000)
+        assert penalty == 80
+        assert tlb.stats.misses == 1
+
+    def test_second_access_hits(self):
+        tlb = Tlb(entries=4, ptw_cycles=80)
+        tlb.translate(0x10000)
+        _, penalty = tlb.translate(0x10008)
+        assert penalty == 0
+        assert tlb.stats.hits == 1
+
+    def test_identity_mapping(self):
+        tlb = Tlb()
+        paddr, _ = tlb.translate(0x12345)
+        assert paddr == 0x12345
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2, ptw_cycles=80)
+        tlb.translate(0 * PAGE_BYTES)
+        tlb.translate(1 * PAGE_BYTES)
+        tlb.translate(0 * PAGE_BYTES)  # refresh page 0
+        tlb.translate(2 * PAGE_BYTES)  # evicts page 1 (LRU)
+        _, penalty = tlb.translate(1 * PAGE_BYTES)
+        assert penalty == 80  # page 1 was the LRU victim
+        _, penalty = tlb.translate(2 * PAGE_BYTES)
+        assert penalty == 0  # page 2 is still resident
+
+    def test_translate_range_touches_every_page(self):
+        tlb = Tlb(entries=16, ptw_cycles=80)
+        penalty = tlb.translate_range(0, 3 * PAGE_BYTES)
+        assert penalty == 3 * 80  # bytes [0, 3*4096) span pages 0, 1, 2
+
+    def test_translate_range_within_page(self):
+        tlb = Tlb(entries=16, ptw_cycles=80)
+        assert tlb.translate_range(100, 10) == 80
+        assert tlb.translate_range(100, 10) == 0
+
+    def test_zero_length_range(self):
+        assert Tlb().translate_range(0, 0) == 0
+
+    def test_flush(self):
+        tlb = Tlb()
+        tlb.translate(0)
+        tlb.flush()
+        _, penalty = tlb.translate(0)
+        assert penalty == tlb.ptw_cycles
+
+    def test_hit_rate(self):
+        tlb = Tlb()
+        assert tlb.stats.hit_rate == 1.0
+        tlb.translate(0)
+        tlb.translate(0)
+        assert tlb.stats.hit_rate == 0.5
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=0)
