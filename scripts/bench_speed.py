@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Measure the benchmark harness's own speed and record it.
+
+Runs a fixed subset of the evaluation -- the four Figure 11 classes,
+the Section 5.1.3 sweep, and HyperProtoBench's bench0 (both operations)
+-- twice: once serial with every cache disabled (the pre-optimisation
+baseline), once with the memoisation caches, disk cache, and requested
+job count (the shipped path).  Writes wall-clock seconds, the speedup,
+cache hit rates, and the job count to ``BENCH_harness.json``.
+
+Usage::
+
+    python scripts/bench_speed.py             # full subset
+    python scripts/bench_speed.py --smoke     # small batches, CI-sized
+    python scripts/bench_speed.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.accel import adt, driver                         # noqa: E402
+from repro.accel.perf import render_memoization_line        # noqa: E402
+from repro.bench import harness                             # noqa: E402
+from repro.bench.harness import WorkloadSpec, run_many      # noqa: E402
+from repro.cpu import model                                 # noqa: E402
+
+
+def subset_specs(micro_batch: int, hyper_batch: int) -> list[WorkloadSpec]:
+    """The fixed Fig-11 + bench0 measurement subset (ISSUE acceptance)."""
+    from repro.bench.figures import _FIG11, _fig11_specs
+    specs: list[WorkloadSpec] = []
+    for which in _FIG11:
+        specs.extend(_fig11_specs(which, micro_batch))
+    # Section 5.1.3 re-runs the same four classes; include the repeat
+    # explicitly, as the figure pipeline does.
+    for which in _FIG11:
+        specs.extend(_fig11_specs(which, micro_batch))
+    specs.append(WorkloadSpec("hyper", "bench0", "deserialize", hyper_batch))
+    specs.append(WorkloadSpec("hyper", "bench0", "serialize", hyper_batch))
+    return specs
+
+
+def clear_memo_caches() -> None:
+    for cache in (model.DESER_CYCLE_CACHE, model.SER_CYCLE_CACHE,
+                  driver.DESER_BATCH_CACHE, driver.SER_BATCH_CACHE):
+        cache.clear()
+
+
+def set_caches(enabled: bool) -> None:
+    model.set_cycle_cache_enabled(enabled)
+    driver.set_batch_cache_enabled(enabled)
+    harness.set_workload_cache_enabled(enabled)
+    adt.set_adt_caches_enabled(enabled)
+
+
+def timed_run(specs, jobs: int, caches: bool,
+              cache_dir: Path | None) -> tuple[float, list]:
+    clear_memo_caches()
+    set_caches(caches)
+    try:
+        start = time.perf_counter()
+        results = run_many(specs, jobs=jobs,
+                           disk_cache=cache_dir is not None,
+                           cache_dir=cache_dir)
+        return time.perf_counter() - start, results
+    finally:
+        set_caches(True)
+
+
+def hit_rates() -> dict[str, float]:
+    return {
+        "cpu_deser": model.DESER_CYCLE_CACHE.hit_rate,
+        "cpu_ser": model.SER_CYCLE_CACHE.hit_rate,
+        "accel_deser": driver.DESER_BATCH_CACHE.hit_rate,
+        "accel_ser": driver.SER_BATCH_CACHE.hit_rate,
+    }
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the optimised run")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small batches (CI smoke test)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO / "BENCH_harness.json")
+    args = parser.parse_args(argv)
+
+    micro_batch, hyper_batch = (8, 2) if args.smoke else (32, 10)
+    specs = subset_specs(micro_batch, hyper_batch)
+    print(f"subset: {len(specs)} benchmark runs "
+          f"(micro batch {micro_batch}, hyper batch {hyper_batch})")
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="bench-speed-cache-"))
+    try:
+        serial_s, serial_results = timed_run(specs, jobs=1, caches=False,
+                                             cache_dir=None)
+        print(f"serial uncached: {serial_s:.2f} s")
+        fast_s, fast_results = timed_run(specs, jobs=args.jobs, caches=True,
+                                         cache_dir=cache_dir)
+        print(f"cached (jobs={args.jobs}): {fast_s:.2f} s")
+        if args.jobs > 1:
+            # Memo-cache counters live in the worker processes; the
+            # parent's are empty and would misreport as 0%.
+            rates = None
+            print("memo caches: per-worker (hit rates not aggregated "
+                  "across processes)")
+        else:
+            rates = hit_rates()
+            print(render_memoization_line())
+        replay_s, replay_results = timed_run(specs, jobs=args.jobs,
+                                             caches=True,
+                                             cache_dir=cache_dir)
+        print(f"disk-cache replay: {replay_s:.2f} s")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    for label, results in (("cached", fast_results),
+                           ("replay", replay_results)):
+        for want, got in zip(serial_results, results):
+            if want != got:
+                print(f"ERROR: {label} run diverged on {want.workload} "
+                      f"{want.operation}")
+                return 1
+    print("differential check: fast paths match serial-uncached exactly")
+
+    speedup = serial_s / fast_s if fast_s else float("inf")
+    payload = {
+        "subset": [spec.__dict__ for spec in specs],
+        "jobs": args.jobs,
+        "smoke": args.smoke,
+        "serial_uncached_seconds": serial_s,
+        "cached_seconds": fast_s,
+        "disk_replay_seconds": replay_s,
+        "speedup": speedup,
+        "replay_speedup": serial_s / replay_s if replay_s else float("inf"),
+        "cache_hit_rates": rates,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"speedup: {speedup:.2f}x (replay {payload['replay_speedup']:.2f}x)"
+          f" -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

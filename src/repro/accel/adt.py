@@ -35,9 +35,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.memory.layout import LayoutCache
+from repro.memory.layout import LayoutCache, MessageLayout
 from repro.memory.memspace import SimMemory
-from repro.proto.descriptor import MessageDescriptor
+from repro.proto.descriptor import MessageDescriptor, structural_fingerprint
 from repro.proto.errors import SchemaError
 from repro.proto.types import FieldType, ZIGZAG_TYPES
 
@@ -57,6 +57,122 @@ FLAG_UTF8 = 16
 
 #: Hardware table limit: oneof groups representable per message type.
 MAX_ONEOF_GROUPS = 2
+
+
+@dataclass(frozen=True)
+class AdtTemplate:
+    """Pre-compiled, address-independent image of one type's ADT.
+
+    Everything in an ADT block except the per-instance vptr and the
+    sub-message ADT pointers is a pure function of the message type's
+    structure, so compilation is done once per structural fingerprint
+    and replayed as a single blit (plus pointer fixups) on every
+    subsequent accelerator instance -- the modified protoc's amortised
+    per-*type* table generation (Section 4.2), applied to the simulator
+    itself.
+    """
+
+    #: Entry region bytes (span * 16 B) with sub-ADT pointer slots zeroed.
+    entries: bytes
+    #: (entry byte offset, descriptor.fields index) pairs naming where
+    #: each sub-message ADT pointer must be patched in.
+    sub_fixups: tuple[tuple[int, int], ...]
+    #: The is_submessage bit-field words.
+    submsg_words: tuple[int, ...]
+    #: Header bytes [32:64): the oneof group-mask table.
+    oneof_header: bytes
+
+
+#: Process-wide compiled-ADT cache, keyed by structural fingerprint.
+_TEMPLATE_CACHE: dict[str, AdtTemplate] = {}
+
+#: Gates both the template cache and AdtView's decoded-entry memoisation
+#: (the host-side caches; the modelled hardware ADT entry cache and its
+#: cycle accounting are always on).
+_CACHES_ENABLED = True
+
+
+def set_adt_caches_enabled(enabled: bool) -> None:
+    global _CACHES_ENABLED
+    _CACHES_ENABLED = bool(enabled)
+    if not enabled:
+        _TEMPLATE_CACHE.clear()
+
+
+def clear_template_cache() -> None:
+    _TEMPLATE_CACHE.clear()
+
+
+def _compile_template(descriptor: MessageDescriptor,
+                      layout: MessageLayout) -> AdtTemplate:
+    """Compile one type's ADT entry/bits/oneof regions (no addresses)."""
+    group_ids = _oneof_group_ids(descriptor)
+    oneof_header = bytearray(ADT_HEADER_BYTES - 32)
+    for group, group_id in group_ids.items():
+        numbers = descriptor.oneof_groups[group]
+        bits = [n - descriptor.min_field_number for n in numbers]
+        words = {bit // 64 for bit in bits}
+        if len(words) != 1:
+            raise SchemaError(
+                f"{descriptor.name}: oneof {group!r} spans multiple "
+                "hasbits words; the accelerator clears siblings with "
+                "a single-word mask")
+        word = words.pop()
+        mask = 0
+        for bit in bits:
+            mask |= 1 << bit % 64
+        base = (group_id - 1) * 16
+        oneof_header[base:base + 8] = mask.to_bytes(8, "little")
+        oneof_header[base + 8:base + 12] = word.to_bytes(4, "little")
+    span = descriptor.field_number_span
+    entries = bytearray(span * ADT_ENTRY_BYTES)
+    sub_fixups: list[tuple[int, int]] = []
+    submsg_words = [0] * max(1, -(-span // 64))
+    field_indices = {fd.number: index
+                     for index, fd in enumerate(descriptor.fields)}
+    for index in range(span):
+        number = descriptor.min_field_number + index
+        base = index * ADT_ENTRY_BYTES
+        fd = descriptor.field_by_number(number)
+        if fd is None:
+            entries[base] = UNDEFINED_TYPE_CODE
+            continue
+        flags = 0
+        if fd.is_repeated:
+            flags |= FLAG_REPEATED
+        if fd.packed:
+            flags |= FLAG_PACKED
+        if fd.field_type in ZIGZAG_TYPES:
+            flags |= FLAG_ZIGZAG
+        if fd.validate_utf8:
+            flags |= FLAG_UTF8
+        if fd.is_message:
+            flags |= FLAG_MESSAGE
+            sub_fixups.append((base, field_indices[number]))
+            # Unpacked repeated sub-messages still flip the
+            # is_submessage bit; the serializer frontend needs it.
+            submsg_words[index // 64] |= 1 << index % 64
+        group_id = group_ids.get(fd.oneof_group, 0) if fd.oneof_group \
+            else 0
+        entries[base] = _TYPE_CODES[fd.field_type]
+        entries[base + 1] = flags
+        entries[base + 2:base + 4] = group_id.to_bytes(2, "little")
+        entries[base + 4:base + 8] = \
+            layout.field_offsets[number].to_bytes(4, "little")
+    return AdtTemplate(entries=bytes(entries),
+                       sub_fixups=tuple(sub_fixups),
+                       submsg_words=tuple(submsg_words),
+                       oneof_header=bytes(oneof_header))
+
+
+def _oneof_group_ids(descriptor: MessageDescriptor) -> dict[str, int]:
+    """Group-name -> 1-based hardware table id, in declaration order."""
+    groups = descriptor.oneof_groups
+    if len(groups) > MAX_ONEOF_GROUPS:
+        raise SchemaError(
+            f"{descriptor.name}: the accelerator ADT supports at "
+            f"most {MAX_ONEOF_GROUPS} oneof groups per message type")
+    return {group: index + 1 for index, group in enumerate(groups)}
 
 
 def adt_size_bytes(descriptor: MessageDescriptor) -> int:
@@ -96,6 +212,8 @@ class AdtBuilder:
         self.layouts = layout_cache
         self._addresses: dict[int, int] = {}
         self._descriptors: dict[int, MessageDescriptor] = {}
+        self.template_hits = 0
+        self.template_misses = 0
 
     def adt_address(self, descriptor: MessageDescriptor) -> int:
         try:
@@ -142,84 +260,38 @@ class AdtBuilder:
         memory = self.memory
         addr = self._addresses[id(descriptor)]
         layout = self.layouts.layout(descriptor)
-        # Header region.
+        if _CACHES_ENABLED:
+            fingerprint = structural_fingerprint(descriptor)
+            template = _TEMPLATE_CACHE.get(fingerprint)
+            if template is None:
+                self.template_misses += 1
+                template = _compile_template(descriptor, layout)
+                _TEMPLATE_CACHE[fingerprint] = template
+            else:
+                self.template_hits += 1
+        else:
+            self.template_misses += 1
+            template = _compile_template(descriptor, layout)
+        # Header region: per-instance fields, then the cached oneof table.
         memory.write_u64(addr, layout.vptr)
         memory.write_u64(addr + 8, layout.object_size)
         memory.write_u64(addr + 16, layout.hasbits_offset)
         memory.write_u32(addr + 24, descriptor.min_field_number)
         memory.write_u32(addr + 28, descriptor.max_field_number)
-        memory.fill(addr + 32, ADT_HEADER_BYTES - 32, 0)
-        group_ids = self._populate_oneof_masks(descriptor, addr)
-        # Entry region: one slot per field number in [min, max]; holes get
-        # the undefined code so the deserializer skips unknown numbers.
-        span = descriptor.field_number_span
+        memory.write(addr + 32, template.oneof_header)
+        # Entry region: blit the compiled image, patching this build's
+        # sub-message ADT pointers into their zeroed slots.
+        entries = bytearray(template.entries)
+        for offset, field_index in template.sub_fixups:
+            sub_type = descriptor.fields[field_index].message_type
+            assert sub_type is not None
+            sub_ptr = self._addresses[id(sub_type)]
+            entries[offset + 8:offset + 16] = sub_ptr.to_bytes(8, "little")
         entries_base = addr + ADT_HEADER_BYTES
-        submsg_bits = [0] * max(1, -(-span // 64))
-        for index in range(span):
-            number = descriptor.min_field_number + index
-            entry_addr = entries_base + index * ADT_ENTRY_BYTES
-            fd = descriptor.field_by_number(number)
-            if fd is None:
-                memory.write_u8(entry_addr, UNDEFINED_TYPE_CODE)
-                memory.fill(entry_addr + 1, ADT_ENTRY_BYTES - 1, 0)
-                continue
-            flags = 0
-            if fd.is_repeated:
-                flags |= FLAG_REPEATED
-            if fd.packed:
-                flags |= FLAG_PACKED
-            if fd.field_type in ZIGZAG_TYPES:
-                flags |= FLAG_ZIGZAG
-            if fd.validate_utf8:
-                flags |= FLAG_UTF8
-            group_id = group_ids.get(fd.oneof_group, 0) \
-                if fd.oneof_group else 0
-            sub_ptr = 0
-            if fd.is_message:
-                flags |= FLAG_MESSAGE
-                assert fd.message_type is not None
-                sub_ptr = self._addresses[id(fd.message_type)]
-                # Unpacked repeated sub-messages still flip the
-                # is_submessage bit; the serializer frontend needs it.
-                submsg_bits[index // 64] |= 1 << index % 64
-            memory.write_u8(entry_addr, _TYPE_CODES[fd.field_type])
-            memory.write_u8(entry_addr + 1, flags)
-            memory.write(entry_addr + 2,
-                         group_id.to_bytes(2, "little"))
-            memory.write_u32(entry_addr + 4, layout.field_offsets[number])
-            memory.write_u64(entry_addr + 8, sub_ptr)
-        bits_base = entries_base + span * ADT_ENTRY_BYTES
-        for word_index, word in enumerate(submsg_bits):
+        memory.write(entries_base, entries)
+        bits_base = entries_base + len(entries)
+        for word_index, word in enumerate(template.submsg_words):
             memory.write_u64(bits_base + word_index * 8, word)
-
-    def _populate_oneof_masks(self, descriptor: MessageDescriptor,
-                              addr: int) -> dict[str, int]:
-        """Write the header's oneof group-mask table; returns the
-        group-name -> 1-based id mapping."""
-        groups = descriptor.oneof_groups
-        if len(groups) > MAX_ONEOF_GROUPS:
-            raise SchemaError(
-                f"{descriptor.name}: the accelerator ADT supports at "
-                f"most {MAX_ONEOF_GROUPS} oneof groups per message type")
-        group_ids: dict[str, int] = {}
-        for index, (group, numbers) in enumerate(groups.items()):
-            bits = [n - descriptor.min_field_number for n in numbers]
-            words = {bit // 64 for bit in bits}
-            if len(words) != 1:
-                raise SchemaError(
-                    f"{descriptor.name}: oneof {group!r} spans multiple "
-                    "hasbits words; the accelerator clears siblings with "
-                    "a single-word mask")
-            word = words.pop()
-            mask = 0
-            for bit in bits:
-                mask |= 1 << bit % 64
-            base = addr + 32 + index * 16
-            self.memory.write_u64(base, mask)
-            self.memory.write_u32(base + 8, word)
-            self.memory.write_u32(base + 12, 0)
-            group_ids[group] = index + 1
-        return group_ids
 
 
 class AdtView:
@@ -227,32 +299,48 @@ class AdtView:
 
     The accelerator units only ever touch ADTs through this view, which
     reads simulated memory (never Python descriptors) -- keeping the
-    hardware model honest about what information it has.
+    hardware model honest about what information it has.  Because an ADT
+    block is immutable once built, decodes are memoised on the memory's
+    decode cache (flushed should anything ever write over the block);
+    the hardware ADT-entry cache's hit/miss *cycle* accounting is
+    modelled separately by the units.
     """
 
     def __init__(self, memory: SimMemory, addr: int):
         self.memory = memory
         self.addr = addr
+        header = (memory.decode_cache_get(("adt-h", addr))
+                  if _CACHES_ENABLED else None)
+        if header is None:
+            header = (memory.read_u64(addr), memory.read_u64(addr + 8),
+                      memory.read_u64(addr + 16),
+                      memory.read_u32(addr + 24),
+                      memory.read_u32(addr + 28))
+            if _CACHES_ENABLED:
+                memory.decode_cache_put(("adt-h", addr), addr,
+                                        ADT_HEADER_BYTES, header)
+        (self._vptr, self._object_size, self._hasbits_offset,
+         self._min_field, self._max_field) = header
 
     @property
     def default_vptr(self) -> int:
-        return self.memory.read_u64(self.addr)
+        return self._vptr
 
     @property
     def object_size(self) -> int:
-        return self.memory.read_u64(self.addr + 8)
+        return self._object_size
 
     @property
     def hasbits_offset(self) -> int:
-        return self.memory.read_u64(self.addr + 16)
+        return self._hasbits_offset
 
     @property
     def min_field_number(self) -> int:
-        return self.memory.read_u32(self.addr + 24)
+        return self._min_field
 
     @property
     def max_field_number(self) -> int:
-        return self.memory.read_u32(self.addr + 28)
+        return self._max_field
 
     @property
     def span(self) -> int:
@@ -275,23 +363,32 @@ class AdtView:
         entry_addr = self.entry_address(field_number)
         if entry_addr is None:
             return None
+        if _CACHES_ENABLED:
+            cached = self.memory.decode_cache_get(("adt-e", entry_addr))
+            if cached is not None:
+                return cached
         raw = self.memory.read(entry_addr, ADT_ENTRY_BYTES)
         type_code = raw[0]
         if type_code == UNDEFINED_TYPE_CODE:
-            return AdtEntry(False, None, False, False, False, False, 0, 0)
-        flags = raw[1]
-        return AdtEntry(
-            defined=True,
-            field_type=_TYPES_BY_CODE[type_code],
-            repeated=bool(flags & FLAG_REPEATED),
-            packed=bool(flags & FLAG_PACKED),
-            zigzag=bool(flags & FLAG_ZIGZAG),
-            is_message=bool(flags & FLAG_MESSAGE),
-            field_offset=int.from_bytes(raw[4:8], "little"),
-            sub_adt_ptr=int.from_bytes(raw[8:16], "little"),
-            utf8_validate=bool(flags & FLAG_UTF8),
-            oneof_group=int.from_bytes(raw[2:4], "little"),
-        )
+            entry = AdtEntry(False, None, False, False, False, False, 0, 0)
+        else:
+            flags = raw[1]
+            entry = AdtEntry(
+                defined=True,
+                field_type=_TYPES_BY_CODE[type_code],
+                repeated=bool(flags & FLAG_REPEATED),
+                packed=bool(flags & FLAG_PACKED),
+                zigzag=bool(flags & FLAG_ZIGZAG),
+                is_message=bool(flags & FLAG_MESSAGE),
+                field_offset=int.from_bytes(raw[4:8], "little"),
+                sub_adt_ptr=int.from_bytes(raw[8:16], "little"),
+                utf8_validate=bool(flags & FLAG_UTF8),
+                oneof_group=int.from_bytes(raw[2:4], "little"),
+            )
+        if _CACHES_ENABLED:
+            self.memory.decode_cache_put(
+                ("adt-e", entry_addr), entry_addr, ADT_ENTRY_BYTES, entry)
+        return entry
 
     def oneof_mask(self, group_id: int) -> tuple[int, int]:
         """(hasbits word index, sibling mask) for a 1-based group id."""
@@ -307,7 +404,13 @@ class AdtView:
         if not self.min_field_number <= field_number <= self.max_field_number:
             return False
         index = field_number - self.min_field_number
-        base = (self.addr + ADT_HEADER_BYTES
-                + self.span * ADT_ENTRY_BYTES)
-        word = self.memory.read_u64(base + index // 64 * 8)
+        word_addr = (self.addr + ADT_HEADER_BYTES
+                     + self.span * ADT_ENTRY_BYTES + index // 64 * 8)
+        word = (self.memory.decode_cache_get(("adt-b", word_addr))
+                if _CACHES_ENABLED else None)
+        if word is None:
+            word = self.memory.read_u64(word_addr)
+            if _CACHES_ENABLED:
+                self.memory.decode_cache_put(
+                    ("adt-b", word_addr), word_addr, 8, word)
         return bool(word >> index % 64 & 1)

@@ -387,7 +387,7 @@ class DeserializerUnit:
             payload, copy_cycles = loader.consume_bulk(length)
             self.memory.write_u64(addr, data_ptr)
             self.memory.write_u64(addr + 8, length)
-            self.memory.write(addr + 16, payload.ljust(16, b"\x00"))
+            self.memory.write(addr + 16, bytes(payload).ljust(16, b"\x00"))
         else:
             data_ptr = self._arena.allocate(length, 8)
             payload, copy_cycles = loader.consume_bulk(length)

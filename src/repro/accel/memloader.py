@@ -35,6 +35,14 @@ class Memloader:
         #: Startup latency of opening the stream (hidden thereafter).
         self.startup_cycles = timing.average_latency if length else 0.0
         self.bytes_loaded = 0
+        # The pipelined sequential prefetch: one read of the stream at
+        # open, exposed thereafter as zero-copy window views (no bytes
+        # allocation per cycle).
+        self._stream = memoryview(memory.read(addr, length)) \
+            if length else memoryview(b"")
+        self._window: memoryview | bytes = b""
+        self._window_pos = -1
+        self._window_len = -1
 
     @property
     def remaining(self) -> int:
@@ -44,16 +52,22 @@ class Memloader:
     def consumed(self) -> int:
         return self._pos
 
-    def peek(self, nbytes: int = WINDOW_BYTES) -> bytes:
+    def peek(self, nbytes: int = WINDOW_BYTES) -> memoryview | bytes:
         """Look at up to ``nbytes`` of buffered data without consuming.
 
         Hardware always exposes a full window; at end-of-stream the window
-        simply contains fewer valid bytes.
+        simply contains fewer valid bytes.  The returned window is a
+        zero-copy view over the prefetched stream, cached across repeated
+        peeks at the same position.
         """
         nbytes = min(nbytes, self.remaining)
         if nbytes <= 0:
             return b""
-        return self.memory.read(self._base + self._pos, nbytes)
+        if self._window_pos != self._pos or self._window_len != nbytes:
+            self._window = self._stream[self._pos:self._pos + nbytes]
+            self._window_pos = self._pos
+            self._window_len = nbytes
+        return self._window
 
     def consume(self, nbytes: int) -> None:
         """Discard ``nbytes`` from the head of the window."""

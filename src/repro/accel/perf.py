@@ -63,6 +63,37 @@ class PerfReport:
                          for label, value in rows)
 
 
+def memoization_counters() -> dict[str, tuple[int, int]]:
+    """Hit/miss pairs for every host-side memoisation cache.
+
+    Covers the software-CPU per-operation cycle caches and the
+    accelerator whole-batch caches.  (ADT template hits are per-builder;
+    see :attr:`repro.accel.adt.AdtBuilder.template_hits`.)
+    """
+    from repro.accel import driver
+    from repro.cpu import model
+    return {
+        "cpu-deser": (model.DESER_CYCLE_CACHE.hits,
+                      model.DESER_CYCLE_CACHE.misses),
+        "cpu-ser": (model.SER_CYCLE_CACHE.hits,
+                    model.SER_CYCLE_CACHE.misses),
+        "accel-deser": (driver.DESER_BATCH_CACHE.hits,
+                        driver.DESER_BATCH_CACHE.misses),
+        "accel-ser": (driver.SER_BATCH_CACHE.hits,
+                      driver.SER_BATCH_CACHE.misses),
+    }
+
+
+def render_memoization_line() -> str:
+    """One perf-counter line summarising memoisation-cache hit rates."""
+    parts = []
+    for name, (hits, misses) in memoization_counters().items():
+        total = hits + misses
+        rate = f"{hits / total:.1%}" if total else "n/a"
+        parts.append(f"{name} {rate} ({hits:,}/{total:,})")
+    return "memo caches: " + "  ".join(parts)
+
+
 def collect(accel) -> PerfReport:
     """Snapshot every counter on ``accel`` (a ProtoAccelerator)."""
     deser = accel.deserializer

@@ -26,7 +26,8 @@ class Utf8ValidationUnit:
     bytes_validated: int = 0
     faults: int = 0
 
-    def validate(self, payload: bytes, context: str = "string") -> None:
+    def validate(self, payload: bytes | memoryview,
+                 context: str = "string") -> None:
         """Check ``payload``; raises :class:`DecodeError` when invalid.
 
         Zero added cycles on the happy path -- the checker consumes the
@@ -35,7 +36,7 @@ class Utf8ValidationUnit:
         self.strings_validated += 1
         self.bytes_validated += len(payload)
         try:
-            payload.decode("utf-8")
+            str(payload, "utf-8")
         except UnicodeDecodeError as error:
             self.faults += 1
             raise DecodeError(

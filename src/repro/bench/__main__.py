@@ -2,24 +2,44 @@
 
 Usage::
 
-    python -m repro.bench              # list available figures
-    python -m repro.bench fig11a       # regenerate one
-    python -m repro.bench all          # regenerate everything
+    python -m repro.bench                      # list available figures
+    python -m repro.bench fig11a               # regenerate one
+    python -m repro.bench all                  # regenerate everything
+    python -m repro.bench all --jobs 4         # fan workloads across 4
+                                               # worker processes
+    python -m repro.bench fig12 --no-cache     # ignore results/.cache/
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.bench.figures import ALL_FIGURES
+from repro.bench.harness import set_options
 
 
 def main(argv: list[str]) -> int:
-    if not argv:
-        print("usage: python -m repro.bench <figure>|all")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.")
+    parser.add_argument(
+        "figures", nargs="*", metavar="figure",
+        help="figure names (or 'all'); run with none to list them")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for benchmark workloads (default 1)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache under results/.cache/")
+    args = parser.parse_args(argv)
+    if not args.figures:
+        parser.print_usage()
         print("available figures:", ", ".join(ALL_FIGURES))
         return 1
-    targets = list(ALL_FIGURES) if argv == ["all"] else argv
+    targets = (list(ALL_FIGURES) if args.figures == ["all"]
+               else args.figures)
+    set_options(jobs=args.jobs, disk_cache=not args.no_cache)
     for target in targets:
         generator = ALL_FIGURES.get(target)
         if generator is None:

@@ -8,18 +8,14 @@ as formatted text; the ``benchmarks/`` files and the
 from __future__ import annotations
 
 from repro.accel.asic_model import AsicModel
-from repro.bench.microbench import (
-    alloc_bench_names,
-    build_microbench,
-    nonalloc_bench_names,
-)
+from repro.bench.harness import WorkloadSpec, run_many
+from repro.bench.microbench import alloc_bench_names, nonalloc_bench_names
 from repro.bench.report import (
     ascii_bar_chart,
     format_results_table,
     geomean,
     speedup_summary,
 )
-from repro.bench.runner import run_deserialization, run_serialization
 from repro.fleet.cycle_model import CycleAttributionModel
 from repro.fleet.distributions import (
     BYTES_FIELD_SIZE_BUCKETS,
@@ -35,7 +31,7 @@ from repro.fleet.distributions import (
 )
 from repro.fleet.profiler import GwpProfile, fleet_opportunity, realized_savings
 from repro.fleet.sampler import FleetSampler, SampleAnalysis
-from repro.hyperprotobench import bench_names, build_hyperprotobench
+from repro.hyperprotobench import bench_names
 
 #: Default batch size for the timed microbenchmark batches.
 MICRO_BATCH = 32
@@ -163,21 +159,26 @@ def figure7(samples: int = 8000) -> str:
 
 _FIG11 = {
     "11a": ("Figure 11a: deserialization, non-alloc types (Gbit/s)",
-            run_deserialization, nonalloc_bench_names, (7.0, 2.6)),
+            "deserialize", nonalloc_bench_names, (7.0, 2.6)),
     "11b": ("Figure 11b: serialization, inline types (Gbit/s)",
-            run_serialization, nonalloc_bench_names, (15.5, 4.5)),
+            "serialize", nonalloc_bench_names, (15.5, 4.5)),
     "11c": ("Figure 11c: deserialization, alloc types (Gbit/s)",
-            run_deserialization, alloc_bench_names, (14.2, 6.9)),
+            "deserialize", alloc_bench_names, (14.2, 6.9)),
     "11d": ("Figure 11d: serialization, non-inline types (Gbit/s)",
-            run_serialization, alloc_bench_names, (10.1, 2.8)),
+            "serialize", alloc_bench_names, (10.1, 2.8)),
 }
+
+
+def _fig11_specs(which: str, batch: int) -> list[WorkloadSpec]:
+    _, operation, names, _ = _FIG11[which]
+    return [WorkloadSpec("micro", name, operation, batch)
+            for name in names()]
 
 
 def figure11(which: str, batch: int = MICRO_BATCH) -> str:
     """One of the four microbenchmark classes: '11a'..'11d'."""
-    title, runner, names, paper = _FIG11[which]
-    results = [runner(build_microbench(name, batch=batch))
-               for name in names()]
+    title, _, _, paper = _FIG11[which]
+    results = run_many(_fig11_specs(which, batch))
     speedups = speedup_summary(results)
     table = format_results_table(results, title)
     table += (f"\naccel speedup: {speedups['vs riscv-boom']:.1f}x vs BOOM "
@@ -192,9 +193,8 @@ def section513(batch: int = MICRO_BATCH) -> str:
     lines = [f"{'class':<22} {'vs BOOM':>9} {'paper':>7} "
              f"{'vs Xeon':>9} {'paper':>7}"]
     boom_ratios, xeon_ratios = [], []
-    for which, (label, runner, names, paper) in _FIG11.items():
-        results = [runner(build_microbench(name, batch=batch))
-                   for name in names()]
+    for which, (label, _, _, paper) in _FIG11.items():
+        results = run_many(_fig11_specs(which, batch))
         speedups = speedup_summary(results)
         boom_ratios.append(speedups["vs riscv-boom"])
         xeon_ratios.append(speedups["vs Xeon"])
@@ -211,10 +211,8 @@ def section513(batch: int = MICRO_BATCH) -> str:
 
 def figure12(batch: int = HYPER_BATCH) -> str:
     """HyperProtoBench deserialization + fleet-savings extrapolation."""
-    results = [
-        run_deserialization(build_hyperprotobench(name, batch=batch))
-        for name in bench_names()
-    ]
+    results = run_many([WorkloadSpec("hyper", name, "deserialize", batch)
+                        for name in bench_names()])
     speedups = speedup_summary(results)
     table = format_results_table(
         results, "Figure 12: HyperProtoBench deserialization (Gbit/s)")
@@ -231,10 +229,8 @@ def figure12(batch: int = HYPER_BATCH) -> str:
 
 def figure13(batch: int = HYPER_BATCH) -> str:
     """HyperProtoBench serialization."""
-    results = [
-        run_serialization(build_hyperprotobench(name, batch=batch))
-        for name in bench_names()
-    ]
+    results = run_many([WorkloadSpec("hyper", name, "serialize", batch)
+                        for name in bench_names()])
     speedups = speedup_summary(results)
     table = format_results_table(
         results, "Figure 13: HyperProtoBench serialization (Gbit/s)")

@@ -11,12 +11,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.accel.driver import ProtoAccelerator
+from repro.accel.driver import (
+    DESER_BATCH_CACHE,
+    SER_BATCH_CACHE,
+    ProtoAccelerator,
+    buffers_digest,
+)
 from repro.cpu.boom import boom_cpu
 from repro.cpu.model import SoftwareCpu
 from repro.cpu.xeon import xeon_cpu
-from repro.proto.descriptor import MessageDescriptor
+from repro.proto.descriptor import MessageDescriptor, structural_fingerprint
 from repro.proto.message import Message
+from repro.soc.config import SoCConfig
 
 #: System labels in the paper's plotting order.
 SYSTEMS = ("riscv-boom", "Xeon", "riscv-boom-accel")
@@ -29,11 +35,17 @@ class Workload:
     name: str
     descriptor: MessageDescriptor
     messages: list[Message]
+    _buffers: list[bytes] | None = field(default=None, repr=False,
+                                         compare=False)
 
     def wire_buffers(self) -> list[bytes]:
         """Software-serialized form of every message (batch input for
-        deserialization benchmarks)."""
-        return [message.serialize() for message in self.messages]
+        deserialization benchmarks).  Serialized once; messages are
+        treated as immutable after workload construction."""
+        if self._buffers is None:
+            self._buffers = [message.serialize()
+                             for message in self.messages]
+        return self._buffers
 
     def total_wire_bytes(self) -> int:
         return sum(len(buffer) for buffer in self.wire_buffers())
@@ -74,7 +86,8 @@ def _software_deser(cpu: SoftwareCpu, workload: Workload,
 
 
 def _software_ser(cpu: SoftwareCpu, workload: Workload) -> SystemResult:
-    cycles = cpu.serialize_batch_cycles(workload.messages)
+    cycles = cpu.serialize_batch_cycles(workload.messages,
+                                        keys=workload.wire_buffers())
     wire_bytes = workload.total_wire_bytes()
     return SystemResult(cpu.name, cpu.gbits_per_second(wire_bytes, cycles),
                         cycles, wire_bytes)
@@ -82,7 +95,21 @@ def _software_ser(cpu: SoftwareCpu, workload: Workload) -> SystemResult:
 
 def _accel_deser(workload: Workload, buffers: list[bytes],
                  verify: bool) -> SystemResult:
-    accel = ProtoAccelerator()
+    config = SoCConfig()
+    key = DESER_BATCH_CACHE.make_key(
+        config, structural_fingerprint(workload.descriptor),
+        buffers_digest(buffers))
+    wire_bytes = sum(len(b) for b in buffers)
+    cached = DESER_BATCH_CACHE.lookup(key)
+    if cached is not None:
+        # Replay the verified batch aggregate without re-simulating; the
+        # first (mis-)run decoded and checked these exact buffers.
+        stats, _ = cached
+        return SystemResult(
+            "riscv-boom-accel",
+            config.gbits_per_second(wire_bytes, stats.cycles),
+            stats.cycles, wire_bytes)
+    accel = ProtoAccelerator(config=config)
     accel.register_types([workload.descriptor])
     addresses, stats = accel.deserialize_batch(workload.descriptor, buffers)
     if verify:
@@ -91,7 +118,7 @@ def _accel_deser(workload: Workload, buffers: list[bytes],
             if observed != expected:
                 raise AssertionError(
                     f"{workload.name}: accelerator deserialization mismatch")
-    wire_bytes = sum(len(b) for b in buffers)
+        DESER_BATCH_CACHE.store(key, stats)
     return SystemResult(
         "riscv-boom-accel",
         accel.throughput_gbps(wire_bytes, stats.cycles),
@@ -99,16 +126,30 @@ def _accel_deser(workload: Workload, buffers: list[bytes],
 
 
 def _accel_ser(workload: Workload, verify: bool) -> SystemResult:
-    accel = ProtoAccelerator()
+    config = SoCConfig()
+    buffers = workload.wire_buffers()
+    key = SER_BATCH_CACHE.make_key(
+        config, structural_fingerprint(workload.descriptor),
+        buffers_digest(buffers))
+    cached = SER_BATCH_CACHE.lookup(key)
+    if cached is not None:
+        stats, wire_bytes = cached
+        return SystemResult(
+            "riscv-boom-accel",
+            config.gbits_per_second(wire_bytes, stats.cycles),
+            stats.cycles, wire_bytes)
+    accel = ProtoAccelerator(config=config)
     accel.register_types([workload.descriptor])
     addresses = [accel.load_object(m) for m in workload.messages]
     outputs, stats = accel.serialize_batch(workload.descriptor, addresses)
     if verify:
-        for output, message in zip(outputs, workload.messages):
-            if output != message.serialize():
+        for output, message in zip(outputs, buffers):
+            if output != message:
                 raise AssertionError(
                     f"{workload.name}: accelerator output not wire-identical")
     wire_bytes = sum(len(o) for o in outputs)
+    if verify:
+        SER_BATCH_CACHE.store(key, stats, extra=wire_bytes)
     return SystemResult(
         "riscv-boom-accel",
         accel.throughput_gbps(wire_bytes, stats.cycles),

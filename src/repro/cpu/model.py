@@ -10,11 +10,73 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional, Sequence
+
 from repro.proto.decoder import parse_message
-from repro.proto.descriptor import MessageDescriptor
+from repro.proto.descriptor import MessageDescriptor, structural_fingerprint
 from repro.proto.encoder import serialize_message
 from repro.proto.message import Message
 from repro.proto.trace import Op, Trace
+
+
+class CycleCache:
+    """Keyed per-operation cycle memoisation.
+
+    The trace-based cost of one software ser/deser operation is a pure
+    function of (cost params, message-type structure, wire bytes) -- no
+    state carries over between operations -- so identical operations can
+    charge the first computation's cycles.  Keys combine the frozen
+    :class:`CpuParams`, the descriptor's structural fingerprint, and the
+    exact wire buffer.  See docs/PERF.md for the determinism argument.
+    """
+
+    #: Entry cap: beyond this the cache resets (bounds batch sweeps).
+    MAX_ENTRIES = 1 << 18
+
+    def __init__(self, name: str):
+        self.name = name
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[tuple, float] = {}
+
+    def lookup(self, key: tuple) -> Optional[float]:
+        if not self.enabled:
+            return None
+        cycles = self._entries.get(key)
+        if cycles is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return cycles
+
+    def store(self, key: tuple, cycles: float) -> None:
+        if not self.enabled:
+            return
+        if len(self._entries) >= self.MAX_ENTRIES:
+            self._entries.clear()
+        self._entries[key] = cycles
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+#: Process-wide software-CPU cycle caches (deser and ser operations).
+DESER_CYCLE_CACHE = CycleCache("cpu-deser")
+SER_CYCLE_CACHE = CycleCache("cpu-ser")
+
+
+def set_cycle_cache_enabled(enabled: bool) -> None:
+    """Toggle the software-CPU cycle caches (both operations)."""
+    DESER_CYCLE_CACHE.enabled = enabled
+    SER_CYCLE_CACHE.enabled = enabled
 
 
 @dataclass(frozen=True)
@@ -150,12 +212,51 @@ class SoftwareCpu:
 
     def deserialize_batch_cycles(self, descriptor: MessageDescriptor,
                                  buffers: list[bytes]) -> float:
-        return sum(self.deserialize(descriptor, data)[1].cycles
-                   for data in buffers)
+        """Total cycles to deserialize the batch.
 
-    def serialize_batch_cycles(self, messages: list[Message]) -> float:
-        return sum(self.serialize(message)[1].cycles
-                   for message in messages)
+        Identical (params, type, wire bytes) operations are memoised via
+        :data:`DESER_CYCLE_CACHE`: a batch of N structurally identical
+        buffers traces the parse once and charges cached cycles for the
+        remaining N-1 -- bit-for-bit equal to the uncached sum because
+        each operation's trace cost is state-free.
+        """
+        prefix = (self.params, structural_fingerprint(descriptor))
+        total = 0.0
+        for data in buffers:
+            key = prefix + (bytes(data),)
+            cycles = DESER_CYCLE_CACHE.lookup(key)
+            if cycles is None:
+                cycles = self.deserialize(descriptor, data)[1].cycles
+                DESER_CYCLE_CACHE.store(key, cycles)
+            total += cycles
+        return total
+
+    def serialize_batch_cycles(self, messages: list[Message],
+                               keys: Optional[Sequence[bytes]] = None
+                               ) -> float:
+        """Total cycles to serialize the batch.
+
+        ``keys`` optionally supplies each message's wire bytes (e.g. a
+        workload's cached buffers); when given, identical messages are
+        memoised via :data:`SER_CYCLE_CACHE` the same way deserialization
+        is.  Without keys every message is traced (computing a key would
+        itself require serializing).
+        """
+        if keys is None or len(keys) != len(messages):
+            return sum(self.serialize(message)[1].cycles
+                       for message in messages)
+        prefix = (self.params,
+                  structural_fingerprint(messages[0].descriptor)
+                  if messages else "")
+        total = 0.0
+        for message, wire in zip(messages, keys):
+            key = prefix + (bytes(wire),)
+            cycles = SER_CYCLE_CACHE.lookup(key)
+            if cycles is None:
+                cycles = self.serialize(message)[1].cycles
+                SER_CYCLE_CACHE.store(key, cycles)
+            total += cycles
+        return total
 
     def gbits_per_second(self, payload_bytes: int, cycles: float) -> float:
         if cycles <= 0:

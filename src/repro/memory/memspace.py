@@ -39,13 +39,40 @@ class SimMemory:
     of this memory.
     """
 
+    #: Backing-store page size.  Pages materialise (zeroed) on first
+    #: write, so zeroing cost tracks bytes actually touched rather than
+    #: the address-space high-water mark -- arenas parked at high
+    #: addresses cost nothing until used.
+    _PAGE_SHIFT = 16
+    _PAGE = 1 << _PAGE_SHIFT
+
     def __init__(self, size: int = 64 << 20):
         if size <= 0:
             raise ValueError("memory size must be positive")
         self.size = size
-        self._data = bytearray(size)
+        self._pages: dict[int, bytearray] = {}
         self._brk = BASE_ADDRESS
         self.stats = MemoryStats()
+        # Decoded-structure cache for effectively-immutable regions
+        # (ADT blocks): readers memoise decodes here; any write that
+        # overlaps the cached envelope flushes the lot.
+        self._decode_cache: dict = {}
+        self._decode_lo = 1 << 63
+        self._decode_hi = 0
+
+    # -- decoded-structure cache -----------------------------------------------
+
+    def decode_cache_get(self, key):
+        return self._decode_cache.get(key)
+
+    def decode_cache_put(self, key, addr: int, length: int, value):
+        """Memoise a decode of bytes [addr, addr+length); returns value."""
+        if addr < self._decode_lo:
+            self._decode_lo = addr
+        if addr + length > self._decode_hi:
+            self._decode_hi = addr + length
+        self._decode_cache[key] = value
+        return value
 
     # -- allocation ---------------------------------------------------------
 
@@ -76,14 +103,58 @@ class SimMemory:
         self.stats.reads += 1
         self.stats.read_bytes += length
         start = addr - BASE_ADDRESS
-        return bytes(self._data[start:start + length])
+        page = start >> self._PAGE_SHIFT
+        offset = start & self._PAGE - 1
+        if offset + length <= self._PAGE:
+            backing = self._pages.get(page)
+            if backing is None:
+                # Never-written page: zeros, without materialising it.
+                return bytes(length)
+            return bytes(backing[offset:offset + length])
+        pieces = bytearray()
+        remaining = length
+        while remaining:
+            take = min(self._PAGE - offset, remaining)
+            backing = self._pages.get(page)
+            if backing is None:
+                pieces += bytes(take)
+            else:
+                pieces += backing[offset:offset + take]
+            remaining -= take
+            page += 1
+            offset = 0
+        return bytes(pieces)
 
-    def write(self, addr: int, data: bytes) -> None:
-        self._check(addr, len(data))
+    def write(self, addr: int, data) -> None:
+        length = len(data)
+        self._check(addr, length)
+        if (self._decode_cache and addr < self._decode_hi
+                and addr + length > self._decode_lo):
+            self._decode_cache.clear()
+            self._decode_lo = 1 << 63
+            self._decode_hi = 0
         self.stats.writes += 1
-        self.stats.written_bytes += len(data)
+        self.stats.written_bytes += length
         start = addr - BASE_ADDRESS
-        self._data[start:start + len(data)] = data
+        page = start >> self._PAGE_SHIFT
+        offset = start & self._PAGE - 1
+        if offset + length <= self._PAGE:
+            backing = self._pages.get(page)
+            if backing is None:
+                backing = self._pages[page] = bytearray(self._PAGE)
+            backing[offset:offset + length] = data
+            return
+        view = memoryview(data)
+        position = 0
+        while position < length:
+            take = min(self._PAGE - offset, length - position)
+            backing = self._pages.get(page)
+            if backing is None:
+                backing = self._pages[page] = bytearray(self._PAGE)
+            backing[offset:offset + take] = view[position:position + take]
+            position += take
+            page += 1
+            offset = 0
 
     # -- typed helpers ---------------------------------------------------------
 

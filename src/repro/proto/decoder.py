@@ -95,7 +95,7 @@ def _decode_scalar(fd: FieldDescriptor, data: bytes, offset: int,
             trace.emit(Op.MEMCPY, length)
         if ft is FieldType.STRING:
             try:
-                return raw.decode("utf-8"), end
+                return str(raw, "utf-8"), end
             except UnicodeDecodeError:
                 if fd.validate_utf8:
                     # proto3 parsers must reject invalid UTF-8.
@@ -103,8 +103,8 @@ def _decode_scalar(fd: FieldDescriptor, data: bytes, offset: int,
                         f"field {fd.name}: invalid UTF-8 in proto3 "
                         "string") from None
                 # proto2 tolerates non-UTF-8 string payloads on parse.
-                return raw.decode("latin-1"), end
-        return raw, end
+                return str(raw, "latin-1"), end
+        return bytes(raw), end
     if ft is FieldType.MESSAGE:
         if wire_type is not WireType.LENGTH_DELIMITED:
             raise DecodeError(f"field {fd.name}: expected length-delimited")
@@ -184,7 +184,7 @@ def _parse_into(message: Message, data: bytes, offset: int, end: int,
                 # for intermediaries).
                 message._unknown.append(
                     (field_number, int(wire_type),
-                     data[value_start:pos]))
+                     bytes(data[value_start:pos])))
             continue
         if fd.is_repeated:
             if (wire_type is WireType.LENGTH_DELIMITED
@@ -228,9 +228,13 @@ def parse_message(descriptor: MessageDescriptor, data: bytes,
     written by a newer schema survives transiting an older reader.
     With ``check_required=True``, a missing required field raises
     :class:`DecodeError` (C++ ``ParseFromString``'s IsInitialized check).
+
+    ``data`` may be any bytes-like object; parsing runs over a single
+    :class:`memoryview` so nested fields never copy wire bytes (only
+    string/bytes *values* are materialised, once each).
     """
     message = Message(descriptor, arena=arena)
-    _parse_into(message, data, 0, len(data), trace, arena,
+    _parse_into(message, memoryview(data), 0, len(data), trace, arena,
                 keep_unknown=keep_unknown)
     if check_required:
         try:
@@ -244,5 +248,5 @@ def merge_from_wire(message: Message, data: bytes,
                     trace: Optional[Trace] = None,
                     keep_unknown: bool = False) -> None:
     """Parse ``data`` and merge into an existing ``message`` in place."""
-    _parse_into(message, data, 0, len(data), trace, message.arena,
-                keep_unknown=keep_unknown)
+    _parse_into(message, memoryview(data), 0, len(data), trace,
+                message.arena, keep_unknown=keep_unknown)

@@ -253,6 +253,48 @@ class MessageDescriptor:
         return parse_message(self, data, arena=arena)
 
 
+def structural_fingerprint(descriptor: MessageDescriptor) -> str:
+    """A stable digest of a message type's wire-relevant structure.
+
+    Two descriptors with equal fingerprints parse and serialize any given
+    wire buffer identically (same field numbers, types, labels, packing,
+    oneof grouping, UTF-8 validation flags, and recursively the same
+    sub-message structure), so the fingerprint is a sound cache key for
+    deterministic cycle accounting.  Cyclic type graphs are handled by
+    numbering types in first-visit order.
+    """
+    cached = getattr(descriptor, "_structural_fp", None)
+    if cached is not None:
+        return cached
+    import hashlib
+
+    order: dict[int, int] = {}
+    parts: list[str] = []
+
+    def visit(md: MessageDescriptor) -> int:
+        key = id(md)
+        if key in order:
+            return order[key]
+        index = order[key] = len(order)
+        fields = []
+        for fd in md.fields:
+            sub = visit(fd.message_type) if fd.message_type is not None \
+                else -1
+            enum = (tuple(sorted(fd.enum_type.values.items()))
+                    if fd.enum_type is not None else None)
+            fields.append((fd.number, fd.field_type.value, fd.label.value,
+                           fd.packed, repr(fd.default), fd.validate_utf8,
+                           fd.oneof_group, sub, enum))
+        parts.append(f"{index}:{md.full_name}:{fields!r}")
+        return index
+
+    visit(descriptor)
+    fingerprint = hashlib.sha256(
+        "|".join(parts).encode()).hexdigest()[:32]
+    descriptor._structural_fp = fingerprint
+    return fingerprint
+
+
 @dataclass(frozen=True)
 class MethodDescriptor:
     """One rpc method in a service definition."""

@@ -29,16 +29,23 @@ def write_delimited_stream(messages: list[Message]) -> bytes:
     return b"".join(write_delimited(message) for message in messages)
 
 
-def iter_delimited_payloads(data: bytes) -> Iterator[bytes]:
-    """Yield each framed message's wire bytes from a stream."""
+def iter_delimited_payloads(data: bytes) -> Iterator[memoryview]:
+    """Yield each framed message's wire bytes from a stream.
+
+    Payloads are zero-copy :class:`memoryview` slices over the single
+    input buffer; pass them straight to :func:`parse_message` (or wrap
+    in ``bytes()`` if an owning copy is needed).
+    """
+    view = memoryview(data)
     offset = 0
-    while offset < len(data):
-        length, consumed = decode_varint(data, offset)
+    end_of_stream = len(view)
+    while offset < end_of_stream:
+        length, consumed = decode_varint(view, offset)
         offset += consumed
         end = offset + length
-        if end > len(data):
+        if end > end_of_stream:
             raise DecodeError("truncated delimited stream")
-        yield data[offset:end]
+        yield view[offset:end]
         offset = end
 
 

@@ -19,6 +19,33 @@ MAX_VARINT_LENGTH = 10
 
 _U64_MASK = (1 << 64) - 1
 
+#: One 0x80 continuation bit per byte of a little-endian window word.
+_CONT_MASK = int.from_bytes(b"\x80" * MAX_VARINT_LENGTH, "little")
+
+
+def _make_compactor(length: int):
+    """Build the fixed 7-bit group-compaction expression for one length.
+
+    A varint of ``length`` bytes, loaded little-endian into one integer,
+    compacts to its value by dropping every byte's continuation bit and
+    packing the remaining 7-bit groups -- a fixed shift/mask network per
+    length (what the combinational hardware unit wires up in parallel).
+    """
+    shifts = tuple((8 * i, 7 * i) for i in range(length))
+
+    def compact(word: int, _shifts=shifts) -> int:
+        value = 0
+        for byte_shift, out_shift in _shifts:
+            value |= (word >> byte_shift & 0x7F) << out_shift
+        return value
+
+    return compact
+
+
+#: Per-length compaction table, indexed by encoded length (1..10).
+_COMPACT = (None,) + tuple(_make_compactor(n)
+                           for n in range(1, MAX_VARINT_LENGTH + 1))
+
 
 def encode_varint(value: int) -> bytes:
     """Encode a non-negative integer < 2**64 as a protobuf varint.
@@ -42,32 +69,41 @@ def encode_varint(value: int) -> bytes:
             return bytes(out)
 
 
-def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+def decode_varint(data: bytes | bytearray | memoryview,
+                  offset: int = 0) -> tuple[int, int]:
     """Decode a varint from ``data`` starting at ``offset``.
 
-    Returns ``(value, n_bytes_consumed)``.  Raises :class:`DecodeError` on a
-    truncated varint or one longer than 10 bytes.
+    Accepts any bytes-like input (``bytes``, ``bytearray``,
+    ``memoryview``) so callers can parse zero-copy views over a shared
+    buffer.  Returns ``(value, n_bytes_consumed)``.  Raises
+    :class:`DecodeError` on a truncated varint or one longer than 10
+    bytes.
     """
-    result = 0
-    shift = 0
-    pos = offset
-    end = len(data)
-    while True:
-        if pos >= end:
+    if offset >= len(data) or offset < 0:
+        raise DecodeError("truncated varint")
+    first = data[offset]
+    if first < 0x80:
+        return first, 1
+    # Fast path: load the <=10-byte window as one little-endian word and
+    # find the encoded length from the first clear continuation bit --
+    # the software analogue of the accelerator's combinational scan.
+    window = data[offset:offset + MAX_VARINT_LENGTH]
+    nbytes = len(window)
+    word = int.from_bytes(window, "little")
+    stop = ~word & _CONT_MASK & (1 << 8 * nbytes) - 1
+    if not stop:
+        if nbytes < MAX_VARINT_LENGTH:
             raise DecodeError("truncated varint")
-        byte = data[pos]
-        pos += 1
-        result |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            break
-        shift += 7
-        if shift >= 7 * MAX_VARINT_LENGTH:
-            raise DecodeError("varint longer than 10 bytes")
+        raise DecodeError("varint longer than 10 bytes")
+    # The lowest clear continuation bit sits at bit 8*i + 7 of byte i,
+    # so its bit_length is 8*(i + 1): exactly 8x the encoded length.
+    length = (stop & -stop).bit_length() >> 3
+    result = _COMPACT[length](word)
     if result > _U64_MASK:
         # A 10-byte varint can carry up to 70 payload bits; protobuf
         # truncates to 64 (exactly what C++ parsers do on the wire).
         result &= _U64_MASK
-    return result, pos - offset
+    return result, length
 
 
 def varint_length(value: int) -> int:

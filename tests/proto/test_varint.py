@@ -77,6 +77,71 @@ class TestDecodeVarint:
         assert value == 2**64 - 1
 
 
+class TestDecodeVarintFastPath:
+    """Boundary coverage for the table-driven zero-copy decoder."""
+
+    @pytest.mark.parametrize("convert", [bytes, bytearray, memoryview],
+                             ids=["bytes", "bytearray", "memoryview"])
+    def test_accepts_buffer_types(self, convert):
+        data = convert(b"\xac\x02")
+        assert decode_varint(data) == (300, 2)
+
+    @pytest.mark.parametrize("convert", [bytes, bytearray, memoryview],
+                             ids=["bytes", "bytearray", "memoryview"])
+    def test_buffer_types_with_offset(self, convert):
+        data = convert(b"\x00\xff" + encode_varint(2**64 - 1))
+        assert decode_varint(data, offset=2) == (2**64 - 1, 10)
+
+    @pytest.mark.parametrize("nbytes", [1, 2, 5, 9, 10])
+    def test_length_boundaries(self, nbytes):
+        # Smallest value occupying exactly ``nbytes`` wire bytes.
+        value = 0 if nbytes == 1 else 1 << 7 * (nbytes - 1)
+        encoded = encode_varint(value)
+        assert len(encoded) == nbytes
+        assert decode_varint(encoded) == (value, nbytes)
+        # Largest value of that length too.
+        top = min(2**64, 1 << 7 * nbytes) - 1
+        encoded = encode_varint(top)
+        assert len(encoded) == nbytes
+        assert decode_varint(encoded) == (top, nbytes)
+
+    @pytest.mark.parametrize("nbytes", range(1, 10))
+    def test_truncation_at_every_length(self, nbytes):
+        # N continuation bytes and nothing after them, for N in 1..9.
+        with pytest.raises(DecodeError):
+            decode_varint(b"\x80" * nbytes)
+
+    def test_ten_continuation_bytes_overlong(self):
+        # Ten continuation bytes means an 11th byte would be needed --
+        # past the hardware's 10-byte limit regardless of what follows.
+        with pytest.raises(DecodeError):
+            decode_varint(b"\x80" * 10)
+        with pytest.raises(DecodeError):
+            decode_varint(b"\x80" * 10 + b"\x01")
+
+    def test_eleven_byte_varint_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"\xff" * 10 + b"\x01")
+
+    def test_nine_continuations_then_terminator(self):
+        assert decode_varint(b"\xff" * 9 + b"\x01") == (2**64 - 1, 10)
+
+    def test_truncation_with_offset_at_end(self):
+        data = b"\x01\x02\x03"
+        with pytest.raises(DecodeError):
+            decode_varint(data, offset=3)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"\x01", offset=-1)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_memoryview_matches_bytes(self, value):
+        encoded = encode_varint(value)
+        assert decode_varint(memoryview(encoded)) == \
+            decode_varint(encoded)
+
+
 class TestVarintLength:
     @pytest.mark.parametrize("value,expected", [
         (0, 1), (1, 1), (127, 1), (128, 2), (16383, 2), (16384, 3),
