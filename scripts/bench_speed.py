@@ -33,6 +33,7 @@ from repro.accel.perf import render_memoization_line        # noqa: E402
 from repro.bench import harness                             # noqa: E402
 from repro.bench.harness import WorkloadSpec, run_many      # noqa: E402
 from repro.cpu import model                                 # noqa: E402
+from repro.faults import FaultPlan                          # noqa: E402
 
 
 def subset_specs(micro_batch: int, hyper_batch: int) -> list[WorkloadSpec]:
@@ -64,14 +65,15 @@ def set_caches(enabled: bool) -> None:
 
 
 def timed_run(specs, jobs: int, caches: bool,
-              cache_dir: Path | None) -> tuple[float, list]:
+              cache_dir: Path | None,
+              faults: FaultPlan | None = None) -> tuple[float, list]:
     clear_memo_caches()
     set_caches(caches)
     try:
         start = time.perf_counter()
         results = run_many(specs, jobs=jobs,
                            disk_cache=cache_dir is not None,
-                           cache_dir=cache_dir)
+                           cache_dir=cache_dir, faults=faults)
         return time.perf_counter() - start, results
     finally:
         set_caches(True)
@@ -94,20 +96,28 @@ def main(argv: list[str]) -> int:
                         help="small batches (CI smoke test)")
     parser.add_argument("--output", type=Path,
                         default=REPO / "BENCH_harness.json")
+    parser.add_argument("--fault-rate", type=float, default=0.0,
+                        help="per-message fault-injection probability for "
+                             "the accelerated runs (default 0)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="fault-injection RNG seed")
     args = parser.parse_args(argv)
 
+    plan = (FaultPlan(seed=args.fault_seed, rate=args.fault_rate)
+            if args.fault_rate > 0 else None)
     micro_batch, hyper_batch = (8, 2) if args.smoke else (32, 10)
     specs = subset_specs(micro_batch, hyper_batch)
     print(f"subset: {len(specs)} benchmark runs "
-          f"(micro batch {micro_batch}, hyper batch {hyper_batch})")
+          f"(micro batch {micro_batch}, hyper batch {hyper_batch}"
+          + (f", fault rate {args.fault_rate}" if plan else "") + ")")
 
     cache_dir = Path(tempfile.mkdtemp(prefix="bench-speed-cache-"))
     try:
         serial_s, serial_results = timed_run(specs, jobs=1, caches=False,
-                                             cache_dir=None)
+                                             cache_dir=None, faults=plan)
         print(f"serial uncached: {serial_s:.2f} s")
         fast_s, fast_results = timed_run(specs, jobs=args.jobs, caches=True,
-                                         cache_dir=cache_dir)
+                                         cache_dir=cache_dir, faults=plan)
         print(f"cached (jobs={args.jobs}): {fast_s:.2f} s")
         if args.jobs > 1:
             # Memo-cache counters live in the worker processes; the
@@ -120,7 +130,8 @@ def main(argv: list[str]) -> int:
             print(render_memoization_line())
         replay_s, replay_results = timed_run(specs, jobs=args.jobs,
                                              caches=True,
-                                             cache_dir=cache_dir)
+                                             cache_dir=cache_dir,
+                                             faults=plan)
         print(f"disk-cache replay: {replay_s:.2f} s")
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
@@ -134,11 +145,20 @@ def main(argv: list[str]) -> int:
                 return 1
     print("differential check: fast paths match serial-uncached exactly")
 
+    faults_injected = sum(
+        r.results["riscv-boom-accel"].faults_injected
+        for r in serial_results)
+    if plan is not None:
+        print(f"faults injected across subset: {faults_injected} "
+              "(all recovered; differential check passed)")
+
     speedup = serial_s / fast_s if fast_s else float("inf")
     payload = {
         "subset": [spec.__dict__ for spec in specs],
         "jobs": args.jobs,
         "smoke": args.smoke,
+        "fault_rate": args.fault_rate,
+        "faults_injected": faults_injected,
         "serial_uncached_seconds": serial_s,
         "cached_seconds": fast_s,
         "disk_replay_seconds": replay_s,

@@ -30,10 +30,11 @@ from repro.accel.adt import AdtEntry, AdtView
 from repro.accel.memloader import Memloader
 from repro.accel.utf8_unit import Utf8ValidationUnit
 from repro.accel.varint_unit import CombinationalVarintUnit
+from repro.faults.plan import FaultSite
 from repro.memory.arena import AcceleratorArena
 from repro.memory.layout import SSO_CAPACITY, STRING_OBJECT_BYTES
 from repro.memory.memspace import SimMemory
-from repro.proto.errors import DecodeError
+from repro.proto.errors import AccelDecodeFault, AccelFault, DecodeError
 from repro.proto.types import CPP_SCALAR_BYTES, FieldType, WireType
 from repro.proto.varint import decode_signed
 from repro.soc.config import SoCConfig
@@ -88,6 +89,13 @@ class DeserStats:
     max_stack_depth: int = 0
     stack_spills: int = 0
     tlb_penalty_cycles: float = 0.0
+    # Fault-recovery accounting (all zero on the fault-free path).
+    faults_injected: int = 0
+    fault_retries: int = 0
+    cpu_fallbacks: int = 0
+    wasted_accel_cycles: float = 0.0
+    recovery_backoff_cycles: float = 0.0
+    fallback_cpu_cycles: float = 0.0
 
     def merge(self, other: "DeserStats") -> None:
         """Accumulate another operation's stats into this one (batching)."""
@@ -95,7 +103,10 @@ class DeserStats:
                 "cycles", "wire_bytes", "fields_parsed",
                 "unknown_fields_skipped", "submessages", "strings",
                 "repeated_elements", "arena_bytes", "adt_cache_hits",
-                "adt_cache_misses", "stack_spills", "tlb_penalty_cycles"):
+                "adt_cache_misses", "stack_spills", "tlb_penalty_cycles",
+                "faults_injected", "fault_retries", "cpu_fallbacks",
+                "wasted_accel_cycles", "recovery_backoff_cycles",
+                "fallback_cpu_cycles"):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.max_stack_depth = max(self.max_stack_depth,
                                    other.max_stack_depth)
@@ -159,12 +170,20 @@ class DeserializerUnit:
         self._arena: AcceleratorArena | None = None
         self._adt_cache = _AdtCache(self.params.adt_cache_entries)
         self._tlb = Tlb(self.config.tlb_entries, self.config.ptw_cycles)
+        self.faults = None
 
     # -- RoCC-visible operations ------------------------------------------------
 
     def assign_arena(self, arena: AcceleratorArena) -> None:
         """Model of ``deser_assign_arena`` (Section 4.3)."""
         self._arena = arena
+
+    def attach_faults(self, injector) -> None:
+        """Wire a FaultInjector through this unit and its sub-units."""
+        self.faults = injector
+        self.varint_unit.faults = injector
+        self.utf8_unit.fault_injector = injector
+        self._tlb.faults = injector
 
     def deserialize(self, adt_addr: int, dest_addr: int, src_addr: int,
                     src_len: int, hide_startup: bool = False) -> DeserStats:
@@ -184,35 +203,55 @@ class DeserializerUnit:
             raise RuntimeError(
                 "no accelerator arena assigned; issue deser_assign_arena")
         stats = DeserStats(wire_bytes=src_len)
+        if self.faults is not None:
+            # Each call is one hardware attempt; bind its stats so any
+            # fault fired during it carries an accurate cycle stamp.
+            self.faults.begin_attempt(stats)
         stats.cycles += self.params.dispatch_overhead
-        stats.tlb_penalty_cycles += self._tlb.translate_range(
-            src_addr, max(src_len, 1))
-        loader = Memloader(self.memory, self.config.memory, src_addr,
-                           src_len)
-        if not hide_startup:
-            stats.cycles += loader.startup_cycles
-        top = _Frame(adt=AdtView(self.memory, adt_addr), obj_addr=dest_addr,
-                     end_consumed=src_len)
-        self._init_hasbits(top)
-        stack: list[_Frame] = [top]
-        stats.max_stack_depth = 1
-        arena_before = self._arena.bytes_used
-        while stack:
-            frame = stack[-1]
-            if loader.consumed >= frame.end_consumed:
-                if loader.consumed > frame.end_consumed:
-                    raise DecodeError("sub-message parsing overran length")
-                self._close_open_repeated(frame, stats)
-                stats.cycles += self.params.message_finish
-                stack.pop()
-                if len(stack) >= self.config.context_stack_depth:
-                    stats.cycles += self.config.stack_spill_cycles
-                    stats.stack_spills += 1
-                continue
-            self._handle_field(loader, stack, stats)
-            stats.max_stack_depth = max(stats.max_stack_depth, len(stack))
-        if loader.remaining:
-            raise DecodeError("trailing bytes after top-level message")
+        try:
+            stats.tlb_penalty_cycles += self._tlb.translate_range(
+                src_addr, max(src_len, 1))
+            loader = Memloader(self.memory, self.config.memory, src_addr,
+                               src_len, faults=self.faults)
+            if not hide_startup:
+                stats.cycles += loader.startup_cycles
+            top = _Frame(adt=AdtView(self.memory, adt_addr),
+                         obj_addr=dest_addr, end_consumed=src_len)
+            self._init_hasbits(top)
+            stack: list[_Frame] = [top]
+            stats.max_stack_depth = 1
+            arena_before = self._arena.bytes_used
+            while stack:
+                frame = stack[-1]
+                if loader.consumed >= frame.end_consumed:
+                    if loader.consumed > frame.end_consumed:
+                        raise DecodeError(
+                            "sub-message parsing overran length",
+                            offset=loader.consumed)
+                    self._close_open_repeated(frame, stats)
+                    stats.cycles += self.params.message_finish
+                    stack.pop()
+                    if len(stack) >= self.config.context_stack_depth:
+                        stats.cycles += self.config.stack_spill_cycles
+                        stats.stack_spills += 1
+                    continue
+                if self.faults is not None:
+                    self.faults.poll(FaultSite.DESER_ABORT)
+                self._handle_field(loader, stack, stats)
+                stats.max_stack_depth = max(stats.max_stack_depth,
+                                            len(stack))
+            if loader.remaining:
+                raise DecodeError("trailing bytes after top-level message",
+                                  offset=loader.consumed)
+        except AccelFault:
+            raise
+        except DecodeError as error:
+            # Boundary wrap: every genuine wire-format violation leaves the
+            # unit as a structured fault (site + cycle stamp) while staying
+            # a DecodeError for existing callers.  Injected faults above
+            # are already structured and pass through untouched.
+            raise AccelDecodeFault.wrap(error, site="deserializer",
+                                        cycle=stats.cycles) from error
         stats.arena_bytes = self._arena.bytes_used - arena_before
         stats.cycles += stats.tlb_penalty_cycles
         stats.adt_cache_hits = self._adt_cache.hits
@@ -288,6 +327,9 @@ class DeserializerUnit:
 
     def _load_entry(self, adt: AdtView, field_number: int,
                     stats: DeserStats) -> AdtEntry | None:
+        if self.faults is not None:
+            # Parity check over the fetched ADT entry line.
+            self.faults.poll(FaultSite.ADT_ENTRY)
         entry_addr = adt.entry_address(field_number)
         if entry_addr is None:
             # Out-of-range numbers never had an entry; the range check is

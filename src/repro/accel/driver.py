@@ -25,6 +25,7 @@ from repro.accel.adt import AdtBuilder
 from repro.accel.dataops import DataOpStats, MessageOpsUnit
 from repro.accel.deserializer import DeserializerUnit, DeserStats
 from repro.accel.serializer import SerializerUnit, SerStats
+from repro.faults import FaultInjector, FaultPlan, FaultSite, RecoveryPolicy
 from repro.memory.arena import (
     AcceleratorArena,
     ArenaExhausted,
@@ -37,7 +38,9 @@ from repro.memory.layout import (
 )
 from repro.memory.memspace import SimMemory
 from repro.proto.descriptor import MessageDescriptor
+from repro.proto.errors import AccelFault
 from repro.proto.message import Message
+from repro.soc.bus import SystemBus
 from repro.soc.config import SoCConfig
 from repro.soc.rocc import RoccFunct, RoccInstruction, RoccInterface
 
@@ -134,13 +137,27 @@ class SerResult:
     stats: SerStats
 
 
+@dataclass
+class FaultRecoveryStats:
+    """Device-lifetime fault/recovery counters (what an SRE dashboards)."""
+
+    faults_injected: int = 0
+    transient_retries: int = 0
+    cpu_fallbacks: int = 0
+    wasted_accel_cycles: float = 0.0
+    backoff_cycles: float = 0.0
+    fallback_cpu_cycles: float = 0.0
+
+
 class ProtoAccelerator:
     """The accelerated SoC's protobuf offload device."""
 
     def __init__(self, memory: SimMemory | None = None,
                  config: SoCConfig | None = None,
                  deser_arena_bytes: int = 8 << 20,
-                 ser_arena_bytes: int = 8 << 20):
+                 ser_arena_bytes: int = 8 << 20,
+                 faults: FaultPlan | FaultInjector | None = None,
+                 recovery: RecoveryPolicy | None = None):
         if memory is None:
             # Size the simulated DRAM to hold both arenas plus generous
             # heap headroom for object images and wire buffers.
@@ -153,12 +170,22 @@ class ProtoAccelerator:
         self.adts = AdtBuilder(self.memory, self.layouts)
         self.rocc = RoccInterface(
             dispatch_cycles_each=self.config.rocc_dispatch_cycles)
+        self.bus = SystemBus(bytes_per_beat=self.config.memory.bytes_per_beat)
         self.deserializer = DeserializerUnit(self.memory, self.config)
         self.serializer = SerializerUnit(self.memory, self.config)
         self.dataops = MessageOpsUnit(self.memory, self.config)
         self._deser_arena = AcceleratorArena(self.memory, deser_arena_bytes)
         self._ser_arena = SerializerArena(self.memory, ser_arena_bytes)
         self._assign_arenas()
+        self.recovery = recovery or RecoveryPolicy()
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults) if faults.enabled() else None
+        self.faults = faults
+        if self.faults is not None:
+            self.deserializer.attach_faults(self.faults)
+            self.serializer.attach_faults(self.faults)
+        self.fault_stats = FaultRecoveryStats()
+        self._fallback_cpu = None  # lazily built boom_cpu()
 
     def _assign_arenas(self) -> None:
         self.rocc.issue(RoccInstruction(
@@ -224,10 +251,24 @@ class ProtoAccelerator:
                                         dest_addr))
         self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_DESER, src_addr,
                                         len(wire_bytes)))
-        renewal_cycles = 0.0
+        if self.faults is not None:
+            return self._deserialize_recovering(
+                descriptor, wire_bytes, adt_addr, dest_addr, src_addr,
+                hide_startup, auto_renew_arena)
+        stats = self._deser_attempt(descriptor, adt_addr, dest_addr,
+                                    src_addr, len(wire_bytes), hide_startup,
+                                    auto_renew_arena)
+        self.rocc.retire_deser()
+        return DeserResult(dest_addr=dest_addr, stats=stats)
+
+    def _deser_attempt(self, descriptor: MessageDescriptor, adt_addr: int,
+                       dest_addr: int, src_addr: int, src_len: int,
+                       hide_startup: bool,
+                       auto_renew_arena: bool) -> DeserStats:
+        """One hardware attempt, including the arena-renewal restart."""
         try:
-            stats = self.deserializer.deserialize(
-                adt_addr, dest_addr, src_addr, len(wire_bytes),
+            return self.deserializer.deserialize(
+                adt_addr, dest_addr, src_addr, src_len,
                 hide_startup=hide_startup)
         except ArenaExhausted:
             if not auto_renew_arena:
@@ -236,16 +277,110 @@ class ProtoAccelerator:
             # fresh arena and restarts the deserialization from scratch
             # (partial state in the old arena is simply abandoned).
             self._renew_deser_arena()
-            self.memory.fill(dest_addr,
-                             self.layouts.layout(descriptor).object_size, 0)
-            self.memory.write_u64(dest_addr,
-                                  self.layouts.layout(descriptor).vptr)
-            renewal_cycles = self.ARENA_RENEWAL_CYCLES
+            self._reset_dest(descriptor, dest_addr)
             stats = self.deserializer.deserialize(
-                adt_addr, dest_addr, src_addr, len(wire_bytes))
-        stats.cycles += renewal_cycles
+                adt_addr, dest_addr, src_addr, src_len)
+            stats.cycles += self.ARENA_RENEWAL_CYCLES
+            return stats
+
+    def _reset_dest(self, descriptor: MessageDescriptor,
+                    dest_addr: int) -> None:
+        """Re-zero the caller-allocated destination object for a restart."""
+        layout = self.layouts.layout(descriptor)
+        self.memory.fill(dest_addr, layout.object_size, 0)
+        self.memory.write_u64(dest_addr, layout.vptr)
+
+    def _fallback(self):
+        """The host core's software library (BOOM cost model), used for
+        per-message fallback after unrecoverable accelerator faults."""
+        if self._fallback_cpu is None:
+            from repro.cpu.boom import boom_cpu
+            self._fallback_cpu = boom_cpu()
+        return self._fallback_cpu
+
+    def _note_fault(self, fault: AccelFault) -> None:
+        """Bookkeeping common to every caught injected fault."""
+        self.rocc.record_fault(fault.site)
+        self.fault_stats.faults_injected += 1
+        self.fault_stats.wasted_accel_cycles += fault.cycle
+        if fault.site == FaultSite.BUS_STALL.value:
+            self.bus.record_stall(fault.cycle)
+
+    def _deserialize_recovering(self, descriptor: MessageDescriptor,
+                                wire_bytes: bytes, adt_addr: int,
+                                dest_addr: int, src_addr: int,
+                                hide_startup: bool,
+                                auto_renew_arena: bool) -> DeserResult:
+        """Fault-injected path: bounded retry with backoff for transient
+        faults, then per-message CPU fallback (docs/FAULTS.md).
+
+        Cycle charging: the final stats carry every wasted attempt's
+        cycles (up to its fault), every backoff pause, and -- on fallback
+        -- the BOOM software decode, on top of the successful attempt (or
+        instead of one, for fallback).
+        """
+        assert self.faults is not None
+        self.faults.begin_operation("deser")
+        injected = 0
+        retries = 0
+        wasted = 0.0
+        backoff = 0.0
+        try:
+            while True:
+                try:
+                    stats = self._deser_attempt(
+                        descriptor, adt_addr, dest_addr, src_addr,
+                        len(wire_bytes), hide_startup, auto_renew_arena)
+                    break
+                except AccelFault as fault:
+                    if not fault.injected:
+                        # A genuine decode error: the input really is
+                        # malformed; retrying cannot help and software
+                        # would reject it identically.  Propagate.
+                        raise
+                    injected += 1
+                    wasted += fault.cycle
+                    self._note_fault(fault)
+                    if (fault.transient
+                            and retries < self.recovery.max_retries):
+                        backoff += self.recovery.backoff(retries)
+                        retries += 1
+                        self._reset_dest(descriptor, dest_addr)
+                        continue
+                    # Persistent fault (or retry budget exhausted):
+                    # software decodes this message on the host core.
+                    dest_addr, stats = self._fallback_deserialize(
+                        descriptor, wire_bytes)
+                    break
+        finally:
+            self.faults.end_operation()
+        stats.faults_injected += injected
+        stats.fault_retries += retries
+        stats.wasted_accel_cycles += wasted
+        stats.recovery_backoff_cycles += backoff
+        stats.cycles += wasted + backoff
+        self.fault_stats.transient_retries += retries
+        self.fault_stats.backoff_cycles += backoff
         self.rocc.retire_deser()
         return DeserResult(dest_addr=dest_addr, stats=stats)
+
+    def _fallback_deserialize(self, descriptor: MessageDescriptor,
+                              wire_bytes: bytes
+                              ) -> tuple[int, DeserStats]:
+        """Decode one message with the software library and materialise
+        the result as an object image -- bit-identical to what a healthy
+        accelerator would have produced."""
+        message, op = self._fallback().deserialize(descriptor,
+                                                   bytes(wire_bytes))
+        addr = write_message_image(self.memory, self.memory.allocate,
+                                   message, self.layouts)
+        stats = DeserStats(wire_bytes=len(wire_bytes))
+        stats.cycles = op.cycles
+        stats.cpu_fallbacks = 1
+        stats.fallback_cpu_cycles = op.cycles
+        self.fault_stats.cpu_fallbacks += 1
+        self.fault_stats.fallback_cpu_cycles += op.cycles
+        return addr, stats
 
     def deserialize_batch(self, descriptor: MessageDescriptor,
                           buffers: list[bytes]) -> tuple[list[int], DeserStats]:
@@ -290,10 +425,77 @@ class ProtoAccelerator:
             descriptor.max_field_number << 32 | descriptor.min_field_number))
         self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_SER, adt_addr,
                                         obj_addr))
+        if self.faults is not None:
+            return self._serialize_recovering(descriptor, adt_addr,
+                                              obj_addr)
         stats = self.serializer.serialize(adt_addr, obj_addr)
         self.rocc.retire_ser()
         data = self._ser_arena.output(self._ser_arena.output_count - 1)
         return SerResult(data=data, stats=stats)
+
+    def _serialize_recovering(self, descriptor: MessageDescriptor,
+                              adt_addr: int, obj_addr: int) -> SerResult:
+        """Fault-injected serialize: retry transients (rolling back the
+        faulted attempt's partial arena output), fall back to the
+        software serializer otherwise."""
+        assert self.faults is not None
+        self.faults.begin_operation("ser")
+        injected = 0
+        retries = 0
+        wasted = 0.0
+        backoff = 0.0
+        data = None
+        try:
+            while True:
+                mark = self._ser_arena.mark()
+                try:
+                    stats = self.serializer.serialize(adt_addr, obj_addr)
+                    data = self._ser_arena.output(
+                        self._ser_arena.output_count - 1)
+                    break
+                except AccelFault as fault:
+                    self._ser_arena.rollback(mark)
+                    if not fault.injected:
+                        raise
+                    injected += 1
+                    wasted += fault.cycle
+                    self._note_fault(fault)
+                    if (fault.transient
+                            and retries < self.recovery.max_retries):
+                        backoff += self.recovery.backoff(retries)
+                        retries += 1
+                        continue
+                    data, stats = self._fallback_serialize(descriptor,
+                                                           obj_addr)
+                    break
+        finally:
+            self.faults.end_operation()
+        stats.faults_injected += injected
+        stats.fault_retries += retries
+        stats.wasted_accel_cycles += wasted
+        stats.recovery_backoff_cycles += backoff
+        stats.cycles += wasted + backoff
+        self.fault_stats.transient_retries += retries
+        self.fault_stats.backoff_cycles += backoff
+        self.rocc.retire_ser()
+        return SerResult(data=data, stats=stats)
+
+    def _fallback_serialize(self, descriptor: MessageDescriptor,
+                            obj_addr: int) -> tuple[bytes, SerStats]:
+        """Serialize one object image with the software library; the
+        output is byte-identical to the accelerator's (the suite pins
+        both against the same golden wire bytes)."""
+        message = read_message_image(self.memory, descriptor, obj_addr,
+                                     self.layouts)
+        data, op = self._fallback().serialize(message)
+        stats = SerStats()
+        stats.cycles = op.cycles
+        stats.output_bytes = len(data)
+        stats.cpu_fallbacks = 1
+        stats.fallback_cpu_cycles = op.cycles
+        self.fault_stats.cpu_fallbacks += 1
+        self.fault_stats.fallback_cpu_cycles += op.cycles
+        return data, stats
 
     def serialize_batch(self, descriptor: MessageDescriptor,
                         addresses: list[int]) -> tuple[list[bytes], SerStats]:

@@ -13,6 +13,7 @@ when the stream opens.
 
 from __future__ import annotations
 
+from repro.faults.plan import FaultSite
 from repro.memory.memspace import SimMemory
 from repro.proto.errors import DecodeError
 from repro.memory.timing import MemoryTimingModel
@@ -24,7 +25,7 @@ class Memloader:
     """A streaming window over one serialized input buffer."""
 
     def __init__(self, memory: SimMemory, timing: MemoryTimingModel,
-                 addr: int, length: int):
+                 addr: int, length: int, faults=None):
         if length < 0:
             raise ValueError("stream length must be non-negative")
         self.memory = memory
@@ -43,6 +44,13 @@ class Memloader:
         self._window: memoryview | bytes = b""
         self._window_pos = -1
         self._window_len = -1
+        # Stream-open checks: ECC over the prefetched lines, the beat
+        # counter against the announced length, and the bus transaction
+        # itself.  Any of these can raise an AccelFault under injection.
+        if faults is not None:
+            faults.poll(FaultSite.BUS_STALL)
+            faults.poll(FaultSite.MEMLOADER_BITFLIP)
+            faults.poll(FaultSite.MEMLOADER_TRUNCATE)
 
     @property
     def remaining(self) -> int:

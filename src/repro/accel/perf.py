@@ -31,6 +31,14 @@ class PerfReport:
     ser_outputs: int
     memory_read_bytes: int
     memory_written_bytes: int
+    # Fault/recovery counters (zero on a fault-free device).
+    faults_injected: int = 0
+    fault_interrupts: int = 0
+    transient_retries: int = 0
+    cpu_fallbacks: int = 0
+    wasted_accel_cycles: float = 0.0
+    fallback_cpu_cycles: float = 0.0
+    bus_stalls: int = 0
 
     @property
     def adt_cache_hit_rate(self) -> float:
@@ -57,6 +65,14 @@ class PerfReport:
             ("simulated memory read / written",
              f"{self.memory_read_bytes:,} / "
              f"{self.memory_written_bytes:,} B"),
+            ("faults injected / interrupts raised",
+             f"{self.faults_injected:,} / {self.fault_interrupts:,}"),
+            ("transient retries / CPU fallbacks",
+             f"{self.transient_retries:,} / {self.cpu_fallbacks:,}"),
+            ("wasted accel / fallback CPU cycles",
+             f"{self.wasted_accel_cycles:,.0f} / "
+             f"{self.fallback_cpu_cycles:,.0f}"),
+            ("bus stalls observed", f"{self.bus_stalls:,}"),
         )
         width = max(len(label) for label, _ in rows)
         return "\n".join(f"{label:<{width}}  {value}"
@@ -116,4 +132,12 @@ def collect(accel) -> PerfReport:
         ser_outputs=accel._ser_arena.output_count,
         memory_read_bytes=accel.memory.stats.read_bytes,
         memory_written_bytes=accel.memory.stats.written_bytes,
+        faults_injected=(accel.faults.injected
+                         if accel.faults is not None else 0),
+        fault_interrupts=accel.rocc.faults_raised,
+        transient_retries=accel.fault_stats.transient_retries,
+        cpu_fallbacks=accel.fault_stats.cpu_fallbacks,
+        wasted_accel_cycles=accel.fault_stats.wasted_accel_cycles,
+        fallback_cpu_cycles=accel.fault_stats.fallback_cpu_cycles,
+        bus_stalls=accel.bus.stalls,
     )

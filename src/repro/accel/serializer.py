@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.accel.adt import AdtEntry, AdtView
 from repro.accel.memwriter import Memwriter
 from repro.accel.varint_unit import CombinationalVarintUnit
+from repro.faults.plan import FaultSite
 from repro.memory.arena import SerializerArena
 from repro.memory.layout import read_string_object
 from repro.memory.memspace import SimMemory
@@ -76,12 +77,22 @@ class SerStats:
     max_stack_depth: int = 0
     stack_spills: int = 0
     tlb_penalty_cycles: float = 0.0
+    # Fault-recovery accounting (all zero on the fault-free path).
+    faults_injected: int = 0
+    fault_retries: int = 0
+    cpu_fallbacks: int = 0
+    wasted_accel_cycles: float = 0.0
+    recovery_backoff_cycles: float = 0.0
+    fallback_cpu_cycles: float = 0.0
 
     def merge(self, other: "SerStats") -> None:
         for name in ("cycles", "output_bytes", "fields_serialized",
                      "submessages", "strings", "repeated_elements",
                      "frontend_cycles", "fsu_cycles", "memwriter_cycles",
-                     "stack_spills", "tlb_penalty_cycles"):
+                     "stack_spills", "tlb_penalty_cycles",
+                     "faults_injected", "fault_retries", "cpu_fallbacks",
+                     "wasted_accel_cycles", "recovery_backoff_cycles",
+                     "fallback_cpu_cycles"):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.max_stack_depth = max(self.max_stack_depth,
                                    other.max_stack_depth)
@@ -98,12 +109,19 @@ class SerializerUnit:
         self.varint_unit = CombinationalVarintUnit()
         self._arena: SerializerArena | None = None
         self._tlb = Tlb(self.config.tlb_entries, self.config.ptw_cycles)
+        self.faults = None
 
     # -- RoCC-visible operations -----------------------------------------------
 
     def assign_arena(self, arena: SerializerArena) -> None:
         """Model of ``ser_assign_arena`` (Section 4.3)."""
         self._arena = arena
+
+    def attach_faults(self, injector) -> None:
+        """Wire a FaultInjector through this unit and its sub-units."""
+        self.faults = injector
+        self.varint_unit.faults = injector
+        self._tlb.faults = injector
 
     def serialize(self, adt_addr: int, obj_addr: int) -> SerStats:
         """Model of one ``ser_info`` + ``do_proto_ser`` pair.
@@ -115,6 +133,10 @@ class SerializerUnit:
             raise RuntimeError(
                 "no serializer arena assigned; issue ser_assign_arena")
         stats = SerStats()
+        if self.faults is not None:
+            self.faults.begin_attempt(stats)
+            # The frontend's first object-image read is a bus transaction.
+            self.faults.poll(FaultSite.BUS_STALL)
         memwriter = Memwriter(self._arena, self.config.memory)
         adt = AdtView(self.memory, adt_addr)
         stats.frontend_cycles += self.params.frontend_init
@@ -166,6 +188,9 @@ class SerializerUnit:
             stats.frontend_cycles += self.config.stack_spill_cycles
             stats.stack_spills += 1
         for number in self._present_numbers_reverse(adt, obj_addr, stats):
+            if self.faults is not None:
+                self.faults.poll(FaultSite.SER_ABORT)
+                self.faults.poll(FaultSite.ADT_ENTRY)
             entry = adt.entry(number)
             if entry is None or not entry.defined:
                 continue

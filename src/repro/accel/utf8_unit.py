@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults.plan import FaultSite
 from repro.proto.errors import DecodeError
 
 
@@ -25,6 +26,7 @@ class Utf8ValidationUnit:
     strings_validated: int = 0
     bytes_validated: int = 0
     faults: int = 0
+    fault_injector: object = None  # FaultInjector under test
 
     def validate(self, payload: bytes | memoryview,
                  context: str = "string") -> None:
@@ -35,10 +37,15 @@ class Utf8ValidationUnit:
         """
         self.strings_validated += 1
         self.bytes_validated += len(payload)
+        if self.fault_injector is not None:
+            # Models the DFA latching a bad state (soft error in the
+            # state register) and rejecting a valid string.
+            self.fault_injector.poll(FaultSite.UTF8_CORRUPT)
         try:
             str(payload, "utf-8")
         except UnicodeDecodeError as error:
             self.faults += 1
             raise DecodeError(
                 f"{context}: invalid UTF-8 in proto3 string field "
-                f"(byte {error.start})") from None
+                f"(byte {error.start})",
+                offset=error.start, site="utf8") from None

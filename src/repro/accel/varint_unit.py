@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults.plan import FaultSite
 from repro.proto.errors import DecodeError
 from repro.proto.varint import (
     MAX_VARINT_LENGTH,
@@ -29,14 +30,20 @@ class CombinationalVarintUnit:
     decodes: int = 0
     encodes: int = 0
     zigzag_ops: int = 0
+    faults: object = None  # FaultInjector when the device is under test
 
     def decode(self, window: bytes) -> tuple[int, int]:
         """Decode one varint from the first bytes of ``window``.
 
         Returns ``(value, encoded_length)``; one cycle in hardware.
         """
+        if self.faults is not None:
+            # Models the length scanner mis-reading continuation bits and
+            # declaring an overlong varint on well-formed input.
+            self.faults.poll(FaultSite.VARINT_OVERLONG)
         if not window:
-            raise DecodeError("varint unit given an empty window")
+            raise DecodeError("varint unit given an empty window",
+                              site="varint")
         value, length = decode_varint(window[:MAX_VARINT_LENGTH])
         self.decodes += 1
         return value, length

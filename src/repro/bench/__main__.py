@@ -8,6 +8,9 @@ Usage::
     python -m repro.bench all --jobs 4         # fan workloads across 4
                                                # worker processes
     python -m repro.bench fig12 --no-cache     # ignore results/.cache/
+    python -m repro.bench faults               # fault degradation curve
+    python -m repro.bench fig11a --fault-rate 0.01
+                                               # inject per-message faults
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import sys
 
 from repro.bench.figures import ALL_FIGURES
 from repro.bench.harness import set_options
+from repro.faults import FaultPlan
 
 
 def main(argv: list[str]) -> int:
@@ -32,6 +36,13 @@ def main(argv: list[str]) -> int:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the persistent result cache under results/.cache/")
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="per-message fault-injection probability for accelerated "
+             "runs (default 0: faults disabled)")
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="fault-injection RNG seed (default 0)")
     args = parser.parse_args(argv)
     if not args.figures:
         parser.print_usage()
@@ -39,7 +50,10 @@ def main(argv: list[str]) -> int:
         return 1
     targets = (list(ALL_FIGURES) if args.figures == ["all"]
                else args.figures)
-    set_options(jobs=args.jobs, disk_cache=not args.no_cache)
+    plan = (FaultPlan(seed=args.fault_seed, rate=args.fault_rate)
+            if args.fault_rate > 0 else None)
+    set_options(jobs=args.jobs, disk_cache=not args.no_cache,
+                fault_plan=plan)
     for target in targets:
         generator = ALL_FIGURES.get(target)
         if generator is None:

@@ -12,10 +12,12 @@ from repro.bench.harness import WorkloadSpec, run_many
 from repro.bench.microbench import alloc_bench_names, nonalloc_bench_names
 from repro.bench.report import (
     ascii_bar_chart,
+    fault_degradation_table,
     format_results_table,
     geomean,
     speedup_summary,
 )
+from repro.faults import FaultPlan
 from repro.fleet.cycle_model import CycleAttributionModel
 from repro.fleet.distributions import (
     BYTES_FIELD_SIZE_BUCKETS,
@@ -241,6 +243,33 @@ def figure13(batch: int = HYPER_BATCH) -> str:
     return table
 
 
+#: Default per-message fault rates for the degradation sweep.
+FAULT_RATES = (0.0, 0.005, 0.01, 0.02, 0.05)
+
+
+def fault_degradation(rates: tuple[float, ...] = FAULT_RATES,
+                      batch: int = MICRO_BATCH,
+                      hyper_batch: int = HYPER_BATCH,
+                      seed: int = 0) -> str:
+    """Accelerator throughput vs per-message fault rate.
+
+    Sweeps the Figure 11 microbenchmarks plus HyperProtoBench bench0
+    (both operations) through the hardened recovery path at each rate.
+    Every run still verifies results, so the curve doubles as an
+    end-to-end proof that recovery is value-preserving.
+    """
+    specs = []
+    for which in _FIG11:
+        specs.extend(_fig11_specs(which, batch))
+    specs.append(WorkloadSpec("hyper", "bench0", "deserialize", hyper_batch))
+    specs.append(WorkloadSpec("hyper", "bench0", "serialize", hyper_batch))
+    curve = []
+    for rate in rates:
+        plan = FaultPlan(seed=seed, rate=rate) if rate > 0 else None
+        curve.append((rate, run_many(specs, faults=plan)))
+    return fault_degradation_table(curve)
+
+
 def section53() -> str:
     """ASIC frequency/area with per-component breakdowns."""
     model = AsicModel()
@@ -272,4 +301,5 @@ ALL_FIGURES = {
     "fig12": figure12,
     "fig13": figure13,
     "sec5.3": section53,
+    "faults": fault_degradation,
 }

@@ -56,18 +56,26 @@ DEFAULT_CACHE_DIR = Path("results") / ".cache"
 
 @dataclass(frozen=True)
 class HarnessOptions:
-    """Process-wide knobs the ``python -m repro.bench`` CLI sets."""
+    """Process-wide knobs the ``python -m repro.bench`` CLI sets.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan` or ``None``)
+    injects faults into every accelerated run; it is picklable, so the
+    worker-pool path carries it too.
+    """
 
     jobs: int = 1
     disk_cache: bool = True
+    fault_plan: object = None
 
 
 _OPTIONS = HarnessOptions()
 
 
-def set_options(jobs: int = 1, disk_cache: bool = True) -> None:
+def set_options(jobs: int = 1, disk_cache: bool = True,
+                fault_plan=None) -> None:
     global _OPTIONS
-    _OPTIONS = HarnessOptions(jobs=max(1, jobs), disk_cache=disk_cache)
+    _OPTIONS = HarnessOptions(jobs=max(1, jobs), disk_cache=disk_cache,
+                              fault_plan=fault_plan)
 
 
 def get_options() -> HarnessOptions:
@@ -135,17 +143,25 @@ def _system_fingerprint() -> str:
     ))
 
 
-def cache_key(spec: WorkloadSpec, workload: Workload) -> str:
-    """Content-addressed key: spec + schema hash + buffers + configs."""
-    material = "|".join((
+def cache_key(spec: WorkloadSpec, workload: Workload,
+              faults=None) -> str:
+    """Content-addressed key: spec + schema hash + buffers + configs.
+
+    A fault plan's fingerprint joins the material only when injection is
+    active, so fault-free keys are byte-identical to pre-fault releases
+    and the existing cache population stays valid.
+    """
+    parts = [
         f"v{CACHE_VERSION}",
         spec.kind, spec.name, spec.operation,
         str(spec.batch), str(spec.seed),
         structural_fingerprint(workload.descriptor),
         buffers_digest(workload.wire_buffers()).hex(),
         _system_fingerprint(),
-    ))
-    return hashlib.sha256(material.encode()).hexdigest()
+    ]
+    if faults is not None and faults.enabled():
+        parts.append(faults.fingerprint())
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
 
 def _result_to_json(result: BenchmarkResult) -> dict:
@@ -193,22 +209,28 @@ def store_cached(key: str, result: BenchmarkResult,
     os.replace(tmp, path)
 
 
+_UNSET = object()
+
+
 def run_spec(spec: WorkloadSpec, verify: bool = True,
              disk_cache: Optional[bool] = None,
-             cache_dir: Optional[Path] = None) -> BenchmarkResult:
+             cache_dir: Optional[Path] = None,
+             faults=_UNSET) -> BenchmarkResult:
     """Run one spec, consulting/feeding the persistent result cache."""
     if disk_cache is None:
         disk_cache = _OPTIONS.disk_cache
+    if faults is _UNSET:
+        faults = _OPTIONS.fault_plan
     workload = spec.build()
-    key = cache_key(spec, workload) if disk_cache else None
+    key = cache_key(spec, workload, faults=faults) if disk_cache else None
     if key is not None:
         cached = load_cached(key, cache_dir)
         if cached is not None:
             return cached
     if spec.operation == "deserialize":
-        result = run_deserialization(workload, verify=verify)
+        result = run_deserialization(workload, verify=verify, faults=faults)
     elif spec.operation == "serialize":
-        result = run_serialization(workload, verify=verify)
+        result = run_serialization(workload, verify=verify, faults=faults)
     else:
         raise ValueError(f"unknown operation {spec.operation!r}")
     if key is not None and verify:
@@ -217,14 +239,15 @@ def run_spec(spec: WorkloadSpec, verify: bool = True,
 
 
 def _pool_entry(args: tuple) -> BenchmarkResult:
-    spec, verify, disk_cache, cache_dir = args
+    spec, verify, disk_cache, cache_dir, faults = args
     return run_spec(spec, verify=verify, disk_cache=disk_cache,
-                    cache_dir=cache_dir)
+                    cache_dir=cache_dir, faults=faults)
 
 
 def run_many(specs: list[WorkloadSpec], jobs: Optional[int] = None,
              verify: bool = True, disk_cache: Optional[bool] = None,
-             cache_dir: Optional[Path] = None) -> list[BenchmarkResult]:
+             cache_dir: Optional[Path] = None,
+             faults=_UNSET) -> list[BenchmarkResult]:
     """Run every spec, fanning across processes when ``jobs`` > 1.
 
     Results come back in spec order regardless of completion order, so
@@ -234,11 +257,15 @@ def run_many(specs: list[WorkloadSpec], jobs: Optional[int] = None,
         jobs = _OPTIONS.jobs
     if disk_cache is None:
         disk_cache = _OPTIONS.disk_cache
+    if faults is _UNSET:
+        faults = _OPTIONS.fault_plan
     if cache_dir is not None:
         cache_dir = Path(cache_dir)
     if jobs <= 1 or len(specs) <= 1:
         return [run_spec(spec, verify=verify, disk_cache=disk_cache,
-                         cache_dir=cache_dir) for spec in specs]
-    payloads = [(spec, verify, disk_cache, cache_dir) for spec in specs]
+                         cache_dir=cache_dir, faults=faults)
+                for spec in specs]
+    payloads = [(spec, verify, disk_cache, cache_dir, faults)
+                for spec in specs]
     with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
         return list(pool.map(_pool_entry, payloads))

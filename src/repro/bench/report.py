@@ -67,6 +67,49 @@ def ascii_bar_chart(results: Sequence[BenchmarkResult],
     return "\n".join(lines)
 
 
+def fault_degradation_table(
+        curve: Sequence[tuple[float, Sequence[BenchmarkResult]]],
+        width: int = 40) -> str:
+    """Render a fault-rate sweep as a degradation curve.
+
+    ``curve`` pairs each per-message fault rate with the results of the
+    same spec list run at that rate; the table reports the accelerator's
+    geomean throughput, its fraction of the fault-free figure, and the
+    recovery-path counters accumulated across the whole spec list.
+    """
+    if not curve:
+        raise ValueError("no fault-rate points to plot")
+    accel = "riscv-boom-accel"
+    points = []
+    for rate, results in curve:
+        gbps = geomean(r.gbps(accel) for r in results)
+        srs = [r.results[accel] for r in results]
+        points.append({
+            "rate": rate,
+            "gbps": gbps,
+            "faults": sum(sr.faults_injected for sr in srs),
+            "retries": sum(sr.transient_retries for sr in srs),
+            "fallbacks": sum(sr.cpu_fallbacks for sr in srs),
+        })
+    baseline = next((p["gbps"] for p in points if p["rate"] == 0),
+                    points[0]["gbps"])
+    header = (f"{'fault rate':>10} {'accel Gbit/s':>13} {'of clean':>9} "
+              f"{'faults':>8} {'retries':>8} {'fallbacks':>10}")
+    lines = ["fault-injection degradation curve (accelerator geomean)",
+             header, "-" * len(header)]
+    for p in points:
+        rel = p["gbps"] / baseline if baseline else 0.0
+        lines.append(f"{p['rate'] * 100:>9.2f}% {p['gbps']:>13.2f} "
+                     f"{rel * 100:>8.1f}% {p['faults']:>8,} "
+                     f"{p['retries']:>8,} {p['fallbacks']:>10,}")
+    lines.append("")
+    for p in points:
+        rel = p["gbps"] / baseline if baseline else 0.0
+        bar = "*" * max(1, round(rel * width))
+        lines.append(f"{p['rate'] * 100:>6.2f}% {bar} {rel * 100:.1f}%")
+    return "\n".join(lines)
+
+
 def speedup_summary(results: Sequence[BenchmarkResult]) -> dict[str, float]:
     """Geomean accelerator speedups vs each baseline (the paper's
     headline "NxM" numbers)."""

@@ -53,12 +53,21 @@ class Workload:
 
 @dataclass
 class SystemResult:
-    """One system's measurement on one workload."""
+    """One system's measurement on one workload.
+
+    The fault counters are zero except on ``riscv-boom-accel`` runs with
+    fault injection enabled; defaults keep old cached JSON loadable.
+    """
 
     system: str
     gbits_per_second: float
     cycles: float
     wire_bytes: int
+    faults_injected: int = 0
+    transient_retries: int = 0
+    cpu_fallbacks: int = 0
+    wasted_accel_cycles: float = 0.0
+    fallback_cpu_cycles: float = 0.0
 
 
 @dataclass
@@ -93,23 +102,42 @@ def _software_ser(cpu: SoftwareCpu, workload: Workload) -> SystemResult:
                         cycles, wire_bytes)
 
 
+def _fault_counters(accel: ProtoAccelerator) -> dict:
+    fs = accel.fault_stats
+    return {
+        "faults_injected": fs.faults_injected,
+        "transient_retries": fs.transient_retries,
+        "cpu_fallbacks": fs.cpu_fallbacks,
+        "wasted_accel_cycles": fs.wasted_accel_cycles,
+        "fallback_cpu_cycles": fs.fallback_cpu_cycles,
+    }
+
+
 def _accel_deser(workload: Workload, buffers: list[bytes],
-                 verify: bool) -> SystemResult:
+                 verify: bool, faults=None) -> SystemResult:
     config = SoCConfig()
-    key = DESER_BATCH_CACHE.make_key(
-        config, structural_fingerprint(workload.descriptor),
-        buffers_digest(buffers))
     wire_bytes = sum(len(b) for b in buffers)
-    cached = DESER_BATCH_CACHE.lookup(key)
-    if cached is not None:
-        # Replay the verified batch aggregate without re-simulating; the
-        # first (mis-)run decoded and checked these exact buffers.
-        stats, _ = cached
-        return SystemResult(
-            "riscv-boom-accel",
-            config.gbits_per_second(wire_bytes, stats.cycles),
-            stats.cycles, wire_bytes)
-    accel = ProtoAccelerator(config=config)
+    inject = faults is not None and faults.enabled()
+    if inject:
+        # Decorrelate fault streams across workloads (each run builds a
+        # fresh injector that replays its seed's RNG from the start).
+        faults = faults.derive(workload.name, "deserialize")
+    if not inject:
+        # The batch cycle cache only memoises deterministic fault-free
+        # runs; an injected run's cycles depend on the fault plan.
+        key = DESER_BATCH_CACHE.make_key(
+            config, structural_fingerprint(workload.descriptor),
+            buffers_digest(buffers))
+        cached = DESER_BATCH_CACHE.lookup(key)
+        if cached is not None:
+            # Replay the verified batch aggregate without re-simulating;
+            # the first (mis-)run decoded and checked these exact buffers.
+            stats, _ = cached
+            return SystemResult(
+                "riscv-boom-accel",
+                config.gbits_per_second(wire_bytes, stats.cycles),
+                stats.cycles, wire_bytes)
+    accel = ProtoAccelerator(config=config, faults=faults)
     accel.register_types([workload.descriptor])
     addresses, stats = accel.deserialize_batch(workload.descriptor, buffers)
     if verify:
@@ -118,27 +146,32 @@ def _accel_deser(workload: Workload, buffers: list[bytes],
             if observed != expected:
                 raise AssertionError(
                     f"{workload.name}: accelerator deserialization mismatch")
-        DESER_BATCH_CACHE.store(key, stats)
+        if not inject:
+            DESER_BATCH_CACHE.store(key, stats)
     return SystemResult(
         "riscv-boom-accel",
         accel.throughput_gbps(wire_bytes, stats.cycles),
-        stats.cycles, wire_bytes)
+        stats.cycles, wire_bytes, **_fault_counters(accel))
 
 
-def _accel_ser(workload: Workload, verify: bool) -> SystemResult:
+def _accel_ser(workload: Workload, verify: bool, faults=None) -> SystemResult:
     config = SoCConfig()
     buffers = workload.wire_buffers()
-    key = SER_BATCH_CACHE.make_key(
-        config, structural_fingerprint(workload.descriptor),
-        buffers_digest(buffers))
-    cached = SER_BATCH_CACHE.lookup(key)
-    if cached is not None:
-        stats, wire_bytes = cached
-        return SystemResult(
-            "riscv-boom-accel",
-            config.gbits_per_second(wire_bytes, stats.cycles),
-            stats.cycles, wire_bytes)
-    accel = ProtoAccelerator(config=config)
+    inject = faults is not None and faults.enabled()
+    if inject:
+        faults = faults.derive(workload.name, "serialize")
+    if not inject:
+        key = SER_BATCH_CACHE.make_key(
+            config, structural_fingerprint(workload.descriptor),
+            buffers_digest(buffers))
+        cached = SER_BATCH_CACHE.lookup(key)
+        if cached is not None:
+            stats, wire_bytes = cached
+            return SystemResult(
+                "riscv-boom-accel",
+                config.gbits_per_second(wire_bytes, stats.cycles),
+                stats.cycles, wire_bytes)
+    accel = ProtoAccelerator(config=config, faults=faults)
     accel.register_types([workload.descriptor])
     addresses = [accel.load_object(m) for m in workload.messages]
     outputs, stats = accel.serialize_batch(workload.descriptor, addresses)
@@ -148,32 +181,38 @@ def _accel_ser(workload: Workload, verify: bool) -> SystemResult:
                 raise AssertionError(
                     f"{workload.name}: accelerator output not wire-identical")
     wire_bytes = sum(len(o) for o in outputs)
-    if verify:
+    if verify and not inject:
         SER_BATCH_CACHE.store(key, stats, extra=wire_bytes)
     return SystemResult(
         "riscv-boom-accel",
         accel.throughput_gbps(wire_bytes, stats.cycles),
-        stats.cycles, wire_bytes)
+        stats.cycles, wire_bytes, **_fault_counters(accel))
 
 
-def run_deserialization(workload: Workload,
-                        verify: bool = True) -> BenchmarkResult:
-    """Deserialize the workload's batch on all three systems."""
+def run_deserialization(workload: Workload, verify: bool = True,
+                        faults=None) -> BenchmarkResult:
+    """Deserialize the workload's batch on all three systems.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan` or ``None``) only
+    affects the accelerated system; the software baselines model fault-
+    free CPUs either way.
+    """
     buffers = workload.wire_buffers()
     result = BenchmarkResult(workload.name, "deserialize")
     result.results["riscv-boom"] = _software_deser(boom_cpu(), workload,
                                                    buffers)
     result.results["Xeon"] = _software_deser(xeon_cpu(), workload, buffers)
     result.results["riscv-boom-accel"] = _accel_deser(workload, buffers,
-                                                      verify)
+                                                      verify, faults=faults)
     return result
 
 
-def run_serialization(workload: Workload,
-                      verify: bool = True) -> BenchmarkResult:
+def run_serialization(workload: Workload, verify: bool = True,
+                      faults=None) -> BenchmarkResult:
     """Serialize the workload's batch on all three systems."""
     result = BenchmarkResult(workload.name, "serialize")
     result.results["riscv-boom"] = _software_ser(boom_cpu(), workload)
     result.results["Xeon"] = _software_ser(xeon_cpu(), workload)
-    result.results["riscv-boom-accel"] = _accel_ser(workload, verify)
+    result.results["riscv-boom-accel"] = _accel_ser(workload, verify,
+                                                    faults=faults)
     return result

@@ -1,0 +1,30 @@
+"""Fault injection and error recovery for the accelerator pipeline.
+
+See docs/FAULTS.md for the taxonomy, the injection sites, the recovery
+policy, and how fault cycles are charged into throughput figures.
+"""
+
+from repro.faults.injector import FaultInjector, InjectedFault
+from repro.faults.plan import (
+    DESER_SITES,
+    FaultPlan,
+    FaultSite,
+    IMMEDIATE_SITES,
+    PERSISTENT_SITES,
+    SER_SITES,
+    TRANSIENT_SITES,
+)
+from repro.faults.recovery import RecoveryPolicy
+
+__all__ = [
+    "DESER_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSite",
+    "IMMEDIATE_SITES",
+    "InjectedFault",
+    "PERSISTENT_SITES",
+    "RecoveryPolicy",
+    "SER_SITES",
+    "TRANSIENT_SITES",
+]

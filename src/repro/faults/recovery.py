@@ -1,0 +1,36 @@
+"""The driver's recovery policy for accelerator faults.
+
+Transient faults (bus stalls, TLB faults, soft errors caught by ECC) are
+retried with exponential backoff -- the fault interrupt costs nothing but
+the wasted attempt plus a software pause before re-issuing the RoCC pair.
+Persistent faults, and transient ones that survive ``max_retries``
+attempts, divert the message to the software parser on the host core;
+:mod:`repro.accel.driver` charges the wasted accelerator cycles, every
+backoff pause, and the CPU decode itself, so throughput figures remain
+honest under fault load (docs/FAULTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded retry-with-backoff, then per-message CPU fallback."""
+
+    max_retries: int = 3
+    backoff_cycles: float = 64.0
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_cycles < 0:
+            raise ValueError("backoff_cycles must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff(self, retry_index: int) -> float:
+        """Pause (in cycles) before retry number ``retry_index`` (0-based)."""
+        return self.backoff_cycles * self.backoff_multiplier ** retry_index

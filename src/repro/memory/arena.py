@@ -126,3 +126,13 @@ class SerializerArena:
     def reset(self) -> None:
         self._cursor = self.data_base + self.data_size
         self._outputs.clear()
+
+    def mark(self) -> tuple[int, int]:
+        """Snapshot (cursor, output count) before a serialize attempt."""
+        return self._cursor, len(self._outputs)
+
+    def rollback(self, mark: tuple[int, int]) -> None:
+        """Abandon a faulted attempt's partial output (the driver rewinds
+        the cursor before retrying or falling back -- Section 4.3)."""
+        self._cursor = mark[0]
+        del self._outputs[mark[1]:]

@@ -1,4 +1,14 @@
-"""Exception hierarchy for the proto2 implementation."""
+"""Exception hierarchy for the proto2 implementation.
+
+Two layers share this module.  The software library raises the plain
+wire-format errors; the accelerator pipeline additionally reports
+*structured* faults (:class:`AccelFault`) that carry the hardware fault
+site, the cycle stamp at which the unit raised, and whether the fault is
+transient -- the information the driver's recovery policy needs to pick
+between retry and CPU fallback (see docs/FAULTS.md).
+"""
+
+from __future__ import annotations
 
 
 class ProtoError(Exception):
@@ -11,7 +21,18 @@ class SchemaError(ProtoError):
 
 
 class WireFormatError(ProtoError):
-    """Serialized bytes violate the protobuf wire format."""
+    """Serialized bytes violate the protobuf wire format.
+
+    ``offset`` (byte position in the input, when known) and ``site`` (the
+    decoding stage that detected the violation) make the error lossless
+    when the accelerator wraps it into an :class:`AccelFault`.
+    """
+
+    def __init__(self, message: str, *, offset: int | None = None,
+                 site: str | None = None):
+        super().__init__(message)
+        self.offset = offset
+        self.site = site
 
 
 class EncodeError(ProtoError):
@@ -22,3 +43,57 @@ class EncodeError(ProtoError):
 class DecodeError(WireFormatError):
     """Serialized bytes cannot be decoded into the target message type
     (truncated input, bad wire type for a field, malformed varint, ...)."""
+
+
+class AccelFault(ProtoError):
+    """A fault reported by an accelerator unit (Section 4.3's interrupt).
+
+    Attributes:
+        site: the named hardware site that faulted (``"memloader.bitflip"``,
+            ``"tlb.fault"``, ...; see :class:`repro.faults.FaultSite`).
+        cycle: the operation's cycle count when the unit raised.
+        transient: True when a retry of the same operation may succeed
+            (bus stalls, TLB faults, soft errors); False for faults that
+            deterministically recur (malformed input, corrupted ADT image).
+        injected: True when a :class:`repro.faults.FaultInjector` raised
+            the fault; False for faults detected on real (malformed) input.
+        offset: byte offset in the wire input, when the fault wraps a
+            :class:`WireFormatError` that knew one.
+    """
+
+    def __init__(self, message: str, *, site: str | None = None,
+                 cycle: float = 0.0, transient: bool = False,
+                 injected: bool = False, offset: int | None = None):
+        super().__init__(message)
+        self.site = site
+        self.cycle = cycle
+        self.transient = transient
+        self.injected = injected
+        self.offset = offset
+
+    @classmethod
+    def wrap(cls, error: BaseException, *, site: str | None = None,
+             cycle: float = 0.0, transient: bool = False,
+             injected: bool = False) -> "AccelFault":
+        """Wrap ``error`` losslessly: keeps its message and any
+        offset/site attributes, adds the accelerator's cycle stamp."""
+        return cls(str(error),
+                   site=getattr(error, "site", None) or site,
+                   cycle=cycle, transient=transient, injected=injected,
+                   offset=getattr(error, "offset", None))
+
+
+class AccelDecodeFault(AccelFault, DecodeError):
+    """Malformed wire bytes detected *inside* the accelerator pipeline.
+
+    Doubly inherits :class:`DecodeError` so existing callers that catch
+    decode errors keep working, while recovery code sees the structured
+    :class:`AccelFault` face (site + cycle stamp).
+    """
+
+    def __init__(self, message: str, *, site: str | None = None,
+                 cycle: float = 0.0, transient: bool = False,
+                 injected: bool = False, offset: int | None = None):
+        AccelFault.__init__(self, message, site=site, cycle=cycle,
+                            transient=transient, injected=injected,
+                            offset=offset)

@@ -80,7 +80,8 @@ def decode_varint(data: bytes | bytearray | memoryview,
     bytes.
     """
     if offset >= len(data) or offset < 0:
-        raise DecodeError("truncated varint")
+        raise DecodeError(f"truncated varint at byte {offset}",
+                          offset=offset, site="varint")
     first = data[offset]
     if first < 0x80:
         return first, 1
@@ -93,8 +94,13 @@ def decode_varint(data: bytes | bytearray | memoryview,
     stop = ~word & _CONT_MASK & (1 << 8 * nbytes) - 1
     if not stop:
         if nbytes < MAX_VARINT_LENGTH:
-            raise DecodeError("truncated varint")
-        raise DecodeError("varint longer than 10 bytes")
+            raise DecodeError(
+                f"truncated varint at byte {offset} "
+                f"({nbytes} continuation bytes, no terminator)",
+                offset=offset, site="varint")
+        raise DecodeError(
+            f"varint longer than {MAX_VARINT_LENGTH} bytes at byte "
+            f"{offset}", offset=offset, site="varint")
     # The lowest clear continuation bit sits at bit 8*i + 7 of byte i,
     # so its bit_length is 8*(i + 1): exactly 8x the encoded length.
     length = (stop & -stop).bit_length() >> 3

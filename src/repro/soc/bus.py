@@ -18,6 +18,15 @@ class SystemBus:
     bytes_per_beat: int = 16
     read_beats: int = 0
     write_beats: int = 0
+    #: Stall ledger: transactions that timed out (fault injection or
+    #: contention) and the dead cycles the requester spent waiting.
+    stalls: int = 0
+    stall_cycles: float = 0.0
+
+    def record_stall(self, cycles: float) -> None:
+        """A transaction timed out; ``cycles`` were spent waiting."""
+        self.stalls += 1
+        self.stall_cycles += cycles
 
     def record_read(self, nbytes: int) -> int:
         beats = self._beats(nbytes)

@@ -61,6 +61,16 @@ class RoccInterface:
     _inflight_deser: int = 0
     _inflight_ser: int = 0
     log: list[RoccInstruction] = field(default_factory=list)
+    #: Fault interrupts the accelerator raised to the core (Section 4.3's
+    #: interrupt line carries arena exhaustion and unit faults alike).
+    faults_raised: int = 0
+    fault_sites: dict = field(default_factory=dict)
+
+    def record_fault(self, site: str | None) -> None:
+        """The accelerator signalled a fault interrupt from ``site``."""
+        self.faults_raised += 1
+        key = site or "unknown"
+        self.fault_sites[key] = self.fault_sites.get(key, 0) + 1
 
     def issue(self, instruction: RoccInstruction) -> None:
         self.instructions_issued += 1

@@ -41,6 +41,9 @@ class Tlb:
         self.ptw_cycles = ptw_cycles
         self._map: OrderedDict[int, int] = OrderedDict()
         self.stats = TlbStats()
+        #: FaultInjector hook; when set, translate_range models the PTW
+        #: returning an invalid PTE (a transient fault to software).
+        self.faults = None
 
     def translate(self, vaddr: int) -> tuple[int, int]:
         """Translate ``vaddr``; returns (paddr, penalty_cycles).
@@ -66,6 +69,9 @@ class Tlb:
         """
         if length <= 0:
             return 0
+        if self.faults is not None:
+            from repro.faults.plan import FaultSite
+            self.faults.poll(FaultSite.TLB_FAULT)
         penalty = 0
         first = vaddr // PAGE_BYTES
         last = (vaddr + length - 1) // PAGE_BYTES

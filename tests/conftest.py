@@ -1,8 +1,21 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.proto import parse_schema
+
+# Property-test budgets: "ci" is the tier-1 default (whatever each test
+# declares locally); "nightly" multiplies the example counts for the
+# scheduled deep-fuzz job.  Select with HYPOTHESIS_PROFILE=nightly.
+settings.register_profile("ci", settings())
+settings.register_profile(
+    "nightly",
+    settings(max_examples=1000, deadline=None,
+             suppress_health_check=[HealthCheck.too_slow]))
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 KITCHEN_SINK_PROTO = """

@@ -1,0 +1,105 @@
+"""Differential fuzzing: accelerator vs software on adversarial inputs.
+
+Random schemas and messages (from :mod:`tests.strategies`) are
+serialized, run through adversarial byte mutations, and decoded by both
+implementations.  The oracle is agreement: identical accept/reject
+verdicts, and identical values on accept.  A second set of properties
+turns fault injection on and demands that recovery never changes either
+the verdict or the value -- the hardened path must be invisible apart
+from cycle counts.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.accel.driver import ProtoAccelerator
+from repro.faults import FaultPlan
+from repro.memory.arena import ArenaExhausted
+from repro.proto.decoder import parse_message
+from repro.proto.errors import ProtoError
+from tests.strategies import mutated_wire, schema_and_message
+
+# The nightly CI profile buys a 10x deeper fuzz; explicit @settings
+# would shadow the registered profile, so scale the budget here.
+_NIGHTLY = os.environ.get("HYPOTHESIS_PROFILE") == "nightly"
+_SETTINGS = settings(max_examples=1000 if _NIGHTLY else 100,
+                     deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _software_verdict(descriptor, data):
+    try:
+        return parse_message(descriptor, data), None
+    except ProtoError as error:
+        return None, error
+
+
+def _fresh_accel(schema, faults=None):
+    accel = ProtoAccelerator(deser_arena_bytes=1 << 20,
+                             ser_arena_bytes=1 << 20, faults=faults)
+    accel.register_schema(schema)
+    return accel
+
+
+@_SETTINGS
+@given(st.data())
+def test_mutated_wire_verdicts_agree(data):
+    """Accel and software agree on accept/reject and on the decoded
+    value for adversarially mutated wire bytes."""
+    schema, message = data.draw(schema_and_message())
+    mutated = data.draw(mutated_wire(message.serialize()))
+    expected, software_error = _software_verdict(schema["Root"], mutated)
+    accel = _fresh_accel(schema)
+    try:
+        result = accel.deserialize(schema["Root"], mutated)
+    except ArenaExhausted:
+        return  # bounded test arena, not a wire-format verdict
+    except ProtoError:
+        assert software_error is not None, \
+            "accelerator rejected input software accepts"
+        return
+    assert software_error is None, \
+        "accelerator accepted input software rejects"
+    assert accel.read_message(schema["Root"], result.dest_addr) == expected
+
+
+@_SETTINGS
+@given(st.data())
+def test_fault_injection_preserves_valid_results(data):
+    """With every operation faulted, recovery still yields the software
+    decode/encode bit-for-bit."""
+    schema, message = data.draw(schema_and_message())
+    wire = message.serialize()
+    plan = FaultPlan(seed=data.draw(st.integers(0, 2**16)), rate=1.0,
+                     max_trigger=3)
+    accel = _fresh_accel(schema, faults=plan)
+    result = accel.deserialize(schema["Root"], wire)
+    assert accel.read_message(schema["Root"], result.dest_addr) == \
+        parse_message(schema["Root"], wire)
+    addr = accel.load_object(message)
+    assert accel.serialize(schema["Root"], addr).data == wire
+
+
+@_SETTINGS
+@given(st.data())
+def test_fault_injection_preserves_rejections(data):
+    """Fault recovery must never turn a malformed input into an accept
+    (or vice versa): verdicts match the fault-free software parser."""
+    schema, message = data.draw(schema_and_message())
+    mutated = data.draw(mutated_wire(message.serialize()))
+    expected, software_error = _software_verdict(schema["Root"], mutated)
+    plan = FaultPlan(seed=data.draw(st.integers(0, 2**16)), rate=1.0,
+                     max_trigger=3)
+    accel = _fresh_accel(schema, faults=plan)
+    try:
+        result = accel.deserialize(schema["Root"], mutated)
+    except ArenaExhausted:
+        return
+    except ProtoError:
+        assert software_error is not None, \
+            "fault recovery rejected input software accepts"
+        return
+    assert software_error is None, \
+        "fault recovery accepted input software rejects"
+    assert accel.read_message(schema["Root"], result.dest_addr) == expected

@@ -1,4 +1,4 @@
-"""Wire-format conformance corpus: golden encodings.
+"""Wire-format conformance corpus: golden encodings and rejections.
 
 A table of (schema, values, expected wire bytes) vectors covering every
 encoding rule, checked in all four directions: software encode, software
@@ -6,12 +6,23 @@ decode, accelerator serialize, accelerator deserialize.  Several vectors
 come from the protobuf encoding documentation; the rest pin boundary
 behaviour (varint widths, zig-zag, key widths, packed framing, nested
 lengths).
+
+A second corpus, loaded from ``tests/proto/vectors/*.hex``, holds
+known-*bad* wire inputs (truncations, overlong varints, illegal wire
+types, resource bombs, invalid UTF-8).  Every vector must be rejected
+with :class:`DecodeError` by both the software parser and the
+accelerator, and the accelerator's rejection must carry the structured
+fault metadata (``site``, ``cycle``) introduced in repro.proto.errors.
 """
+
+from pathlib import Path
 
 import pytest
 
 from repro.accel.driver import ProtoAccelerator
 from repro.proto import parse_schema
+from repro.proto.decoder import parse_message
+from repro.proto.errors import DecodeError
 
 _SCHEMA = parse_schema("""
     message Scalars {
@@ -150,3 +161,74 @@ def test_accelerator_deserialize(accel, type_name, values, expected_hex):
                                bytes.fromhex(expected_hex))
     observed = accel.read_message(_SCHEMA[type_name], result.dest_addr)
     assert observed == _build(type_name, values)
+
+
+# -- known-bad wire corpus ----------------------------------------------------
+
+_VICTIM_SCHEMA = parse_schema("""
+    message Inner {
+      optional int32 a = 1;
+      optional Inner child = 3;
+    }
+    message Victim {
+      optional int32 a = 1;
+      optional string s = 2;
+      optional Inner child = 3;
+      repeated int32 packed = 4 [packed = true];
+      optional fixed32 fx = 5;
+    }
+""")
+# The corpus includes invalid-UTF-8 vectors; opt the string field into
+# proto3-style validation so both decoders check it.
+_VICTIM_SCHEMA["Victim"].field_by_name("s").validate_utf8 = True
+
+_VECTORS_DIR = Path(__file__).parent / "vectors"
+
+
+def _load_bad_vectors():
+    vectors = []
+    for path in sorted(_VECTORS_DIR.glob("*.hex")):
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, _, hexbytes = line.partition(":")
+            vectors.append(pytest.param(
+                bytes.fromhex(hexbytes.strip()),
+                id=f"{path.stem}/{name.strip()}"))
+    assert vectors, f"no vectors found under {_VECTORS_DIR}"
+    return vectors
+
+
+_BAD_VECTORS = _load_bad_vectors()
+
+
+@pytest.fixture(scope="module")
+def victim_accel():
+    device = ProtoAccelerator(deser_arena_bytes=1 << 20)
+    device.register_schema(_VICTIM_SCHEMA)
+    return device
+
+
+@pytest.mark.parametrize("data", _BAD_VECTORS)
+def test_software_rejects_bad_vector(data):
+    with pytest.raises(DecodeError):
+        parse_message(_VICTIM_SCHEMA["Victim"], data)
+
+
+@pytest.mark.parametrize("data", _BAD_VECTORS)
+def test_accelerator_rejects_bad_vector(victim_accel, data):
+    with pytest.raises(DecodeError):
+        victim_accel.deserialize(_VICTIM_SCHEMA["Victim"], data)
+
+
+@pytest.mark.parametrize("data", _BAD_VECTORS)
+def test_accelerator_rejection_is_structured(victim_accel, data):
+    """Accelerator rejections expose the AccelFault face: a fault site
+    and the cycle count at which the decode died."""
+    with pytest.raises(DecodeError) as excinfo:
+        victim_accel.deserialize(_VICTIM_SCHEMA["Victim"], data)
+    fault = excinfo.value
+    assert fault.site, "accelerator rejection carries no fault site"
+    assert fault.cycle >= 0.0
+    assert not fault.injected  # a real decode error, not an injected one

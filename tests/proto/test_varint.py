@@ -77,6 +77,44 @@ class TestDecodeVarint:
         assert value == 2**64 - 1
 
 
+class TestDecodeErrorMetadata:
+    """Varint decode errors carry the failing byte offset and a fault
+    site, so a rejection deep in a message is diagnosable."""
+
+    def test_empty_reports_offset_zero(self):
+        with pytest.raises(DecodeError) as excinfo:
+            decode_varint(b"")
+        assert excinfo.value.offset == 0
+        assert excinfo.value.site == "varint"
+        assert "byte 0" in str(excinfo.value)
+
+    def test_truncated_reports_nonzero_offset(self):
+        with pytest.raises(DecodeError) as excinfo:
+            decode_varint(b"\x01\x02\x80\x80", offset=2)
+        assert excinfo.value.offset == 2
+        assert excinfo.value.site == "varint"
+        assert "byte 2" in str(excinfo.value)
+
+    def test_overlong_reports_offset_and_site(self):
+        with pytest.raises(DecodeError) as excinfo:
+            decode_varint(b"\xff" + b"\x80" * 11, offset=1)
+        assert excinfo.value.offset == 1
+        assert excinfo.value.site == "varint"
+        assert "longer than" in str(excinfo.value)
+
+    def test_accel_wrap_preserves_metadata(self):
+        # AccelFault.wrap must not clobber the error's own offset/site.
+        from repro.proto.errors import AccelDecodeFault
+        with pytest.raises(DecodeError) as excinfo:
+            decode_varint(b"\x80\x80", offset=0)
+        wrapped = AccelDecodeFault.wrap(excinfo.value, site="deserializer",
+                                        cycle=42.0)
+        assert wrapped.offset == excinfo.value.offset
+        assert wrapped.site == "varint"  # the error's own site wins
+        assert wrapped.cycle == 42.0
+        assert isinstance(wrapped, DecodeError)
+
+
 class TestDecodeVarintFastPath:
     """Boundary coverage for the table-driven zero-copy decoder."""
 

@@ -168,3 +168,64 @@ def schema_and_two_messages(draw):
     first = draw(populated_messages(schema["Root"]))
     second = draw(populated_messages(schema["Root"]))
     return schema, first, second
+
+
+# -- adversarial wire mutations ----------------------------------------------
+
+#: Mutation kinds for :func:`mutated_wire`.  Each targets a different
+#: parser weakness: ``bitflip`` (key/length/value corruption),
+#: ``truncate`` (unexpected EOF), ``delete``/``duplicate`` (framing
+#: desync), ``insert`` (garbage between fields), ``saturate`` (0xFF runs
+#: read as maximal varints/lengths), ``bogus_tag`` (field number 0 and
+#: the deprecated/invalid wire types 3, 4, 6, 7).
+WIRE_MUTATIONS = ("bitflip", "truncate", "delete", "duplicate", "insert",
+                  "saturate", "bogus_tag")
+
+#: Single-byte keys that are never legal here: wire types 3/4 (groups),
+#: 6/7 (undefined), and field number 0 with every otherwise-valid type.
+_BOGUS_KEYS = (0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+               0x0b, 0x0c, 0x0e, 0x0f)
+
+
+def _apply_mutation(draw, wire: bytes, kind: str) -> bytes:
+    if not wire and kind not in ("insert", "bogus_tag"):
+        kind = "insert"  # nothing to corrupt in an empty buffer
+    if kind == "bitflip":
+        index = draw(st.integers(0, len(wire) - 1))
+        flipped = bytearray(wire)
+        flipped[index] ^= 1 << draw(st.integers(0, 7))
+        return bytes(flipped)
+    if kind == "truncate":
+        return wire[:draw(st.integers(0, len(wire) - 1))]
+    if kind == "delete":
+        index = draw(st.integers(0, len(wire) - 1))
+        count = draw(st.integers(1, min(4, len(wire) - index)))
+        return wire[:index] + wire[index + count:]
+    if kind == "duplicate":
+        index = draw(st.integers(0, len(wire) - 1))
+        count = draw(st.integers(1, min(6, len(wire) - index)))
+        span = wire[index:index + count]
+        return wire[:index + count] + span + wire[index + count:]
+    if kind == "insert":
+        index = draw(st.integers(0, len(wire)))
+        blob = draw(st.binary(min_size=1, max_size=6))
+        return wire[:index] + blob + wire[index:]
+    if kind == "saturate":
+        index = draw(st.integers(0, len(wire) - 1))
+        count = draw(st.integers(1, min(11, len(wire) - index)))
+        return wire[:index] + b"\xff" * count + wire[index + count:]
+    if kind == "bogus_tag":
+        index = draw(st.integers(0, len(wire)))
+        key = draw(st.sampled_from(_BOGUS_KEYS))
+        return wire[:index] + bytes([key]) + wire[index:]
+    raise ValueError(f"unknown mutation {kind!r}")
+
+
+@st.composite
+def mutated_wire(draw, wire: bytes) -> bytes:
+    """``wire`` after 1-3 adversarial mutations (may still be valid --
+    differential tests compare verdicts, not assume rejection)."""
+    for _ in range(draw(st.integers(1, 3))):
+        kind = draw(st.sampled_from(WIRE_MUTATIONS))
+        wire = _apply_mutation(draw, wire, kind)
+    return wire
