@@ -8,11 +8,17 @@ baseline), once with the memoisation caches, disk cache, and requested
 job count (the shipped path).  Writes wall-clock seconds, the speedup,
 cache hit rates, and the job count to ``BENCH_harness.json``.
 
+``--serve`` switches to the resilient-serving benchmark instead: an
+offered-load sweep through the 2-tile deadline-gated server
+(docs/SERVING.md), writing shed rate and p50/p99 latency per load point
+to ``BENCH_serving.json``.
+
 Usage::
 
     python scripts/bench_speed.py             # full subset
     python scripts/bench_speed.py --smoke     # small batches, CI-sized
     python scripts/bench_speed.py --jobs 4
+    python scripts/bench_speed.py --serve --fault-rate 0.01
 """
 
 from __future__ import annotations
@@ -88,6 +94,59 @@ def hit_rates() -> dict[str, float]:
     }
 
 
+def run_serving_bench(args: argparse.Namespace) -> int:
+    """The --serve mode: offered-load sweep -> BENCH_serving.json."""
+    from repro.bench.report import serving_table
+    from repro.serve import (
+        AdmissionPolicy,
+        ServePolicy,
+        ServingWorkloadSpec,
+        sweep_offered_load,
+    )
+
+    deadline, budget = 50_000.0, 10_000.0
+    interarrivals = ((2_000.0, 500.0) if args.smoke
+                     else (4_000.0, 2_000.0, 1_000.0, 500.0, 250.0))
+    calls = 100 if args.smoke else 400
+    plan = (FaultPlan(seed=args.fault_seed, rate=args.fault_rate)
+            if args.fault_rate > 0 else None)
+    policy = ServePolicy(
+        tiles=2, fault_plan=plan, watchdog_budget_cycles=budget,
+        admission=AdmissionPolicy(max_depth=16, deadline_cycles=deadline))
+    print(f"serving sweep: {len(interarrivals)} load points x {calls} "
+          f"calls, fault rate {args.fault_rate}")
+    start = time.perf_counter()
+    rows = sweep_offered_load(interarrivals, ServingWorkloadSpec(calls=calls),
+                              policy)
+    elapsed = time.perf_counter() - start
+    print(serving_table(rows))
+    bound = deadline + budget
+    worst_p99 = max(row["p99_cycles"] for row in rows)
+    if worst_p99 > bound:
+        print(f"ERROR: p99 {worst_p99:.0f} exceeds the "
+              f"deadline+watchdog bound {bound:.0f}")
+        return 1
+    print(f"latency bound holds: worst p99 {worst_p99:.0f} <= "
+          f"deadline {deadline:.0f} + watchdog budget {budget:.0f}")
+    output = args.output
+    if output == REPO / "BENCH_harness.json":
+        output = REPO / "BENCH_serving.json"
+    payload = {
+        "smoke": args.smoke,
+        "calls_per_point": calls,
+        "fault_rate": args.fault_rate,
+        "deadline_cycles": deadline,
+        "watchdog_budget_cycles": budget,
+        "tiles": policy.tiles,
+        "wall_seconds": elapsed,
+        "rows": rows,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"{elapsed:.2f} s -> {output}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--jobs", type=int, default=1,
@@ -101,7 +160,13 @@ def main(argv: list[str]) -> int:
                              "the accelerated runs (default 0)")
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="fault-injection RNG seed")
+    parser.add_argument("--serve", action="store_true",
+                        help="run the resilient-serving offered-load sweep "
+                             "instead (writes BENCH_serving.json)")
     args = parser.parse_args(argv)
+
+    if args.serve:
+        return run_serving_bench(args)
 
     plan = (FaultPlan(seed=args.fault_seed, rate=args.fault_rate)
             if args.fault_rate > 0 else None)

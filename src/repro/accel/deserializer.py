@@ -34,7 +34,12 @@ from repro.faults.plan import FaultSite
 from repro.memory.arena import AcceleratorArena
 from repro.memory.layout import SSO_CAPACITY, STRING_OBJECT_BYTES
 from repro.memory.memspace import SimMemory
-from repro.proto.errors import AccelDecodeFault, AccelFault, DecodeError
+from repro.proto.errors import (
+    AccelDecodeFault,
+    AccelFault,
+    DecodeError,
+    WatchdogAbort,
+)
 from repro.proto.types import CPP_SCALAR_BYTES, FieldType, WireType
 from repro.proto.varint import decode_signed
 from repro.soc.config import SoCConfig
@@ -171,6 +176,9 @@ class DeserializerUnit:
         self._adt_cache = _AdtCache(self.params.adt_cache_entries)
         self._tlb = Tlb(self.config.tlb_entries, self.config.ptw_cycles)
         self.faults = None
+        #: Optional per-operation cycle-budget watchdog (an object with
+        #: ``budget_cycles`` and ``aborts``; see repro.serve.watchdog).
+        self.watchdog = None
 
     # -- RoCC-visible operations ------------------------------------------------
 
@@ -237,6 +245,17 @@ class DeserializerUnit:
                     continue
                 if self.faults is not None:
                     self.faults.poll(FaultSite.DESER_ABORT)
+                    try:
+                        self.faults.poll(FaultSite.DESER_HANG)
+                    except AccelFault as hang:
+                        # The FSM stops progressing here and spins; the
+                        # watchdog's budget bounds the damage.
+                        raise self._watchdog_fire(FaultSite.DESER_HANG,
+                                                  stats, hang) from hang
+                if (self.watchdog is not None
+                        and stats.cycles >= self.watchdog.budget_cycles):
+                    raise self._watchdog_fire(FaultSite.DESER_HANG, stats,
+                                              None)
                 self._handle_field(loader, stack, stats)
                 stats.max_stack_depth = max(stats.max_stack_depth,
                                             len(stack))
@@ -257,6 +276,28 @@ class DeserializerUnit:
         stats.adt_cache_hits = self._adt_cache.hits
         stats.adt_cache_misses = self._adt_cache.misses
         return stats
+
+    def _watchdog_fire(self, site: FaultSite, stats,
+                       hang: AccelFault | None) -> AccelFault:
+        """Build the abort for a hung (or runaway) FSM.
+
+        An injected hang spins without progress until the watchdog's
+        per-operation budget expires, so the abort is stamped with the
+        full budget; an organic overrun is stamped with its own count.
+        Without a watchdog an injected hang degenerates to an abort at
+        the fault site (the simulation cannot spin forever).
+        """
+        if self.watchdog is None:
+            assert hang is not None
+            return hang
+        self.watchdog.aborts += 1
+        cycle = max(float(stats.cycles), self.watchdog.budget_cycles)
+        kind = "hung" if hang is not None else "runaway"
+        return WatchdogAbort(
+            f"watchdog aborted {kind} FSM at {site.value} "
+            f"(budget {self.watchdog.budget_cycles:.0f} cycles)",
+            site=site.value, cycle=cycle, transient=False,
+            injected=hang is not None)
 
     # -- FSM states ---------------------------------------------------------------
 

@@ -40,6 +40,7 @@ from repro.memory.memspace import SimMemory
 from repro.proto.descriptor import MessageDescriptor
 from repro.proto.errors import AccelFault
 from repro.proto.message import Message
+from repro.accel.watchdog import FsmWatchdog
 from repro.soc.bus import SystemBus
 from repro.soc.config import SoCConfig
 from repro.soc.rocc import RoccFunct, RoccInstruction, RoccInterface
@@ -157,7 +158,8 @@ class ProtoAccelerator:
                  deser_arena_bytes: int = 8 << 20,
                  ser_arena_bytes: int = 8 << 20,
                  faults: FaultPlan | FaultInjector | None = None,
-                 recovery: RecoveryPolicy | None = None):
+                 recovery: RecoveryPolicy | None = None,
+                 watchdog: FsmWatchdog | None = None):
         if memory is None:
             # Size the simulated DRAM to hold both arenas plus generous
             # heap headroom for object images and wire buffers.
@@ -178,6 +180,13 @@ class ProtoAccelerator:
         self._ser_arena = SerializerArena(self.memory, ser_arena_bytes)
         self._assign_arenas()
         self.recovery = recovery or RecoveryPolicy()
+        # The watchdog is armed on every device: it is a pure comparator
+        # on the fault-free path (bit-identical cycles; see
+        # tests/serve/test_regression.py) and the only thing bounding a
+        # hung FSM when hang faults are planned.
+        self.watchdog = watchdog or FsmWatchdog()
+        self.deserializer.watchdog = self.watchdog
+        self.serializer.watchdog = self.watchdog
         if isinstance(faults, FaultPlan):
             faults = FaultInjector(faults) if faults.enabled() else None
         self.faults = faults
@@ -347,6 +356,9 @@ class ProtoAccelerator:
                         retries += 1
                         self._reset_dest(descriptor, dest_addr)
                         continue
+                    if not self.recovery.cpu_fallback:
+                        self._raise_unrecovered(fault, injected, retries,
+                                                wasted, backoff)
                     # Persistent fault (or retry budget exhausted):
                     # software decodes this message on the host core.
                     dest_addr, stats = self._fallback_deserialize(
@@ -363,6 +375,25 @@ class ProtoAccelerator:
         self.fault_stats.backoff_cycles += backoff
         self.rocc.retire_deser()
         return DeserResult(dest_addr=dest_addr, stats=stats)
+
+    def _raise_unrecovered(self, fault: AccelFault, injected: int,
+                           retries: int, wasted: float,
+                           backoff: float) -> None:
+        """Re-raise an unrecovered fault with the recovery attempt's cost
+        attached (``RecoveryPolicy.cpu_fallback=False`` mode).
+
+        ``charged_cycles`` is everything the device burned on this
+        operation -- every wasted attempt and every backoff pause -- so
+        the caller (the serving layer) can charge the failed offload
+        honestly before deciding between failover, host fallback, and a
+        structured rejection.
+        """
+        self.fault_stats.transient_retries += retries
+        self.fault_stats.backoff_cycles += backoff
+        fault.charged_cycles = wasted + backoff
+        fault.charged_faults = injected
+        fault.charged_retries = retries
+        raise fault
 
     def _fallback_deserialize(self, descriptor: MessageDescriptor,
                               wire_bytes: bytes
@@ -465,6 +496,9 @@ class ProtoAccelerator:
                         backoff += self.recovery.backoff(retries)
                         retries += 1
                         continue
+                    if not self.recovery.cpu_fallback:
+                        self._raise_unrecovered(fault, injected, retries,
+                                                wasted, backoff)
                     data, stats = self._fallback_serialize(descriptor,
                                                            obj_addr)
                     break

@@ -39,6 +39,7 @@ class PerfReport:
     wasted_accel_cycles: float = 0.0
     fallback_cpu_cycles: float = 0.0
     bus_stalls: int = 0
+    watchdog_aborts: int = 0
 
     @property
     def adt_cache_hit_rate(self) -> float:
@@ -73,6 +74,7 @@ class PerfReport:
              f"{self.wasted_accel_cycles:,.0f} / "
              f"{self.fallback_cpu_cycles:,.0f}"),
             ("bus stalls observed", f"{self.bus_stalls:,}"),
+            ("watchdog aborts (hung FSMs)", f"{self.watchdog_aborts:,}"),
         )
         width = max(len(label) for label, _ in rows)
         return "\n".join(f"{label:<{width}}  {value}"
@@ -140,4 +142,6 @@ def collect(accel) -> PerfReport:
         wasted_accel_cycles=accel.fault_stats.wasted_accel_cycles,
         fallback_cpu_cycles=accel.fault_stats.fallback_cpu_cycles,
         bus_stalls=accel.bus.stalls,
+        watchdog_aborts=(accel.watchdog.aborts
+                         if accel.watchdog is not None else 0),
     )

@@ -30,6 +30,7 @@ from repro.faults.plan import FaultSite
 from repro.memory.arena import SerializerArena
 from repro.memory.layout import read_string_object
 from repro.memory.memspace import SimMemory
+from repro.proto.errors import AccelFault, WatchdogAbort
 from repro.proto.types import CPP_SCALAR_BYTES, FieldType, WireType
 from repro.proto.varint import encode_signed
 from repro.proto.wire import encode_tag
@@ -110,6 +111,9 @@ class SerializerUnit:
         self._arena: SerializerArena | None = None
         self._tlb = Tlb(self.config.tlb_entries, self.config.ptw_cycles)
         self.faults = None
+        #: Optional per-operation cycle-budget watchdog (an object with
+        #: ``budget_cycles`` and ``aborts``; see repro.serve.watchdog).
+        self.watchdog = None
 
     # -- RoCC-visible operations -----------------------------------------------
 
@@ -154,6 +158,31 @@ class SerializerUnit:
                         + stats.tlb_penalty_cycles)
         return stats
 
+    def _op_cycles(self, stats: SerStats) -> float:
+        """Running cycle estimate of the in-flight operation (the final
+        memwriter total is not known mid-flight; the decoupled-stage max
+        over the frontend/FSU totals is the watchdog's progress clock)."""
+        return (self.params.dispatch_overhead + self.params.pipeline_fill
+                + max(stats.frontend_cycles,
+                      stats.fsu_cycles / self.config.field_serializer_units)
+                + stats.tlb_penalty_cycles)
+
+    def _watchdog_fire(self, stats: SerStats,
+                       hang: AccelFault | None) -> AccelFault:
+        """Build the abort for a hung (or runaway) serializer pipeline;
+        mirrors DeserializerUnit._watchdog_fire (docs/SERVING.md)."""
+        if self.watchdog is None:
+            assert hang is not None
+            return hang
+        self.watchdog.aborts += 1
+        cycle = max(self._op_cycles(stats), self.watchdog.budget_cycles)
+        kind = "hung" if hang is not None else "runaway"
+        return WatchdogAbort(
+            f"watchdog aborted {kind} serializer pipeline "
+            f"(budget {self.watchdog.budget_cycles:.0f} cycles)",
+            site=FaultSite.SER_HANG.value, cycle=cycle, transient=False,
+            injected=hang is not None)
+
     # -- frontend ---------------------------------------------------------------
 
     def _read_hasbits(self, adt: AdtView, obj_addr: int,
@@ -190,7 +219,14 @@ class SerializerUnit:
         for number in self._present_numbers_reverse(adt, obj_addr, stats):
             if self.faults is not None:
                 self.faults.poll(FaultSite.SER_ABORT)
+                try:
+                    self.faults.poll(FaultSite.SER_HANG)
+                except AccelFault as hang:
+                    raise self._watchdog_fire(stats, hang) from hang
                 self.faults.poll(FaultSite.ADT_ENTRY)
+            if (self.watchdog is not None
+                    and self._op_cycles(stats) >= self.watchdog.budget_cycles):
+                raise self._watchdog_fire(stats, None)
             entry = adt.entry(number)
             if entry is None or not entry.defined:
                 continue

@@ -110,6 +110,39 @@ def fault_degradation_table(
     return "\n".join(lines)
 
 
+def serving_table(rows: Sequence[dict], width: int = 40) -> str:
+    """Render an offered-load serving sweep as a degradation table.
+
+    ``rows`` come from :func:`repro.serve.workload.sweep_offered_load`:
+    one dict per offered-load point, hottest last.  The table shows the
+    graceful-degradation story: as interarrival shrinks the shed rate
+    climbs while the p99 latency of *admitted* calls stays bounded by
+    the deadline budget.
+    """
+    if not rows:
+        raise ValueError("no offered-load points to plot")
+    header = (f"{'interarrival':>12} {'offered':>8} {'ok':>6} "
+              f"{'shed %':>7} {'p50 cyc':>10} {'p99 cyc':>10} "
+              f"{'host':>5} {'wdog':>5} {'health':>9}")
+    lines = ["serving offered-load sweep (2-tile pool, deadline-gated)",
+             header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['interarrival_cycles']:>12.0f} {row['offered']:>8,} "
+            f"{row['succeeded']:>6,} {row['shed_rate'] * 100:>6.1f}% "
+            f"{row['p50_cycles']:>10.0f} {row['p99_cycles']:>10.0f} "
+            f"{row['host_fallbacks']:>5,} {row['watchdog_aborts']:>5,} "
+            f"{row['health']:>9}")
+    lines.append("")
+    peak = max(row["shed_rate"] for row in rows)
+    for row in rows:
+        share = row["shed_rate"] / peak if peak else 0.0
+        bar = "*" * max(0, round(share * width)) or "."
+        lines.append(f"{row['interarrival_cycles']:>8.0f} {bar} "
+                     f"{row['shed_rate'] * 100:.1f}% shed")
+    return "\n".join(lines)
+
+
 def speedup_summary(results: Sequence[BenchmarkResult]) -> dict[str, float]:
     """Geomean accelerator speedups vs each baseline (the paper's
     headline "NxM" numbers)."""

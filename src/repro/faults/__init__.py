@@ -9,6 +9,7 @@ from repro.faults.plan import (
     DESER_SITES,
     FaultPlan,
     FaultSite,
+    HANG_SITES,
     IMMEDIATE_SITES,
     PERSISTENT_SITES,
     SER_SITES,
@@ -21,6 +22,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSite",
+    "HANG_SITES",
     "IMMEDIATE_SITES",
     "InjectedFault",
     "PERSISTENT_SITES",

@@ -42,6 +42,8 @@ class FaultSite(enum.Enum):
     TLB_FAULT = "tlb.fault"                    # PTW returned an invalid PTE
     DESER_ABORT = "deser.abort"                # field handler died mid-message
     SER_ABORT = "ser.abort"                    # serializer pipeline died mid-message
+    DESER_HANG = "deser.hang"                  # field handler stopped progressing
+    SER_HANG = "ser.hang"                      # serializer pipeline stopped progressing
 
 
 #: Sites where a bounded retry of the same operation may succeed.
@@ -65,6 +67,7 @@ DESER_SITES = (
     FaultSite.BUS_STALL,
     FaultSite.TLB_FAULT,
     FaultSite.DESER_ABORT,
+    FaultSite.DESER_HANG,
 )
 
 #: Sites reachable during a serialization operation.
@@ -73,7 +76,14 @@ SER_SITES = (
     FaultSite.BUS_STALL,
     FaultSite.TLB_FAULT,
     FaultSite.SER_ABORT,
+    FaultSite.SER_HANG,
 )
+
+#: Sites that model a hung FSM: the unit stops making forward progress
+#: and burns cycles until the watchdog's per-operation budget expires
+#: (docs/SERVING.md).  Hangs are persistent -- the aborted operation is
+#: never retried on the same tile; recovery is fallback or failover.
+HANG_SITES = frozenset({FaultSite.DESER_HANG, FaultSite.SER_HANG})
 
 #: Sites polled once, at the start of an attempt; their armed fault fires
 #: on the first poll regardless of ``max_trigger`` (the condition exists

@@ -17,11 +17,22 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class RecoveryPolicy:
-    """Bounded retry-with-backoff, then per-message CPU fallback."""
+    """Bounded retry-with-backoff, then per-message CPU fallback.
+
+    ``cpu_fallback=False`` disables the driver's *internal* fallback:
+    persistent faults (and exhausted retry budgets) re-raise the
+    structured :class:`~repro.proto.errors.AccelFault` -- with the
+    wasted-attempt and backoff cycles attached as ``charged_cycles`` --
+    instead of silently decoding on the host core.  The serving layer
+    (repro.serve) uses this mode so *it* owns the fallback decision:
+    it must weigh the remaining deadline and the tile circuit breaker
+    before spending host cycles (docs/SERVING.md).
+    """
 
     max_retries: int = 3
     backoff_cycles: float = 64.0
     backoff_multiplier: float = 2.0
+    cpu_fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:

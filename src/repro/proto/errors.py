@@ -83,6 +83,19 @@ class AccelFault(ProtoError):
                    offset=getattr(error, "offset", None))
 
 
+class WatchdogAbort(AccelFault):
+    """The FSM watchdog killed an operation that exceeded its cycle
+    budget (a hung field handler or serializer pipeline).
+
+    ``cycle`` is the cycle count at which the watchdog fired -- the full
+    budget for an injected hang (the FSM spun without progress until the
+    timer expired), or the runaway operation's own count for an organic
+    overrun.  Watchdog aborts are persistent: re-running the same
+    operation on the same tile is expected to hang again, so recovery is
+    CPU fallback or failover to another tile (docs/SERVING.md).
+    """
+
+
 class AccelDecodeFault(AccelFault, DecodeError):
     """Malformed wire bytes detected *inside* the accelerator pipeline.
 

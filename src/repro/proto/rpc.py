@@ -25,7 +25,38 @@ Transport = Callable[[str, bytes], bytes]
 
 
 class RpcError(ProtoError):
-    """A call failed: unknown method, handler error, or bad payload."""
+    """A call failed: unknown method, handler error, or bad payload.
+
+    Aligned with the structured :class:`~repro.proto.errors.ProtoError`
+    taxonomy so serving-layer rejections are machine-inspectable:
+
+    Attributes:
+        method: the full or bare method name the failure belongs to,
+            when known (``"/Echo/Repeat"`` or ``"Repeat"``).
+        site: the stage that rejected the call (a hardware fault site
+            like ``"deserializer"``, or a serving stage like
+            ``"serve.queue"``).
+        offset: byte offset in the wire payload for decode failures,
+            carried over losslessly from the wrapped
+            :class:`~repro.proto.errors.WireFormatError`/
+            :class:`~repro.proto.errors.AccelFault`.
+    """
+
+    def __init__(self, message: str, *, method: str | None = None,
+                 site: str | None = None, offset: int | None = None):
+        super().__init__(message)
+        self.method = method
+        self.site = site
+        self.offset = offset
+
+    @classmethod
+    def wrap(cls, error: BaseException, *,
+             method: str | None = None) -> "RpcError":
+        """Wrap a decode/accelerator error losslessly: keeps its message
+        and any site/offset attributes, adds the failing method."""
+        return cls(str(error), method=method,
+                   site=getattr(error, "site", None),
+                   offset=getattr(error, "offset", None))
 
 
 class ServiceHandler:
@@ -61,21 +92,29 @@ class ServiceHandler:
         """The transport-facing entry point."""
         prefix = f"/{self.service.name}/"
         if not full_method.startswith(prefix):
-            raise RpcError(f"no such service route {full_method!r}")
+            raise RpcError(f"no such service route {full_method!r}",
+                           method=full_method, site="rpc.route")
         method_name = full_method[len(prefix):]
         handler = self._handlers.get(method_name)
         if handler is None:
-            raise RpcError(f"method {method_name!r} is not implemented")
+            raise RpcError(f"method {method_name!r} is not implemented",
+                           method=full_method, site="rpc.route")
         method = self.service.method(method_name)
         assert method.input_descriptor is not None
         assert method.output_descriptor is not None
-        request = self._decode(method.input_descriptor, request_bytes)
+        try:
+            request = self._decode(method.input_descriptor, request_bytes)
+        except ProtoError as error:
+            # Bad payload: reject with the decode stage's site and the
+            # byte offset preserved (PR 2 structured-error taxonomy).
+            raise RpcError.wrap(error, method=full_method) from error
         response = handler(request)
         if (not isinstance(response, Message)
                 or response.descriptor is not method.output_descriptor):
             raise RpcError(
                 f"{method_name}: handler must return "
-                f"{method.output_type}")
+                f"{method.output_type}", method=full_method,
+                site="rpc.handler")
         self.calls_served += 1
         return self._encode(response)
 
@@ -97,7 +136,8 @@ class Stub:
         if request.descriptor is not method.input_descriptor:
             raise RpcError(
                 f"{method_name} expects {method.input_type}, got "
-                f"{request.descriptor.name}")
+                f"{request.descriptor.name}", method=method_name,
+                site="rpc.stub")
         if self._accelerator is not None:
             addr = self._accelerator.load_object(request)
             payload = self._accelerator.serialize(request.descriptor,
@@ -107,9 +147,14 @@ class Stub:
         response_bytes = self._transport(
             self.service.full_method_name(method_name), payload)
         self.calls_made += 1
-        if self._accelerator is not None:
-            result = self._accelerator.deserialize(
-                method.output_descriptor, response_bytes)
-            return self._accelerator.read_message(
-                method.output_descriptor, result.dest_addr)
-        return method.output_descriptor.parse(response_bytes)
+        try:
+            if self._accelerator is not None:
+                result = self._accelerator.deserialize(
+                    method.output_descriptor, response_bytes)
+                return self._accelerator.read_message(
+                    method.output_descriptor, result.dest_addr)
+            return method.output_descriptor.parse(response_bytes)
+        except RpcError:
+            raise
+        except ProtoError as error:
+            raise RpcError.wrap(error, method=method_name) from error

@@ -1,0 +1,62 @@
+"""Deadline-aware resilient serving layer over the accelerator.
+
+See docs/SERVING.md.  The layer composes, per call:
+
+* admission control -- a bounded queue with load shedding and per-call
+  deadline budgets threaded through the simulated cycle clock
+  (:mod:`repro.serve.queue`);
+* per-tile circuit breakers and a serving-level health state machine
+  (:mod:`repro.serve.breaker`);
+* an FSM watchdog bounding worst-case per-operation accelerator cycles
+  (:mod:`repro.serve.watchdog`);
+* hedged retries across tiles under the shared-uncore contention model
+  (:mod:`repro.serve.hedging`);
+* the :class:`~repro.serve.server.ResilientServer` tying them together
+  over :mod:`repro.proto.rpc` services (:mod:`repro.serve.server`).
+"""
+
+from repro.serve.breaker import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    HealthMonitor,
+    HealthState,
+)
+from repro.serve.errors import DeadlineExceeded, Overloaded
+from repro.serve.hedging import HedgePolicy
+from repro.serve.queue import AdmissionPolicy, AdmissionQueue
+from repro.serve.server import (
+    CallOutcome,
+    ResilientServer,
+    ServePolicy,
+    ServeStats,
+)
+from repro.serve.watchdog import FsmWatchdog
+from repro.serve.workload import (
+    ServingWorkloadSpec,
+    build_echo_server,
+    run_serving,
+    sweep_offered_load,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmissionQueue",
+    "BreakerPolicy",
+    "BreakerState",
+    "CallOutcome",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "FsmWatchdog",
+    "HealthMonitor",
+    "HealthState",
+    "HedgePolicy",
+    "Overloaded",
+    "ResilientServer",
+    "ServePolicy",
+    "ServeStats",
+    "ServingWorkloadSpec",
+    "build_echo_server",
+    "run_serving",
+    "sweep_offered_load",
+]

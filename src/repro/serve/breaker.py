@@ -1,0 +1,159 @@
+"""Per-tile circuit breakers and the serving-level health FSM.
+
+A :class:`CircuitBreaker` guards one accelerator tile.  It follows the
+classic three-state machine, driven entirely by the simulated cycle
+clock:
+
+* ``CLOSED`` -- offloads flow; consecutive failures are counted.
+* ``OPEN`` -- after ``failure_threshold`` consecutive failures the tile
+  is quarantined: :meth:`CircuitBreaker.allow` refuses offloads until
+  ``recovery_cycles`` have elapsed since the trip.
+* ``HALF_OPEN`` -- the cool-down expired; probe calls are admitted one
+  at a time.  ``probe_successes`` consecutive successes re-close the
+  breaker; any probe failure re-opens it and restarts the cool-down.
+
+The FSM is structurally incapable of an ``OPEN -> CLOSED`` edge: the
+only exit from ``OPEN`` is the half-open probe, and the only entry to
+``CLOSED`` from there is a recorded probe success
+(``tests/serve/test_breaker.py`` property-checks this over arbitrary
+event sequences).  Every transition is appended to
+:attr:`CircuitBreaker.transitions` as ``(cycle, from_state, to_state)``.
+
+:class:`HealthMonitor` derives the serving-level health FSM from the
+tile breakers: ``HEALTHY`` (all closed), ``DEGRADED`` (some tile not
+closed), ``BYPASSED`` (every tile quarantined -- calls go straight to
+the host software library).  It is surfaced in perf reports and the
+serving benchmark output.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class HealthState(enum.Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    BYPASSED = "bypassed"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Trip/recovery knobs for one tile's breaker."""
+
+    #: Consecutive failures that trip CLOSED -> OPEN.
+    failure_threshold: int = 3
+    #: Cool-down (simulated cycles) before OPEN admits a probe.
+    recovery_cycles: float = 50_000.0
+    #: Consecutive HALF_OPEN successes required to re-close.
+    probe_successes: int = 2
+    #: Disabled breakers never trip: the serving layer behaves exactly
+    #: like the bare PR 2 driver (tests/serve/test_breaker.py pins this).
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.recovery_cycles < 0:
+            raise ValueError("recovery_cycles must be >= 0")
+        if self.probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+
+
+@dataclass
+class CircuitBreaker:
+    """Three-state breaker for one accelerator tile."""
+
+    policy: BreakerPolicy = field(default_factory=BreakerPolicy)
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    probe_streak: int = 0
+    opened_at: float = 0.0
+    #: (cycle, from_state, to_state) for every transition, in order.
+    transitions: list = field(default_factory=list)
+
+    def _move(self, to: BreakerState, now: float) -> None:
+        self.transitions.append((now, self.state, to))
+        self.state = to
+
+    def allow(self, now: float) -> bool:
+        """May an offload be issued to this tile at cycle ``now``?
+
+        An OPEN breaker whose cool-down has elapsed transitions to
+        HALF_OPEN here (the probe *is* the admitted call).
+        """
+        if not self.policy.enabled:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at >= self.policy.recovery_cycles:
+                self.probe_streak = 0
+                self._move(BreakerState.HALF_OPEN, now)
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        if not self.policy.enabled:
+            return
+        if self.state is BreakerState.HALF_OPEN:
+            self.probe_streak += 1
+            if self.probe_streak >= self.policy.probe_successes:
+                self.consecutive_failures = 0
+                self._move(BreakerState.CLOSED, now)
+        else:
+            self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        if not self.policy.enabled:
+            return
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe failed: quarantine again, restart the cool-down.
+            self.opened_at = now
+            self._move(BreakerState.OPEN, now)
+            return
+        self.consecutive_failures += 1
+        if (self.state is BreakerState.CLOSED
+                and self.consecutive_failures
+                >= self.policy.failure_threshold):
+            self.opened_at = now
+            self._move(BreakerState.OPEN, now)
+
+
+class HealthMonitor:
+    """Serving-level health derived from the per-tile breakers."""
+
+    def __init__(self, breakers: list[CircuitBreaker]):
+        if not breakers:
+            raise ValueError("need at least one breaker")
+        self.breakers = breakers
+        #: (cycle, from_state, to_state) health transitions, in order.
+        self.transitions: list = []
+        self._state = self.derive()
+
+    def derive(self) -> HealthState:
+        """Health implied by the breakers' current states."""
+        states = [b.state for b in self.breakers]
+        if all(s is BreakerState.CLOSED for s in states):
+            return HealthState.HEALTHY
+        if all(s is BreakerState.OPEN for s in states):
+            return HealthState.BYPASSED
+        return HealthState.DEGRADED
+
+    @property
+    def state(self) -> HealthState:
+        return self._state
+
+    def refresh(self, now: float) -> HealthState:
+        """Re-derive health after breaker activity; log transitions."""
+        new = self.derive()
+        if new is not self._state:
+            self.transitions.append((now, self._state, new))
+            self._state = new
+        return new

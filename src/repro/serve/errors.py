@@ -1,0 +1,32 @@
+"""Structured serving-layer rejections.
+
+Both subclass :class:`~repro.proto.rpc.RpcError` so callers inspect one
+taxonomy: ``method`` names the call, ``site`` names the serving stage
+that rejected it (``serve.queue``, ``serve.deadline``), and the message
+carries the quantitative detail.  Neither rejection consumes accelerator
+cycles -- load shedding and deadline expiry happen *before* the offload
+is issued (docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+from repro.proto.rpc import RpcError
+
+
+class Overloaded(RpcError):
+    """The admission queue was full: the call was shed at arrival."""
+
+    def __init__(self, message: str, *, method: str | None = None):
+        super().__init__(message, method=method, site="serve.queue")
+
+
+class DeadlineExceeded(RpcError):
+    """The call's cycle budget ran out before a result was produced.
+
+    Raised either before service starts (the queue wait alone exceeded
+    the deadline -- zero accelerator cycles spent) or after a failed
+    offload when no recovery path fits the remaining budget.
+    """
+
+    def __init__(self, message: str, *, method: str | None = None):
+        super().__init__(message, method=method, site="serve.deadline")

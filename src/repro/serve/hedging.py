@@ -1,0 +1,37 @@
+"""Hedged retries across accelerator tiles.
+
+Classic tail-tolerance: if the primary tile has not produced a result
+within ``after_cycles`` of service start, launch the same operation on
+a second tile and take whichever finishes first.  In this simulated
+world both attempts' cycle counts are known, so the race is resolved
+exactly; both tiles' clocks advance (the loser's work is genuinely
+wasted and is charged as such), and while the two attempts overlap the
+shared uncore stretches each one by
+:meth:`repro.soc.multitile.MultiTileModel.latency_stretch` -- hedging
+is only free while the bus has headroom (docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When (and whether) to race a second tile."""
+
+    enabled: bool = False
+    #: Primary service cycles after which the hedge launches.
+    after_cycles: float = 20_000.0
+    #: Hedge attempts per call (1 = one extra tile at most).
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if self.after_cycles < 0:
+            raise ValueError("after_cycles must be >= 0")
+        if self.max_hedges < 1:
+            raise ValueError("max_hedges must be >= 1")
+
+    def should_hedge(self, primary_service_cycles: float) -> bool:
+        """Would the primary still be running when the hedge timer fires?"""
+        return self.enabled and primary_service_cycles > self.after_cycles

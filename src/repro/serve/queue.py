@@ -1,0 +1,78 @@
+"""Bounded admission queue with load shedding and deadline budgets.
+
+The serving layer models an open-loop arrival process against a pool of
+accelerator tiles.  :class:`AdmissionQueue` decides, at each arrival,
+whether the call may wait for a tile at all:
+
+* if the number of admitted-but-not-yet-started calls has reached
+  ``max_depth``, the call is *shed* immediately
+  (:class:`~repro.serve.errors.Overloaded`, zero accelerator cycles);
+* otherwise it is admitted with a deadline of ``arrival +
+  deadline_cycles`` on the simulated clock.
+
+Shedding at arrival rather than queueing everything is what keeps the
+p99 of *admitted* calls bounded as offered load climbs past saturation:
+excess work is converted to cheap structured rejections instead of
+unbounded queueing delay (the graceful-degradation property the serving
+figure plots; docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Queue bound and per-call budget."""
+
+    #: Admitted-but-not-started calls beyond which arrivals are shed.
+    max_depth: int = 64
+    #: Per-call cycle budget from arrival to completion; ``None`` means
+    #: calls never expire (the PR 2-compatible configuration).
+    deadline_cycles: float | None = 200_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if (self.deadline_cycles is not None
+                and self.deadline_cycles <= 0):
+            raise ValueError("deadline_cycles must be positive")
+
+
+class AdmissionQueue:
+    """Tracks queue depth over simulated time and admits or sheds."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None):
+        self.policy = policy or AdmissionPolicy()
+        # Service-start cycles of admitted calls; an entry > now means
+        # that call is still waiting for its tile at cycle ``now``.
+        self._starts: list[float] = []
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def depth(self, now: float) -> int:
+        """Admitted calls that have not started service by ``now``."""
+        self._starts = [s for s in self._starts if s > now]
+        return len(self._starts)
+
+    def offer(self, now: float) -> bool:
+        """One arrival at cycle ``now``; True if admitted, False if shed."""
+        self.offered += 1
+        if self.depth(now) >= self.policy.max_depth:
+            self.shed += 1
+            return False
+        self.admitted += 1
+        return True
+
+    def note_start(self, start: float) -> None:
+        """Record when the admitted call will begin service (its queue
+        occupancy ends at ``start``)."""
+        self._starts.append(start)
+
+    def deadline(self, arrival: float) -> float:
+        """The admitted call's completion deadline on the cycle clock."""
+        if self.policy.deadline_cycles is None:
+            return float("inf")
+        return arrival + self.policy.deadline_cycles

@@ -1,0 +1,12 @@
+"""Serving-facing alias for the hardware FSM watchdog.
+
+The implementation lives in :mod:`repro.accel.watchdog` -- the budget
+comparator is a property of the device, not of the serving layer -- but
+serving code configures it (``ServePolicy.watchdog_budget_cycles``) and
+reasons about its guarantee: every admitted call terminates within
+``deadline + watchdog_budget`` simulated cycles (docs/SERVING.md).
+"""
+
+from repro.accel.watchdog import DEFAULT_BUDGET_CYCLES, FsmWatchdog
+
+__all__ = ["DEFAULT_BUDGET_CYCLES", "FsmWatchdog"]

@@ -67,9 +67,11 @@ def _single_site_plan(site, **kwargs):
     return FaultPlan(seed=1, sites=(site,), **kwargs)
 
 
-_DESER_SITES = [s for s in FaultSite if s is not FaultSite.SER_ABORT]
+_DESER_SITES = [s for s in FaultSite
+                if s not in (FaultSite.SER_ABORT, FaultSite.SER_HANG)]
 _SER_SITES = (FaultSite.ADT_ENTRY, FaultSite.BUS_STALL,
-              FaultSite.TLB_FAULT, FaultSite.SER_ABORT)
+              FaultSite.TLB_FAULT, FaultSite.SER_ABORT,
+              FaultSite.SER_HANG)
 
 
 @pytest.mark.parametrize("site", _DESER_SITES,

@@ -1,0 +1,154 @@
+"""Circuit breaker and health FSM properties.
+
+The load-bearing invariant: a breaker can never jump OPEN -> CLOSED.
+Recovery *must* pass through HALF_OPEN and record the configured number
+of successful probes.  Hypothesis drives arbitrary interleavings of
+successes, failures, and allow() polls over a monotone cycle clock and
+checks every transition edge the machine ever took.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.breaker import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    HealthMonitor,
+    HealthState,
+)
+
+#: (kind, cycle-delta) event streams; deltas keep the clock monotone.
+_EVENTS = st.lists(
+    st.tuples(st.sampled_from(["success", "failure", "allow"]),
+              st.floats(min_value=0.0, max_value=100_000.0,
+                        allow_nan=False)),
+    max_size=60)
+
+_POLICIES = st.builds(
+    BreakerPolicy,
+    failure_threshold=st.integers(min_value=1, max_value=5),
+    recovery_cycles=st.floats(min_value=0.0, max_value=200_000.0),
+    probe_successes=st.integers(min_value=1, max_value=4))
+
+
+def _drive(breaker, events):
+    now = 0.0
+    for kind, delta in events:
+        now += delta
+        if kind == "allow":
+            breaker.allow(now)
+        elif kind == "success":
+            if breaker.allow(now):
+                breaker.record_success(now)
+        else:
+            if breaker.allow(now):
+                breaker.record_failure(now)
+    return now
+
+
+@given(policy=_POLICIES, events=_EVENTS)
+@settings(max_examples=200)
+def test_no_open_to_closed_without_probe(policy, events):
+    """Every CLOSED entry comes from HALF_OPEN, never from OPEN."""
+    breaker = CircuitBreaker(policy)
+    _drive(breaker, events)
+    for _, from_state, to_state in breaker.transitions:
+        assert (from_state, to_state) != (BreakerState.OPEN,
+                                          BreakerState.CLOSED)
+        if to_state is BreakerState.CLOSED:
+            assert from_state is BreakerState.HALF_OPEN
+
+
+@given(policy=_POLICIES, events=_EVENTS)
+@settings(max_examples=200)
+def test_closing_requires_probe_success_streak(policy, events):
+    """Re-closing requires ``probe_successes`` successes strictly after
+    the HALF_OPEN entry, with no failure in between."""
+    breaker = CircuitBreaker(policy)
+    successes = []  # cycles at which a success was recorded
+
+    original = breaker.record_success
+
+    def tracking_success(now):
+        successes.append(now)
+        original(now)
+
+    breaker.record_success = tracking_success
+    _drive(breaker, events)
+    half_open_entry = None
+    for cycle, from_state, to_state in breaker.transitions:
+        if to_state is BreakerState.HALF_OPEN:
+            half_open_entry = cycle
+        if (from_state, to_state) == (BreakerState.HALF_OPEN,
+                                      BreakerState.CLOSED):
+            assert half_open_entry is not None
+            window = [s for s in successes
+                      if half_open_entry <= s <= cycle]
+            assert len(window) >= policy.probe_successes
+
+
+@given(events=_EVENTS)
+@settings(max_examples=100)
+def test_disabled_breaker_never_trips(events):
+    """``enabled=False`` is the bare PR 2 driver: always allow, no
+    transitions, state forever CLOSED."""
+    breaker = CircuitBreaker(BreakerPolicy(enabled=False,
+                                           failure_threshold=1))
+    now = 0.0
+    for kind, delta in events:
+        now += delta
+        assert breaker.allow(now)
+        if kind == "failure":
+            breaker.record_failure(now)
+        elif kind == "success":
+            breaker.record_success(now)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.transitions == []
+
+
+def test_trip_quarantine_probe_recover_cycle():
+    policy = BreakerPolicy(failure_threshold=2, recovery_cycles=1000.0,
+                           probe_successes=2)
+    breaker = CircuitBreaker(policy)
+    assert breaker.allow(0.0)
+    breaker.record_failure(10.0)
+    breaker.record_failure(20.0)
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow(500.0)          # still cooling down
+    assert breaker.allow(1020.0)             # probe admitted
+    assert breaker.state is BreakerState.HALF_OPEN
+    breaker.record_success(1030.0)
+    assert breaker.state is BreakerState.HALF_OPEN  # one probe not enough
+    breaker.record_success(1040.0)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_failed_probe_reopens_and_restarts_cooldown():
+    policy = BreakerPolicy(failure_threshold=1, recovery_cycles=1000.0)
+    breaker = CircuitBreaker(policy)
+    breaker.record_failure(0.0)
+    assert breaker.allow(1000.0)
+    breaker.record_failure(1100.0)
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow(1500.0)         # cooldown restarted at 1100
+    assert breaker.allow(2100.0)
+
+
+def test_health_monitor_derivation():
+    breakers = [CircuitBreaker(BreakerPolicy(failure_threshold=1))
+                for _ in range(2)]
+    health = HealthMonitor(breakers)
+    assert health.state is HealthState.HEALTHY
+    breakers[0].record_failure(10.0)
+    assert health.refresh(10.0) is HealthState.DEGRADED
+    breakers[1].record_failure(20.0)
+    assert health.refresh(20.0) is HealthState.BYPASSED
+    # Recovery through probes flows back to HEALTHY.
+    for breaker in breakers:
+        assert breaker.allow(1e9)
+        breaker.record_success(1e9)
+        breaker.record_success(1e9 + 1)
+    assert health.refresh(1e9 + 1) is HealthState.HEALTHY
+    assert [t[2] for t in health.transitions] == [
+        HealthState.DEGRADED, HealthState.BYPASSED, HealthState.HEALTHY]

@@ -1,0 +1,40 @@
+"""Admission queue: depth accounting, shedding, deadline budgets."""
+
+import pytest
+
+from repro.serve.queue import AdmissionPolicy, AdmissionQueue
+
+
+def test_admits_until_depth_then_sheds():
+    queue = AdmissionQueue(AdmissionPolicy(max_depth=2))
+    assert queue.offer(0.0)
+    queue.note_start(100.0)       # waiting until cycle 100
+    assert queue.offer(0.0)
+    queue.note_start(200.0)
+    assert not queue.offer(0.0)   # depth 2 == max_depth: shed
+    assert (queue.offered, queue.admitted, queue.shed) == (3, 2, 1)
+
+
+def test_depth_drains_as_calls_start_service():
+    queue = AdmissionQueue(AdmissionPolicy(max_depth=1))
+    assert queue.offer(0.0)
+    queue.note_start(50.0)
+    assert not queue.offer(10.0)  # still waiting at cycle 10
+    assert queue.offer(60.0)      # started at 50: queue empty again
+
+
+def test_deadline_is_arrival_plus_budget():
+    queue = AdmissionQueue(AdmissionPolicy(deadline_cycles=1000.0))
+    assert queue.deadline(250.0) == 1250.0
+
+
+def test_no_deadline_means_infinite_budget():
+    queue = AdmissionQueue(AdmissionPolicy(deadline_cycles=None))
+    assert queue.deadline(0.0) == float("inf")
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_depth=0)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(deadline_cycles=0.0)

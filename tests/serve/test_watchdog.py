@@ -1,0 +1,129 @@
+"""The watchdog's worst-case latency bound, under total hang injection.
+
+Acceptance property: with hang faults injected on *every* operation,
+every admitted call still terminates -- response, structured error, or
+expiry -- within ``deadline + watchdog_budget`` cycles of arrival, and
+no call hangs forever.  This is the provable bound docs/SERVING.md
+argues: stages start only while the deadline budget remains, each
+accelerator stage is hard-capped by the watchdog, and the host fallback
+is fit-gated against the remaining budget.
+"""
+
+import random
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSite, HANG_SITES
+from repro.proto.errors import WatchdogAbort
+from repro.serve import AdmissionPolicy, ServePolicy, ServingWorkloadSpec
+from repro.serve.workload import (
+    build_echo_server,
+    echo_schema,
+    make_request_bytes,
+)
+
+_DEADLINE = 20_000.0
+_BUDGET = 5_000.0
+
+
+def _hang_policy(**kwargs):
+    kwargs.setdefault("fault_plan", FaultPlan(
+        seed=11, rate=1.0, sites=tuple(sorted(HANG_SITES,
+                                              key=lambda s: s.value))))
+    kwargs.setdefault("watchdog_budget_cycles", _BUDGET)
+    kwargs.setdefault("admission", AdmissionPolicy(
+        max_depth=8, deadline_cycles=_DEADLINE))
+    return ServePolicy(**kwargs)
+
+
+def test_every_call_terminates_within_deadline_plus_budget():
+    server = build_echo_server(_hang_policy())
+    schema = echo_schema()
+    rng = random.Random(5)
+    spec = ServingWorkloadSpec()
+    now = 0.0
+    terminated = 0
+    for _ in range(150):
+        now += rng.expovariate(1.0 / 3_000.0)
+        outcome = server.call(
+            "Repeat", make_request_bytes(schema, rng, spec), at=now)
+        terminated += 1
+        assert outcome.status in ("ok", "shed", "expired", "failed")
+        assert outcome.latency_cycles <= _DEADLINE + _BUDGET + 1e-9, \
+            outcome.status
+    stats = server.stats
+    assert terminated == stats.offered == 150
+    assert stats.shed + stats.failed + stats.succeeded == stats.offered
+    # Hangs really fired and the watchdog really killed them.
+    assert server.watchdog_aborts > 0
+
+
+def test_hang_charges_the_full_watchdog_budget():
+    """An injected hang burns exactly the budget before aborting, and
+    surfaces as a WatchdogAbort with the cycles attached."""
+    from repro.accel.driver import ProtoAccelerator
+    from repro.accel.watchdog import FsmWatchdog
+    from repro.faults import RecoveryPolicy
+
+    schema = echo_schema()
+    accel = ProtoAccelerator(
+        faults=FaultPlan(seed=1, rate=1.0, max_trigger=1,
+                         sites=(FaultSite.DESER_HANG,)),
+        recovery=RecoveryPolicy(max_retries=0, cpu_fallback=False),
+        watchdog=FsmWatchdog(2_000.0))
+    accel.register_schema(schema)
+    request = schema["EchoRequest"].new_message()
+    request["text"] = "ping"
+    request["repeats"] = 1
+    wire = request.serialize()
+    with pytest.raises(WatchdogAbort) as excinfo:
+        accel.deserialize(schema["EchoRequest"], wire)
+    fault = excinfo.value
+    assert fault.injected
+    assert fault.charged_cycles == 2_000.0
+    assert accel.watchdog.aborts == 1
+    assert accel.fault_stats.wasted_accel_cycles == 2_000.0
+
+
+def test_watchdog_abort_falls_back_under_default_driver():
+    """Outside the serving layer (default RecoveryPolicy), a hang is a
+    persistent fault: the driver charges the budget and decodes on the
+    host, producing the exact software result."""
+    from repro.accel.driver import ProtoAccelerator
+    from repro.accel.watchdog import FsmWatchdog
+
+    schema = echo_schema()
+    accel = ProtoAccelerator(
+        faults=FaultPlan(seed=1, rate=1.0, max_trigger=1,
+                         sites=(FaultSite.DESER_HANG,)),
+        watchdog=FsmWatchdog(2_000.0))
+    accel.register_schema(schema)
+    request = schema["EchoRequest"].new_message()
+    request["text"] = "ping"
+    request["repeats"] = 2
+    result = accel.deserialize(schema["EchoRequest"], request.serialize())
+    assert result.stats.cpu_fallbacks == 1
+    assert result.stats.wasted_accel_cycles == 2_000.0
+    observed = accel.read_message(schema["EchoRequest"], result.dest_addr)
+    assert observed == request
+
+
+def test_serializer_hang_is_also_bounded():
+    from repro.accel.driver import ProtoAccelerator
+    from repro.accel.watchdog import FsmWatchdog
+    from repro.faults import RecoveryPolicy
+
+    schema = echo_schema()
+    accel = ProtoAccelerator(
+        faults=FaultPlan(seed=1, rate=1.0, max_trigger=1,
+                         sites=(FaultSite.SER_HANG,)),
+        recovery=RecoveryPolicy(max_retries=0, cpu_fallback=False),
+        watchdog=FsmWatchdog(2_000.0))
+    accel.register_schema(schema)
+    message = schema["EchoResponse"].new_message()
+    message["texts"].append("alpha")
+    addr = accel.load_object(message)
+    with pytest.raises(WatchdogAbort) as excinfo:
+        accel.serialize(schema["EchoResponse"], addr)
+    assert excinfo.value.charged_cycles == 2_000.0
+    assert accel.watchdog.aborts == 1
