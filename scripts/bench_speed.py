@@ -13,12 +13,26 @@ offered-load sweep through the 2-tile deadline-gated server
 (docs/SERVING.md), writing shed rate and p50/p99 latency per load point
 to ``BENCH_serving.json``.
 
+``--codegen`` switches to the codegen-tier benchmark: accelerator-only
+wall-clock of the schema-specialized kernels vs the interpretive FSM on
+the Figure 11 + bench0 workloads plus the per-field-type microbench,
+writing the speedups to ``BENCH_codegen.json`` and failing if the
+deserialization speedup drops below 2x (the shipped-default tier must
+stay decisively faster).
+
+``--check-regression`` compares the optimised run's wall-clock against
+the committed baseline (``BENCH_harness.json`` by default) and fails on
+a >15% regression, provided the baseline was recorded with the same
+smoke/jobs settings (otherwise the check is skipped with a warning).
+
 Usage::
 
     python scripts/bench_speed.py             # full subset
     python scripts/bench_speed.py --smoke     # small batches, CI-sized
     python scripts/bench_speed.py --jobs 4
     python scripts/bench_speed.py --serve --fault-rate 0.01
+    python scripts/bench_speed.py --codegen
+    python scripts/bench_speed.py --check-regression
 """
 
 from __future__ import annotations
@@ -147,6 +161,146 @@ def run_serving_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _codegen_workloads(micro_batch: int, hyper_batch: int) -> list:
+    from repro.bench.microbench import (
+        alloc_bench_names,
+        build_microbench,
+        nonalloc_bench_names,
+    )
+    from repro.hyperprotobench import build_hyperprotobench
+    workloads = [build_microbench(name, batch=micro_batch)
+                 for name in nonalloc_bench_names() + alloc_bench_names()]
+    workloads.append(build_hyperprotobench("bench0", seed=0,
+                                           batch=hyper_batch))
+    return workloads
+
+
+def _time_tier(workloads, operation: str, fast_path: str,
+               repeat: int) -> float:
+    """Accelerator-only host seconds for one tier over all workloads.
+
+    Times per-message driver calls (no batch-cycle cache on this path)
+    so the figure isolates the execution tier, not the software CPU
+    models or memo caches.  Best-of-``repeat`` after a warm-up pass per
+    workload; kernel compilation lands in the warm-up.
+    """
+    total = 0.0
+    for workload in workloads:
+        accel = driver.ProtoAccelerator(fast_path=fast_path)
+        accel.register_types([workload.descriptor])
+        buffers = workload.wire_buffers()
+        if operation == "deserialize":
+            def body():
+                for buffer in buffers:
+                    accel.deserialize(workload.descriptor, buffer,
+                                      auto_renew_arena=True)
+        else:
+            addresses = [accel.load_object(m) for m in workload.messages]
+
+            def body():
+                for addr in addresses:
+                    accel.serialize(workload.descriptor, addr)
+        body()
+        best = float("inf")
+        for _ in range(repeat):
+            start = time.perf_counter()
+            body()
+            best = min(best, time.perf_counter() - start)
+        total += best
+    return total
+
+
+def run_codegen_bench(args: argparse.Namespace) -> int:
+    """The --codegen mode: tier-vs-tier wall-clock -> BENCH_codegen.json."""
+    from repro.accel.perf import render_codegen_line
+    from repro.bench.microbench import time_codegen_microbench
+    from repro.bench.report import codegen_speedup_table
+
+    micro_batch, hyper_batch = (8, 2) if args.smoke else (32, 10)
+    repeat = 2 if args.smoke else 3
+    workloads = _codegen_workloads(micro_batch, hyper_batch)
+    print(f"codegen bench: {len(workloads)} workloads "
+          f"(micro batch {micro_batch}, hyper batch {hyper_batch}, "
+          f"best of {repeat})")
+
+    sections = {}
+    for operation in ("deserialize", "serialize"):
+        interp_s = _time_tier(workloads, operation, "interp", repeat)
+        codegen_s = _time_tier(workloads, operation, "codegen", repeat)
+        speedup = interp_s / codegen_s if codegen_s else float("inf")
+        sections[operation] = {
+            "interp_seconds": interp_s,
+            "codegen_seconds": codegen_s,
+            "speedup": speedup,
+        }
+        print(f"{operation}: interp {interp_s:.3f} s, "
+              f"codegen {codegen_s:.3f} s -> {speedup:.2f}x")
+
+    micro_rows = time_codegen_microbench(
+        batch=micro_batch, repeat=repeat)
+    print(codegen_speedup_table(micro_rows))
+    print(render_codegen_line())
+
+    output = args.output
+    if output == REPO / "BENCH_harness.json":
+        output = REPO / "BENCH_codegen.json"
+    payload = {
+        "smoke": args.smoke,
+        "micro_batch": micro_batch,
+        "hyper_batch": hyper_batch,
+        "repeat": repeat,
+        "workloads": [w.name for w in workloads],
+        "deserialize": sections["deserialize"],
+        "serialize": sections["serialize"],
+        "microbench": micro_rows,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"-> {output}")
+
+    deser_speedup = sections["deserialize"]["speedup"]
+    if deser_speedup < 2.0:
+        message = (f"codegen deserialize speedup {deser_speedup:.2f}x "
+                   "below the 2x acceptance floor")
+        if args.smoke:
+            # Smoke batches are noise-dominated on busy CI runners; the
+            # committed full-size BENCH_codegen.json enforces the floor.
+            print(f"WARNING: {message} (smoke run, not failing)")
+        else:
+            print(f"ERROR: {message}")
+            return 1
+    return 0
+
+
+def check_regression(args: argparse.Namespace, cached_seconds: float,
+                     baseline: dict | None) -> int:
+    """Fail on a >threshold wall-clock regression vs the committed run."""
+    if baseline is None:
+        print(f"WARNING: regression baseline {args.baseline} missing or "
+              "unreadable; skipping check")
+        return 0
+    if (baseline.get("smoke") != args.smoke
+            or baseline.get("jobs") != args.jobs):
+        print("WARNING: baseline recorded with smoke="
+              f"{baseline.get('smoke')}, jobs={baseline.get('jobs')} but "
+              f"this run used smoke={args.smoke}, jobs={args.jobs}; "
+              "skipping regression check")
+        return 0
+    base = baseline.get("cached_seconds")
+    if not isinstance(base, (int, float)) or base <= 0:
+        print("WARNING: baseline has no usable cached_seconds; skipping")
+        return 0
+    bound = base * (1.0 + args.regression_threshold)
+    if cached_seconds > bound:
+        print(f"ERROR: cached run took {cached_seconds:.2f} s, more than "
+              f"{args.regression_threshold:.0%} over the baseline "
+              f"{base:.2f} s")
+        return 1
+    print(f"regression check: {cached_seconds:.2f} s within "
+          f"{args.regression_threshold:.0%} of baseline {base:.2f} s")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--jobs", type=int, default=1,
@@ -163,10 +317,32 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--serve", action="store_true",
                         help="run the resilient-serving offered-load sweep "
                              "instead (writes BENCH_serving.json)")
+    parser.add_argument("--codegen", action="store_true",
+                        help="run the codegen-vs-interpreter tier benchmark "
+                             "instead (writes BENCH_codegen.json)")
+    parser.add_argument("--check-regression", action="store_true",
+                        help="fail if the cached run regresses more than "
+                             "the threshold vs the committed baseline")
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO / "BENCH_harness.json",
+                        help="baseline JSON for --check-regression")
+    parser.add_argument("--regression-threshold", type=float, default=0.15,
+                        help="allowed fractional wall-clock regression "
+                             "(default 0.15)")
     args = parser.parse_args(argv)
 
     if args.serve:
         return run_serving_bench(args)
+    if args.codegen:
+        return run_codegen_bench(args)
+
+    baseline = None
+    if args.check_regression:
+        # Read before the run: --output may overwrite the baseline file.
+        try:
+            baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            baseline = None
 
     plan = (FaultPlan(seed=args.fault_seed, rate=args.fault_rate)
             if args.fault_rate > 0 else None)
@@ -235,6 +411,8 @@ def main(argv: list[str]) -> int:
                            encoding="utf-8")
     print(f"speedup: {speedup:.2f}x (replay {payload['replay_speedup']:.2f}x)"
           f" -> {args.output}")
+    if args.check_regression:
+        return check_regression(args, fast_s, baseline)
     return 0
 
 

@@ -97,6 +97,10 @@ def set_adt_caches_enabled(enabled: bool) -> None:
     _CACHES_ENABLED = bool(enabled)
     if not enabled:
         _TEMPLATE_CACHE.clear()
+    # The specialized-kernel code cache is keyed off the same compiled
+    # templates; invalidate it whenever the ADT caches are toggled.
+    from repro.accel import codegen
+    codegen.invalidate_kernel_caches()
 
 
 def clear_template_cache() -> None:

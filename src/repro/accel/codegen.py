@@ -1,0 +1,1127 @@
+"""Schema-specialized codegen kernels (the software analogue of the
+paper's hardwired per-type field handlers).
+
+The interpretive deserializer/serializer units walk every message
+through generic Python dispatch -- dict lookups, dataclass views, and
+polymorphic helpers per field.  That is faithful to the hardware FSM but
+makes *simulator wall-clock* the bottleneck for fleet-scale sweeps.
+This module compiles each (message type, SoC config, timing params)
+triple into a straight-line Python kernel:
+
+* the tag switch is unrolled into per-field-number ``elif`` branches on
+  the decoded key integer (one branch per expected key, so scalars,
+  strings, packed and unpacked repeated fields and sub-messages all
+  dispatch without touching an ADT entry object);
+* varint decode is inlined (single-byte fast path, shared
+  :func:`~repro.proto.varint.decode_varint` slow path so error text is
+  byte-identical);
+* all per-field constants -- ADT entry addresses, object offsets,
+  hasbits words/masks, cycle charges -- are baked in as literals.
+
+**Cycle accounting is bit-identical to the interpreter.**  The kernels
+replay the interpreter's float additions in the same order with the
+same values (charges are emitted with ``repr`` so literals round-trip
+exactly), call the same modelled state (ADT entry cache, TLB, memloader
+startup, memwriter) and raise the same structured errors.  Codegen only
+changes host wall-clock.
+
+Kernels are cached in a bounded LRU (:data:`CODE_CACHE`) keyed by the
+schema's structural fingerprint plus the config/params reprs, and are
+invalidated together with the ADT template cache
+(:func:`repro.accel.adt.set_adt_caches_enabled` calls
+:func:`invalidate_kernel_caches`).  Per accelerator instance a
+*binding* resolves the compiled kernel against the live ADT image --
+validating header fields and every entry byte-for-byte against the
+image the generator assumed -- so a corrupted or mismatched ADT simply
+falls back to the interpreter.  When a fault plan is armed the driver
+never installs bindings at all: every one of the 11 named fault sites
+keeps firing through the interpretive path.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from repro.accel.adt import (
+    ADT_ENTRY_BYTES,
+    ADT_HEADER_BYTES,
+    AdtView,
+    _compile_template,
+    _oneof_group_ids,
+)
+from repro.accel.deserializer import DeserStats
+from repro.accel.memloader import Memloader
+from repro.accel.memwriter import Memwriter
+from repro.accel.serializer import SerStats
+from repro.faults.plan import FaultSite
+from repro.memory.layout import LayoutCache
+from repro.proto.descriptor import MessageDescriptor, structural_fingerprint
+from repro.proto.errors import AccelDecodeFault, AccelFault, DecodeError
+from repro.proto.types import (
+    CPP_SCALAR_BYTES,
+    FIXED_WIDTH_BYTES,
+    FieldType,
+    WireType,
+    ZIGZAG_TYPES,
+)
+from repro.proto.varint import decode_varint, encode_varint
+from repro.proto.wire import encode_tag
+
+_U32 = 0xFFFFFFFF
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+#: Single-byte varint outputs, pre-built so the kernels avoid a call for
+#: the overwhelmingly common small values (bit-identical to encode_varint).
+_B1 = tuple(bytes([value]) for value in range(128))
+
+#: Wire-type names in numeric order, for error text identical to
+#: ``WireType(value).name``.
+_WTN = ("VARINT", "FIXED64", "LENGTH_DELIMITED", "START_GROUP",
+        "END_GROUP", "FIXED32")
+
+_FIXED_TYPES = frozenset(FIXED_WIDTH_BYTES)
+_STRINGISH = frozenset({FieldType.STRING, FieldType.BYTES})
+
+
+# ---------------------------------------------------------------------------
+# Code cache (bounded LRU, keyed by ADT fingerprint + config/timing reprs)
+# ---------------------------------------------------------------------------
+
+CODE_CACHE_CAPACITY = 64
+
+_MISS = object()
+
+
+class KernelCodeCache:
+    """Bounded LRU of compiled kernel namespaces.
+
+    Values are ``(namespace, spec)`` tuples, or ``None`` for schemas the
+    generator declined (the negative result is cached too, so the
+    interpreter fallback stays cheap).  Hit/miss counters are exported
+    through :mod:`repro.accel.perf`.
+    """
+
+    def __init__(self, capacity: int = CODE_CACHE_CAPACITY):
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return _MISS
+
+    def put(self, key: tuple, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+CODE_CACHE = KernelCodeCache()
+
+_ENABLED = True
+#: Bumped on every invalidation; bindings recompile when it moves.
+_GENERATION = 0
+
+
+def codegen_enabled() -> bool:
+    return _ENABLED
+
+
+def set_codegen_enabled(enabled: bool) -> None:
+    """Gate kernel use process-wide (the interpreter always works)."""
+    global _ENABLED, _GENERATION
+    _ENABLED = bool(enabled)
+    _GENERATION += 1
+    if not enabled:
+        CODE_CACHE.clear()
+
+
+def invalidate_kernel_caches() -> None:
+    """Drop compiled kernels and force bindings to re-resolve.
+
+    Called by :func:`repro.accel.adt.set_adt_caches_enabled` so the code
+    cache invalidates together with the ADT template/view caches."""
+    global _GENERATION
+    _GENERATION += 1
+    CODE_CACHE.clear()
+
+
+def cache_counters() -> tuple[int, int, int, int]:
+    """(hits, misses, live entries, capacity) of the kernel code cache."""
+    return CODE_CACHE.hits, CODE_CACHE.misses, len(CODE_CACHE), \
+        CODE_CACHE.capacity
+
+
+# ---------------------------------------------------------------------------
+# Shared generator plumbing
+# ---------------------------------------------------------------------------
+
+
+def _f(value: float) -> str:
+    """Exact (shortest round-trip) float literal."""
+    return repr(float(value))
+
+
+def _type_order(root: MessageDescriptor):
+    """Depth-first type indexing over the descriptor graph (stable for a
+    given root, mirrored by the plan resolver through the spec)."""
+    order: dict[int, int] = {}
+    descs: list[MessageDescriptor] = []
+
+    def visit(descriptor: MessageDescriptor) -> None:
+        if id(descriptor) in order:
+            return
+        order[id(descriptor)] = len(descs)
+        descs.append(descriptor)
+        for fd in descriptor.fields:
+            if fd.message_type is not None:
+                visit(fd.message_type)
+
+    visit(root)
+    return order, descs
+
+
+def _build_spec(descs, order, layouts: LayoutCache) -> list[dict]:
+    """Per-type validation spec the plan resolver checks against the live
+    ADT image (entry region byte-for-byte, modulo sub-ADT pointers)."""
+    spec = []
+    for descriptor in descs:
+        layout = layouts.layout(descriptor)
+        template = _compile_template(descriptor, layout)
+        msg = tuple((fd.number, order[id(fd.message_type)])
+                    for fd in descriptor.fields if fd.is_message)
+        spec.append({
+            "min": descriptor.min_field_number,
+            "max": descriptor.max_field_number,
+            "span": descriptor.field_number_span,
+            "hbo": layout.hasbits_offset,
+            "size": layout.object_size,
+            "entries": template.entries,
+            "oneof": template.oneof_header,
+            "msg": msg,
+        })
+    return spec
+
+
+def _resolve_plans(memory, adt_addr: int, spec: list[dict]):
+    """Resolve runtime addresses for a kernel against the live ADT graph.
+
+    Returns per-type plan tuples ``(entries_base, sub_ptr0, sub_vptr0,
+    ...)`` or ``None`` when the live image disagrees with the spec (the
+    binding then falls back to the interpreter)."""
+    plans: list = [None] * len(spec)
+
+    def walk(addr: int, ti: int) -> bool:
+        plan = plans[ti]
+        if plan is not None:
+            return plan[0] == addr + ADT_HEADER_BYTES
+        entry = spec[ti]
+        view = AdtView(memory, addr)
+        if (view.min_field_number != entry["min"]
+                or view.max_field_number != entry["max"]
+                or view.hasbits_offset != entry["hbo"]
+                or view.object_size != entry["size"]):
+            return False
+        span = entry["span"]
+        if span:
+            raw = bytes(memory.read(addr + ADT_HEADER_BYTES,
+                                    span * ADT_ENTRY_BYTES))
+            expected = entry["entries"]
+            for index in range(span):
+                base = index * ADT_ENTRY_BYTES
+                # Sub-ADT pointer bytes [8:16] are per-build; everything
+                # else must match the generator's assumed image exactly.
+                if raw[base:base + 8] != expected[base:base + 8]:
+                    return False
+            if bytes(memory.read(addr + 32, 32)) != entry["oneof"]:
+                return False
+        plan = [addr + ADT_HEADER_BYTES]
+        plans[ti] = plan
+        for number, sub_ti in entry["msg"]:
+            decoded = view.entry(number)
+            if decoded is None or not decoded.defined \
+                    or decoded.sub_adt_ptr == 0:
+                return False
+            sub_view = AdtView(memory, decoded.sub_adt_ptr)
+            plan.append(decoded.sub_adt_ptr)
+            plan.append(sub_view.default_vptr)
+            if not walk(decoded.sub_adt_ptr, sub_ti):
+                return False
+        return True
+
+    if not walk(adt_addr, 0):
+        return None
+    return [tuple(plan) for plan in plans]
+
+
+def _oneof_word_masks(descriptor: MessageDescriptor) -> dict[str, tuple]:
+    """{group name: (hasbits word, sibling mask)} -- same math as the
+    ADT template compiler, so kernels clear siblings identically."""
+    masks = {}
+    for group in _oneof_group_ids(descriptor):
+        numbers = descriptor.oneof_groups[group]
+        bits = [n - descriptor.min_field_number for n in numbers]
+        word = bits[0] // 64
+        mask = 0
+        for bit in bits:
+            mask |= 1 << bit % 64
+        masks[group] = (word, mask)
+    return masks
+
+
+def _deser_watchdog(unit, stats, a, cycles):
+    """Shared helper the generated deserializer raises through."""
+    stats.cycles = cycles
+    if cycles > a[0]:
+        a[0] = cycles
+    return unit._watchdog_fire(FaultSite.DESER_HANG, stats, None)
+
+
+def _ser_watchdog(unit, stats, s, tp):
+    """Shared helper the generated serializer raises through."""
+    stats.frontend_cycles = s[0]
+    stats.fsu_cycles = s[1]
+    stats.tlb_penalty_cycles = tp
+    return unit._watchdog_fire(stats, None)
+
+
+class _Writer:
+    def __init__(self):
+        self.lines: list[str] = []
+
+    def w(self, indent: int, text: str = "") -> None:
+        self.lines.append("    " * indent + text if text else "")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Deserializer kernel generator
+# ---------------------------------------------------------------------------
+
+
+def _gen_deser_source(descriptor: MessageDescriptor, config, params):
+    """Emit the straight-line deserializer module for ``descriptor``."""
+    layouts = LayoutCache()
+    order, descs = _type_order(descriptor)
+    spec = _build_spec(descs, order, layouts)
+    mem = config.memory
+
+    BPB = int(mem.bytes_per_beat)
+    SBPC = _f(mem.stream_bytes_per_cycle)
+    TI = _f(params.typeinfo_hit)
+    DEP16 = _f(mem.dependent_access_cycles(16))
+    DEP24 = _f(mem.dependent_access_cycles(24))
+    DEP32 = _f(mem.dependent_access_cycles(32))
+    PK = _f(params.parse_key)
+    SW = _f(params.scalar_write)
+    SS = _f(params.string_setup)
+    RO = _f(params.repeated_open)
+    RC = _f(params.repeated_close)
+    SUB = _f(params.submsg_setup)
+    SKIP = _f(params.skip_field)
+    FIN = _f(params.message_finish)
+    PVC = _f(1 / params.packed_varints_per_cycle)
+    LIMIT = int(config.context_stack_depth)
+    SPILL = _f(config.stack_spill_cycles)
+
+    out = _Writer()
+    w = out.w
+
+    def varint(ind: int, tgt: str) -> None:
+        w(ind, "if pos >= slen:")
+        w(ind + 1, "raise DecodeError("
+                   '"varint unit given an empty window", site="varint")')
+        w(ind, f"{tgt} = data[pos]")
+        w(ind, f"if {tgt} < 128:")
+        w(ind + 1, "pos += 1")
+        w(ind, "else:")
+        w(ind + 1, f"{tgt}, _n = dv(data[pos:pos + 10])")
+        w(ind + 1, "pos += _n")
+        w(ind, "a[8] += 1")
+
+    def close_region(ind: int) -> None:
+        w(ind, "w64(r[1], r[2])")
+        w(ind, "w64(r[1] + 8, r[3])")
+        w(ind, "w64(r[1] + 16, r[4])")
+        w(ind, f"cycles += {RC}")
+
+    def lookup_entry(ind: int, addr_expr: str, dep: str) -> None:
+        w(ind, f"if lookup({addr_expr}):")
+        w(ind + 1, f"cycles += {TI}")
+        w(ind, "else:")
+        w(ind + 1, f"cycles += {dep}")
+
+    def grow(ind: int, width: int) -> None:
+        w(ind, "_nc = r[4] * 2")
+        w(ind, f"_nd = alloc(_nc * {width}, 8)")
+        w(ind, f"_ob = r[3] * {width}")
+        w(ind, "mw(_nd, mr(r[2], _ob))")
+        w(ind, f"cycles += -(-_ob // {BPB})")
+        w(ind, "r[2] = _nd")
+        w(ind, "r[4] = _nc")
+
+    def append(ind: int, width: int, db_expr: str) -> None:
+        w(ind, "if r[3] >= r[4]:")
+        grow(ind + 1, width)
+        w(ind, f"mw(r[2] + r[3] * {width}, {db_expr})")
+        w(ind, "r[3] += 1")
+        w(ind, "a[5] += 1")
+
+    def reopen(ind: int, number: int, off: int, width: int) -> None:
+        w(ind, f"if r is None or r[0] != {number}:")
+        w(ind + 1, "if r is not None:")
+        close_region(ind + 2)
+        w(ind + 1, f"_h = r64(obj + {off})")
+        w(ind + 1, "if _h:")
+        w(ind + 2, f"r = [{number}, _h, r64(_h), r64(_h + 8), "
+                   "r64(_h + 16)]")
+        w(ind + 2, f"cycles += {DEP24}")
+        w(ind + 1, "else:")
+        w(ind + 2, "_h = alloc(24, 8)")
+        w(ind + 2, f"r = [{number}, _h, alloc({8 * width}, 8), 0, 8]")
+        w(ind + 2, f"cycles += {RO}")
+        w(ind + 2, f"w64(obj + {off}, _h)")
+
+    def string_body(ind: int, utf8: bool) -> None:
+        # Decodes a length-delimited string/bytes payload into a fresh
+        # string object; leaves its address in ``sa``.
+        varint(ind, "ln")
+        w(ind, "if ln > slen - pos:")
+        w(ind + 1, "raise DecodeError("
+                   '"truncated string/bytes payload")')
+        w(ind, f"cycles += {SS}")
+        w(ind, "sa = alloc(32, 8)")
+        w(ind, "if ln <= 15:")
+        w(ind + 1, "pl = data[pos:pos + ln]")
+        w(ind + 1, "pos += ln")
+        w(ind + 1, "w64(sa, sa + 16)")
+        w(ind + 1, "w64(sa + 8, ln)")
+        w(ind + 1, 'mw(sa + 16, pl.ljust(16, b"\\x00"))')
+        w(ind, "else:")
+        w(ind + 1, "dp = alloc(ln, 8)")
+        w(ind + 1, "pl = data[pos:pos + ln]")
+        w(ind + 1, "pos += ln")
+        w(ind + 1, "mw(dp, pl)")
+        w(ind + 1, "w64(sa, dp)")
+        w(ind + 1, "w64(sa + 8, ln)")
+        w(ind + 1, "w64(sa + 16, ln)")
+        w(ind + 1, "w64(sa + 24, 0)")
+        w(ind, f"cycles += ln / {SBPC}")
+        w(ind, "a[4] += 1")
+        if utf8:
+            w(ind, "validate(pl)")
+
+    def varint_value(ind: int, fd) -> str:
+        """Emit the varint decode + transforms; returns the wire-image
+        bytes expression for the decoded value in ``v``."""
+        ft = fd.field_type
+        width = CPP_SCALAR_BYTES[ft]
+        varint(ind, "v")
+        if ft in ZIGZAG_TYPES:
+            w(ind, "a[9] += 1")
+            w(ind, "v = (v >> 1) ^ -(v & 1)")
+        if ft is FieldType.BOOL:
+            return '(b"\\x01" if v else b"\\x00")'
+        if width == 8 and ft not in ZIGZAG_TYPES:
+            # decode_varint already masks to 64 bits.
+            return 'v.to_bytes(8, "little")'
+        mask = _U64 if width == 8 else _U32
+        return f'(v & {mask:#x}).to_bytes({width}, "little")'
+
+    def fixed_value(ind: int, width: int, tgt: str) -> None:
+        w(ind, f"if slen - pos < {width}:")
+        w(ind + 1, 'raise DecodeError("truncated fixed-width value")')
+        w(ind, f"{tgt} = data[pos:pos + {width}]")
+        w(ind, f"pos += {width}")
+
+    def submessage_enter(ind: int, slot_expr: str, sub_ti: int,
+                         plan_slot: int, sub_size: int,
+                         singular: bool) -> None:
+        varint(ind, "ln")
+        w(ind, "if ln > slen - pos:")
+        w(ind + 1, 'raise DecodeError("truncated sub-message")')
+        lookup_entry(ind, f"p[{plan_slot}]", DEP32)
+        if singular:
+            w(ind, f"ex = r64({slot_expr})")
+            w(ind, "if ex:")
+            w(ind + 1, "ch = ex")
+            w(ind + 1, f"cycles += {SUB}")
+            w(ind, "else:")
+            w(ind + 1, f"ch = alloc({sub_size}, 8)")
+            w(ind + 1, f"fill(ch, {sub_size}, 0)")
+            w(ind + 1, f"w64(ch, p[{plan_slot + 1}])")
+            w(ind + 1, f"w64({slot_expr}, ch)")
+            w(ind + 1, f"cycles += {SUB}")
+        else:
+            w(ind, f"ch = alloc({sub_size}, 8)")
+            w(ind, f"fill(ch, {sub_size}, 0)")
+            w(ind, f"w64(ch, p[{plan_slot + 1}])")
+            w(ind, f"w64({slot_expr}, ch)")
+            w(ind, f"cycles += {SUB}")
+        w(ind, "a[3] += 1")
+        w(ind, f"if depth >= {LIMIT}:")
+        w(ind + 1, f"cycles += {SPILL}")
+        w(ind + 1, "a[6] += 1")
+        w(ind, "if depth + 1 > a[7]:")
+        w(ind + 1, "a[7] = depth + 1")
+        fresh = "ex == 0" if singular else "True"
+        w(ind, f"pos, cycles = _d{sub_ti}(z, data, slen, pos, pos + ln, "
+               f"ch, depth + 1, cycles, {fresh})")
+
+    def skip_unknown(ind: int) -> None:
+        w(ind, f"cycles += {SKIP}")
+        w(ind, "if _wt == 0:")
+        varint(ind + 1, "v")
+        w(ind, "elif _wt == 1:")
+        w(ind + 1, "if slen - pos < 8:")
+        w(ind + 2, "raise DecodeError(f\"consume(8) exceeds remaining "
+                   "{slen - pos} (truncated input stream)\")")
+        w(ind + 1, "pos += 8")
+        w(ind, "elif _wt == 5:")
+        w(ind + 1, "if slen - pos < 4:")
+        w(ind + 2, "raise DecodeError(f\"consume(4) exceeds remaining "
+                   "{slen - pos} (truncated input stream)\")")
+        w(ind + 1, "pos += 4")
+        w(ind, "elif _wt == 2:")
+        varint(ind + 1, "ln")
+        w(ind + 1, "if ln > slen - pos:")
+        w(ind + 2, "raise DecodeError(\"bulk consume ran past end of "
+                   "stream (truncated input)\")")
+        w(ind + 1, f"cycles += ln / {SBPC}")
+        w(ind + 1, "pos += ln")
+        w(ind, "else:")
+        w(ind + 1, "raise DecodeError(f\"cannot skip deprecated wire "
+                   "type {_WTN[_wt]}\")")
+        w(ind, "a[2] += 1")
+
+    for ti, d in enumerate(descs):
+        layout = layouts.layout(d)
+        span = d.field_number_span
+        minf = d.min_field_number
+        hbo = layout.hasbits_offset
+        nwords = max(1, -(-span // 64))
+        masks = _oneof_word_masks(d)
+        msg_slots = {number: 1 + 2 * k
+                     for k, (number, _sub) in enumerate(spec[ti]["msg"])}
+
+        def hasbit(ind: int, fd) -> None:
+            bit = fd.number - minf
+            hw, hb_mask = bit // 64, 1 << bit % 64
+            if fd.oneof_group:
+                word, mask = masks[fd.oneof_group]
+                keep = ~mask & _U64
+                w(ind, f"hb[{word}] = hb[{word}] & {keep:#x} "
+                       f"| {hb_mask:#x}")
+            else:
+                w(ind, f"hb[{hw}] |= {hb_mask:#x}")
+
+        w(0, f"def _d{ti}(z, data, slen, pos, end, obj, depth, cycles, "
+             "fresh):")
+        w(1, "mr, mw, r64, w64, fill, alloc, lookup, validate, a, wd, "
+             "stats, unit, plans = z")
+        w(1, f"p = plans[{ti}]")
+        w(1, "eb = p[0]")
+        w(1, "try:")
+        w(2, "if fresh:")
+        w(3, f"hb = [0] * {nwords}")
+        w(2, "else:")
+        if nwords == 1:
+            w(3, f"hb = [r64(obj + {hbo})]")
+        else:
+            w(3, f"hb = [r64(obj + {hbo} + _i * 8) "
+                 f"for _i in range({nwords})]")
+        w(2, "r = None")
+        w(2, "while pos < end:")
+        w(3, "if wd is not None and cycles >= wd:")
+        w(4, "raise _dwd(unit, stats, a, cycles)")
+        varint(3, "k")
+        w(3, f"cycles += {PK}")
+
+        first = True
+        for fd in d.fields:
+            ft = fd.field_type
+            number = fd.number
+            off = layout.field_offsets[number]
+            eoff = (number - minf) * ADT_ENTRY_BYTES
+            entry_expr = f"eb + {eoff}" if eoff else "eb"
+            keyword = "if" if first else "elif"
+
+            def branch(wire: WireType):
+                w(3, f"{keyword} k == {number << 3 | int(wire)}:")
+                lookup_entry(4, entry_expr, DEP16)
+                w(4, "a[1] += 1")
+                hasbit(4, fd)
+
+            if fd.is_message:
+                sub_ti = order[id(fd.message_type)]
+                sub_size = layouts.layout(fd.message_type).object_size
+                slot = msg_slots[number]
+                branch(WireType.LENGTH_DELIMITED)
+                if fd.is_repeated:
+                    reopen(4, number, off, 8)
+                    w(4, "if r[3] >= r[4]:")
+                    grow(5, 8)
+                    w(4, "sl = r[2] + r[3] * 8")
+                    w(4, "r[3] += 1")
+                    w(4, "a[5] += 1")
+                    submessage_enter(4, "sl", sub_ti, slot, sub_size,
+                                     singular=False)
+                else:
+                    w(4, "if r is not None:")
+                    close_region(5)
+                    w(5, "r = None")
+                    submessage_enter(4, f"obj + {off}", sub_ti, slot,
+                                     sub_size, singular=True)
+            elif ft in _STRINGISH:
+                branch(WireType.LENGTH_DELIMITED)
+                if fd.is_repeated:
+                    reopen(4, number, off, 8)
+                    string_body(4, fd.validate_utf8)
+                    append(4, 8, 'sa.to_bytes(8, "little")')
+                else:
+                    w(4, "if r is not None:")
+                    close_region(5)
+                    w(5, "r = None")
+                    string_body(4, fd.validate_utf8)
+                    w(4, f"w64(obj + {off}, sa)")
+            else:
+                width = CPP_SCALAR_BYTES[ft]
+                is_fixed = ft in _FIXED_TYPES
+                elem_wire = (WireType.FIXED64 if is_fixed and width == 8
+                             else WireType.FIXED32 if is_fixed
+                             else WireType.VARINT)
+                if fd.is_repeated:
+                    # Element-wire branch.
+                    branch(elem_wire)
+                    reopen(4, number, off, width)
+                    if is_fixed:
+                        fixed_value(4, width, "db")
+                        w(4, f"cycles += {SW}")
+                        append(4, width, "db")
+                    else:
+                        db = varint_value(4, fd)
+                        w(4, f"cycles += {SW}")
+                        append(4, width, db)
+                    # Packed branch (the unit accepts packed wire for
+                    # any repeated numeric, declared packed or not).
+                    w(3, f"elif k == "
+                         f"{number << 3 | int(WireType.LENGTH_DELIMITED)}:")
+                    lookup_entry(4, entry_expr, DEP16)
+                    w(4, "a[1] += 1")
+                    hasbit(4, fd)
+                    reopen(4, number, off, width)
+                    varint(4, "ln")
+                    w(4, "cycles += 1.0")
+                    w(4, "pe = pos + ln")
+                    w(4, "if ln > slen - pos:")
+                    w(5, 'raise DecodeError("truncated packed field")')
+                    w(4, "while pos < pe:")
+                    if is_fixed:
+                        fixed_value(5, width, "db")
+                        w(5, f"cycles += {_f(width / BPB)}")
+                        append(5, width, "db")
+                    else:
+                        db = varint_value(5, fd)
+                        w(5, f"cycles += {PVC}")
+                        append(5, width, db)
+                    w(4, "if pos != pe:")
+                    w(5, "raise DecodeError("
+                         '"packed payload overran its length")')
+                else:
+                    branch(elem_wire)
+                    w(4, "if r is not None:")
+                    close_region(5)
+                    w(5, "r = None")
+                    if is_fixed:
+                        w(4, f"if slen - pos < {width}:")
+                        w(5, 'raise DecodeError'
+                             '("truncated fixed-width value")')
+                        w(4, f"mw(obj + {off}, data[pos:pos + {width}])")
+                        w(4, f"pos += {width}")
+                        w(4, f"cycles += {SW}")
+                    else:
+                        db = varint_value(4, fd)
+                        w(4, f"mw(obj + {off}, {db})")
+                        w(4, f"cycles += {SW}")
+            first = False
+
+        # Generic fallback: wrong-wire-type keys on defined fields,
+        # in-range holes, out-of-range unknowns, invalid keys.
+        w(3, "else:" if not first else "if True:")
+        w(4, "_wt = k & 7")
+        w(4, "if _wt > 5:")
+        w(5, 'raise DecodeError(f"invalid wire type {_wt}")')
+        w(4, "_fn = k >> 3")
+        w(4, "if _fn < 1:")
+        w(5, 'raise DecodeError(f"invalid field number {_fn}")')
+        if span:
+            w(4, f"if {minf} <= _fn <= {d.max_field_number}:")
+            w(5, f"if lookup(eb + (_fn - {minf}) * {ADT_ENTRY_BYTES}):")
+            w(6, f"cycles += {TI}")
+            w(5, "else:")
+            w(6, f"cycles += {DEP16}")
+            gfirst = True
+            for fd in d.fields:
+                ft = fd.field_type
+                w(5, f"{'if' if gfirst else 'elif'} _fn == {fd.number}:")
+                gfirst = False
+                w(6, "a[1] += 1")
+                hasbit(6, fd)
+                if fd.is_repeated:
+                    width = (8 if ft in _STRINGISH or fd.is_message
+                             else CPP_SCALAR_BYTES[ft])
+                    reopen(6, fd.number, layout.field_offsets[fd.number],
+                           width)
+                else:
+                    w(6, "if r is not None:")
+                    close_region(7)
+                    w(7, "r = None")
+                if fd.is_message and not fd.is_repeated:
+                    w(6, "raise DecodeError(f\"wire type {_WTN[_wt]} "
+                         "does not match a sub-message field\")")
+                else:
+                    w(6, "raise DecodeError(f\"wire type {_WTN[_wt]} "
+                         f"does not match {ft.value}\")")
+            w(5, "else:")
+            skip_unknown(6)
+            w(4, "else:")
+            w(5, f"cycles += {TI}")
+            skip_unknown(5)
+        else:
+            # No defined entries: every in-range probe misses the table.
+            w(4, f"cycles += {TI}")
+            skip_unknown(4)
+
+        # Frame epilogue.
+        w(2, "if pos > end:")
+        w(3, "raise DecodeError("
+             '"sub-message parsing overran length", offset=pos)')
+        w(2, "if r is not None:")
+        close_region(3)
+        w(2, f"cycles += {FIN}")
+        w(2, f"if depth - 1 >= {LIMIT}:")
+        w(3, f"cycles += {SPILL}")
+        w(3, "a[6] += 1")
+        for word in range(nwords):
+            w(2, f"w64(obj + {hbo + word * 8}, hb[{word}])")
+        w(2, "return pos, cycles")
+        w(1, "except BaseException:")
+        w(2, "if cycles > a[0]:")
+        w(3, "a[0] = cycles")
+        w(2, "raise")
+        w(0)
+
+    # Entry point: mirrors DeserializerUnit.deserialize's fault-free path.
+    top_layout = layouts.layout(descriptor)
+    top_words = max(1, -(-descriptor.field_number_span // 64))
+    w(0, "def _deser_entry(unit, plans, dest, src, slen, hide):")
+    w(1, "stats = DeserStats(wire_bytes=slen)")
+    w(1, f"cycles = {_f(params.dispatch_overhead)}")
+    w(1, "a = [0.0, 0, 0, 0, 0, 0, 0, 1, 0, 0]")
+    w(1, "mem = unit.memory")
+    w(1, "arena = unit._arena")
+    w(1, "tlb_pen = 0.0")
+    w(1, "try:")
+    w(2, "try:")
+    w(3, "tlb_pen = unit._tlb.translate_range(src, "
+         "slen if slen > 1 else 1)")
+    w(3, "loader = Memloader(mem, unit.config.memory, src, slen, "
+         "faults=None)")
+    w(3, "if not hide:")
+    w(4, "cycles += loader.startup_cycles")
+    w(3, "data = loader.prefetched()")
+    w(3, "w64 = mem.write_u64")
+    w(3, "wd = unit.watchdog.budget_cycles "
+         "if unit.watchdog is not None else None")
+    w(3, "z = (mem.read, mem.write, mem.read_u64, w64, mem.fill, "
+         "arena.allocate, unit._adt_cache.lookup, "
+         "unit.utf8_unit.validate, a, wd, stats, unit, plans)")
+    for word in range(top_words):
+        w(3, f"w64(dest + {top_layout.hasbits_offset + word * 8}, 0)")
+    w(3, "before = arena.bytes_used")
+    w(3, "pos, cycles = _d0(z, data, slen, 0, slen, dest, 1, cycles, "
+         "True)")
+    w(3, "if slen - pos:")
+    w(4, "raise DecodeError("
+         '"trailing bytes after top-level message", offset=pos)')
+    w(2, "except AccelFault:")
+    w(3, "raise")
+    w(2, "except DecodeError as error:")
+    w(3, "_c = a[0] if a[0] > cycles else cycles")
+    w(3, 'raise AccelDecodeFault.wrap(error, site="deserializer", '
+         "cycle=_c) from error")
+    w(1, "finally:")
+    w(2, "unit.varint_unit.credit(decodes=a[8], zigzag_ops=a[9])")
+    w(1, "stats.arena_bytes = arena.bytes_used - before")
+    w(1, "stats.cycles = cycles + tlb_pen")
+    w(1, "stats.tlb_penalty_cycles = tlb_pen")
+    w(1, "stats.fields_parsed = a[1]")
+    w(1, "stats.unknown_fields_skipped = a[2]")
+    w(1, "stats.submessages = a[3]")
+    w(1, "stats.strings = a[4]")
+    w(1, "stats.repeated_elements = a[5]")
+    w(1, "stats.stack_spills = a[6]")
+    w(1, "stats.max_stack_depth = a[7]")
+    w(1, "cache = unit._adt_cache")
+    w(1, "stats.adt_cache_hits = cache.hits")
+    w(1, "stats.adt_cache_misses = cache.misses")
+    w(1, "return stats")
+    return out.source(), spec
+
+
+# ---------------------------------------------------------------------------
+# Serializer kernel generator
+# ---------------------------------------------------------------------------
+
+
+def _gen_ser_source(descriptor: MessageDescriptor, config, params):
+    """Emit the straight-line serializer module for ``descriptor``."""
+    layouts = LayoutCache()
+    order, descs = _type_order(descriptor)
+    spec = _build_spec(descs, order, layouts)
+    mem = config.memory
+
+    BPB = int(mem.bytes_per_beat)
+    FSU = _f(params.fsu_encode)
+    FPF = _f(params.frontend_per_field)
+    SPUSH = _f(params.frontend_submsg_push)
+    SPOP = _f(params.frontend_submsg_pop)
+    DF = _f(params.dispatch_overhead + params.pipeline_fill)
+    UNITS = int(config.field_serializer_units)
+    LIMIT = int(config.context_stack_depth)
+    SPILL = _f(config.stack_spill_cycles)
+
+    out = _Writer()
+    w = out.w
+
+    def scalar_wire(ind: int, ft: FieldType, raw_expr: str) -> str:
+        """Emit value transforms; returns the wire-bytes expression."""
+        if ft in _FIXED_TYPES:
+            return raw_expr
+        width = CPP_SCALAR_BYTES[ft]
+        signed = ft in (FieldType.INT32, FieldType.INT64, FieldType.SINT32,
+                        FieldType.SINT64, FieldType.ENUM)
+        if ft is FieldType.BOOL:
+            w(ind, f"_p = 1 if {raw_expr} != b\"\\x00\" else 0")
+        elif ft in ZIGZAG_TYPES:
+            w(ind, f"_v = int.from_bytes({raw_expr}, \"little\", "
+                   "signed=True)")
+            w(ind, "s[9] += 1")
+            w(ind, f"_p = ((_v << 1) ^ (_v >> 63)) & {_U64:#x}")
+        elif signed:
+            w(ind, f"_v = int.from_bytes({raw_expr}, \"little\", "
+                   "signed=True)")
+            w(ind, f"_p = _v & {_U64:#x}")
+        else:
+            w(ind, f"_p = int.from_bytes({raw_expr}, \"little\")")
+        w(ind, "s[8] += 1")
+        w(ind, "_w = _B1[_p] if _p < 128 else ev(_p)")
+        return "_w"
+
+    def string_field(ind: int, addr_expr: str, key: bytes) -> None:
+        w(ind, f"_sa = {addr_expr}")
+        w(ind, "_dp = r64(_sa)")
+        w(ind, "_sz = r64(_sa + 8)")
+        w(ind, "_pl = mr(_dp, _sz)")
+        w(ind, f"_bt = -(-(_sz + 32) // {BPB})")
+        w(ind, "s[1] += _bt if _bt > 1 else 1.0")
+        w(ind, "s[4] += 1")
+        w(ind, "push(_pl)")
+        w(ind, "s[8] += 1")
+        w(ind, "_lb = _B1[_sz] if _sz < 128 else ev(_sz)")
+        w(ind, f"s[1] += {FSU}")
+        w(ind, "push(_lb)")
+        w(ind, f"push({key!r})")
+
+    def submsg_child(ind: int, sub_ti: int, key: bytes) -> None:
+        w(ind, f"s[0] += {SPUSH}")
+        w(ind, "s[3] += 1")
+        w(ind, "begin()")
+        w(ind, f"_s{sub_ti}(zs, _ch, depth + 1)")
+        w(ind, "_ln = endm()")
+        w(ind, "s[8] += 1")
+        w(ind, "push(_B1[_ln] if _ln < 128 else ev(_ln))")
+        w(ind, f"push({key!r})")
+        w(ind, f"s[0] += {SPOP}")
+
+    for ti, d in enumerate(descs):
+        layout = layouts.layout(d)
+        span = d.field_number_span
+        minf = d.min_field_number
+        hbo = layout.hasbits_offset
+        nwords = max(1, -(-span // 64))
+
+        w(0, f"def _s{ti}(zs, obj, depth):")
+        w(1, "mr, r64, push, begin, endm, s, wd, tp, unit, stats, arena "
+             "= zs")
+        w(1, "if depth > s[7]:")
+        w(2, "s[7] = depth")
+        w(1, f"if depth > {LIMIT}:")
+        w(2, f"s[0] += {SPILL}")
+        w(2, "s[6] += 1")
+        if not span:
+            w(1, "return")
+            w(0)
+            continue
+        w(1, f"s[0] += {nwords}")
+        for word in range(nwords):
+            w(1, f"h{word} = r64(obj + {hbo + word * 8})")
+        for fd in sorted(d.fields, key=lambda f: -f.number):
+            ft = fd.field_type
+            number = fd.number
+            off = layout.field_offsets[number]
+            bit = number - minf
+            hw, hbit = bit // 64, bit % 64
+            w(1, f"if h{hw} >> {hbit} & 1:")
+            w(2, "if wd is not None:")
+            w(3, f"_fc = s[1] / {UNITS}")
+            w(3, f"if {DF} + (s[0] if s[0] > _fc else _fc) + tp >= wd:")
+            w(4, "raise _swd(unit, stats, s, tp)")
+            w(2, f"s[0] += {FPF}")
+            w(2, "s[2] += 1")
+            if fd.is_message:
+                sub_ti = order[id(fd.message_type)]
+                key = encode_tag(number, WireType.LENGTH_DELIMITED)
+                if fd.is_repeated:
+                    w(2, f"_hd = r64(obj + {off})")
+                    w(2, "_da = r64(_hd)")
+                    w(2, "_ct = r64(_hd + 8)")
+                    w(2, f"s[1] += {_f(max(1.0, float(mem.beats(24))))}")
+                    w(2, "_kids = [r64(_da + _k * 8) "
+                         "for _k in range(_ct)]")
+                    w(2, "_i = _ct - 1")
+                    w(2, "while _i >= 0:")
+                    w(3, "_ch = _kids[_i]")
+                    submsg_child(3, sub_ti, key)
+                    w(3, "_i -= 1")
+                else:
+                    w(2, f"_ch = r64(obj + {off})")
+                    submsg_child(2, sub_ti, key)
+            elif fd.is_repeated:
+                width = 8 if ft in _STRINGISH else CPP_SCALAR_BYTES[ft]
+                w(2, f"_hd = r64(obj + {off})")
+                w(2, "_da = r64(_hd)")
+                w(2, "_ct = r64(_hd + 8)")
+                w(2, f"s[1] += {_f(max(1.0, float(mem.beats(24))))}")
+                if fd.packed:
+                    key = encode_tag(number, WireType.LENGTH_DELIMITED)
+                    w(2, "_cb = arena.cursor")
+                    w(2, "_i = _ct - 1")
+                    w(2, "while _i >= 0:")
+                    w(3, f"_raw = mr(_da + _i * {width}, {width})")
+                    w(3, f"s[1] += {FSU}")
+                    wire = scalar_wire(3, ft, "_raw")
+                    w(3, f"push({wire})")
+                    w(3, "_i -= 1")
+                    w(2, f"s[1] += -(-(_ct * {width}) // {BPB}) "
+                         "if _ct else 0.0")
+                    w(2, "s[5] += _ct")
+                    w(2, "_pn = _cb - arena.cursor")
+                    w(2, "s[8] += 1")
+                    w(2, "push(_B1[_pn] if _pn < 128 else ev(_pn))")
+                    w(2, f"push({key!r})")
+                elif ft in _STRINGISH:
+                    key = encode_tag(number, WireType.LENGTH_DELIMITED)
+                    w(2, "_i = _ct - 1")
+                    w(2, "while _i >= 0:")
+                    string_field(3, f"r64(_da + _i * 8)", key)
+                    w(3, "_i -= 1")
+                    w(2, "s[5] += _ct")
+                    w(2, "if _ct > 0:")
+                    w(3, "s[2] += _ct - 1")
+                else:
+                    is_fixed = ft in _FIXED_TYPES
+                    elem_wire = (WireType.FIXED64
+                                 if is_fixed and width == 8
+                                 else WireType.FIXED32 if is_fixed
+                                 else WireType.VARINT)
+                    key = encode_tag(number, elem_wire)
+                    combo = _f(params.fsu_encode
+                               + max(1.0, float(mem.beats(width))))
+                    w(2, "_i = _ct - 1")
+                    w(2, "while _i >= 0:")
+                    w(3, f"_raw = mr(_da + _i * {width}, {width})")
+                    w(3, f"s[1] += {combo}")
+                    wire = scalar_wire(3, ft, "_raw")
+                    w(3, f"push({wire})")
+                    w(3, f"push({key!r})")
+                    w(3, "_i -= 1")
+                    w(2, "s[5] += _ct")
+                    w(2, "if _ct > 0:")
+                    w(3, "s[2] += _ct - 1")
+            elif ft in _STRINGISH:
+                key = encode_tag(number, WireType.LENGTH_DELIMITED)
+                string_field(2, f"r64(obj + {off})", key)
+            else:
+                width = CPP_SCALAR_BYTES[ft]
+                is_fixed = ft in _FIXED_TYPES
+                elem_wire = (WireType.FIXED64 if is_fixed and width == 8
+                             else WireType.FIXED32 if is_fixed
+                             else WireType.VARINT)
+                key = encode_tag(number, elem_wire)
+                w(2, f"_raw = mr(obj + {off}, {width})")
+                w(2, f"s[1] += {_f(max(1.0, float(mem.beats(width))))}")
+                wire = scalar_wire(2, ft, "_raw")
+                w(2, f"s[1] += {FSU}")
+                w(2, f"push({wire})")
+                w(2, f"push({key!r})")
+        w(0)
+
+    # Entry point: mirrors SerializerUnit.serialize's fault-free path.
+    w(0, "def _ser_entry(unit, plans, obj_addr):")
+    w(1, "stats = SerStats()")
+    w(1, "arena = unit._arena")
+    w(1, "memwriter = Memwriter(arena, unit.config.memory)")
+    w(1, f"s = [{_f(params.frontend_init)}, 0.0, 0, 0, 0, 0, 0, 0, 0, 0]")
+    w(1, "tp = unit._tlb.translate_range(obj_addr, 64)")
+    w(1, "wd = unit.watchdog.budget_cycles "
+         "if unit.watchdog is not None else None")
+    w(1, "mem = unit.memory")
+    w(1, "try:")
+    w(2, "zs = (mem.read, mem.read_u64, memwriter.push, "
+         "memwriter.begin_message, memwriter.end_message, s, wd, tp, "
+         "unit, stats, arena)")
+    w(2, "_s0(zs, obj_addr, 1)")
+    w(1, "finally:")
+    w(2, "unit.varint_unit.credit(encodes=s[8], zigzag_ops=s[9])")
+    w(1, "_, length = memwriter.finish_top_level()")
+    w(1, "stats.output_bytes = length")
+    w(1, "stats.memwriter_cycles = memwriter.cycles")
+    w(1, "stats.frontend_cycles = s[0]")
+    w(1, "stats.fsu_cycles = s[1]")
+    w(1, "stats.fields_serialized = s[2]")
+    w(1, "stats.submessages = s[3]")
+    w(1, "stats.strings = s[4]")
+    w(1, "stats.repeated_elements = s[5]")
+    w(1, "stats.stack_spills = s[6]")
+    w(1, "stats.max_stack_depth = s[7]")
+    w(1, f"_fc = s[1] / {UNITS}")
+    w(1, "_m = s[0] if s[0] > _fc else _fc")
+    w(1, "if memwriter.cycles > _m:")
+    w(2, "_m = memwriter.cycles")
+    w(1, f"stats.cycles = {DF} + _m + tp")
+    w(1, "stats.tlb_penalty_cycles = tp")
+    w(1, "return stats")
+    return out.source(), spec
+
+
+# ---------------------------------------------------------------------------
+# Compilation + bindings
+# ---------------------------------------------------------------------------
+
+_GENERATORS = {"deser": _gen_deser_source, "ser": _gen_ser_source}
+
+
+def _exec_namespace(source: str, tag: str) -> dict:
+    namespace = {
+        "DecodeError": DecodeError,
+        "AccelFault": AccelFault,
+        "AccelDecodeFault": AccelDecodeFault,
+        "DeserStats": DeserStats,
+        "SerStats": SerStats,
+        "Memloader": Memloader,
+        "Memwriter": Memwriter,
+        "dv": decode_varint,
+        "ev": encode_varint,
+        "_B1": _B1,
+        "_WTN": _WTN,
+        "_dwd": _deser_watchdog,
+        "_swd": _ser_watchdog,
+        "__source__": source,
+    }
+    exec(compile(source, f"<codegen:{tag}>", "exec"), namespace)
+    return namespace
+
+
+def compiled_kernel(kind: str, descriptor: MessageDescriptor, config,
+                    params):
+    """Fetch (or generate) the compiled kernel for a schema/config pair.
+
+    Returns ``(namespace, spec)`` or ``None`` when generation failed
+    (the negative result is cached; callers fall back to the
+    interpreter)."""
+    fingerprint = structural_fingerprint(descriptor)
+    key = (kind, fingerprint, repr(config), repr(params))
+    value = CODE_CACHE.get(key)
+    if value is not _MISS:
+        return value
+    try:
+        source, spec = _GENERATORS[kind](descriptor, config, params)
+        namespace = _exec_namespace(
+            source, f"{kind}:{descriptor.full_name}:{fingerprint[:12]}")
+        value = (namespace, spec)
+    except Exception:
+        # Any schema the generator cannot express runs interpreted.
+        value = None
+    CODE_CACHE.put(key, value)
+    return value
+
+
+class KernelBinding:
+    """Per-unit resolver from ADT address to a ready-to-run kernel.
+
+    Owns a small map ``{adt_addr: (generation, kernel | None)}``;
+    entries recompute when :data:`_GENERATION` moves (cache
+    invalidation) and resolve to ``None`` whenever the live ADT image
+    disagrees with the generator's assumptions."""
+
+    def __init__(self, unit, resolver: Callable[[int], MessageDescriptor],
+                 kind: str):
+        self.unit = unit
+        self.resolver = resolver
+        self.kind = kind
+        self._kernels: dict[int, tuple[int, Optional[Callable]]] = {}
+
+    def kernel_for(self, adt_addr: int) -> Optional[Callable]:
+        if not _ENABLED:
+            return None
+        cached = self._kernels.get(adt_addr)
+        if cached is not None and cached[0] == _GENERATION:
+            return cached[1]
+        kernel = self._build(adt_addr)
+        self._kernels[adt_addr] = (_GENERATION, kernel)
+        return kernel
+
+    def _build(self, adt_addr: int) -> Optional[Callable]:
+        try:
+            descriptor = self.resolver(adt_addr)
+        except KeyError:
+            return None
+        compiled = compiled_kernel(self.kind, descriptor, self.unit.config,
+                                   self.unit.params)
+        if compiled is None:
+            return None
+        namespace, spec = compiled
+        plans = _resolve_plans(self.unit.memory, adt_addr, spec)
+        if plans is None:
+            return None
+        entry = namespace["_deser_entry" if self.kind == "deser"
+                          else "_ser_entry"]
+        return functools.partial(entry, self.unit, plans)
+
+
+def bind_deserializer(unit, resolver) -> KernelBinding:
+    """Create the codegen binding the driver installs on a deserializer
+    unit (``unit.codegen``); ``resolver`` maps adt_addr -> descriptor."""
+    return KernelBinding(unit, resolver, "deser")
+
+
+def bind_serializer(unit, resolver) -> KernelBinding:
+    """Create the codegen binding for a serializer unit."""
+    return KernelBinding(unit, resolver, "ser")

@@ -179,6 +179,11 @@ class DeserializerUnit:
         #: Optional per-operation cycle-budget watchdog (an object with
         #: ``budget_cycles`` and ``aborts``; see repro.serve.watchdog).
         self.watchdog = None
+        #: "codegen" | "interp": whether to use schema-specialized
+        #: kernels when a binding is installed (repro.accel.codegen).
+        self.fast_path = "codegen"
+        #: KernelBinding installed by the driver; None runs interpreted.
+        self.codegen = None
 
     # -- RoCC-visible operations ------------------------------------------------
 
@@ -210,6 +215,15 @@ class DeserializerUnit:
         if self._arena is None:
             raise RuntimeError(
                 "no accelerator arena assigned; issue deser_assign_arena")
+        if (self.codegen is not None and self.faults is None
+                and self.fast_path == "codegen"):
+            # Specialized straight-line kernel: bit-identical cycles and
+            # errors, host wall-clock only.  With faults attached the
+            # interpretive FSM below runs instead so every named fault
+            # site still fires.
+            kernel = self.codegen.kernel_for(adt_addr)
+            if kernel is not None:
+                return kernel(dest_addr, src_addr, src_len, hide_startup)
         stats = DeserStats(wire_bytes=src_len)
         if self.faults is not None:
             # Each call is one hardware attempt; bind its stats so any

@@ -159,7 +159,8 @@ class ProtoAccelerator:
                  ser_arena_bytes: int = 8 << 20,
                  faults: FaultPlan | FaultInjector | None = None,
                  recovery: RecoveryPolicy | None = None,
-                 watchdog: FsmWatchdog | None = None):
+                 watchdog: FsmWatchdog | None = None,
+                 fast_path: str = "codegen"):
         if memory is None:
             # Size the simulated DRAM to hold both arenas plus generous
             # heap headroom for object images and wire buffers.
@@ -195,6 +196,22 @@ class ProtoAccelerator:
             self.serializer.attach_faults(self.faults)
         self.fault_stats = FaultRecoveryStats()
         self._fallback_cpu = None  # lazily built boom_cpu()
+        # Schema-specialized codegen kernels (repro.accel.codegen): same
+        # modeled cycles, much less host work.  With a fault plan armed
+        # the bindings are never installed -- every operation runs the
+        # interpretive FSMs so all named fault sites still fire.
+        if fast_path not in ("codegen", "interp"):
+            raise ValueError(f"unknown fast_path {fast_path!r}; "
+                             "expected 'codegen' or 'interp'")
+        self.fast_path = fast_path
+        self.deserializer.fast_path = fast_path
+        self.serializer.fast_path = fast_path
+        if fast_path == "codegen" and self.faults is None:
+            from repro.accel import codegen
+            self.deserializer.codegen = codegen.bind_deserializer(
+                self.deserializer, self.adts.descriptor_for)
+            self.serializer.codegen = codegen.bind_serializer(
+                self.serializer, self.adts.descriptor_for)
 
     def _assign_arenas(self) -> None:
         self.rocc.issue(RoccInstruction(

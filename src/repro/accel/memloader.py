@@ -39,8 +39,8 @@ class Memloader:
         # The pipelined sequential prefetch: one read of the stream at
         # open, exposed thereafter as zero-copy window views (no bytes
         # allocation per cycle).
-        self._stream = memoryview(memory.read(addr, length)) \
-            if length else memoryview(b"")
+        self._raw = memory.read(addr, length) if length else b""
+        self._stream = memoryview(self._raw)
         self._window: memoryview | bytes = b""
         self._window_pos = -1
         self._window_len = -1
@@ -51,6 +51,16 @@ class Memloader:
             faults.poll(FaultSite.BUS_STALL)
             faults.poll(FaultSite.MEMLOADER_BITFLIP)
             faults.poll(FaultSite.MEMLOADER_TRUNCATE)
+
+    def prefetched(self) -> bytes:
+        """The whole prefetched stream as one bytes object.
+
+        Next-window prefetch for the specialized codegen kernels: the
+        entire input was loaded at stream open (the same single read the
+        windowed interface uses), so a kernel indexes it directly and
+        never stalls refilling the 16 B window.
+        """
+        return self._raw
 
     @property
     def remaining(self) -> int:

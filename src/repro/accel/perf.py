@@ -84,12 +84,14 @@ class PerfReport:
 def memoization_counters() -> dict[str, tuple[int, int]]:
     """Hit/miss pairs for every host-side memoisation cache.
 
-    Covers the software-CPU per-operation cycle caches and the
-    accelerator whole-batch caches.  (ADT template hits are per-builder;
-    see :attr:`repro.accel.adt.AdtBuilder.template_hits`.)
+    Covers the software-CPU per-operation cycle caches, the accelerator
+    whole-batch caches, and the specialized-kernel code cache.  (ADT
+    template hits are per-builder; see
+    :attr:`repro.accel.adt.AdtBuilder.template_hits`.)
     """
-    from repro.accel import driver
+    from repro.accel import codegen, driver
     from repro.cpu import model
+    code_hits, code_misses, _, _ = codegen.cache_counters()
     return {
         "cpu-deser": (model.DESER_CYCLE_CACHE.hits,
                       model.DESER_CYCLE_CACHE.misses),
@@ -99,6 +101,7 @@ def memoization_counters() -> dict[str, tuple[int, int]]:
                         driver.DESER_BATCH_CACHE.misses),
         "accel-ser": (driver.SER_BATCH_CACHE.hits,
                       driver.SER_BATCH_CACHE.misses),
+        "codegen": (code_hits, code_misses),
     }
 
 
@@ -110,6 +113,17 @@ def render_memoization_line() -> str:
         rate = f"{hits / total:.1%}" if total else "n/a"
         parts.append(f"{name} {rate} ({hits:,}/{total:,})")
     return "memo caches: " + "  ".join(parts)
+
+
+def render_codegen_line() -> str:
+    """One perf-counter line for the specialized-kernel code cache."""
+    from repro.accel import codegen
+    hits, misses, entries, capacity = codegen.cache_counters()
+    total = hits + misses
+    rate = f"{hits / total:.1%}" if total else "n/a"
+    state = "on" if codegen.codegen_enabled() else "off"
+    return (f"codegen cache: {rate} ({hits:,}/{total:,})  "
+            f"entries {entries}/{capacity}  [{state}]")
 
 
 def collect(accel) -> PerfReport:

@@ -114,6 +114,11 @@ class SerializerUnit:
         #: Optional per-operation cycle-budget watchdog (an object with
         #: ``budget_cycles`` and ``aborts``; see repro.serve.watchdog).
         self.watchdog = None
+        #: "codegen" | "interp": whether to use schema-specialized
+        #: kernels when a binding is installed (repro.accel.codegen).
+        self.fast_path = "codegen"
+        #: KernelBinding installed by the driver; None runs interpreted.
+        self.codegen = None
 
     # -- RoCC-visible operations -----------------------------------------------
 
@@ -136,6 +141,12 @@ class SerializerUnit:
         if self._arena is None:
             raise RuntimeError(
                 "no serializer arena assigned; issue ser_assign_arena")
+        if (self.codegen is not None and self.faults is None
+                and self.fast_path == "codegen"):
+            # Specialized straight-line kernel (see DeserializerUnit).
+            kernel = self.codegen.kernel_for(adt_addr)
+            if kernel is not None:
+                return kernel(obj_addr)
         stats = SerStats()
         if self.faults is not None:
             self.faults.begin_attempt(stats)

@@ -53,6 +53,17 @@ class CombinationalVarintUnit:
         self.encodes += 1
         return encode_varint(value)
 
+    def credit(self, *, decodes: int = 0, encodes: int = 0,
+               zigzag_ops: int = 0) -> None:
+        """Bulk-account operations a fused codegen kernel performed.
+
+        The specialized kernels inline varint handling for speed but the
+        unit's invocation statistics must stay identical to the
+        interpretive path; kernels credit their totals here."""
+        self.decodes += decodes
+        self.encodes += encodes
+        self.zigzag_ops += zigzag_ops
+
     def zigzag_decode(self, payload: int) -> int:
         """Combinational zig-zag decode stage (signed varints)."""
         self.zigzag_ops += 1

@@ -60,22 +60,26 @@ class HarnessOptions:
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan` or ``None``)
     injects faults into every accelerated run; it is picklable, so the
-    worker-pool path carries it too.
+    worker-pool path carries it too.  ``fast_path`` selects the
+    accelerator's host execution tier (``"codegen"`` or ``"interp"``);
+    modeled cycles are bit-identical on both, so results and cache keys
+    do not depend on it.
     """
 
     jobs: int = 1
     disk_cache: bool = True
     fault_plan: object = None
+    fast_path: str = "codegen"
 
 
 _OPTIONS = HarnessOptions()
 
 
 def set_options(jobs: int = 1, disk_cache: bool = True,
-                fault_plan=None) -> None:
+                fault_plan=None, fast_path: str = "codegen") -> None:
     global _OPTIONS
     _OPTIONS = HarnessOptions(jobs=max(1, jobs), disk_cache=disk_cache,
-                              fault_plan=fault_plan)
+                              fault_plan=fault_plan, fast_path=fast_path)
 
 
 def get_options() -> HarnessOptions:
@@ -215,12 +219,15 @@ _UNSET = object()
 def run_spec(spec: WorkloadSpec, verify: bool = True,
              disk_cache: Optional[bool] = None,
              cache_dir: Optional[Path] = None,
-             faults=_UNSET) -> BenchmarkResult:
+             faults=_UNSET, fast_path: Optional[str] = None
+             ) -> BenchmarkResult:
     """Run one spec, consulting/feeding the persistent result cache."""
     if disk_cache is None:
         disk_cache = _OPTIONS.disk_cache
     if faults is _UNSET:
         faults = _OPTIONS.fault_plan
+    if fast_path is None:
+        fast_path = _OPTIONS.fast_path
     workload = spec.build()
     key = cache_key(spec, workload, faults=faults) if disk_cache else None
     if key is not None:
@@ -228,9 +235,11 @@ def run_spec(spec: WorkloadSpec, verify: bool = True,
         if cached is not None:
             return cached
     if spec.operation == "deserialize":
-        result = run_deserialization(workload, verify=verify, faults=faults)
+        result = run_deserialization(workload, verify=verify, faults=faults,
+                                     fast_path=fast_path)
     elif spec.operation == "serialize":
-        result = run_serialization(workload, verify=verify, faults=faults)
+        result = run_serialization(workload, verify=verify, faults=faults,
+                                   fast_path=fast_path)
     else:
         raise ValueError(f"unknown operation {spec.operation!r}")
     if key is not None and verify:
@@ -239,15 +248,16 @@ def run_spec(spec: WorkloadSpec, verify: bool = True,
 
 
 def _pool_entry(args: tuple) -> BenchmarkResult:
-    spec, verify, disk_cache, cache_dir, faults = args
+    spec, verify, disk_cache, cache_dir, faults, fast_path = args
     return run_spec(spec, verify=verify, disk_cache=disk_cache,
-                    cache_dir=cache_dir, faults=faults)
+                    cache_dir=cache_dir, faults=faults, fast_path=fast_path)
 
 
 def run_many(specs: list[WorkloadSpec], jobs: Optional[int] = None,
              verify: bool = True, disk_cache: Optional[bool] = None,
              cache_dir: Optional[Path] = None,
-             faults=_UNSET) -> list[BenchmarkResult]:
+             faults=_UNSET,
+             fast_path: Optional[str] = None) -> list[BenchmarkResult]:
     """Run every spec, fanning across processes when ``jobs`` > 1.
 
     Results come back in spec order regardless of completion order, so
@@ -259,13 +269,16 @@ def run_many(specs: list[WorkloadSpec], jobs: Optional[int] = None,
         disk_cache = _OPTIONS.disk_cache
     if faults is _UNSET:
         faults = _OPTIONS.fault_plan
+    if fast_path is None:
+        fast_path = _OPTIONS.fast_path
     if cache_dir is not None:
         cache_dir = Path(cache_dir)
     if jobs <= 1 or len(specs) <= 1:
         return [run_spec(spec, verify=verify, disk_cache=disk_cache,
-                         cache_dir=cache_dir, faults=faults)
+                         cache_dir=cache_dir, faults=faults,
+                         fast_path=fast_path)
                 for spec in specs]
-    payloads = [(spec, verify, disk_cache, cache_dir, faults)
+    payloads = [(spec, verify, disk_cache, cache_dir, faults, fast_path)
                 for spec in specs]
     with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
         return list(pool.map(_pool_entry, payloads))

@@ -153,3 +153,31 @@ def speedup_summary(results: Sequence[BenchmarkResult]) -> dict[str, float]:
         "vs Xeon": geomean(
             r.gbps("riscv-boom-accel") / r.gbps("Xeon") for r in results),
     }
+
+
+def codegen_speedup_table(rows: Sequence[dict]) -> str:
+    """Render the codegen-vs-interpreter host-time microbenchmark.
+
+    ``rows`` come from :func:`repro.bench.microbench.
+    time_codegen_microbench`: one dict per (field-type case, operation)
+    with best-of-N wall-clock seconds on each execution tier.  These are
+    *simulation host* seconds -- modeled accelerator cycles are
+    bit-identical across tiers, which is the point: codegen buys wall
+    clock, not cycles.
+    """
+    if not rows:
+        raise ValueError("no codegen microbenchmark rows to render")
+    header = (f"{'case':<10} {'operation':<12} {'interp s':>10} "
+              f"{'codegen s':>10} {'speedup':>9}")
+    lines = ["codegen vs interpreter (host wall-clock, modeled cycles "
+             "identical)", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['case']:<10} {row['operation']:<12} "
+            f"{row['interp_seconds']:>10.4f} "
+            f"{row['codegen_seconds']:>10.4f} "
+            f"{row['speedup']:>8.2f}x")
+    lines.append("-" * len(header))
+    overall = geomean(row["speedup"] for row in rows)
+    lines.append(f"{'geomean':<23} {'':>10} {'':>10} {overall:>8.2f}x")
+    return "\n".join(lines)

@@ -114,7 +114,8 @@ def _fault_counters(accel: ProtoAccelerator) -> dict:
 
 
 def _accel_deser(workload: Workload, buffers: list[bytes],
-                 verify: bool, faults=None) -> SystemResult:
+                 verify: bool, faults=None,
+                 fast_path: str = "codegen") -> SystemResult:
     config = SoCConfig()
     wire_bytes = sum(len(b) for b in buffers)
     inject = faults is not None and faults.enabled()
@@ -137,7 +138,10 @@ def _accel_deser(workload: Workload, buffers: list[bytes],
                 "riscv-boom-accel",
                 config.gbits_per_second(wire_bytes, stats.cycles),
                 stats.cycles, wire_bytes)
-    accel = ProtoAccelerator(config=config, faults=faults)
+    # fast_path only changes host wall-clock (modeled cycles are
+    # bit-identical on both tiers), so batch-cache keys ignore it.
+    accel = ProtoAccelerator(config=config, faults=faults,
+                             fast_path=fast_path)
     accel.register_types([workload.descriptor])
     addresses, stats = accel.deserialize_batch(workload.descriptor, buffers)
     if verify:
@@ -154,7 +158,8 @@ def _accel_deser(workload: Workload, buffers: list[bytes],
         stats.cycles, wire_bytes, **_fault_counters(accel))
 
 
-def _accel_ser(workload: Workload, verify: bool, faults=None) -> SystemResult:
+def _accel_ser(workload: Workload, verify: bool, faults=None,
+               fast_path: str = "codegen") -> SystemResult:
     config = SoCConfig()
     buffers = workload.wire_buffers()
     inject = faults is not None and faults.enabled()
@@ -171,7 +176,8 @@ def _accel_ser(workload: Workload, verify: bool, faults=None) -> SystemResult:
                 "riscv-boom-accel",
                 config.gbits_per_second(wire_bytes, stats.cycles),
                 stats.cycles, wire_bytes)
-    accel = ProtoAccelerator(config=config, faults=faults)
+    accel = ProtoAccelerator(config=config, faults=faults,
+                             fast_path=fast_path)
     accel.register_types([workload.descriptor])
     addresses = [accel.load_object(m) for m in workload.messages]
     outputs, stats = accel.serialize_batch(workload.descriptor, addresses)
@@ -190,29 +196,33 @@ def _accel_ser(workload: Workload, verify: bool, faults=None) -> SystemResult:
 
 
 def run_deserialization(workload: Workload, verify: bool = True,
-                        faults=None) -> BenchmarkResult:
+                        faults=None,
+                        fast_path: str = "codegen") -> BenchmarkResult:
     """Deserialize the workload's batch on all three systems.
 
     ``faults`` (a :class:`~repro.faults.FaultPlan` or ``None``) only
     affects the accelerated system; the software baselines model fault-
-    free CPUs either way.
+    free CPUs either way.  ``fast_path`` selects the accelerator's host
+    execution tier (``"codegen"`` or ``"interp"``); modeled cycles are
+    identical on both, so results do not depend on it.
     """
     buffers = workload.wire_buffers()
     result = BenchmarkResult(workload.name, "deserialize")
     result.results["riscv-boom"] = _software_deser(boom_cpu(), workload,
                                                    buffers)
     result.results["Xeon"] = _software_deser(xeon_cpu(), workload, buffers)
-    result.results["riscv-boom-accel"] = _accel_deser(workload, buffers,
-                                                      verify, faults=faults)
+    result.results["riscv-boom-accel"] = _accel_deser(
+        workload, buffers, verify, faults=faults, fast_path=fast_path)
     return result
 
 
 def run_serialization(workload: Workload, verify: bool = True,
-                      faults=None) -> BenchmarkResult:
+                      faults=None,
+                      fast_path: str = "codegen") -> BenchmarkResult:
     """Serialize the workload's batch on all three systems."""
     result = BenchmarkResult(workload.name, "serialize")
     result.results["riscv-boom"] = _software_ser(boom_cpu(), workload)
     result.results["Xeon"] = _software_ser(xeon_cpu(), workload)
-    result.results["riscv-boom-accel"] = _accel_ser(workload, verify,
-                                                    faults=faults)
+    result.results["riscv-boom-accel"] = _accel_ser(
+        workload, verify, faults=faults, fast_path=fast_path)
     return result

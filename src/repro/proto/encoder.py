@@ -204,6 +204,15 @@ def serialize_message(message: Message, trace: Optional[Trace] = None,
     """
     if check_required:
         message.check_initialized()
+    if trace is None:
+        # Specialized codegen tier: per-descriptor compiled ByteSize +
+        # encode passes with sub-message sizes computed once (see
+        # repro.proto.specialized).  Traced runs stay interpretive so
+        # the CPU cost models see the canonical event stream.
+        from repro.proto.specialized import encoder_for
+        kernel = encoder_for(message.descriptor)
+        if kernel is not None:
+            return kernel(message)
     expected = byte_size(message, trace)
     out = bytearray()
     _encode_message(out, message, trace)

@@ -76,6 +76,21 @@ def _check_scalar(fd: FieldDescriptor, value):
     return value
 
 
+def _values_equal(a, b) -> bool:
+    """Value equality with NaN == NaN (for float/double payloads).
+
+    Differential tests compare independently-decoded messages; two NaN
+    doubles decoded from the same wire bytes must compare equal (the
+    C++ MessageDifferencer's ``treat_nan_as_equal`` behaviour), which
+    plain ``==`` denies for distinct float objects.
+    """
+    if a is b:
+        return True
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (a != a and b != b)
+    return a == b
+
+
 class RepeatedField:
     """A validated list of elements of one field's type."""
 
@@ -116,10 +131,13 @@ class RepeatedField:
 
     def __eq__(self, other) -> bool:
         if isinstance(other, RepeatedField):
-            return self._items == other._items
-        if isinstance(other, (list, tuple)):
-            return self._items == list(other)
-        return NotImplemented
+            other = other._items
+        elif not isinstance(other, (list, tuple)):
+            return NotImplemented
+        if len(self._items) != len(other):
+            return False
+        return all(_values_equal(a, b)
+                   for a, b in zip(self._items, other))
 
     def __repr__(self) -> str:
         return f"RepeatedField({self._fd.name}, {self._items!r})"
@@ -349,7 +367,7 @@ class Message:
                 # underlying entry order.
                 if self.map_as_dict(fd.name) != other.map_as_dict(fd.name):
                     return False
-            elif self[fd.name] != other[fd.name]:
+            elif not _values_equal(self[fd.name], other[fd.name]):
                 return False
         return self._unknown == other._unknown
 

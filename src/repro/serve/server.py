@@ -84,6 +84,11 @@ class ServePolicy:
     host_fallback: bool = True
     #: Shared-uncore contention model for concurrent hedged attempts.
     contention: MultiTileModel | None = None
+    #: Host execution tier for each tile's accelerator ("codegen" or
+    #: "interp").  Modeled cycles are identical on both; codegen only
+    #: speeds up the simulation host.  Tiles with a fault plan armed
+    #: bypass codegen regardless (the driver enforces this).
+    fast_path: str = "codegen"
 
     def __post_init__(self) -> None:
         if self.tiles < 1:
@@ -120,7 +125,8 @@ class Tile:
         self.accel = ProtoAccelerator(
             faults=plan,
             recovery=RecoveryPolicy(max_retries=0, cpu_fallback=False),
-            watchdog=FsmWatchdog(policy.watchdog_budget_cycles))
+            watchdog=FsmWatchdog(policy.watchdog_budget_cycles),
+            fast_path=policy.fast_path)
         self.breaker = CircuitBreaker(policy.breaker)
         #: Cycle at which this tile finishes its current work.
         self.free_at = 0.0

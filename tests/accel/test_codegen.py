@@ -1,0 +1,194 @@
+"""Unit tests for the schema-specialized kernel tier (repro.accel.codegen).
+
+Covers the pieces the differential suite does not: the bounded LRU code
+cache and its counters, process-wide enable/disable, invalidation
+alongside the ADT caches, the driver's fast-path validation, and the
+rule that an armed fault plan keeps the bindings uninstalled so every
+named injection site still fires through the interpretive FSMs.
+"""
+
+import pytest
+
+from repro.accel import adt, codegen, perf
+from repro.accel.codegen import KernelCodeCache
+from repro.accel.driver import ProtoAccelerator
+from repro.faults import FaultPlan, FaultSite
+from repro.proto import parse_schema
+from repro.proto.decoder import parse_message
+from repro.proto.descriptor import FieldDescriptor, MessageDescriptor
+
+_SCHEMA = parse_schema("""
+    message Inner { optional int64 v = 1; optional string tag = 2; }
+    message Probe {
+      optional int32 a = 1;
+      optional string s = 2;
+      optional Inner child = 3;
+      repeated int32 packed = 4 [packed = true];
+      repeated Inner kids = 5;
+      optional sint64 z = 6;
+      optional double d = 7;
+      optional bytes raw = 8;
+    }
+""")
+
+
+def _probe_message():
+    message = _SCHEMA["Probe"].new_message()
+    message["a"] = 150
+    message["s"] = "héllo wörld"
+    message["z"] = -7
+    message["d"] = 2.5
+    message["raw"] = b"\x00\xff\x7f"
+    message["packed"] = [3, 270, 86942]
+    child = message.mutable("child")
+    child["v"] = -(2**40)
+    for tag in ("x", "y"):
+        kid = message["kids"].add()
+        kid["tag"] = tag
+    return message
+
+
+def _accel(**kwargs):
+    device = ProtoAccelerator(deser_arena_bytes=1 << 20,
+                              ser_arena_bytes=1 << 20, **kwargs)
+    device.register_schema(_SCHEMA)
+    return device
+
+
+@pytest.fixture(autouse=True)
+def _clean_codegen_state():
+    codegen.set_codegen_enabled(True)
+    codegen.invalidate_kernel_caches()
+    yield
+    codegen.set_codegen_enabled(True)
+    codegen.invalidate_kernel_caches()
+
+
+def test_driver_rejects_unknown_fast_path():
+    with pytest.raises(ValueError, match="fast_path"):
+        ProtoAccelerator(fast_path="vectorized")
+
+
+def test_interp_mode_installs_no_bindings():
+    accel = _accel(fast_path="interp")
+    assert accel.deserializer.codegen is None
+    assert accel.serializer.codegen is None
+
+
+def test_codegen_mode_installs_bindings_and_matches_software():
+    message = _probe_message()
+    wire = message.serialize()
+    accel = _accel(fast_path="codegen")
+    assert accel.deserializer.codegen is not None
+    assert accel.serializer.codegen is not None
+    result = accel.deserialize(_SCHEMA["Probe"], wire)
+    observed = accel.read_message(_SCHEMA["Probe"], result.dest_addr)
+    assert observed == parse_message(_SCHEMA["Probe"], wire)
+    addr = accel.load_object(message)
+    assert accel.serialize(_SCHEMA["Probe"], addr).data == wire
+
+
+def test_modeled_cycles_bit_identical_across_tiers():
+    """The tier only changes host wall-clock; every modeled quantity --
+    cycles and the full stats breakdown -- must match the interpreter
+    exactly (the ISSUE's cycle-identity acceptance criterion)."""
+    message = _probe_message()
+    wire = message.serialize()
+    by_tier = {}
+    for fast_path in ("interp", "codegen"):
+        accel = _accel(fast_path=fast_path)
+        deser = accel.deserialize(_SCHEMA["Probe"], wire)
+        addr = accel.load_object(message)
+        ser = accel.serialize(_SCHEMA["Probe"], addr)
+        by_tier[fast_path] = (deser.stats, ser.stats, ser.data)
+    interp_deser, interp_ser, interp_data = by_tier["interp"]
+    codegen_deser, codegen_ser, codegen_data = by_tier["codegen"]
+    assert codegen_deser == interp_deser
+    assert codegen_ser == interp_ser
+    assert codegen_data == interp_data
+
+
+def test_armed_fault_plan_keeps_bindings_uninstalled():
+    plan = FaultPlan(seed=1, rate=1.0,
+                     sites=(FaultSite.MEMLOADER_BITFLIP,), max_trigger=1)
+    accel = _accel(faults=plan, fast_path="codegen")
+    assert accel.deserializer.codegen is None
+    assert accel.serializer.codegen is None
+    message = _probe_message()
+    wire = message.serialize()
+    result = accel.deserialize(_SCHEMA["Probe"], wire)
+    assert result.stats.faults_injected == 1
+    observed = accel.read_message(_SCHEMA["Probe"], result.dest_addr)
+    assert observed == message
+
+
+def test_set_codegen_enabled_bypasses_installed_bindings():
+    accel = _accel(fast_path="codegen")
+    codegen.set_codegen_enabled(False)
+    assert not codegen.codegen_enabled()
+    assert accel.deserializer.codegen.kernel_for(0) is None
+    # The accelerator still works (interpreted) and the cache is empty.
+    message = _probe_message()
+    result = accel.deserialize(_SCHEMA["Probe"], message.serialize())
+    observed = accel.read_message(_SCHEMA["Probe"], result.dest_addr)
+    assert observed == message
+    assert codegen.cache_counters()[2] == 0
+    codegen.set_codegen_enabled(True)
+    result = accel.deserialize(_SCHEMA["Probe"], message.serialize())
+    assert accel.read_message(_SCHEMA["Probe"], result.dest_addr) == message
+    assert codegen.cache_counters()[2] > 0  # kernels recompiled
+
+
+def test_code_cache_hits_across_accelerator_instances():
+    wire = _probe_message().serialize()
+    first = _accel(fast_path="codegen")
+    first.deserialize(_SCHEMA["Probe"], wire)
+    _, misses_after_first, _, _ = codegen.cache_counters()
+    second = _accel(fast_path="codegen")
+    second.deserialize(_SCHEMA["Probe"], wire)
+    hits, misses, _, _ = codegen.cache_counters()
+    assert hits > 0, "second accelerator should reuse compiled kernels"
+    assert misses == misses_after_first
+
+
+def test_code_cache_is_bounded_lru(monkeypatch):
+    monkeypatch.setattr(codegen, "CODE_CACHE", KernelCodeCache(capacity=3))
+    wire = b"\x08\x01"  # field 1, varint 1
+    for number in range(1, 7):
+        descriptor = MessageDescriptor(
+            f"Solo{number}",
+            [FieldDescriptor(name="v", number=number,
+                             field_type=_SCHEMA["Probe"]
+                             .field_by_name("a").field_type)])
+        accel = ProtoAccelerator(deser_arena_bytes=1 << 20,
+                                 fast_path="codegen")
+        accel.register_types([descriptor])
+        accel.deserialize(descriptor, wire if number == 1 else b"")
+    hits, misses, entries, capacity = codegen.cache_counters()
+    assert capacity == 3
+    assert entries <= 3
+    assert misses >= 6
+
+
+def test_adt_cache_toggle_invalidates_kernel_cache():
+    accel = _accel(fast_path="codegen")
+    accel.deserialize(_SCHEMA["Probe"], _probe_message().serialize())
+    assert codegen.cache_counters()[2] > 0
+    generation = codegen._GENERATION
+    adt.set_adt_caches_enabled(False)
+    try:
+        assert codegen.cache_counters()[2] == 0
+        assert codegen._GENERATION > generation
+    finally:
+        adt.set_adt_caches_enabled(True)
+
+
+def test_perf_surface_exposes_codegen_counters():
+    _accel(fast_path="codegen").deserialize(
+        _SCHEMA["Probe"], _probe_message().serialize())
+    counters = perf.memoization_counters()
+    assert "codegen" in counters
+    hits, misses = counters["codegen"]
+    assert misses > 0
+    line = perf.render_codegen_line()
+    assert "codegen cache" in line and "[on]" in line

@@ -1,0 +1,232 @@
+"""Differential suite: codegen kernels vs interpretive FSM vs software.
+
+The specialized tier's contract is total behavioural equivalence -- on
+arbitrary valid messages, on adversarially mutated wire, and on the
+PR 2 known-bad vector corpus, the two accelerator tiers must produce
+identical messages, identical modeled stats (cycles included), and
+identical structured errors.  A final set forces every named fault site
+with ``fast_path="codegen"`` requested, proving the driver's bypass
+keeps the whole injection surface reachable.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.accel import driver as driver_mod
+from repro.accel.driver import ProtoAccelerator
+from repro.faults import FaultPlan, FaultSite, TRANSIENT_SITES
+from repro.proto import parse_schema
+from repro.proto.decoder import parse_message
+from repro.proto.errors import DecodeError
+
+from tests.strategies import schema_and_message, schema_wire_and_mutant
+
+_SETTINGS = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _accel_pair(schema):
+    pair = []
+    for fast_path in ("interp", "codegen"):
+        device = ProtoAccelerator(deser_arena_bytes=1 << 20,
+                                  ser_arena_bytes=1 << 20,
+                                  fast_path=fast_path)
+        device.register_schema(schema)
+        pair.append(device)
+    return pair
+
+
+@_SETTINGS
+@given(schema_and_message())
+def test_valid_messages_identical_across_tiers(pair):
+    schema, message = pair
+    from repro.proto.encoder import serialize_message
+    wire = serialize_message(message, check_required=False)
+    interp, codegen = _accel_pair(schema)
+    interp_result = interp.deserialize(schema["Root"], wire)
+    codegen_result = codegen.deserialize(schema["Root"], wire)
+    assert codegen_result.stats == interp_result.stats
+    interp_msg = interp.read_message(schema["Root"],
+                                     interp_result.dest_addr)
+    codegen_msg = codegen.read_message(schema["Root"],
+                                       codegen_result.dest_addr)
+    assert codegen_msg == interp_msg
+    assert codegen_msg == parse_message(schema["Root"], wire)
+
+    interp_addr = interp.load_object(message)
+    codegen_addr = codegen.load_object(message)
+    interp_ser = interp.serialize(schema["Root"], interp_addr)
+    codegen_ser = codegen.serialize(schema["Root"], codegen_addr)
+    assert codegen_ser.data == interp_ser.data == wire
+    assert codegen_ser.stats == interp_ser.stats
+
+
+@_SETTINGS
+@given(schema_wire_and_mutant())
+def test_mutated_wire_verdicts_identical(triple):
+    """Both tiers accept or both reject -- and on rejection the error
+    type, message text, and fault site all match."""
+    schema, _, mutant = triple
+    interp, codegen = _accel_pair(schema)
+    outcomes = []
+    for device in (interp, codegen):
+        try:
+            result = device.deserialize(schema["Root"], mutant)
+            outcomes.append(("ok", result.stats,
+                             device.read_message(schema["Root"],
+                                                 result.dest_addr)))
+        except DecodeError as error:
+            outcomes.append(("err", type(error), str(error),
+                             getattr(error, "site", None)))
+    assert outcomes[0] == outcomes[1]
+
+
+# -- PR 2 known-bad vector corpus --------------------------------------------
+
+_VICTIM_SCHEMA = parse_schema("""
+    message Inner {
+      optional int32 a = 1;
+      optional Inner child = 3;
+    }
+    message Victim {
+      optional int32 a = 1;
+      optional string s = 2;
+      optional Inner child = 3;
+      repeated int32 packed = 4 [packed = true];
+      optional fixed32 fx = 5;
+    }
+""")
+_VICTIM_SCHEMA["Victim"].field_by_name("s").validate_utf8 = True
+
+_VECTORS_DIR = Path(__file__).parent.parent / "proto" / "vectors"
+
+
+def _load_bad_vectors():
+    vectors = []
+    for path in sorted(_VECTORS_DIR.glob("*.hex")):
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, _, hexbytes = line.partition(":")
+            vectors.append(pytest.param(
+                bytes.fromhex(hexbytes.strip()),
+                id=f"{path.stem}/{name.strip()}"))
+    assert vectors, f"no vectors found under {_VECTORS_DIR}"
+    return vectors
+
+
+@pytest.mark.parametrize("data", _load_bad_vectors())
+def test_known_bad_vectors_rejected_identically(data):
+    interp, codegen = _accel_pair(_VICTIM_SCHEMA)
+    rejections = []
+    for device in (interp, codegen):
+        with pytest.raises(DecodeError) as excinfo:
+            device.deserialize(_VICTIM_SCHEMA["Victim"], data)
+        rejections.append(excinfo.value)
+    interp_error, codegen_error = rejections
+    assert type(codegen_error) is type(interp_error)
+    assert str(codegen_error) == str(interp_error)
+    assert codegen_error.site == interp_error.site
+    assert codegen_error.cycle == interp_error.cycle
+    assert not codegen_error.injected
+
+
+# -- fault-plan interaction ---------------------------------------------------
+
+_PROBE_SCHEMA = parse_schema("""
+    message Inner { optional int32 v = 1; optional string tag = 2; }
+    message Probe {
+      optional int32 a = 1;
+      optional string s = 2;
+      optional Inner child = 3;
+      repeated int32 packed = 4 [packed = true];
+      repeated Inner kids = 5;
+      optional sint64 z = 6;
+      optional double d = 7;
+    }
+""")
+# utf8.corrupt only fires inside the validator, which only runs on
+# strings with proto3-style validation enabled.
+_PROBE_SCHEMA["Probe"].field_by_name("s").validate_utf8 = True
+
+_DESER_SITES = [s for s in FaultSite
+                if s not in (FaultSite.SER_ABORT, FaultSite.SER_HANG)]
+_SER_SITES = [FaultSite.SER_ABORT, FaultSite.SER_HANG]
+
+
+def _probe_message():
+    message = _PROBE_SCHEMA["Probe"].new_message()
+    message["a"] = 150
+    message["s"] = "héllo wörld"
+    message["z"] = -7
+    message["d"] = 2.5
+    message["packed"] = [3, 270, 86942]
+    message.mutable("child")["v"] = 99
+    for tag in ("x", "y"):
+        message["kids"].add()["tag"] = tag
+    return message
+
+
+def _fault_accel(site):
+    plan = FaultPlan(seed=1, rate=1.0, sites=(site,), max_trigger=1)
+    device = ProtoAccelerator(deser_arena_bytes=1 << 20,
+                              ser_arena_bytes=1 << 20,
+                              faults=plan, fast_path="codegen")
+    device.register_schema(_PROBE_SCHEMA)
+    return device
+
+
+@pytest.mark.parametrize("site", _DESER_SITES,
+                         ids=[s.value for s in _DESER_SITES])
+def test_every_deser_fault_site_fires_despite_codegen(site):
+    """Requesting the codegen tier must not shadow a single injection
+    site: the driver bypasses the kernels whenever a plan is armed."""
+    accel = _fault_accel(site)
+    assert accel.deserializer.codegen is None
+    assert accel.serializer.codegen is None
+    message = _probe_message()
+    wire = message.serialize()
+    result = accel.deserialize(_PROBE_SCHEMA["Probe"], wire)
+    assert result.stats.faults_injected == 1
+    if site in TRANSIENT_SITES:
+        assert result.stats.fault_retries == 1
+    else:
+        assert result.stats.cpu_fallbacks == 1
+    observed = accel.read_message(_PROBE_SCHEMA["Probe"], result.dest_addr)
+    assert observed == message
+
+
+@pytest.mark.parametrize("site", _SER_SITES,
+                         ids=[s.value for s in _SER_SITES])
+def test_every_ser_fault_site_fires_despite_codegen(site):
+    accel = _fault_accel(site)
+    message = _probe_message()
+    addr = accel.load_object(message)
+    result = accel.serialize(_PROBE_SCHEMA["Probe"], addr)
+    assert result.stats.faults_injected == 1
+    assert result.data == message.serialize()
+
+
+# -- benchmark-suite cycle identity ------------------------------------------
+
+def test_bench_results_identical_across_tiers():
+    """Figure-level regression: a sample of the Fig-11 microbenchmarks
+    produces byte-identical BenchmarkResults on both tiers (gbps, cycles,
+    wire bytes), with the batch caches disabled so both actually run."""
+    from repro.bench.microbench import build_microbench
+    from repro.bench.runner import run_deserialization, run_serialization
+
+    driver_mod.set_batch_cache_enabled(False)
+    try:
+        for name in ("varint-3", "string_15", "double-R", "string-SUB"):
+            workload = build_microbench(name, batch=4)
+            for run in (run_deserialization, run_serialization):
+                interp_result = run(workload, fast_path="interp")
+                codegen_result = run(workload, fast_path="codegen")
+                assert codegen_result == interp_result, (
+                    f"{name}: {run.__name__} diverged across tiers")
+    finally:
+        driver_mod.set_batch_cache_enabled(True)

@@ -229,3 +229,18 @@ def mutated_wire(draw, wire: bytes) -> bytes:
         kind = draw(st.sampled_from(WIRE_MUTATIONS))
         wire = _apply_mutation(draw, wire, kind)
     return wire
+
+
+@st.composite
+def schema_wire_and_mutant(draw):
+    """A (schema, valid wire, mutated wire) triple of one Root message.
+
+    The shared entry point for decoder-differential tests (interpretive
+    FSM vs codegen kernels vs software parser): every decoder must reach
+    the same verdict on both buffers -- equal messages on accept,
+    matching structured errors on reject."""
+    from repro.proto.encoder import serialize_message
+    schema, message = draw(schema_and_message())
+    wire = serialize_message(message, check_required=False)
+    mutant = draw(mutated_wire(wire))
+    return schema, wire, mutant
