@@ -1,3 +1,6 @@
 from setuptools import setup
 
+# All metadata lives in pyproject.toml, including the optional numpy
+# dependency for the vectorized batch tier (`pip install repro[batch]`);
+# setuptools rejects duplicating [project] fields here.
 setup()

@@ -1,0 +1,720 @@
+"""Vectorized batch kernels: the ``fast_path="batch"`` execution tier.
+
+The third execution tier after the interpretive FSMs and the PR 4
+scalar codegen kernels.  Where those run one message at a time, this
+engine executes a whole same-schema batch per call with numpy column
+operations over a stacked byte matrix: varint runs decode via a
+parallel-prefix gather over the 7-bit groups, fixed-width fields copy
+with strided views, and tag dispatch runs *once* against a template
+message instead of once per message (see :mod:`repro.proto.batchwire`
+for the wire-structure machinery and the conformance byte classes).
+
+Execution model -- anchor and replay:
+
+1. Messages run scalar (through the installed codegen kernels) in
+   batch order until one *anchor* succeeds with zero TLB penalty and
+   zero ADT-entry-cache misses.  Its wire (deserialize) or output
+   (serialize) becomes the template; its stats become the per-message
+   fold.
+2. Every later message whose buffer structurally conforms to the
+   template is *replayed* instead of executed: the engine performs the
+   anchor's exact side-effect schedule -- arena allocations in order,
+   a real TLB ``translate_range``, real ADT-cache lookups over the
+   anchor's entry sequence, RoCC issue/retire pairs, varint-unit
+   credits -- while its values come from the vectorized decode.  Its
+   cycles are ``fold + tlb_penalty``, the same single float add the
+   interpreter performs, so modeled stats stay bit-identical.
+3. Anything irregular -- different length, non-conforming bytes,
+   different varint widths, evicted cache lines, arena pressure, a
+   watchdog-budget risk -- falls back to the scalar tier *per
+   message*, which reproduces the interpreter's exact behaviour
+   (including its exact structured errors) by construction.
+
+Batch-shape classification is cached in the codegen
+:data:`~repro.accel.codegen.CODE_CACHE` under the new kinds
+``batch-deser``/``batch-ser``; per-template wire plans live in a small
+LRU inside each cached entry.  The armed-FaultPlan bypass extends to
+this tier: the driver never constructs a :class:`BatchEngine` when a
+fault plan is armed, so every named injection site keeps firing
+through the scalar paths.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+try:  # pragma: no cover
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from repro.accel import codegen, tiers
+from repro.accel.adt import AdtView
+from repro.accel.deserializer import DeserStats
+from repro.accel.serializer import SerStats
+from repro.proto import batchwire
+from repro.proto.descriptor import MessageDescriptor, structural_fingerprint
+from repro.soc.rocc import RoccFunct, RoccInstruction
+from repro.soc.tlb import PAGE_BYTES
+
+#: Below this size the template walk and matrix setup cost more than
+#: the scalar kernels; the driver's plain loop runs instead.
+MIN_BATCH = 4
+
+#: Per-schema bound on cached template wire plans (workloads cycle
+#: through a handful of shapes; the LRU keeps pathological template
+#: churn from growing without bound).
+TEMPLATE_PLANS_PER_SCHEMA = 8
+
+_INITIAL_CAPACITY = 8          # _open_repeated's initial element count
+_HEADER_BYTES = 24             # repeated-field header (data, count, cap)
+
+
+def batch_available() -> bool:
+    """True when the vectorized tier can run (numpy importable)."""
+    return np is not None
+
+
+class _SchemaPlans:
+    """CODE_CACHE value for one (kind, schema, config) key.
+
+    Holds the schema's eligibility verdict implicitly (ineligible
+    schemas cache ``None`` instead of this object) and a bounded LRU of
+    template-bytes -> :class:`~repro.proto.batchwire.TemplateWirePlan`
+    (``None`` entries are negative results: walked and rejected)."""
+
+    def __init__(self):
+        self._plans: OrderedDict[bytes, object] = OrderedDict()
+
+    def plan_for(self, descriptor: MessageDescriptor, template: bytes):
+        if template in self._plans:
+            self._plans.move_to_end(template)
+            return self._plans[template]
+        plan = batchwire.template_wire_plan(descriptor, template)
+        self._plans[template] = plan
+        while len(self._plans) > TEMPLATE_PLANS_PER_SCHEMA:
+            self._plans.popitem(last=False)
+        return plan
+
+
+def _schema_plans(kind: str, descriptor: MessageDescriptor, unit):
+    """The cached :class:`_SchemaPlans` for a schema/config pair, or
+    None for batch-ineligible schemas (negative result, also cached)."""
+    key = (kind, structural_fingerprint(descriptor), repr(unit.config),
+           repr(unit.params))
+    value = codegen.CODE_CACHE.get(key)
+    if value is not codegen._MISS:
+        return value
+    value = _SchemaPlans() if batchwire.batch_eligible(descriptor) else None
+    codegen.CODE_CACHE.put(key, value)
+    return value
+
+
+@dataclass
+class _RepeatedReplay:
+    """Replay bookkeeping for one repeated field of the template."""
+
+    number: int
+    width: int
+    slot_offset: int           # parent-object slot holding the header ptr
+    header_index: int          # index into the alloc-schedule addresses
+    data_index: int            # ditto, for the *final* element array
+    count: int
+    capacity: int
+    elem_matrix: object = None  # (n_conforming, count*width) uint8
+    elem_blob: bytes = b""      # elem_matrix flattened row-major
+    elem_size: int = 0          # bytes per row of elem_matrix
+
+
+class _DeserAnchor:
+    """Adopted deserialize anchor: template, fold, and replay program."""
+
+    def __init__(self, engine, plan, adt_addr: int, layout,
+                 template: bytes, stats: DeserStats, base_row: bytes,
+                 decode_delta: int, zigzag_delta: int):
+        self.engine = engine
+        self.plan = plan
+        self.adt_addr = adt_addr
+        self.layout = layout
+        self.template = template
+        self.stats = stats            # the anchor's own per-op stats
+        self.fold = stats.cycles      # == FSM cycles (anchor TLB penalty 0)
+        self.base_row = base_row      # the anchor's final object image
+        self.decode_delta = decode_delta
+        self.zigzag_delta = zigzag_delta
+        adt = AdtView(engine.driver.memory, adt_addr)
+        #: ADT entry-line addresses touched per message, in key order
+        #: (replayed through the real cache to keep LRU order and the
+        #: cumulative hit counters bit-identical).
+        self.entry_addrs = [
+            addr for addr in (adt.entry_address(number)
+                              for number in plan.key_numbers)
+            if addr is not None
+        ]
+        self.entry_addr_set = frozenset(self.entry_addrs)
+        # Arena-allocation schedule: replaying plan.events against the
+        # FSM's open/grow rules yields the exact in-order allocation
+        # sizes (all 8-aligned) and, per repeated field, which of those
+        # allocations are the header and the final element array.
+        self.alloc_sizes: list[int] = []
+        self.repeated: list[_RepeatedReplay] = []
+        state: dict[int, _RepeatedReplay] = {}
+        for kind, number in plan.events:
+            width = plan.repeated[number].width
+            if kind == "open":
+                entry = adt.entry(number)
+                rep = _RepeatedReplay(
+                    number=number, width=width,
+                    slot_offset=entry.field_offset,
+                    header_index=len(self.alloc_sizes),
+                    data_index=len(self.alloc_sizes) + 1,
+                    count=0, capacity=_INITIAL_CAPACITY)
+                self.alloc_sizes.append(_HEADER_BYTES)
+                self.alloc_sizes.append(_INITIAL_CAPACITY * width)
+                state[number] = rep
+                self.repeated.append(rep)
+            else:  # append
+                rep = state[number]
+                if rep.count >= rep.capacity:
+                    rep.capacity *= 2
+                    rep.data_index = len(self.alloc_sizes)
+                    self.alloc_sizes.append(rep.capacity * width)
+                rep.count += 1
+        #: Per-message arena consumption.  Every schedule size is a
+        #: multiple of 8 (headers are 24 bytes; element arrays are
+        #: power-of-two-capacity x width), so after the first 8-aligned
+        #: allocation the bump pointer stays aligned and each replayed
+        #: message consumes exactly this many bytes.
+        self.alloc_total = sum(self.alloc_sizes)
+        self.length = len(template)
+        #: buffer index -> compact row index in the decoded matrices
+        self.row_of: dict[int, int] = {}
+        self.rows_blob = None         # n_conforming rows, flattened bytes
+
+    def vectorize(self, buffers: list[bytes], start: int) -> None:
+        """Classify and decode ``buffers[start:]`` in one shot."""
+        length = len(self.template)
+        candidates = [index for index in range(start, len(buffers))
+                      if len(buffers[index]) == length]
+        if not candidates:
+            return
+        matrix = batchwire.stack_rows([buffers[i] for i in candidates])
+        ok = batchwire.conforming_rows(
+            matrix, np.frombuffer(self.template, dtype=np.uint8),
+            np.frombuffer(self.plan.mask, dtype=np.uint8))
+        conforming = [i for i, good in zip(candidates, ok) if good]
+        if not conforming:
+            return
+        matrix = matrix[ok] if len(conforming) < len(candidates) else matrix
+        self.row_of = {index: j for j, index in enumerate(conforming)}
+        adt = AdtView(self.engine.driver.memory, self.adt_addr)
+        rows = np.tile(np.frombuffer(self.base_row, dtype=np.uint8),
+                       (len(conforming), 1))
+        for op in self.plan.singular_ops:
+            offset = adt.entry(op.number).field_offset
+            if op.kind == "fixed":
+                rows[:, offset:offset + op.width] = \
+                    matrix[:, op.start:op.start + op.width]
+            else:
+                payload = batchwire.gather_varint(matrix, op.start,
+                                                  op.length)
+                rows[:, offset:offset + op.width] = \
+                    batchwire.decoded_slot_bytes(payload, op.kind, op.width)
+        for rep in self.repeated:
+            spec = self.plan.repeated[rep.number]
+            if not spec.elements:
+                continue
+            columns = []
+            for element in spec.elements:
+                if spec.kind == "fixed":
+                    columns.append(
+                        matrix[:, element.start:element.start + rep.width])
+                else:
+                    payload = batchwire.gather_varint(matrix, element.start,
+                                                      element.length)
+                    columns.append(batchwire.decoded_slot_bytes(
+                        payload, spec.kind, rep.width))
+            rep.elem_matrix = np.concatenate(columns, axis=1)
+            rep.elem_blob = rep.elem_matrix.tobytes()
+            rep.elem_size = rep.elem_matrix.shape[1]
+        self.rows_blob = rows.tobytes()
+
+    def replay_run(self, buffers: list[bytes],
+                   start: int, total: DeserStats):
+        """Replay the maximal run of consecutive conforming messages
+        starting at ``buffers[start]``.
+
+        Returns ``(count, dest_addresses)``; a count of zero means
+        ``buffers[start]`` must run on the scalar tier (non-conforming,
+        evicted ADT lines, or arena pressure).  Replaying whole runs
+        lets the per-message side effects execute with locals hoisted
+        out of the loop and the integer stat fields folded once with a
+        multiply -- bit-identical to the interpreter's repeated adds.
+        """
+        row_of = self.row_of
+        if self.rows_blob is None or start not in row_of:
+            return 0, []
+        driver = self.engine.driver
+        unit = driver.deserializer
+        cache = unit._adt_cache
+        # Every replayed ADT lookup must hit (the anchor's fold was
+        # measured all-hits); interleaved scalar messages of other
+        # schemas may have evicted lines, so peek before committing.
+        # Within the run only hits occur, so no line is ever evicted.
+        if not self.entry_addr_set <= cache._lines.keys():
+            return 0, []
+        arena = driver._deser_arena
+        stop = start + 1
+        n = len(buffers)
+        while stop < n and stop in row_of:
+            stop += 1
+        m = stop - start
+        alloc_total = self.alloc_total
+        if alloc_total:
+            # Arithmetic dry run of the allocation schedule: truncate
+            # the run to the messages that fit, so a vector replay
+            # never raises mid-flight (the first message that would
+            # exhaust the arena runs scalar and faults exactly as the
+            # interpreter does, partial writes included).
+            aligned = -(-arena._bump // 8) * 8
+            room = arena.base + arena.size - aligned
+            if room < alloc_total * m:
+                m = room // alloc_total
+                if m <= 0:
+                    return 0, []
+        memory = driver.memory
+        mem_alloc = memory.allocate
+        mem_write = memory.write
+        issue = driver.rocc.issue
+        translate_range = unit._tlb.translate_range
+        instr = RoccInstruction
+        f_info = RoccFunct.DESER_INFO
+        f_do = RoccFunct.DO_PROTO_DESER
+        adt_addr = self.adt_addr
+        obj_size = self.layout.object_size
+        blob = self.rows_blob
+        alloc_sizes = self.alloc_sizes
+        repeated = self.repeated
+        arena_alloc = arena.allocate
+        pack = struct.pack
+        pack_into = struct.pack_into
+        fold = self.fold
+        length = self.length
+        src_len = length if length else 1
+        run_bytes_before = arena.bytes_used
+        cycles = total.cycles
+        tlb_penalty = total.tlb_penalty_cycles
+        dests: list[int] = []
+        append = dests.append
+        for index in range(start, start + m):
+            data = buffers[index]
+            j = row_of[index]
+            src_addr = mem_alloc(src_len, 16)
+            if length:
+                mem_write(src_addr, data)
+            dest_addr = mem_alloc(obj_size, 8)
+            issue(instr(f_info, adt_addr, dest_addr))
+            issue(instr(f_do, src_addr, length))
+            penalty = translate_range(src_addr, src_len)
+            if alloc_sizes:
+                allocs = [arena_alloc(size, 8) for size in alloc_sizes]
+                row = bytearray(blob[j * obj_size:(j + 1) * obj_size])
+                for rep in repeated:
+                    pack_into("<Q", row, rep.slot_offset,
+                              allocs[rep.header_index])
+                mem_write(dest_addr, row)
+                for rep in repeated:
+                    data_addr = allocs[rep.data_index]
+                    mem_write(allocs[rep.header_index],
+                              pack("<QQQ", data_addr, rep.count,
+                                   rep.capacity))
+                    if rep.count:
+                        esz = rep.elem_size
+                        mem_write(data_addr,
+                                  rep.elem_blob[j * esz:(j + 1) * esz])
+            else:
+                mem_write(dest_addr, blob[j * obj_size:(j + 1) * obj_size])
+            # cycles is the anchor's FSM total plus this message's real
+            # TLB penalty -- the same single float add the interpreter
+            # epilogue performs, in the same per-message order.
+            cycles += fold + penalty
+            tlb_penalty += penalty
+            append(dest_addr)
+        total.cycles = cycles
+        total.tlb_penalty_cycles = tlb_penalty
+        # ADT-cache replay: all m passes over the anchor's entry
+        # sequence hit (peeked above), and m identical all-hit passes
+        # leave exactly the LRU order one pass does -- so run one pass
+        # for the recency order and fold the remaining hit counts in.
+        entries = len(self.entry_addrs)
+        if entries:
+            hits_before = cache.hits
+            lookup = cache.lookup
+            for addr in self.entry_addrs:
+                lookup(addr)
+            cache.hits = hits_before + entries * m
+            # The interpreter epilogue snapshots the *cumulative* unit
+            # counter after each message's lookups; the per-message
+            # snapshots form an arithmetic series.
+            total.adt_cache_hits += (m * hits_before
+                                     + entries * (m * (m + 1) // 2))
+        else:
+            total.adt_cache_hits += cache.hits * m
+        total.adt_cache_misses += cache.misses * m
+        anchor = self.stats
+        # Integer fields of DeserStats.merge, folded: m identical
+        # integer adds equal one multiply-add exactly.
+        total.wire_bytes += anchor.wire_bytes * m
+        total.fields_parsed += anchor.fields_parsed * m
+        total.unknown_fields_skipped += anchor.unknown_fields_skipped * m
+        total.submessages += anchor.submessages * m
+        total.strings += anchor.strings * m
+        total.repeated_elements += anchor.repeated_elements * m
+        total.arena_bytes += arena.bytes_used - run_bytes_before
+        total.stack_spills += anchor.stack_spills * m
+        total.max_stack_depth = max(total.max_stack_depth,
+                                    anchor.max_stack_depth)
+        unit.varint_unit.credit(decodes=self.decode_delta * m,
+                                zigzag_ops=self.zigzag_delta * m)
+        driver.rocc.retire_deser(m)
+        return m, dests
+
+
+class _SerAnchor:
+    """Adopted serialize anchor: output template, fold, replay program."""
+
+    def __init__(self, engine, plan, adt_addr: int, layout,
+                 descriptor: MessageDescriptor, template: bytes,
+                 stats: SerStats, encode_delta: int, zigzag_delta: int):
+        self.engine = engine
+        self.plan = plan
+        self.adt_addr = adt_addr
+        self.layout = layout
+        self.descriptor = descriptor
+        self.template = template
+        self.stats = stats
+        self.fold = stats.cycles
+        self.encode_delta = encode_delta
+        self.zigzag_delta = zigzag_delta
+        self.length = len(template)
+        # SER_INFO's operands are anchor constants; RoccInstruction is
+        # frozen, so one instance serves every replayed issue.
+        self._info_instr = RoccInstruction(
+            RoccFunct.SER_INFO, layout.hasbits_offset,
+            descriptor.max_field_number << 32
+            | descriptor.min_field_number)
+        self.row_of: dict[int, int] = {}
+        self.outputs_blob = None      # n_conforming outputs, flattened
+
+    def vectorize(self, addresses: list[int], start: int) -> None:
+        """Classify and encode the objects at ``addresses[start:]``."""
+        driver = self.engine.driver
+        memory = driver.memory
+        adt = AdtView(memory, self.adt_addr)
+        object_size = self.layout.object_size
+        candidates = list(range(start, len(addresses)))
+        if not candidates:
+            return
+        rows = batchwire.stack_rows(
+            [memory.read(addresses[i], object_size) for i in candidates])
+        anchor_row = np.frombuffer(self.anchor_row, dtype=np.uint8)
+        # Condition 1: identical hasbits words (same fields present, in
+        # the same frontend scan order).
+        words = max(1, -(-adt.span // 64))
+        lo = self.layout.hasbits_offset
+        hi = lo + words * 8
+        ok = (rows[:, lo:hi] == anchor_row[lo:hi]).all(axis=1)
+        # Condition 2: per repeated field, the same element count as the
+        # anchor (header reads are per-object pointer chases).
+        per_field_elements: dict[int, list] = {}
+        counts = {number: spec.count
+                  for number, spec in self.plan.repeated.items()}
+        element_rows: list[dict[int, bytes]] = [None] * len(candidates)
+        for j, i in enumerate(candidates):
+            if not ok[j]:
+                continue
+            elements: dict[int, bytes] = {}
+            for number, spec in self.plan.repeated.items():
+                offset = adt.entry(number).field_offset
+                header = int.from_bytes(
+                    rows[j, offset:offset + 8].tobytes(), "little")
+                if (memory.read_u64(header + 8) != counts[number]):
+                    elements = None
+                    break
+                data_addr = memory.read_u64(header)
+                elements[number] = memory.read(
+                    data_addr, counts[number] * spec.width)
+            if elements is None:
+                ok[j] = False
+            else:
+                element_rows[j] = elements
+        conforming = [i for j, i in enumerate(candidates) if ok[j]]
+        if not conforming:
+            return
+        rows = rows[ok] if len(conforming) < len(candidates) else rows
+        kept = [e for e in element_rows if e is not None]
+        out = np.tile(np.frombuffer(self.template, dtype=np.uint8),
+                      (len(conforming), 1))
+        keep = np.ones(len(conforming), dtype=bool)
+        # Condition 3 + emission: every varint value must encode to the
+        # template's width (which pins every output byte position);
+        # fixed-width values copy unconditionally.
+        for op in self.plan.singular_ops:
+            entry = adt.entry(op.number)
+            offset = entry.field_offset
+            if op.kind == "fixed":
+                out[:, op.start:op.start + op.width] = \
+                    rows[:, offset:offset + op.width]
+                continue
+            payload = batchwire.slot_payload_vec(
+                rows[:, offset:offset + op.width], entry.field_type)
+            keep &= batchwire.varint_length_vec(payload) == op.length
+            batchwire.emit_varint(out, op.start, op.length, payload)
+        for number, spec in self.plan.repeated.items():
+            if not spec.elements:
+                continue
+            entry = adt.entry(number)
+            width = spec.width
+            elem = batchwire.stack_rows([e[number] for e in kept])
+            for position, element in enumerate(spec.elements):
+                column = elem[:, position * width:(position + 1) * width]
+                if spec.kind == "fixed":
+                    out[:, element.start:element.start + width] = column
+                    continue
+                payload = batchwire.slot_payload_vec(column,
+                                                     entry.field_type)
+                keep &= (batchwire.varint_length_vec(payload)
+                         == element.length)
+                batchwire.emit_varint(out, element.start, element.length,
+                                      payload)
+        self.row_of = {index: j for j, index
+                       in enumerate(conforming) if keep[j]}
+        self.outputs_blob = out.tobytes()
+
+    def replay_run(self, addresses: list[int],
+                   start: int, total: SerStats):
+        """Replay the maximal run of consecutive conforming objects
+        starting at ``addresses[start]``; see
+        :meth:`_DeserAnchor.replay_run` for the run contract."""
+        row_of = self.row_of
+        if self.outputs_blob is None or start not in row_of:
+            return 0, []
+        driver = self.engine.driver
+        unit = driver.serializer
+        arena = driver._ser_arena
+        length = self.length
+        stop = start + 1
+        n = len(addresses)
+        while stop < n and stop in row_of:
+            stop += 1
+        m = stop - start
+        # Arena pre-checks: the data region loses exactly ``length``
+        # bytes and one pointer-table entry per replayed message, so
+        # truncate the run to what fits; the first message that would
+        # fault runs scalar and reproduces the interpreter's fault
+        # exactly (partial pushes and all).
+        if length:
+            room = (arena.cursor - arena.data_base) // length
+            if room < m:
+                m = room
+        table_room = arena.table_entries - arena.output_count
+        if table_room < m:
+            m = table_room
+        if m <= 0:
+            return 0, []
+        # Watchdog guard: replay only while even a worst-case TLB
+        # penalty keeps the operation's progress clock under the
+        # budget, so the interpreter provably would not have aborted.
+        watchdog = unit.watchdog
+        budget = None
+        if watchdog is not None:
+            params = unit.params
+            ceiling_base = (params.dispatch_overhead
+                            + params.pipeline_fill
+                            + max(self.stats.frontend_cycles,
+                                  self.stats.fsu_cycles
+                                  / unit.config.field_serializer_units))
+            budget = watchdog.budget_cycles
+            ptw = unit._tlb.ptw_cycles
+        issue = driver.rocc.issue
+        translate_range = unit._tlb.translate_range
+        push_bytes = arena.push_bytes
+        finish_message = arena.finish_message
+        instr = RoccInstruction
+        f_do = RoccFunct.DO_PROTO_SER
+        info_instr = self._info_instr
+        adt_addr = self.adt_addr
+        blob = self.outputs_blob
+        fold = self.fold
+        page = PAGE_BYTES
+        cycles = total.cycles
+        tlb_penalty = total.tlb_penalty_cycles
+        outputs: list[bytes] = []
+        append = outputs.append
+        done = 0
+        for index in range(start, start + m):
+            obj_addr = addresses[index]
+            if budget is not None:
+                pages = (obj_addr + 63) // page - obj_addr // page + 1
+                if ceiling_base + pages * ptw >= budget:
+                    break
+            j = row_of[index]
+            issue(info_instr)
+            issue(instr(f_do, adt_addr, obj_addr))
+            penalty = translate_range(obj_addr, 64)
+            data = blob[j * length:(j + 1) * length]
+            if length:
+                push_bytes(data)
+            finish_message()
+            cycles += fold + penalty
+            tlb_penalty += penalty
+            append(data)
+            done += 1
+        if not done:
+            return 0, []
+        m = done
+        total.cycles = cycles
+        total.tlb_penalty_cycles = tlb_penalty
+        anchor = self.stats
+        # Integer fields of SerStats.merge, folded (the cycle floats --
+        # frontend/fsu/memwriter -- are anchor constants too, but float
+        # repeated-addition is not multiplication; keep those exact).
+        total.output_bytes += anchor.output_bytes * m
+        total.fields_serialized += anchor.fields_serialized * m
+        total.submessages += anchor.submessages * m
+        total.strings += anchor.strings * m
+        total.repeated_elements += anchor.repeated_elements * m
+        frontend = total.frontend_cycles
+        fsu = total.fsu_cycles
+        memwriter = total.memwriter_cycles
+        for _ in range(m):
+            frontend += anchor.frontend_cycles
+            fsu += anchor.fsu_cycles
+            memwriter += anchor.memwriter_cycles
+        total.frontend_cycles = frontend
+        total.fsu_cycles = fsu
+        total.memwriter_cycles = memwriter
+        total.stack_spills += anchor.stack_spills * m
+        total.max_stack_depth = max(total.max_stack_depth,
+                                    anchor.max_stack_depth)
+        unit.varint_unit.credit(encodes=self.encode_delta * m,
+                                zigzag_ops=self.zigzag_delta * m)
+        driver.rocc.retire_ser(m)
+        return m, outputs
+
+
+class BatchEngine:
+    """Per-driver batch execution engine (installed as ``driver.batch``
+    when ``fast_path="batch"`` and no fault plan is armed)."""
+
+    def __init__(self, driver):
+        self.driver = driver
+
+    def _enabled(self, count: int) -> bool:
+        return (np is not None and codegen.codegen_enabled()
+                and self.driver.faults is None and count >= MIN_BATCH)
+
+    # -- deserialization -----------------------------------------------------
+
+    def deserialize_batch(self, descriptor: MessageDescriptor,
+                          buffers: list[bytes]):
+        """Batched deserialize; returns (addresses, total-stats without
+        the completion fence) or None to run the driver's plain loop."""
+        if not self._enabled(len(buffers)):
+            return None
+        driver = self.driver
+        plans = _schema_plans("batch-deser", descriptor,
+                              driver.deserializer)
+        if plans is None:
+            return None
+        adt_addr = driver.adts.adt_address(descriptor)
+        layout = driver.layouts.layout(descriptor)
+        unit = driver.deserializer
+        cache = unit._adt_cache
+        total = DeserStats()
+        addresses: list[int] = []
+        anchor: _DeserAnchor | None = None
+        index = 0
+        count = len(buffers)
+        while index < count:
+            if anchor is not None:
+                done, dests = anchor.replay_run(buffers, index, total)
+                if done:
+                    addresses.extend(dests)
+                    tiers.note("deser", "batch-vector", done)
+                    index += done
+                    continue
+            data = buffers[index]
+            misses_before = cache.misses
+            decodes_before = unit.varint_unit.decodes
+            zigzag_before = unit.varint_unit.zigzag_ops
+            tiers.note("deser", "batch-scalar")
+            result = driver.deserialize(descriptor, data)
+            addresses.append(result.dest_addr)
+            total.merge(result.stats)
+            if (anchor is None
+                    and result.stats.tlb_penalty_cycles == 0.0
+                    and cache.misses == misses_before):
+                plan = plans.plan_for(descriptor, data)
+                if plan is not None:
+                    anchor = _DeserAnchor(
+                        self, plan, adt_addr, layout, data, result.stats,
+                        driver.memory.read(result.dest_addr,
+                                           layout.object_size),
+                        unit.varint_unit.decodes - decodes_before,
+                        unit.varint_unit.zigzag_ops - zigzag_before)
+                    anchor.vectorize(buffers, index + 1)
+            index += 1
+        return addresses, total
+
+    # -- serialization -------------------------------------------------------
+
+    def serialize_batch(self, descriptor: MessageDescriptor,
+                        addresses: list[int]):
+        """Batched serialize; returns (outputs, total-stats without the
+        completion fence) or None to run the driver's plain loop."""
+        if not self._enabled(len(addresses)):
+            return None
+        driver = self.driver
+        plans = _schema_plans("batch-ser", descriptor, driver.serializer)
+        if plans is None:
+            return None
+        adt_addr = driver.adts.adt_address(descriptor)
+        layout = driver.layouts.layout(descriptor)
+        unit = driver.serializer
+        total = SerStats()
+        outputs: list[bytes] = []
+        anchor: _SerAnchor | None = None
+        index = 0
+        count = len(addresses)
+        while index < count:
+            if anchor is not None:
+                done, run = anchor.replay_run(addresses, index, total)
+                if done:
+                    outputs.extend(run)
+                    tiers.note("ser", "batch-vector", done)
+                    index += done
+                    continue
+            obj_addr = addresses[index]
+            encodes_before = unit.varint_unit.encodes
+            zigzag_before = unit.varint_unit.zigzag_ops
+            tiers.note("ser", "batch-scalar")
+            result = driver.serialize(descriptor, obj_addr)
+            outputs.append(result.data)
+            total.merge(result.stats)
+            if (anchor is None
+                    and result.stats.tlb_penalty_cycles == 0.0):
+                plan = plans.plan_for(descriptor, result.data)
+                if plan is not None:
+                    anchor = _SerAnchor(
+                        self, plan, adt_addr, layout, descriptor,
+                        result.data, result.stats,
+                        unit.varint_unit.encodes - encodes_before,
+                        unit.varint_unit.zigzag_ops - zigzag_before)
+                    anchor.anchor_row = driver.memory.read(
+                        obj_addr, layout.object_size)
+                    anchor.vectorize(addresses, index + 1)
+            index += 1
+        return outputs, total

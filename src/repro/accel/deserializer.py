@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.accel import tiers
 from repro.accel.adt import AdtEntry, AdtView
 from repro.accel.memloader import Memloader
 from repro.accel.utf8_unit import Utf8ValidationUnit
@@ -179,8 +180,10 @@ class DeserializerUnit:
         #: Optional per-operation cycle-budget watchdog (an object with
         #: ``budget_cycles`` and ``aborts``; see repro.serve.watchdog).
         self.watchdog = None
-        #: "codegen" | "interp": whether to use schema-specialized
-        #: kernels when a binding is installed (repro.accel.codegen).
+        #: "codegen" | "batch" | "interp": whether to use
+        #: schema-specialized kernels when a binding is installed
+        #: (repro.accel.codegen; "batch" additionally lets the driver's
+        #: BatchEngine vectorize whole batches, repro.accel.batchgen).
         self.fast_path = "codegen"
         #: KernelBinding installed by the driver; None runs interpreted.
         self.codegen = None
@@ -216,14 +219,17 @@ class DeserializerUnit:
             raise RuntimeError(
                 "no accelerator arena assigned; issue deser_assign_arena")
         if (self.codegen is not None and self.faults is None
-                and self.fast_path == "codegen"):
+                and self.fast_path in ("codegen", "batch")):
             # Specialized straight-line kernel: bit-identical cycles and
             # errors, host wall-clock only.  With faults attached the
             # interpretive FSM below runs instead so every named fault
-            # site still fires.
+            # site still fires.  The "batch" tier shares this scalar
+            # path for its anchors and per-message fallbacks.
             kernel = self.codegen.kernel_for(adt_addr)
             if kernel is not None:
+                tiers.note("deser", "codegen")
                 return kernel(dest_addr, src_addr, src_len, hide_startup)
+        tiers.note("deser", "interp")
         stats = DeserStats(wire_bytes=src_len)
         if self.faults is not None:
             # Each call is one hardware attempt; bind its stats so any

@@ -200,18 +200,26 @@ class ProtoAccelerator:
         # modeled cycles, much less host work.  With a fault plan armed
         # the bindings are never installed -- every operation runs the
         # interpretive FSMs so all named fault sites still fire.
-        if fast_path not in ("codegen", "interp"):
+        if fast_path not in ("codegen", "batch", "interp"):
             raise ValueError(f"unknown fast_path {fast_path!r}; "
-                             "expected 'codegen' or 'interp'")
+                             "expected 'codegen', 'batch', or 'interp'")
         self.fast_path = fast_path
         self.deserializer.fast_path = fast_path
         self.serializer.fast_path = fast_path
-        if fast_path == "codegen" and self.faults is None:
+        if fast_path in ("codegen", "batch") and self.faults is None:
             from repro.accel import codegen
             self.deserializer.codegen = codegen.bind_deserializer(
                 self.deserializer, self.adts.descriptor_for)
             self.serializer.codegen = codegen.bind_serializer(
                 self.serializer, self.adts.descriptor_for)
+        # Vectorized batch engine (repro.accel.batchgen): whole-batch
+        # numpy execution over the *_batch entry points, with the same
+        # scalar kernels as the anchor/fallback path.  Same armed-fault
+        # bypass as the codegen bindings.
+        self.batch = None
+        if fast_path == "batch" and self.faults is None:
+            from repro.accel import batchgen
+            self.batch = batchgen.BatchEngine(self)
 
     def _assign_arenas(self) -> None:
         self.rocc.issue(RoccInstruction(
@@ -434,6 +442,13 @@ class ProtoAccelerator:
                           buffers: list[bytes]) -> tuple[list[int], DeserStats]:
         """Batched offload: N ``deser_info``/``do_proto_deser`` pairs then
         one ``block_for_deser_completion`` (Section 4.4.1)."""
+        if self.batch is not None:
+            attempt = self.batch.deserialize_batch(descriptor, buffers)
+            if attempt is not None:
+                addresses, total = attempt
+                self.rocc.block_for_deser_completion()
+                total.cycles += self.config.fence_cycles
+                return addresses, total
         total = DeserStats()
         addresses = []
         for data in buffers:
@@ -551,6 +566,13 @@ class ProtoAccelerator:
     def serialize_batch(self, descriptor: MessageDescriptor,
                         addresses: list[int]) -> tuple[list[bytes], SerStats]:
         """Batched serialization with a single completion fence."""
+        if self.batch is not None:
+            attempt = self.batch.serialize_batch(descriptor, addresses)
+            if attempt is not None:
+                outputs, total = attempt
+                self.rocc.block_for_ser_completion()
+                total.cycles += self.config.fence_cycles
+                return outputs, total
         total = SerStats()
         outputs = []
         for addr in addresses:

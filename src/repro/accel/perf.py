@@ -115,15 +115,39 @@ def render_memoization_line() -> str:
     return "memo caches: " + "  ".join(parts)
 
 
+def tier_counters() -> dict[str, dict[str, int]]:
+    """Per-op execution-tier run counts (see :mod:`repro.accel.tiers`).
+
+    ``batch-vector`` counts messages replayed by the vectorized batch
+    engine; ``batch-scalar`` counts the engine's per-message fallbacks
+    (each of which *also* lands on interp or codegen)."""
+    from repro.accel import tiers
+    return tiers.counters()
+
+
 def render_codegen_line() -> str:
-    """One perf-counter line for the specialized-kernel code cache."""
+    """The execution-tier observability surface: code-cache hit rate
+    plus a per-tier run table (one line per op)."""
     from repro.accel import codegen
     hits, misses, entries, capacity = codegen.cache_counters()
     total = hits + misses
     rate = f"{hits / total:.1%}" if total else "n/a"
     state = "on" if codegen.codegen_enabled() else "off"
-    return (f"codegen cache: {rate} ({hits:,}/{total:,})  "
-            f"entries {entries}/{capacity}  [{state}]")
+    lines = [f"codegen cache: {rate} ({hits:,}/{total:,})  "
+             f"entries {entries}/{capacity}  [{state}]"]
+    for op, runs in tier_counters().items():
+        scalar = runs["interp"] + runs["codegen"]
+        direct = scalar - runs["batch-scalar"]
+        processed = direct + runs["batch-vector"] + runs["batch-scalar"]
+        vector_rate = (f"{runs['batch-vector'] / processed:.1%}"
+                       if processed else "n/a")
+        lines.append(
+            f"{op} tiers: interp {runs['interp']:,}  "
+            f"codegen {runs['codegen']:,}  "
+            f"batch-vector {runs['batch-vector']:,}  "
+            f"batch-scalar-fallback {runs['batch-scalar']:,}  "
+            f"(vectorized {vector_rate})")
+    return "\n".join(lines)
 
 
 def collect(accel) -> PerfReport:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.accel import tiers
 from repro.accel.adt import AdtEntry, AdtView
 from repro.accel.memwriter import Memwriter
 from repro.accel.varint_unit import CombinationalVarintUnit
@@ -114,8 +115,10 @@ class SerializerUnit:
         #: Optional per-operation cycle-budget watchdog (an object with
         #: ``budget_cycles`` and ``aborts``; see repro.serve.watchdog).
         self.watchdog = None
-        #: "codegen" | "interp": whether to use schema-specialized
-        #: kernels when a binding is installed (repro.accel.codegen).
+        #: "codegen" | "batch" | "interp": whether to use
+        #: schema-specialized kernels when a binding is installed
+        #: (repro.accel.codegen; "batch" additionally lets the driver's
+        #: BatchEngine vectorize whole batches, repro.accel.batchgen).
         self.fast_path = "codegen"
         #: KernelBinding installed by the driver; None runs interpreted.
         self.codegen = None
@@ -142,11 +145,15 @@ class SerializerUnit:
             raise RuntimeError(
                 "no serializer arena assigned; issue ser_assign_arena")
         if (self.codegen is not None and self.faults is None
-                and self.fast_path == "codegen"):
+                and self.fast_path in ("codegen", "batch")):
             # Specialized straight-line kernel (see DeserializerUnit).
+            # The "batch" tier shares this scalar path for its anchors
+            # and per-message fallbacks.
             kernel = self.codegen.kernel_for(adt_addr)
             if kernel is not None:
+                tiers.note("ser", "codegen")
                 return kernel(obj_addr)
+        tiers.note("ser", "interp")
         stats = SerStats()
         if self.faults is not None:
             self.faults.begin_attempt(stats)

@@ -61,9 +61,9 @@ class HarnessOptions:
     ``fault_plan`` (a :class:`repro.faults.FaultPlan` or ``None``)
     injects faults into every accelerated run; it is picklable, so the
     worker-pool path carries it too.  ``fast_path`` selects the
-    accelerator's host execution tier (``"codegen"`` or ``"interp"``);
-    modeled cycles are bit-identical on both, so results and cache keys
-    do not depend on it.
+    accelerator's host execution tier (``"codegen"``, ``"batch"``, or
+    ``"interp"``); modeled cycles are bit-identical on every tier, so
+    results and cache keys do not depend on it.
     """
 
     jobs: int = 1

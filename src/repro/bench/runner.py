@@ -203,8 +203,9 @@ def run_deserialization(workload: Workload, verify: bool = True,
     ``faults`` (a :class:`~repro.faults.FaultPlan` or ``None``) only
     affects the accelerated system; the software baselines model fault-
     free CPUs either way.  ``fast_path`` selects the accelerator's host
-    execution tier (``"codegen"`` or ``"interp"``); modeled cycles are
-    identical on both, so results do not depend on it.
+    execution tier (``"codegen"``, ``"batch"``, or ``"interp"``);
+    modeled cycles are identical on every tier, so results do not
+    depend on it.
     """
     buffers = workload.wire_buffers()
     result = BenchmarkResult(workload.name, "deserialize")

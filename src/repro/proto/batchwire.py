@@ -1,0 +1,446 @@
+"""Shared machinery for batch-vectorized wire processing.
+
+The batch execution tier (``repro.accel.batchgen`` on the accelerator,
+:func:`repro.proto.specialized.parse_batch` / ``encode_batch`` on the
+CPU twin) exploits one observation: messages of the same schema in one
+batch usually share their *wire structure* -- the same fields present in
+the same order with the same encoded varint lengths.  When they do, tag
+dispatch, bounds checks and byte classification only need to run once,
+against a *template* message; every other message is validated against
+the template with a single vectorized mask compare and its values are
+decoded with numpy column operations over a stacked byte matrix.
+
+This module holds the schema/wire layer of that scheme, with no
+dependence on the accelerator model:
+
+* :func:`batch_eligible` -- the batch-shape classifier's schema half:
+  flat numeric-scalar messages (optional/repeated, packed or not,
+  oneofs allowed; no strings/bytes/sub-messages/maps/groups).
+* :func:`template_wire_plan` -- one structural walk of a template
+  buffer producing (a) a per-byte *conformance class* mask, (b) the
+  value-extraction program (field ops and repeated-element positions),
+  and (c) the region open/append event stream the accelerator needs to
+  replay arena allocation exactly.
+* numpy helpers for stacked-matrix varint decode (a parallel-prefix
+  gather over the 7-bit groups), zig-zag transforms, varint length
+  classification and varint emission.
+
+Conformance classes: a byte is STRUCT (must equal the template byte --
+keys, packed-length varints and whole unknown-field regions),
+VAR_PAYLOAD (a known varint's value byte: only the continuation bit
+0x80 must match, which pins the encoded length and therefore the whole
+parse structure), or FREE (fixed-width payload bytes: unconstrained).
+A message passes when ``((row ^ template) & mask) == 0`` everywhere --
+one vectorized compare per batch.
+
+numpy is optional.  When it is absent every entry point degrades: the
+classifier reports ineligible and callers fall back to the scalar
+per-message kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+try:  # pragma: no cover - exercised indirectly by both import outcomes
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from repro.proto.descriptor import MessageDescriptor
+from repro.proto.errors import DecodeError
+from repro.proto.types import CPP_SCALAR_BYTES, FieldType
+from repro.proto.varint import decode_varint
+
+#: Byte conformance classes (mask values; see module docstring).
+STRUCT = 0xFF
+VAR_PAYLOAD = 0x80
+FREE = 0x00
+
+#: Fixed-width scalar types, by wire width.
+FIXED64_TYPES = frozenset({FieldType.DOUBLE, FieldType.FIXED64,
+                           FieldType.SFIXED64})
+FIXED32_TYPES = frozenset({FieldType.FLOAT, FieldType.FIXED32,
+                           FieldType.SFIXED32})
+ZIGZAG_TYPES = frozenset({FieldType.SINT32, FieldType.SINT64})
+
+#: Scalar types the batch tier vectorizes.  Strings, bytes,
+#: sub-messages and maps are the "irregular" shapes the classifier
+#: routes to the scalar kernels.
+ELIGIBLE_TYPES = frozenset(CPP_SCALAR_BYTES)
+
+
+def numpy_available() -> bool:
+    """True when the vectorized tier can run at all."""
+    return np is not None
+
+
+def batch_eligible(descriptor: MessageDescriptor) -> bool:
+    """Schema half of the batch-shape classifier.
+
+    Eligible messages are flat numeric records: every field a scalar
+    from :data:`ELIGIBLE_TYPES`, optional or repeated (packed or
+    unpacked).  Anything carrying variable host-side allocation
+    (strings/bytes), nesting (sub-messages, maps) or group encodings is
+    irregular and stays on the scalar tiers.  Oneof members are also
+    excluded: a wire that sets two members of one group makes the FSM
+    clear the earlier slot mid-parse, which a patch-the-template replay
+    cannot reproduce from field values alone.
+    """
+    for fd in descriptor.fields:
+        if (fd.is_map or fd.oneof_group is not None
+                or fd.field_type not in ELIGIBLE_TYPES):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class SingularOp:
+    """One singular-field value occurrence in the template wire."""
+
+    number: int
+    kind: str              # "varint" | "zigzag" | "bool" | "fixed"
+    start: int             # wire offset of the value bytes
+    length: int            # encoded length (== width for fixed)
+    width: int             # C++ slot width in bytes
+
+
+@dataclass(frozen=True)
+class ElementOp:
+    """One repeated-element value occurrence in the template wire."""
+
+    start: int
+    length: int
+
+
+@dataclass
+class RepeatedField:
+    """Per-repeated-field aggregation over the whole template walk."""
+
+    number: int
+    kind: str              # "varint" | "zigzag" | "bool" | "fixed"
+    width: int
+    elements: list[ElementOp] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.elements)
+
+
+@dataclass
+class TemplateWirePlan:
+    """Everything the vectorized tiers derive from one template walk."""
+
+    length: int
+    #: Per-byte conformance classes (len == length).
+    mask: bytes
+    #: Singular value occurrences, in wire order (duplicates kept --
+    #: applying them in order reproduces last-wins semantics).
+    singular_ops: list[SingularOp]
+    #: Repeated fields in first-occurrence order.
+    repeated: dict[int, RepeatedField]
+    #: Region event stream, in wire order: ("open", number) the first
+    #: time a repeated field's region is created, ("append", number)
+    #: per element.  Replaying these reproduces the accelerator's
+    #: arena-allocation schedule (open -> header + initial buffer,
+    #: append -> doubling grow when count hits capacity).
+    events: list[tuple[str, int]]
+    #: Every key occurrence's field number, in wire order (the ADT
+    #: entry lookup sequence on the accelerator).
+    key_numbers: list[int]
+    #: True when the template carries unknown fields (skipped by the
+    #: accelerator; the CPU twin falls back to preserve them).
+    has_unknown: bool
+    #: True when a packed occurrence held zero elements (presence
+    #: semantics the CPU twin's field assignment cannot reproduce).
+    has_empty_packed: bool
+
+
+def _field_kind(ft: FieldType) -> str:
+    if ft in FIXED64_TYPES or ft in FIXED32_TYPES:
+        return "fixed"
+    if ft in ZIGZAG_TYPES:
+        return "zigzag"
+    if ft is FieldType.BOOL:
+        return "bool"
+    return "varint"
+
+
+def template_wire_plan(descriptor: MessageDescriptor,
+                       template: bytes) -> TemplateWirePlan | None:
+    """Walk ``template`` once against ``descriptor``.
+
+    Returns None whenever the template is not a clean, fully-regular
+    buffer for this schema -- a wire-type mismatch, truncation, a
+    deprecated group tag, a misaligned packed payload, an ineligible
+    schema.  Callers then run the whole batch through the scalar tiers,
+    which reproduce the exact error (or exact success) per message.
+    """
+    if not batch_eligible(descriptor):
+        return None
+    fields = {fd.number: fd for fd in descriptor.fields}
+    size = len(template)
+    mask = bytearray(size)                  # FREE by default
+    singular_ops: list[SingularOp] = []
+    repeated: dict[int, RepeatedField] = {}
+    events: list[tuple[str, int]] = []
+    key_numbers: list[int] = []
+    has_unknown = False
+    has_empty_packed = False
+    open_number: int | None = None
+    pos = 0
+
+    def struct_span(a: int, b: int) -> None:
+        mask[a:b] = b"\xff" * (b - a)
+
+    def read_varint(at: int, limit: int) -> tuple[int, int] | None:
+        """Decode one varint ending at or before ``limit``."""
+        try:
+            value, length = decode_varint(template[at:at + 10])
+        except DecodeError:
+            return None
+        if at + length > limit:
+            return None
+        return value, length
+
+    while pos < size:
+        decoded = read_varint(pos, size)
+        if decoded is None:
+            return None
+        key, key_len = decoded
+        struct_span(pos, pos + key_len)
+        pos += key_len
+        number = key >> 3
+        wire_type = key & 7
+        if number < 1 or wire_type in (3, 4, 6, 7):
+            return None
+        key_numbers.append(number)
+        fd = fields.get(number)
+        if fd is None:
+            # Unknown field: the whole region (value included) is
+            # STRUCT, so conforming messages skip identically.
+            has_unknown = True
+            start = pos
+            if wire_type == 0:
+                decoded = read_varint(pos, size)
+                if decoded is None:
+                    return None
+                pos += decoded[1]
+            elif wire_type == 1:
+                pos += 8
+            elif wire_type == 5:
+                pos += 4
+            else:  # LENGTH_DELIMITED
+                decoded = read_varint(pos, size)
+                if decoded is None:
+                    return None
+                pos += decoded[1] + decoded[0]
+            if pos > size:
+                return None
+            struct_span(start, pos)
+            continue
+        ft = fd.field_type
+        width = CPP_SCALAR_BYTES[ft]
+        kind = _field_kind(ft)
+        fixed = kind == "fixed"
+        element_wt = (1 if width == 8 else 5) if fixed else 0
+        if fd.is_repeated:
+            if open_number is not None and open_number != number:
+                open_number = None
+            if open_number is None:
+                if number not in repeated:
+                    repeated[number] = RepeatedField(number=number,
+                                                    kind=kind, width=width)
+                    events.append(("open", number))
+                open_number = number
+            rep = repeated[number]
+            if wire_type == 2:
+                # Packed run (the parser accepts it for any numeric
+                # repeated field, declared packed or not).
+                decoded = read_varint(pos, size)
+                if decoded is None:
+                    return None
+                payload_len, len_len = decoded
+                struct_span(pos, pos + len_len)
+                pos += len_len
+                end = pos + payload_len
+                if end > size:
+                    return None
+                if payload_len == 0:
+                    has_empty_packed = True
+                while pos < end:
+                    if fixed:
+                        if pos + width > end:
+                            return None
+                        rep.elements.append(ElementOp(pos, width))
+                        events.append(("append", number))
+                        pos += width
+                    else:
+                        decoded = read_varint(pos, end)
+                        if decoded is None:
+                            return None
+                        mask[pos:pos + decoded[1]] = \
+                            bytes([VAR_PAYLOAD]) * decoded[1]
+                        rep.elements.append(ElementOp(pos, decoded[1]))
+                        events.append(("append", number))
+                        pos += decoded[1]
+            elif wire_type == element_wt:
+                if fixed:
+                    if pos + width > size:
+                        return None
+                    rep.elements.append(ElementOp(pos, width))
+                    pos += width
+                else:
+                    decoded = read_varint(pos, size)
+                    if decoded is None:
+                        return None
+                    mask[pos:pos + decoded[1]] = \
+                        bytes([VAR_PAYLOAD]) * decoded[1]
+                    rep.elements.append(ElementOp(pos, decoded[1]))
+                    pos += decoded[1]
+                events.append(("append", number))
+            else:
+                return None   # wire-type mismatch: a scalar-tier error
+            continue
+        # Singular field: closes any open repeated region.
+        open_number = None
+        if fixed:
+            if wire_type != element_wt or pos + width > size:
+                return None
+            singular_ops.append(SingularOp(number, kind, pos, width, width))
+            pos += width
+        else:
+            if wire_type != 0:
+                return None
+            decoded = read_varint(pos, size)
+            if decoded is None:
+                return None
+            mask[pos:pos + decoded[1]] = bytes([VAR_PAYLOAD]) * decoded[1]
+            singular_ops.append(
+                SingularOp(number, kind, pos, decoded[1], width))
+            pos += decoded[1]
+    return TemplateWirePlan(length=size, mask=bytes(mask),
+                            singular_ops=singular_ops, repeated=repeated,
+                            events=events, key_numbers=key_numbers,
+                            has_unknown=has_unknown,
+                            has_empty_packed=has_empty_packed)
+
+
+# ---------------------------------------------------------------------------
+# numpy column kernels (all no-ops/unused when numpy is absent)
+# ---------------------------------------------------------------------------
+
+def stack_rows(buffers: list[bytes]):
+    """Stack equal-length byte strings into an (N, L) uint8 matrix."""
+    n = len(buffers)
+    if n == 0:
+        return np.zeros((0, 0), dtype=np.uint8)
+    length = len(buffers[0])
+    return np.frombuffer(b"".join(buffers),
+                         dtype=np.uint8).reshape(n, length)
+
+
+def conforming_rows(matrix, template_row, mask_row):
+    """Boolean vector: which rows structurally match the template."""
+    if matrix.shape[1] == 0:
+        return np.ones(matrix.shape[0], dtype=bool)
+    mismatch = np.bitwise_and(np.bitwise_xor(matrix, template_row),
+                              mask_row)
+    return ~mismatch.any(axis=1)
+
+
+def gather_varint(matrix, start: int, length: int):
+    """Parallel-prefix decode of one varint column run.
+
+    Every row is known (by conformance) to hold a ``length``-byte
+    varint at ``start``; the 7-bit groups of all rows gather in
+    ``length`` vector steps.  Ten-byte varints wrap modulo 2**64
+    exactly like :func:`repro.proto.varint.decode_varint`'s truncation.
+    """
+    if length == 1:
+        return matrix[:, start].astype(np.uint64)
+    value = np.zeros(matrix.shape[0], dtype=np.uint64)
+    for j in range(length):
+        value |= ((matrix[:, start + j].astype(np.uint64)
+                   & np.uint64(0x7F)) << np.uint64(7 * j))
+    return value
+
+
+def zigzag_decode_vec(payload):
+    """Vectorized zig-zag decode, truncating to 64 bits like the
+    scalar path (uint64 wraparound is the & _U64_MASK of varint.py)."""
+    one = np.uint64(1)
+    return (payload >> one) ^ (np.uint64(0) - (payload & one))
+
+
+def decoded_slot_bytes(value, kind: str, width: int):
+    """C++ slot bytes (N, width) for decoded varint payload ``value``."""
+    if kind == "zigzag":
+        value = zigzag_decode_vec(value)
+    elif kind == "bool":
+        value = (value != 0).astype(np.uint64)
+    if width == 8:
+        return value.reshape(-1, 1).view(np.uint8)
+    if width == 4:
+        return (value & np.uint64(0xFFFFFFFF)).astype(
+            np.uint32).reshape(-1, 1).view(np.uint8)
+    return (value & np.uint64(0xFF)).astype(np.uint8).reshape(-1, 1)
+
+
+def varint_length_vec(payload):
+    """Encoded varint length (1..10) of each uint64 payload."""
+    lengths = np.ones(payload.shape[0], dtype=np.uint8)
+    for k in range(1, 10):
+        lengths += (payload >= np.uint64(1 << (7 * k))).astype(np.uint8)
+    return lengths
+
+
+def emit_varint(out, start: int, length: int, payload) -> None:
+    """Write each row's payload as a ``length``-byte varint at
+    ``start`` of the (N, L) output matrix (lengths pre-validated)."""
+    for j in range(length):
+        byte = ((payload >> np.uint64(7 * j))
+                & np.uint64(0x7F)).astype(np.uint8)
+        if j < length - 1:
+            byte |= np.uint8(0x80)
+        out[:, start + j] = byte
+
+
+#: C++ types the serializer reads back as signed two's complement
+#: (mirror of repro.accel.serializer._SIGNED_CPP_TYPES).
+SIGNED_CPP_TYPES = frozenset({
+    FieldType.INT32, FieldType.INT64, FieldType.SINT32, FieldType.SINT64,
+    FieldType.SFIXED32, FieldType.SFIXED64, FieldType.ENUM,
+})
+
+
+def zigzag_encode_vec(raw):
+    """Vectorized 64-bit zig-zag encode of sign-extended uint64 raws."""
+    return (raw << np.uint64(1)) ^ (np.uint64(0) - (raw >> np.uint64(63)))
+
+
+def slot_payload_vec(slots, ft: FieldType):
+    """Varint payloads (uint64) from raw C++ slot bytes (N, width).
+
+    Mirrors SerializerUnit._scalar_wire_bytes for varint-family types:
+    sign-extend the signed C++ types to 64 bits (two's complement,
+    masked to uint64 like ``encode_signed``), zig-zag encode sint, and
+    collapse bool to 0/1.  ``slots`` must be C-contiguous.
+    """
+    width = CPP_SCALAR_BYTES[ft]
+    signed = ft in SIGNED_CPP_TYPES
+    if width == 8:
+        raw = slots.copy().view(np.uint64).reshape(-1)
+    elif width == 4:
+        raw32 = slots.copy().view(np.uint32).reshape(-1)
+        if signed:
+            raw = raw32.view(np.int32).astype(np.int64).view(np.uint64)
+        else:
+            raw = raw32.astype(np.uint64)
+    else:  # bool
+        raw = slots.reshape(-1).astype(np.uint64)
+    if ft in ZIGZAG_TYPES:
+        return zigzag_encode_vec(raw)
+    if ft is FieldType.BOOL:
+        return (raw != 0).astype(np.uint64)
+    return raw

@@ -84,10 +84,13 @@ class ServePolicy:
     host_fallback: bool = True
     #: Shared-uncore contention model for concurrent hedged attempts.
     contention: MultiTileModel | None = None
-    #: Host execution tier for each tile's accelerator ("codegen" or
-    #: "interp").  Modeled cycles are identical on both; codegen only
-    #: speeds up the simulation host.  Tiles with a fault plan armed
-    #: bypass codegen regardless (the driver enforces this).
+    #: Host execution tier for each tile's accelerator ("codegen",
+    #: "batch", or "interp").  Modeled cycles are identical on all
+    #: tiers; codegen/batch only speed up the simulation host ("batch"
+    #: additionally vectorizes whole same-schema batches through the
+    #: driver's *_batch entry points; see docs/PERF.md).  Tiles with a
+    #: fault plan armed bypass both fast tiers regardless (the driver
+    #: enforces this, so every fault site keeps firing).
     fast_path: str = "codegen"
 
     def __post_init__(self) -> None:

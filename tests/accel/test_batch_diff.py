@@ -1,0 +1,188 @@
+"""Differential suite: batch tier vs interpretive FSM, whole batches.
+
+The vectorized tier's contract is total behavioural equivalence at
+batch granularity: on batches of arbitrary valid messages, on batches
+salted with adversarially mutated wire, and on the PR 2 known-bad
+vector corpus, ``fast_path="batch"`` must produce identical messages,
+identical modeled totals (cycles included), and identical structured
+errors to ``fast_path="interp"`` -- whether a given message replays on
+the vector path or falls back to a scalar tier.
+"""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.accel import codegen
+from repro.accel.driver import ProtoAccelerator
+from repro.bench.microbench import batch_bench_names, build_microbench
+from repro.proto import parse_schema
+from repro.proto.encoder import serialize_message
+from repro.proto.errors import DecodeError
+
+from tests.strategies import schema_and_message, schema_wire_and_mutant
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    codegen.set_codegen_enabled(True)
+    codegen.invalidate_kernel_caches()
+    yield
+    codegen.set_codegen_enabled(True)
+    codegen.invalidate_kernel_caches()
+
+
+def _accel_pair(schema):
+    pair = []
+    for fast_path in ("interp", "batch"):
+        device = ProtoAccelerator(deser_arena_bytes=1 << 20,
+                                  ser_arena_bytes=1 << 20,
+                                  fast_path=fast_path)
+        device.register_schema(schema)
+        pair.append(device)
+    return pair
+
+
+def _deser_outcome(device, descriptor, buffers):
+    """Everything observable from one deserialize_batch call."""
+    try:
+        addresses, stats = device.deserialize_batch(descriptor, buffers)
+    except DecodeError as error:
+        return ("err", type(error), str(error),
+                getattr(error, "site", None))
+    return ("ok", stats,
+            [device.read_message(descriptor, addr) for addr in addresses])
+
+
+@_SETTINGS
+@given(schema_and_message())
+def test_valid_batches_identical_across_tiers(pair):
+    schema, message = pair
+    wire = serialize_message(message, check_required=False)
+    buffers = [wire] * 6
+    interp, batch = _accel_pair(schema)
+    interp_out = _deser_outcome(interp, schema["Root"], buffers)
+    batch_out = _deser_outcome(batch, schema["Root"], buffers)
+    assert batch_out == interp_out
+
+    interp_addrs = [interp.load_object(message) for _ in range(6)]
+    batch_addrs = [batch.load_object(message) for _ in range(6)]
+    interp_ser = interp.serialize_batch(schema["Root"], interp_addrs)
+    batch_ser = batch.serialize_batch(schema["Root"], batch_addrs)
+    assert batch_ser[0] == interp_ser[0]
+    assert batch_ser[1] == interp_ser[1]
+
+
+@_SETTINGS
+@given(schema_wire_and_mutant())
+def test_mutant_salted_batches_identical(triple):
+    """A mutant buried mid-batch: both tiers must reach the same
+    verdict -- same messages and totals on accept, the same structured
+    error (type, text, site) on reject."""
+    schema, wire, mutant = triple
+    buffers = [wire] * 3 + [mutant] + [wire] * 3
+    interp, batch = _accel_pair(schema)
+    interp_out = _deser_outcome(interp, schema["Root"], buffers)
+    batch_out = _deser_outcome(batch, schema["Root"], buffers)
+    assert batch_out == interp_out
+
+
+# -- regular micro grid: the acceptance criterion -----------------------------
+
+
+@pytest.mark.parametrize("name", ["varint-3", "varint-7-R", "double",
+                                  "float-R", "varint-0", "varint-10-R"])
+def test_micro_grid_cycles_bit_identical(name):
+    """On the bench grid the batch tier's totals -- cycles included --
+    and every deserialized object must equal the interpreter's
+    bit-for-bit (the ISSUE's acceptance assertion)."""
+    workload = build_microbench(name, batch=16)
+    buffers = workload.wire_buffers()
+    descriptor = workload.descriptor
+    per_tier = {}
+    for fast_path in ("interp", "batch"):
+        accel = ProtoAccelerator(fast_path=fast_path)
+        accel.register_types([descriptor])
+        addresses, deser_stats = accel.deserialize_batch(descriptor,
+                                                         buffers)
+        messages = [accel.read_message(descriptor, addr)
+                    for addr in addresses]
+        obj_addrs = [accel.load_object(m) for m in workload.messages]
+        outputs, ser_stats = accel.serialize_batch(descriptor, obj_addrs)
+        per_tier[fast_path] = (dataclasses.asdict(deser_stats), messages,
+                               outputs, dataclasses.asdict(ser_stats))
+    assert per_tier["batch"] == per_tier["interp"]
+
+
+def test_grid_names_are_batch_eligible():
+    """The bench grid filter only admits schemas the classifier accepts
+    (strings and sub-messages stay out by construction)."""
+    from repro.proto import batchwire
+    names = batch_bench_names()
+    assert "varint-0" in names and "varint-0-R" in names
+    assert "strings" not in names
+    for name in names:
+        workload = build_microbench(name, batch=1)
+        assert batchwire.batch_eligible(workload.descriptor)
+
+
+# -- PR 2 known-bad vector corpus ---------------------------------------------
+
+_VICTIM_SCHEMA = parse_schema("""
+    message Inner {
+      optional int32 a = 1;
+      optional Inner child = 3;
+    }
+    message Victim {
+      optional int32 a = 1;
+      optional string s = 2;
+      optional Inner child = 3;
+      repeated int32 packed = 4 [packed = true];
+      optional fixed32 fx = 5;
+    }
+""")
+_VICTIM_SCHEMA["Victim"].field_by_name("s").validate_utf8 = True
+
+_VECTORS_DIR = Path(__file__).parent.parent / "proto" / "vectors"
+
+
+def _load_bad_vectors():
+    vectors = []
+    for path in sorted(_VECTORS_DIR.glob("*.hex")):
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, _, hexbytes = line.partition(":")
+            vectors.append(pytest.param(
+                bytes.fromhex(hexbytes.strip()),
+                id=f"{path.stem}/{name.strip()}"))
+    assert vectors, f"no vectors found under {_VECTORS_DIR}"
+    return vectors
+
+
+@pytest.mark.parametrize("data", _load_bad_vectors())
+def test_known_bad_vectors_rejected_identically_in_batches(data):
+    valid = _VICTIM_SCHEMA["Victim"].new_message()
+    valid["a"] = 7
+    wire = valid.serialize()
+    buffers = [wire] * 4 + [data]
+    interp, batch = _accel_pair(_VICTIM_SCHEMA)
+    rejections = []
+    for device in (interp, batch):
+        with pytest.raises(DecodeError) as excinfo:
+            device.deserialize_batch(_VICTIM_SCHEMA["Victim"], buffers)
+        rejections.append(excinfo.value)
+    interp_error, batch_error = rejections
+    assert type(batch_error) is type(interp_error)
+    assert str(batch_error) == str(interp_error)
+    assert batch_error.site == interp_error.site
+    assert batch_error.cycle == interp_error.cycle

@@ -1,0 +1,296 @@
+"""Unit tests for the vectorized batch tier (repro.accel.batchgen).
+
+Covers what the differential suite does not: driver wiring of
+``fast_path="batch"``, the batch/scalar fallback boundary (empty
+batches, batches below MIN_BATCH, mixed regular/irregular batches),
+the process-wide codegen kill switch, the per-tier perf table, and the
+rule that an armed fault plan keeps the engine uninstalled so every
+named injection site still fires through the scalar paths.
+"""
+
+import dataclasses
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.accel import batchgen, codegen, perf, tiers
+from repro.accel.driver import ProtoAccelerator
+from repro.faults import FaultPlan, FaultSite
+from repro.proto import batchwire, parse_schema
+
+_SCHEMA = parse_schema("""
+    message Flat {
+      optional uint64 v = 1;
+      optional sint32 z = 2;
+      optional double d = 3;
+      repeated int32 r = 4 [packed = true];
+    }
+""")
+
+# Fault-site probe schema: deliberately batch-INELIGIBLE (string,
+# sub-message) so every injection site is reachable, mirroring
+# tests/accel/test_codegen.py.
+_PROBE_SCHEMA = parse_schema("""
+    message Inner { optional int32 v = 1; optional string tag = 2; }
+    message Probe {
+      optional int32 a = 1;
+      optional string s = 2;
+      optional Inner child = 3;
+      repeated int32 packed = 4 [packed = true];
+      repeated Inner kids = 5;
+      optional sint64 z = 6;
+      optional double d = 7;
+    }
+""")
+_PROBE_SCHEMA["Probe"].field_by_name("s").validate_utf8 = True
+
+_DESER_SITES = [s for s in FaultSite
+                if s not in (FaultSite.SER_ABORT, FaultSite.SER_HANG)]
+_SER_SITES = [FaultSite.SER_ABORT, FaultSite.SER_HANG]
+
+
+def _accel(**kwargs):
+    device = ProtoAccelerator(deser_arena_bytes=1 << 20,
+                              ser_arena_bytes=1 << 20, **kwargs)
+    device.register_schema(_SCHEMA)
+    return device
+
+
+def _flat_message(value=1, elements=(1, 2, 3)):
+    message = _SCHEMA["Flat"].new_message()
+    message["v"] = value
+    message["z"] = -4
+    message["d"] = 2.5
+    message["r"] = list(elements)
+    return message
+
+
+def _probe_message():
+    message = _PROBE_SCHEMA["Probe"].new_message()
+    message["a"] = 150
+    message["s"] = "héllo wörld"
+    message["z"] = -7
+    message["d"] = 2.5
+    message["packed"] = [3, 270, 86942]
+    message.mutable("child")["v"] = 99
+    for tag in ("x", "y"):
+        message["kids"].add()["tag"] = tag
+    return message
+
+
+def _regular_batch(n):
+    """n same-shape wires: identical varint widths, identical counts."""
+    return [_flat_message(value=10 + i).serialize() for i in range(n)]
+
+
+def _both_tiers(buffers):
+    """(interp result, batch result) for one deserialize_batch call."""
+    results = []
+    for fast_path in ("interp", "batch"):
+        accel = _accel(fast_path=fast_path)
+        addresses, stats = accel.deserialize_batch(_SCHEMA["Flat"], buffers)
+        messages = [accel.read_message(_SCHEMA["Flat"], addr)
+                    for addr in addresses]
+        results.append((messages, stats))
+    return results
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    codegen.set_codegen_enabled(True)
+    codegen.invalidate_kernel_caches()
+    tiers.reset()
+    yield
+    codegen.set_codegen_enabled(True)
+    codegen.invalidate_kernel_caches()
+    tiers.reset()
+
+
+# -- driver wiring ------------------------------------------------------------
+
+
+def test_driver_accepts_batch_fast_path():
+    accel = _accel(fast_path="batch")
+    assert accel.batch is not None
+    assert accel.deserializer.fast_path == "batch"
+    assert accel.serializer.fast_path == "batch"
+    # The scalar kernels stay installed: they run the anchor and every
+    # per-message fallback.
+    assert accel.deserializer.codegen is not None
+    assert accel.serializer.codegen is not None
+
+
+def test_other_fast_paths_install_no_engine():
+    for fast_path in ("interp", "codegen"):
+        assert _accel(fast_path=fast_path).batch is None
+
+
+def test_driver_rejects_unknown_fast_path():
+    with pytest.raises(ValueError, match="fast_path"):
+        ProtoAccelerator(fast_path="vector")
+
+
+# -- the batch/scalar fallback boundary ---------------------------------------
+
+
+def test_empty_batch():
+    (interp_msgs, interp_stats), (batch_msgs, batch_stats) = _both_tiers([])
+    assert interp_msgs == batch_msgs == []
+    assert batch_stats == interp_stats
+    assert tiers.counters()["deser"]["batch-vector"] == 0
+
+
+def test_batch_of_one_runs_scalar():
+    buffers = _regular_batch(1)
+    (interp_msgs, interp_stats), (batch_msgs, batch_stats) = \
+        _both_tiers(buffers)
+    assert batch_msgs == interp_msgs
+    assert batch_stats == interp_stats
+    assert tiers.counters()["deser"]["batch-vector"] == 0
+
+
+def test_batch_below_min_batch_runs_scalar():
+    buffers = _regular_batch(batchgen.MIN_BATCH - 1)
+    (interp_msgs, interp_stats), (batch_msgs, batch_stats) = \
+        _both_tiers(buffers)
+    assert batch_msgs == interp_msgs
+    assert batch_stats == interp_stats
+    assert tiers.counters()["deser"]["batch-vector"] == 0
+
+
+def test_regular_batch_vectorizes():
+    buffers = _regular_batch(12)
+    (interp_msgs, interp_stats), (batch_msgs, batch_stats) = \
+        _both_tiers(buffers)
+    assert batch_msgs == interp_msgs
+    assert batch_stats == interp_stats
+    counters = tiers.counters()["deser"]
+    assert counters["batch-vector"] > 0
+    assert counters["batch-scalar"] >= 1  # at least the anchor
+
+
+def test_mixed_batch_falls_back_per_message():
+    """Messages whose varint widths or element counts differ from the
+    anchor template run scalar; everything else still vectorizes, and
+    the combined results match the interpreter bit-for-bit."""
+    buffers = []
+    for i in range(16):
+        if i % 5 == 2:
+            # Irregular: wider varint and a different element count.
+            buffers.append(
+                _flat_message(value=2 ** 40 + i,
+                              elements=(1,) * 7).serialize())
+        else:
+            buffers.append(_flat_message(value=20 + i).serialize())
+    (interp_msgs, interp_stats), (batch_msgs, batch_stats) = \
+        _both_tiers(buffers)
+    assert batch_msgs == interp_msgs
+    assert batch_stats == interp_stats
+    counters = tiers.counters()["deser"]
+    assert counters["batch-vector"] > 0
+    assert counters["batch-scalar"] >= 3  # anchor + the irregular ones
+
+
+def test_ineligible_schema_runs_scalar():
+    assert not batchwire.batch_eligible(_PROBE_SCHEMA["Probe"])
+    accel = ProtoAccelerator(deser_arena_bytes=1 << 20,
+                             ser_arena_bytes=1 << 20, fast_path="batch")
+    accel.register_schema(_PROBE_SCHEMA)
+    wire = _probe_message().serialize()
+    accel.deserialize_batch(_PROBE_SCHEMA["Probe"], [wire] * 8)
+    assert tiers.counters()["deser"]["batch-vector"] == 0
+
+
+def test_codegen_kill_switch_disables_vectorization():
+    codegen.set_codegen_enabled(False)
+    buffers = _regular_batch(8)
+    (interp_msgs, interp_stats), (batch_msgs, batch_stats) = \
+        _both_tiers(buffers)
+    assert batch_msgs == interp_msgs
+    assert batch_stats == interp_stats
+    assert tiers.counters()["deser"]["batch-vector"] == 0
+
+
+def test_serialize_batch_round_trip_and_stats():
+    messages = [_flat_message(value=30 + i) for i in range(10)]
+    wires = [m.serialize() for m in messages]
+    results = []
+    for fast_path in ("interp", "batch"):
+        accel = _accel(fast_path=fast_path)
+        addresses = [accel.load_object(m) for m in messages]
+        outputs, stats = accel.serialize_batch(_SCHEMA["Flat"], addresses)
+        results.append((outputs, stats))
+    (interp_out, interp_stats), (batch_out, batch_stats) = results
+    assert batch_out == interp_out == wires
+    assert batch_stats == interp_stats
+    assert tiers.counters()["ser"]["batch-vector"] > 0
+
+
+def test_batch_cycles_bit_identical_to_interp():
+    """The ISSUE's cycle-identity acceptance criterion, field by field
+    (dataclasses.asdict makes a mismatch readable)."""
+    buffers = _regular_batch(16)
+    (_, interp_stats), (_, batch_stats) = _both_tiers(buffers)
+    assert dataclasses.asdict(batch_stats) == \
+        dataclasses.asdict(interp_stats)
+
+
+# -- observability ------------------------------------------------------------
+
+
+def test_perf_line_reports_tier_table():
+    buffers = _regular_batch(8)
+    accel = _accel(fast_path="batch")
+    accel.deserialize_batch(_SCHEMA["Flat"], buffers)
+    rendered = perf.render_codegen_line()
+    assert "codegen cache" in rendered
+    assert "deser tiers:" in rendered
+    assert "ser tiers:" in rendered
+    assert "batch-vector" in rendered
+    counters = perf.tier_counters()
+    assert counters["deser"]["batch-vector"] > 0
+
+
+# -- armed fault plans keep the engine out ------------------------------------
+
+
+def _fault_accel(site):
+    plan = FaultPlan(seed=1, rate=1.0, sites=(site,), max_trigger=1)
+    device = ProtoAccelerator(deser_arena_bytes=1 << 20,
+                              ser_arena_bytes=1 << 20,
+                              faults=plan, fast_path="batch")
+    device.register_schema(_PROBE_SCHEMA)
+    return device
+
+
+@pytest.mark.parametrize("site", list(FaultSite),
+                         ids=[s.value for s in FaultSite])
+def test_armed_fault_plan_keeps_batch_engine_uninstalled(site):
+    """Requesting the batch tier must not shadow a single injection
+    site: with any plan armed the driver installs neither the batch
+    engine nor the scalar kernel bindings."""
+    accel = _fault_accel(site)
+    assert accel.batch is None
+    assert accel.deserializer.codegen is None
+    assert accel.serializer.codegen is None
+
+
+@pytest.mark.parametrize("site", _DESER_SITES,
+                         ids=[s.value for s in _DESER_SITES])
+def test_deser_fault_sites_fire_despite_batch_tier(site):
+    accel = _fault_accel(site)
+    wire = _probe_message().serialize()
+    _, stats = accel.deserialize_batch(_PROBE_SCHEMA["Probe"], [wire] * 5)
+    assert stats.faults_injected >= 1
+    assert tiers.counters()["deser"]["batch-vector"] == 0
+
+
+@pytest.mark.parametrize("site", _SER_SITES,
+                         ids=[s.value for s in _SER_SITES])
+def test_ser_fault_sites_fire_despite_batch_tier(site):
+    accel = _fault_accel(site)
+    addresses = [accel.load_object(_probe_message()) for _ in range(5)]
+    _, stats = accel.serialize_batch(_PROBE_SCHEMA["Probe"], addresses)
+    assert stats.faults_injected >= 1
+    assert tiers.counters()["ser"]["batch-vector"] == 0

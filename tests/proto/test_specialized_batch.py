@@ -1,0 +1,123 @@
+"""CPU-twin batch tests: specialized.parse_batch / encode_batch.
+
+The software baseline mirrors the accelerator's batch tier: an anchor
+message establishes a template wire plan, conforming peers decode or
+encode through numpy column operations, and everything irregular falls
+back to the per-message specialized/interpreted paths.  The contract
+is the same as every other specialization: results bit-identical to
+``parse_message`` / ``serialize_message``.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.proto import parse_schema, specialized
+from repro.proto.decoder import parse_message
+from repro.proto.encoder import serialize_message
+from repro.proto.specialized import encode_batch, parse_batch
+
+_SCHEMA = parse_schema("""
+    message Flat {
+      optional uint64 v = 1;
+      optional sint64 z = 2;
+      optional fixed64 fx = 3;
+      optional float f = 4;
+      optional bool b = 5;
+      repeated uint32 r = 6 [packed = true];
+    }
+""")
+
+_IRREGULAR_SCHEMA = parse_schema("""
+    message Mixed {
+      optional int32 a = 1;
+      optional string s = 2;
+      repeated int32 r = 3;
+    }
+""")
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    specialized.set_specialization_enabled(True)
+    yield
+    specialized.set_specialization_enabled(True)
+
+
+def _flat(i, elements=(4, 5, 6)):
+    message = _SCHEMA["Flat"].new_message()
+    message["v"] = 100 + i
+    message["z"] = -3 - i % 100
+    message["fx"] = 2 ** 40 + i
+    message["f"] = 1.5 * (i % 100)
+    message["b"] = bool(i % 2)
+    message["r"] = [e + i % 100 for e in elements]
+    return message
+
+
+def test_parse_batch_matches_scalar_parser():
+    wires = [_flat(i).serialize() for i in range(12)]
+    expected = [parse_message(_SCHEMA["Flat"], wire) for wire in wires]
+    assert parse_batch(_SCHEMA["Flat"], wires) == expected
+
+
+def test_parse_batch_mixed_shapes_fall_back():
+    wires = []
+    for i in range(12):
+        if i % 4 == 1:
+            # Different varint widths and element count: non-conforming.
+            wires.append(_flat(2 ** 35 + i, elements=(1,) * 9).serialize())
+        else:
+            wires.append(_flat(i).serialize())
+    expected = [parse_message(_SCHEMA["Flat"], wire) for wire in wires]
+    assert parse_batch(_SCHEMA["Flat"], wires) == expected
+
+
+def test_parse_batch_handles_small_and_empty_batches():
+    assert parse_batch(_SCHEMA["Flat"], []) == []
+    wire = _flat(3).serialize()
+    assert parse_batch(_SCHEMA["Flat"], [wire]) == \
+        [parse_message(_SCHEMA["Flat"], wire)]
+
+
+def test_parse_batch_ineligible_schema_falls_back():
+    messages = []
+    for i in range(6):
+        m = _IRREGULAR_SCHEMA["Mixed"].new_message()
+        m["a"] = i
+        m["s"] = f"tag-{i}"
+        m["r"] = [i, i + 1]
+        messages.append(m)
+    wires = [serialize_message(m) for m in messages]
+    expected = [parse_message(_IRREGULAR_SCHEMA["Mixed"], w) for w in wires]
+    assert parse_batch(_IRREGULAR_SCHEMA["Mixed"], wires) == expected
+
+
+def test_parse_batch_respects_specialization_toggle():
+    wires = [_flat(i).serialize() for i in range(8)]
+    expected = [parse_message(_SCHEMA["Flat"], wire) for wire in wires]
+    specialized.set_specialization_enabled(False)
+    assert parse_batch(_SCHEMA["Flat"], wires) == expected
+
+
+def test_encode_batch_matches_scalar_encoder():
+    messages = [_flat(i) for i in range(12)]
+    expected = [serialize_message(m) for m in messages]
+    assert encode_batch(_SCHEMA["Flat"], messages) == expected
+
+
+def test_encode_batch_mixed_shapes_fall_back():
+    messages = []
+    for i in range(12):
+        if i % 3 == 2:
+            messages.append(_flat(2 ** 35 + i, elements=(1,) * 5))
+        else:
+            messages.append(_flat(i))
+    expected = [serialize_message(m) for m in messages]
+    assert encode_batch(_SCHEMA["Flat"], messages) == expected
+
+
+def test_encode_batch_round_trips_through_parse_batch():
+    messages = [_flat(i) for i in range(10)]
+    wires = encode_batch(_SCHEMA["Flat"], messages)
+    assert parse_batch(_SCHEMA["Flat"], wires) == messages
