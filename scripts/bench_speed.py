@@ -26,12 +26,21 @@ regular micro grid (the batch-eligible Figure 11 cases), writing the
 speedups to ``BENCH_batch.json`` and enforcing the geomean acceptance
 floors (>=10x deserialize, >=4x serialize; warnings only on --smoke).
 
+``--fleet`` switches to the sharded-fabric fleet sweep: the seeded
+fleet replay (Section 3 message-size and schema-mix distributions, plus
+the echo acceptance workload) through 1, 2, and 4 fabric shards at each
+offered-load point, writing shed/p99/throughput curves per shard count
+to ``BENCH_fleet.json`` and failing if the echo curves are not monotone
+in shard count.
+
 ``--check-regression`` compares the optimised run's wall-clock against
 the committed baseline (``BENCH_harness.json`` by default) and fails on
 a >15% regression, provided the baseline was recorded with the same
 smoke/jobs settings (otherwise the check is skipped with a warning).
 Combined with ``--batch`` it instead gates the per-operation geomean
-speedups against the committed ``BENCH_batch.json``.
+speedups against the committed ``BENCH_batch.json``; combined with
+``--fleet`` it gates the echo p99/throughput curves against the
+committed ``BENCH_fleet.json``.
 
 Usage::
 
@@ -41,6 +50,7 @@ Usage::
     python scripts/bench_speed.py --serve --fault-rate 0.01
     python scripts/bench_speed.py --codegen
     python scripts/bench_speed.py --batch
+    python scripts/bench_speed.py --fleet
     python scripts/bench_speed.py --check-regression
 """
 
@@ -168,6 +178,147 @@ def run_serving_bench(args: argparse.Namespace) -> int:
                       encoding="utf-8")
     print(f"{elapsed:.2f} s -> {output}")
     return 0
+
+
+#: Shard counts swept at every offered-load point of the --fleet mode.
+FLEET_SHARD_COUNTS = (1, 2, 4)
+
+
+def run_fleet_bench(args: argparse.Namespace) -> int:
+    """The --fleet mode: sharded-fabric fleet sweep -> BENCH_fleet.json.
+
+    Replays the seeded fleet distributions (message sizes, schema mix)
+    and the echo acceptance workload through 1, 2, and 4 fabric shards
+    at each offered-load point.  Fails if the echo scaling curves are
+    not monotone (p99 falling, throughput non-decreasing as shards are
+    added); with --check-regression additionally gates the echo curves
+    against the committed baseline.
+    """
+    from repro.bench.report import fleet_table
+    from repro.serve import FleetReplaySpec, sweep_fleet
+
+    if args.smoke:
+        interarrivals, messages = (1_000.0, 400.0), 150
+    else:
+        interarrivals, messages = (2_000.0, 1_000.0, 500.0, 300.0), 1_000
+    print(f"fleet sweep: {len(interarrivals)} load points x "
+          f"{len(FLEET_SHARD_COUNTS)} shard counts x {messages} messages, "
+          "workloads echo + fleet")
+    start = time.perf_counter()
+    rows_by_workload = {}
+    for workload in ("echo", "fleet"):
+        spec = FleetReplaySpec(messages=messages, workload=workload)
+        rows = sweep_fleet(FLEET_SHARD_COUNTS, interarrivals, spec)
+        rows_by_workload[workload] = rows
+        print(fleet_table(rows))
+        print()
+    elapsed = time.perf_counter() - start
+
+    status = _check_fleet_scaling(rows_by_workload["echo"])
+    output = args.output
+    if output == REPO / "BENCH_harness.json":
+        output = REPO / "BENCH_fleet.json"
+    payload = {
+        "smoke": args.smoke,
+        "messages_per_point": messages,
+        "shard_counts": list(FLEET_SHARD_COUNTS),
+        "interarrival_cycles": list(interarrivals),
+        "wall_seconds": elapsed,
+        "echo_rows": rows_by_workload["echo"],
+        "fleet_rows": rows_by_workload["fleet"],
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"{elapsed:.2f} s -> {output}")
+    if args.check_regression:
+        baseline_path = args.baseline
+        if baseline_path == REPO / "BENCH_harness.json":
+            baseline_path = REPO / "BENCH_fleet.json"
+        status = max(status, _check_fleet_regression(
+            args, baseline_path, rows_by_workload["echo"]))
+    return status
+
+
+def _check_fleet_scaling(echo_rows: list[dict]) -> int:
+    """The acceptance gate: on the echo workload, every offered-load
+    point must scale monotonically with shard count -- p99 of admitted
+    calls non-increasing, delivered throughput non-decreasing.  The
+    sweep is fully deterministic (seeded arrivals on the simulated
+    cycle clock), so the gate is exact, not statistical.
+    """
+    status = 0
+    by_load: dict[float, list[dict]] = {}
+    for row in echo_rows:
+        by_load.setdefault(row["interarrival_cycles"], []).append(row)
+    for load, rows in by_load.items():
+        rows = sorted(rows, key=lambda r: r["shards"])
+        for thin, wide in zip(rows, rows[1:]):
+            if wide["p99_cycles"] > thin["p99_cycles"]:
+                print(f"ERROR: echo p99 rose {thin['p99_cycles']:.0f} -> "
+                      f"{wide['p99_cycles']:.0f} going "
+                      f"{thin['shards']} -> {wide['shards']} shards at "
+                      f"interarrival {load:.0f}")
+                status = 1
+            if (wide["throughput_per_mcycle"]
+                    < thin["throughput_per_mcycle"]):
+                print(f"ERROR: echo throughput fell "
+                      f"{thin['throughput_per_mcycle']:.1f} -> "
+                      f"{wide['throughput_per_mcycle']:.1f} going "
+                      f"{thin['shards']} -> {wide['shards']} shards at "
+                      f"interarrival {load:.0f}")
+                status = 1
+    if status == 0:
+        print("scaling gate: echo p99 and throughput monotone in shard "
+              "count at every load point")
+    return status
+
+
+def _check_fleet_regression(args: argparse.Namespace, baseline_path: Path,
+                            echo_rows: list[dict]) -> int:
+    """Gate the echo curves against the committed BENCH_fleet.json:
+    fail when p99 worsens or throughput drops more than the threshold
+    at any (load, shards) point the baseline also measured."""
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        print(f"WARNING: fleet baseline {baseline_path} missing or "
+              "unreadable; skipping regression check")
+        return 0
+    if baseline.get("smoke") != args.smoke:
+        print(f"WARNING: baseline recorded with smoke="
+              f"{baseline.get('smoke')} but this run used "
+              f"smoke={args.smoke}; skipping regression check")
+        return 0
+    base_rows = {(row["interarrival_cycles"], row["shards"]): row
+                 for row in baseline.get("echo_rows", [])}
+    status, checked = 0, 0
+    for row in echo_rows:
+        base = base_rows.get((row["interarrival_cycles"], row["shards"]))
+        if base is None:
+            continue
+        checked += 1
+        point = (f"interarrival {row['interarrival_cycles']:.0f}, "
+                 f"{row['shards']} shard(s)")
+        if row["p99_cycles"] > base["p99_cycles"] * (
+                1.0 + args.regression_threshold):
+            print(f"ERROR: echo p99 {row['p99_cycles']:.0f} regressed "
+                  f"more than {args.regression_threshold:.0%} over "
+                  f"baseline {base['p99_cycles']:.0f} at {point}")
+            status = 1
+        if row["throughput_per_mcycle"] < base["throughput_per_mcycle"] * (
+                1.0 - args.regression_threshold):
+            print(f"ERROR: echo throughput "
+                  f"{row['throughput_per_mcycle']:.1f} regressed more "
+                  f"than {args.regression_threshold:.0%} below baseline "
+                  f"{base['throughput_per_mcycle']:.1f} at {point}")
+            status = 1
+    if not checked:
+        print("WARNING: baseline shares no (load, shards) points with "
+              "this run; nothing gated")
+    elif status == 0:
+        print(f"regression check: {checked} echo points within "
+              f"{args.regression_threshold:.0%} of baseline")
+    return status
 
 
 def _codegen_workloads(micro_batch: int, hyper_batch: int) -> list:
@@ -436,6 +587,9 @@ def main(argv: list[str]) -> int:
                         help="run the vectorized-batch-tier benchmark on "
                              "the regular micro grid instead (writes "
                              "BENCH_batch.json)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="run the sharded-fabric fleet sweep instead "
+                             "(writes BENCH_fleet.json)")
     parser.add_argument("--check-regression", action="store_true",
                         help="fail if the cached run regresses more than "
                              "the threshold vs the committed baseline")
@@ -449,6 +603,8 @@ def main(argv: list[str]) -> int:
 
     if args.serve:
         return run_serving_bench(args)
+    if args.fleet:
+        return run_fleet_bench(args)
     if args.codegen:
         return run_codegen_bench(args)
     if args.batch:

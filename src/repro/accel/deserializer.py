@@ -150,6 +150,10 @@ class _AdtCache:
         self.hits = 0
         self.misses = 0
 
+    def flush(self) -> None:
+        """Invalidate every cached line (hit/miss counters survive)."""
+        self._lines.clear()
+
     def lookup(self, line_addr: int) -> bool:
         """Touch ``line_addr``; returns True on hit."""
         if line_addr in self._lines:

@@ -621,6 +621,35 @@ class ProtoAccelerator:
         self._deser_arena.reset()
         self._ser_arena.reset()
 
+    # -- pure-charging call windows ---------------------------------------------
+
+    def begin_pure_call(self) -> int:
+        """Open a *pure-charging* call window: flush both unit TLBs and
+        return a heap mark for :meth:`end_pure_call`.
+
+        Inside the window, cycle charging is a pure function of the
+        operation's inputs.  Wire buffers and object images land at the
+        same addresses on every call (the heap rolls back at window
+        close) and PTW penalties restart from a cold TLB, so neither
+        prior traffic nor allocator drift can perturb the bill.  The
+        serving fabric uses this to guarantee that shard placement and
+        call order never change cycles (docs/SERVING.md)."""
+        self.deserializer._tlb.flush()
+        self.deserializer._adt_cache.flush()
+        self.serializer._tlb.flush()
+        return self.memory.heap_top
+
+    def end_pure_call(self, mark: int) -> None:
+        """Close a pure-charging window: reclaim the arenas and roll
+        the software heap (wire buffers, object images) back to
+        ``mark``.  If an arena was renewed inside the window the heap
+        is left alone -- the live arena sits above the mark."""
+        self.reset_arenas()
+        if (self._deser_arena.base >= mark
+                or self._ser_arena.data_base >= mark):
+            return
+        self.memory.heap_release(mark)
+
     def throughput_gbps(self, payload_bytes: int, cycles: float) -> float:
         """Convert an operation's byte count and cycles to Gbit/s."""
         return self.config.gbits_per_second(payload_bytes, cycles)

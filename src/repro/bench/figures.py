@@ -13,6 +13,7 @@ from repro.bench.microbench import alloc_bench_names, nonalloc_bench_names
 from repro.bench.report import (
     ascii_bar_chart,
     fault_degradation_table,
+    fleet_table,
     format_results_table,
     geomean,
     serving_table,
@@ -310,6 +311,36 @@ def serving(interarrivals: tuple[float, ...] = SERVING_INTERARRIVALS,
     return table
 
 
+#: Offered-load points for the fleet sweep (mean cycles between
+#: arrivals, hottest last) and the shard counts swept at each point.
+FLEET_INTERARRIVALS = (2_000.0, 1_000.0, 500.0, 300.0)
+FLEET_SHARDS = (1, 2, 4)
+
+
+def fleet(shard_counts: tuple[int, ...] = FLEET_SHARDS,
+          interarrivals: tuple[float, ...] = FLEET_INTERARRIVALS,
+          messages: int = 500, workload: str = "echo",
+          seed: int = 424242) -> str:
+    """Fabric scaling: p99 and shed rate vs offered load, per shard count.
+
+    Replays the same seeded open-loop arrival sequence through 1, 2,
+    and 4 fabric shards (docs/SERVING.md, fabric section).  Per-call
+    cycle charging is bit-identical across shard counts under the
+    pure-charging serving discipline, so everything the figure shows --
+    falling p99, collapsing shed rate -- is pure queueing relief, not
+    accounting drift.
+    """
+    from repro.serve import FleetReplaySpec, sweep_fleet
+    spec = FleetReplaySpec(messages=messages, workload=workload,
+                           seed=seed)
+    rows = sweep_fleet(shard_counts, interarrivals, spec)
+    table = fleet_table(rows)
+    table += ("\n\nsame seeded call sequence at every load point; "
+              "per-call charging bit-identical across shard counts "
+              "(tests/serve/test_fleet_replay.py)")
+    return table
+
+
 def section53() -> str:
     """ASIC frequency/area with per-component breakdowns."""
     model = AsicModel()
@@ -343,4 +374,5 @@ ALL_FIGURES = {
     "sec5.3": section53,
     "faults": fault_degradation,
     "serving": serving,
+    "fleet": fleet,
 }

@@ -143,6 +143,51 @@ def serving_table(rows: Sequence[dict], width: int = 40) -> str:
     return "\n".join(lines)
 
 
+def fleet_table(rows: Sequence[dict], width: int = 40) -> str:
+    """Render the sharded-fabric fleet-replay sweep.
+
+    ``rows`` come from :func:`repro.serve.replay.sweep_fleet`: one dict
+    per (offered load, shard count) point, grouped by load with shard
+    counts ascending.  The scaling story: at a fixed offered load,
+    adding shards drains queueing -- p99 falls and the shed rate
+    collapses -- while per-call cycle charging stays bit-identical
+    under the pure-charging serving discipline
+    (``tests/serve/test_fleet_replay.py``).
+    """
+    if not rows:
+        raise ValueError("no fleet sweep rows to render")
+    header = (f"{'interarrival':>12} {'shards':>6} {'offered':>8} "
+              f"{'ok':>6} {'shed %':>7} {'p50 cyc':>9} {'p99 cyc':>9} "
+              f"{'thr/Mcyc':>9} {'rerouted':>8} {'wdog':>5}")
+    lines = [f"fleet replay sweep ({rows[0]['workload']} workload, "
+             "open-loop arrivals, hottest load last)",
+             header, "-" * len(header)]
+    previous_load = None
+    for row in rows:
+        if (previous_load is not None
+                and row["interarrival_cycles"] != previous_load):
+            lines.append("")
+        previous_load = row["interarrival_cycles"]
+        lines.append(
+            f"{row['interarrival_cycles']:>12.0f} {row['shards']:>6} "
+            f"{row['offered']:>8,} {row['succeeded']:>6,} "
+            f"{row['shed_rate'] * 100:>6.1f}% "
+            f"{row['p50_cycles']:>9.0f} {row['p99_cycles']:>9.0f} "
+            f"{row['throughput_per_mcycle']:>9.1f} "
+            f"{row['fallback_routes']:>8,} {row['watchdog_aborts']:>5,}")
+    hottest = min(row["interarrival_cycles"] for row in rows)
+    hot = [row for row in rows if row["interarrival_cycles"] == hottest]
+    peak = max(row["p99_cycles"] for row in hot)
+    lines.append("")
+    lines.append(f"p99 at the hottest load (interarrival {hottest:.0f}):")
+    for row in hot:
+        share = row["p99_cycles"] / peak if peak else 0.0
+        bar = "*" * max(1, round(share * width))
+        lines.append(f"{row['shards']:>4} shard(s) {bar} "
+                     f"{row['p99_cycles']:,.0f} cyc")
+    return "\n".join(lines)
+
+
 def speedup_summary(results: Sequence[BenchmarkResult]) -> dict[str, float]:
     """Geomean accelerator speedups vs each baseline (the paper's
     headline "NxM" numbers)."""

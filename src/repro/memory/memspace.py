@@ -91,6 +91,21 @@ class SimMemory:
     def heap_top(self) -> int:
         return self._brk
 
+    def heap_release(self, mark: int) -> None:
+        """Roll the bump heap back to ``mark`` (a prior ``heap_top``).
+
+        Regions handed out after the mark are forgotten and their
+        addresses re-issued to later allocations.  Callers own the
+        lifetime argument: nothing may still reference the released
+        regions.  Stale decode-cache entries are safe -- any rewrite of
+        a re-issued region flushes overlapping entries.
+        """
+        if not BASE_ADDRESS <= mark <= self._brk:
+            raise ValueError(
+                f"heap mark {mark:#x} outside [{BASE_ADDRESS:#x}, "
+                f"{self._brk:#x}]")
+        self._brk = mark
+
     # -- raw access -----------------------------------------------------------
 
     def _check(self, addr: int, length: int) -> None:

@@ -22,14 +22,42 @@ from repro.serve.breaker import (
     HealthMonitor,
     HealthState,
 )
-from repro.serve.errors import DeadlineExceeded, Overloaded
+from repro.serve.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    TenantOverloaded,
+)
+from repro.serve.fabric import FabricPolicy, FabricShard, ServingFabric
 from repro.serve.hedging import HedgePolicy
 from repro.serve.queue import AdmissionPolicy, AdmissionQueue
+from repro.serve.replay import (
+    REPLAY_SERVE_POLICY,
+    FleetReplaySpec,
+    ReplayCall,
+    build_fleet_fabric,
+    build_fleet_server,
+    generate_calls,
+    replay_through_fabric,
+    replay_through_server,
+    sweep_fleet,
+)
+from repro.serve.router import (
+    ConsistentHashRouter,
+    RouterPolicy,
+    ShardView,
+    least_loaded_fallback,
+)
 from repro.serve.server import (
+    DEFAULT_TENANT,
     CallOutcome,
     ResilientServer,
     ServePolicy,
     ServeStats,
+)
+from repro.serve.tenants import (
+    TenantAccount,
+    TenantPolicy,
+    TenantRegistry,
 )
 from repro.serve.watchdog import FsmWatchdog
 from repro.serve.workload import (
@@ -46,17 +74,37 @@ __all__ = [
     "BreakerState",
     "CallOutcome",
     "CircuitBreaker",
+    "ConsistentHashRouter",
+    "DEFAULT_TENANT",
     "DeadlineExceeded",
+    "FabricPolicy",
+    "FabricShard",
+    "FleetReplaySpec",
     "FsmWatchdog",
     "HealthMonitor",
     "HealthState",
     "HedgePolicy",
     "Overloaded",
+    "REPLAY_SERVE_POLICY",
+    "ReplayCall",
     "ResilientServer",
+    "RouterPolicy",
     "ServePolicy",
     "ServeStats",
+    "ServingFabric",
     "ServingWorkloadSpec",
+    "ShardView",
+    "TenantAccount",
+    "TenantOverloaded",
+    "TenantPolicy",
+    "TenantRegistry",
     "build_echo_server",
+    "build_fleet_fabric",
+    "build_fleet_server",
+    "generate_calls",
+    "least_loaded_fallback",
+    "replay_through_fabric",
+    "replay_through_server",
     "run_serving",
-    "sweep_offered_load",
+    "sweep_fleet",
 ]

@@ -20,6 +20,22 @@ class Overloaded(RpcError):
         super().__init__(message, method=method, site="serve.queue")
 
 
+class TenantOverloaded(RpcError):
+    """The tenant's own admission budget was exhausted: the call was
+    shed at the fabric front door, before any shard queue was touched.
+
+    Distinct from :class:`Overloaded` (a *shard* queue full) so the
+    isolation story is visible in the error taxonomy: a tenant at 10x
+    its budget sees ``serve.tenant`` sheds while other tenants' calls
+    keep flowing (docs/SERVING.md, fabric section).
+    """
+
+    def __init__(self, message: str, *, method: str | None = None,
+                 tenant: str | None = None):
+        super().__init__(message, method=method, site="serve.tenant")
+        self.tenant = tenant
+
+
 class DeadlineExceeded(RpcError):
     """The call's cycle budget ran out before a result was produced.
 

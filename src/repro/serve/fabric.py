@@ -1,0 +1,201 @@
+"""The sharded multi-tenant serving fabric.
+
+One :class:`ServingFabric` is the fleet-shaped front end the paper's
+Section 3 numbers imply: N independent shards -- each a full
+:class:`~repro.serve.server.ResilientServer` with its own admission
+queue, circuit breakers, watchdogs, and tile pool -- behind a
+deterministic router.  Per call:
+
+1. **Tenant budget** (:mod:`repro.serve.tenants`) -- the tenant's
+   fabric-wide in-flight budget is checked first; an over-budget
+   arrival is shed with :class:`~repro.serve.errors.TenantOverloaded`
+   for zero cycles and zero shard-queue occupancy, so one tenant's
+   overload sheds that tenant, not the fleet.
+2. **Routing** (:mod:`repro.serve.router`) -- consistent hash of the
+   tenant id picks the primary shard; if that shard is fully
+   quarantined (every tile breaker OPEN) the least-loaded fallback
+   re-routes by health tier first, load second.
+3. **Shard serve** -- the shard's own PR 3 machinery (admission,
+   deadline gating, breakers, failover, watchdog, fit-gated host
+   fallback) runs unchanged, so the per-call latency bound
+   ``deadline + watchdog_budget`` survives the extra routing layer
+   (``tests/serve/test_fabric_watchdog.py``).
+
+Shard count must never change semantics or cycle charging: a fixed
+replay through 1, 2, and 4 shards is bit-identical -- per-message
+responses and accelerator cycles -- to a single
+:class:`~repro.serve.server.ResilientServer`
+(``tests/serve/test_fleet_replay.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.proto.descriptor import ServiceDescriptor
+from repro.serve.errors import TenantOverloaded
+from repro.serve.router import (
+    ConsistentHashRouter,
+    RouterPolicy,
+    ShardView,
+    least_loaded_fallback,
+)
+from repro.serve.server import (
+    CallOutcome,
+    ResilientServer,
+    ServePolicy,
+    ServeStats,
+)
+from repro.serve.tenants import TenantPolicy, TenantRegistry
+
+
+@dataclass(frozen=True)
+class FabricPolicy:
+    """Every knob of the fabric, in one bundle."""
+
+    #: Independent shards; each gets ``serve.tiles`` tiles of its own.
+    shards: int = 2
+    #: Per-shard serving policy (admission, breakers, watchdog, tiles).
+    serve: ServePolicy = field(default_factory=ServePolicy)
+    router: RouterPolicy = field(default_factory=RouterPolicy)
+    #: Budget applied to tenants registered without an explicit one.
+    default_budget: TenantPolicy = field(default_factory=TenantPolicy)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
+
+
+class FabricShard:
+    """One shard: index + its resilient server."""
+
+    def __init__(self, index: int, policy: FabricPolicy):
+        self.index = index
+        serve = policy.serve
+        plan = serve.fault_plan
+        if plan is not None and plan.enabled():
+            # Decorrelate the shards' fault campaigns exactly like the
+            # per-tile derivation inside each server.
+            serve = dataclasses.replace(
+                serve, fault_plan=plan.derive("fabric.shard", str(index)))
+        self.server = ResilientServer(policy=serve)
+
+    def view(self, now: float) -> ShardView:
+        return ShardView(
+            index=self.index,
+            breaker_states=tuple(t.breaker.state
+                                 for t in self.server.tiles),
+            load=self.server.load(now))
+
+
+class ServingFabric:
+    """Consistent-hash-routed, budget-isolated serving over N shards."""
+
+    def __init__(self, policy: FabricPolicy | None = None):
+        self.policy = policy or FabricPolicy()
+        self.shards = [FabricShard(i, self.policy)
+                       for i in range(self.policy.shards)]
+        self.router = ConsistentHashRouter(
+            [s.index for s in self.shards], self.policy.router)
+        self.registry = TenantRegistry()
+        #: Calls the fabric shed at the tenant budget, per tenant (also
+        #: folded into each tenant's ServeStats as ``shed``).
+        self.tenant_sheds: dict[str, int] = {}
+        #: (tenant, primary_shard, fallback_shard) for every re-route.
+        self.fallback_routes: list[tuple[str, int, int]] = []
+
+    # -- wiring -----------------------------------------------------------------
+
+    def add_tenant(self, tenant: str, service: ServiceDescriptor,
+                   budget: TenantPolicy | None = None) -> None:
+        """Register one tenant fleet-wide: its schema is pushed to every
+        shard (any shard may serve it after a fallback re-route)."""
+        self.registry.add(tenant, service,
+                          budget or self.policy.default_budget)
+        self.tenant_sheds[tenant] = 0
+        for shard in self.shards:
+            shard.server.attach_tenant(tenant, service)
+
+    def register(self, tenant: str, method_name: str, handler) -> None:
+        """Attach one method handler for ``tenant`` on every shard."""
+        self.registry.account(tenant)  # validates registration
+        for shard in self.shards:
+            shard.server.register(method_name, handler, tenant=tenant)
+
+    def tenant_stats(self, tenant: str) -> ServeStats:
+        """The tenant's fabric-level ledger (includes budget sheds,
+        which never reach a shard)."""
+        return self.registry.account(tenant).stats
+
+    @property
+    def stats(self) -> ServeStats:
+        """Fleet aggregate, folded from the per-tenant ledgers."""
+        total = ServeStats()
+        for account in self.registry:
+            stats = account.stats
+            total.offered += stats.offered
+            total.shed += stats.shed
+            total.expired += stats.expired
+            total.faulted += stats.faulted
+            total.succeeded += stats.succeeded
+            total.accel_cycles += stats.accel_cycles
+            total.cpu_cycles += stats.cpu_cycles
+            total.latencies.extend(stats.latencies)
+        return total
+
+    @property
+    def watchdog_aborts(self) -> int:
+        return sum(s.server.watchdog_aborts for s in self.shards)
+
+    # -- routing ----------------------------------------------------------------
+
+    def route(self, tenant: str) -> int:
+        """The tenant's primary shard (pure consistent hash)."""
+        return self.router.route(tenant)
+
+    def routing_table(self) -> dict[str, int]:
+        return self.router.table(self.registry.tenants)
+
+    def _pick_shard(self, tenant: str, now: float) -> FabricShard:
+        primary = self.shards[self.router.route(tenant)]
+        views = [s.view(now) for s in self.shards]
+        if not views[primary.index].quarantined:
+            return primary
+        fallback = least_loaded_fallback(views,
+                                         exclude=(primary.index,))
+        if fallback is None or self.shards[fallback].view(now).quarantined:
+            # Nowhere healthier to go: let the primary shard's own
+            # machinery (host fallback, structured failure) decide.
+            return primary
+        self.fallback_routes.append((tenant, primary.index, fallback))
+        return self.shards[fallback]
+
+    # -- the call path ----------------------------------------------------------
+
+    def call(self, tenant: str, method_name: str, request_bytes: bytes,
+             at: float = 0.0) -> CallOutcome:
+        """Serve one tenant call arriving at cycle ``at``; never raises
+        on overload/faults -- every terminal condition is a structured
+        :class:`~repro.serve.server.CallOutcome`."""
+        account = self.registry.account(tenant)
+        full = account.service.full_method_name(method_name)
+        if not account.admit(at):
+            outcome = CallOutcome(
+                status="shed", arrival=at, completed_at=at,
+                error=TenantOverloaded(
+                    f"tenant {tenant!r} at its in-flight budget "
+                    f"({account.policy.max_inflight})",
+                    method=full, tenant=tenant),
+                tenant=tenant)
+            self.tenant_sheds[tenant] += 1
+            account.fold(outcome)
+            return outcome
+        shard = self._pick_shard(tenant, at)
+        outcome = shard.server.call(method_name, request_bytes, at=at,
+                                    tenant=tenant)
+        outcome.shard = shard.index
+        outcome.tenant = tenant
+        account.note_completion(outcome.completed_at)
+        account.fold(outcome)
+        return outcome

@@ -1,0 +1,134 @@
+"""Tenant-to-shard routing for the serving fabric.
+
+Two deterministic, side-effect-free policies compose here:
+
+* **Consistent hashing** (:class:`ConsistentHashRouter`) -- every shard
+  contributes ``vnodes`` points to a hash ring (blake2b over
+  ``seed:shard:replica``, so nothing depends on ``PYTHONHASHSEED``);
+  a tenant routes to the owner of the first ring point at or after its
+  own hash.  The classic stability property holds by construction:
+  removing one shard deletes only that shard's points, so every tenant
+  that routed *elsewhere* keeps its assignment -- only the removed
+  shard's tenants remap (property-checked in
+  ``tests/serve/test_router.py``).
+* **Least-loaded fallback** (:func:`least_loaded_fallback`) -- when the
+  primary shard is quarantined (every tile breaker OPEN), the fabric
+  re-routes by health tier first, load second: a shard with a CLOSED
+  breaker always outranks one with only HALF_OPEN probes, which
+  outranks a fully-OPEN shard.  The fallback therefore *never* selects
+  an all-OPEN shard while any shard still has a CLOSED breaker.
+
+Both pieces are pure functions of their inputs so Hypothesis can drive
+them directly; the fabric merely feeds them live shard state.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+
+from repro.serve.breaker import BreakerState
+
+
+def _hash64(material: str) -> int:
+    """Stable 64-bit hash (independent of interpreter hash seeds)."""
+    digest = hashlib.blake2b(material.encode("utf-8"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class RouterPolicy:
+    """Ring construction knobs."""
+
+    #: Virtual nodes per shard; more vnodes = smoother tenant spread.
+    vnodes: int = 64
+    #: Mixed into every ring/tenant hash; same seed + same shard set
+    #: => identical ring, hence identical routing table.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+
+
+class ConsistentHashRouter:
+    """Immutable consistent-hash ring over a set of shard ids."""
+
+    def __init__(self, shard_ids, policy: RouterPolicy | None = None):
+        self.policy = policy or RouterPolicy()
+        self.shard_ids = tuple(sorted(set(shard_ids)))
+        if not self.shard_ids:
+            raise ValueError("need at least one shard")
+        points: list[tuple[int, int]] = []
+        for shard in self.shard_ids:
+            for replica in range(self.policy.vnodes):
+                point = _hash64(
+                    f"{self.policy.seed}:shard:{shard}:{replica}")
+                points.append((point, shard))
+        # Sort by (point, shard): shard id breaks the (vanishingly
+        # rare) point collision deterministically.
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def route(self, tenant: str) -> int:
+        """The shard owning ``tenant``: first ring point at or after the
+        tenant's hash, wrapping past the top of the ring."""
+        h = _hash64(f"{self.policy.seed}:tenant:{tenant}")
+        i = bisect.bisect_left(self._points, h)
+        if i == len(self._points):
+            i = 0
+        return self._owners[i]
+
+    def without(self, shard_id: int) -> "ConsistentHashRouter":
+        """A new router with ``shard_id``'s ring points removed."""
+        remaining = [s for s in self.shard_ids if s != shard_id]
+        return ConsistentHashRouter(remaining, self.policy)
+
+    def table(self, tenants) -> dict[str, int]:
+        """The full tenant -> shard routing table."""
+        return {tenant: self.route(tenant) for tenant in tenants}
+
+
+@dataclass(frozen=True)
+class ShardView:
+    """A snapshot of one shard's routability, as the router sees it."""
+
+    index: int
+    breaker_states: tuple[BreakerState, ...]
+    #: Instantaneous load signal (queued calls + tile backlog); see
+    #: :meth:`repro.serve.server.ResilientServer.load`.
+    load: float = 0.0
+
+    def health_tier(self) -> int:
+        """0 = has a CLOSED breaker, 1 = probing (HALF_OPEN only),
+        2 = fully quarantined (every breaker OPEN)."""
+        if any(s is BreakerState.CLOSED for s in self.breaker_states):
+            return 0
+        if any(s is BreakerState.HALF_OPEN for s in self.breaker_states):
+            return 1
+        return 2
+
+    @property
+    def quarantined(self) -> bool:
+        return self.health_tier() == 2
+
+
+def least_loaded_fallback(views, exclude=()) -> int | None:
+    """Pick the fallback shard: best health tier, then least loaded,
+    then lowest index (fully deterministic).
+
+    Because ranking is by health tier *first*, an all-OPEN shard can
+    only win when every candidate is all-OPEN -- the ISSUE property
+    "never routes to an OPEN-breaker shard while a CLOSED one exists"
+    holds by construction.  Returns ``None`` when no candidates remain.
+    """
+    excluded = set(exclude)
+    candidates = [v for v in views if v.index not in excluded]
+    if not candidates:
+        return None
+    best = min(candidates,
+               key=lambda v: (v.health_tier(), v.load, v.index))
+    return best.index

@@ -84,6 +84,14 @@ class ServePolicy:
     host_fallback: bool = True
     #: Shared-uncore contention model for concurrent hedged attempts.
     contention: MultiTileModel | None = None
+    #: Pure cycle charging: wrap every accelerator attempt in a
+    #: device-state window (TLB flush + heap rollback; see
+    #: ProtoAccelerator.begin_pure_call) so each call's cycles are a
+    #: pure function of its request bytes.  This is what lets the
+    #: serving fabric promise that shard count and call order never
+    #: change charging (tests/serve/test_fleet_replay.py).  Off by
+    #: default: the PR 3/4 baselines keep warm-TLB semantics.
+    stateless_tiles: bool = False
     #: Host execution tier for each tile's accelerator ("codegen",
     #: "batch", or "interp").  Modeled cycles are identical on all
     #: tiers; codegen/batch only speed up the simulation host ("batch"
@@ -151,6 +159,10 @@ class CallOutcome:
     error: RpcError | None = None
     response: bytes | None = None
     health: HealthState = HealthState.HEALTHY
+    #: Filled by the fabric layer: which shard served the call and on
+    #: behalf of which tenant (None outside the fabric).
+    shard: int | None = None
+    tenant: str | None = None
 
     @property
     def latency_cycles(self) -> float:
@@ -219,20 +231,71 @@ class _Attempt:
     fault: BaseException | None = None
 
 
-class ResilientServer:
-    """Deadline-aware, breaker-guarded RPC serving over tiles."""
+#: Tenant id used by the single-service constructor/call signatures, so
+#: pre-fabric callers never have to name a tenant.
+DEFAULT_TENANT = "default"
 
-    def __init__(self, service: ServiceDescriptor,
+
+@dataclass
+class _TenantBinding:
+    """One tenant's schema registry slice on this server: its service,
+    its handlers, and its private accounting."""
+
+    tenant: str
+    service: ServiceDescriptor
+    handlers: dict = field(default_factory=dict)
+    stats: ServeStats = field(default_factory=ServeStats)
+
+
+class ResilientServer:
+    """Deadline-aware, breaker-guarded RPC serving over tiles.
+
+    One server is one *shard* of the fabric (:mod:`repro.serve.fabric`):
+    it owns its admission queue, breakers, watchdogs, and tile pool, and
+    serves any number of tenants, each with its own attached service
+    (per-tenant schema registry) and per-tenant stats.  The single-
+    service constructor keeps the pre-fabric API: ``ResilientServer(
+    service, policy)`` binds ``service`` under :data:`DEFAULT_TENANT`.
+    """
+
+    def __init__(self, service: ServiceDescriptor | None = None,
                  policy: ServePolicy | None = None):
-        self.service = service
         self.policy = policy or ServePolicy()
         self.queue = AdmissionQueue(self.policy.admission)
         self.tiles = [Tile(i, self.policy)
                       for i in range(self.policy.tiles)]
         self.health = HealthMonitor([t.breaker for t in self.tiles])
         self.stats = ServeStats()
-        self._handlers: dict[str, object] = {}
+        self._tenants: dict[str, _TenantBinding] = {}
         self._host_cpu = None
+        if service is not None:
+            self.attach_tenant(DEFAULT_TENANT, service)
+
+    # -- wiring -----------------------------------------------------------------
+
+    @property
+    def service(self) -> ServiceDescriptor:
+        """The default tenant's service (pre-fabric single-service API)."""
+        return self._binding(DEFAULT_TENANT).service
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(self._tenants)
+
+    def _binding(self, tenant: str) -> _TenantBinding:
+        try:
+            return self._tenants[tenant]
+        except KeyError:
+            raise RpcError(f"tenant {tenant!r} is not attached",
+                           site="serve.tenant") from None
+
+    def attach_tenant(self, tenant: str,
+                      service: ServiceDescriptor) -> None:
+        """Bind one tenant's service: register its message types on
+        every tile and open its private stats ledger."""
+        if tenant in self._tenants:
+            raise ValueError(f"tenant {tenant!r} already attached")
+        self._tenants[tenant] = _TenantBinding(tenant, service)
         descriptors = []
         for method in service.methods:
             for descriptor in (method.input_descriptor,
@@ -242,12 +305,15 @@ class ResilientServer:
         for tile in self.tiles:
             tile.accel.register_types(descriptors)
 
-    # -- wiring -----------------------------------------------------------------
+    def tenant_stats(self, tenant: str) -> ServeStats:
+        return self._binding(tenant).stats
 
-    def register(self, method_name: str, handler) -> None:
+    def register(self, method_name: str, handler,
+                 tenant: str = DEFAULT_TENANT) -> None:
         """Attach the application function implementing one method."""
-        self.service.method(method_name)  # validates existence
-        self._handlers[method_name] = handler
+        binding = self._binding(tenant)
+        binding.service.method(method_name)  # validates existence
+        binding.handlers[method_name] = handler
 
     def _host(self):
         if self._host_cpu is None:
@@ -259,46 +325,57 @@ class ResilientServer:
     def watchdog_aborts(self) -> int:
         return sum(t.accel.watchdog.aborts for t in self.tiles)
 
+    def load(self, now: float) -> float:
+        """Instantaneous load signal for least-loaded routing: queued
+        calls plus the tiles' remaining busy cycles, normalised by the
+        watchdog budget so both terms are roughly "calls outstanding"."""
+        backlog = sum(max(0.0, t.free_at - now) for t in self.tiles)
+        return (self.queue.depth(now)
+                + backlog / self.policy.watchdog_budget_cycles)
+
     # -- the call path ----------------------------------------------------------
 
     def call(self, method_name: str, request_bytes: bytes,
-             at: float = 0.0) -> CallOutcome:
+             at: float = 0.0,
+             tenant: str = DEFAULT_TENANT) -> CallOutcome:
         """Serve one call arriving at cycle ``at``; never raises -- every
         terminal condition is a structured :class:`CallOutcome`."""
-        method = self.service.method(method_name)
-        full = self.service.full_method_name(method_name)
-        handler = self._handlers.get(method_name)
+        binding = self._binding(tenant)
+        method = binding.service.method(method_name)
+        full = binding.service.full_method_name(method_name)
+        handler = binding.handlers.get(method_name)
         if handler is None:
             raise RpcError(f"method {method_name!r} is not implemented",
                            method=full, site="rpc.route")
 
-        self.stats.offered += 1
         if not self.queue.offer(at):
             return self._finish(CallOutcome(
                 status="shed", arrival=at, completed_at=at,
                 error=Overloaded(
                     f"admission queue full "
                     f"(depth {self.queue.policy.max_depth})", method=full),
-                health=self.health.state))
+                health=self.health.state), binding)
         deadline = self.queue.deadline(at)
         outcome = self._serve_admitted(method, full, handler,
                                        request_bytes, at, deadline)
-        return self._finish(outcome)
+        return self._finish(outcome, binding)
 
-    def _finish(self, outcome: CallOutcome) -> CallOutcome:
-        stats = self.stats
-        stats.accel_cycles += outcome.accel_cycles
-        stats.cpu_cycles += outcome.cpu_cycles
-        if outcome.status == "shed":
-            stats.shed += 1
-            return outcome
-        stats.latencies.append(outcome.latency_cycles)
-        if outcome.status == "ok":
-            stats.succeeded += 1
-        elif outcome.status == "expired":
-            stats.expired += 1
-        else:
-            stats.faulted += 1
+    def _finish(self, outcome: CallOutcome,
+                binding: _TenantBinding) -> CallOutcome:
+        for stats in (self.stats, binding.stats):
+            stats.offered += 1
+            stats.accel_cycles += outcome.accel_cycles
+            stats.cpu_cycles += outcome.cpu_cycles
+            if outcome.status == "shed":
+                stats.shed += 1
+                continue
+            stats.latencies.append(outcome.latency_cycles)
+            if outcome.status == "ok":
+                stats.succeeded += 1
+            elif outcome.status == "expired":
+                stats.expired += 1
+            else:
+                stats.faulted += 1
         return outcome
 
     def _serve_admitted(self, method, full: str, handler,
@@ -401,7 +478,28 @@ class ResilientServer:
                  stretch: float = 1.0) -> _Attempt:
         """Run deser -> handler -> ser on one tile, gating each stage
         start on the deadline.  ``stretch`` models shared-uncore
-        contention while a hedge race is in flight."""
+        contention while a hedge race is in flight.
+
+        With ``policy.stateless_tiles`` the attempt runs inside a
+        pure-charging device window: whatever the outcome (success,
+        fault, expiry), the tile's TLB and heap state at window close
+        is exactly what it was at open, so charging cannot depend on
+        which tile -- or which shard -- served the previous call."""
+        if not self.policy.stateless_tiles:
+            return self._run_attempt(tile, method, full, handler,
+                                     request_bytes, begin, deadline,
+                                     stretch)
+        mark = tile.accel.begin_pure_call()
+        try:
+            return self._run_attempt(tile, method, full, handler,
+                                     request_bytes, begin, deadline,
+                                     stretch)
+        finally:
+            tile.accel.end_pure_call(mark)
+
+    def _run_attempt(self, tile: Tile, method, full: str, handler,
+                     request_bytes: bytes, begin: float, deadline: float,
+                     stretch: float = 1.0) -> _Attempt:
         accel = tile.accel
         now = begin
         charged = 0.0

@@ -1,0 +1,114 @@
+"""Per-tenant admission budgets and the fabric-level tenant registry.
+
+The fabric's isolation claim -- one tenant's overload sheds *that
+tenant*, not the fleet -- rests on accounting admission per tenant
+before any shard queue is consulted:
+
+* :class:`TenantPolicy` bounds a tenant's *in-flight* calls across the
+  whole fabric (admitted at the fabric, not yet terminated on the
+  simulated clock).  An arrival past the budget is shed at the front
+  door with :class:`~repro.serve.errors.TenantOverloaded` -- zero
+  accelerator cycles, zero shard-queue occupancy, so a tenant at 10x
+  its budget cannot crowd a under-budget tenant out of the shard
+  queues (``tests/serve/test_fabric_isolation.py``).
+* :class:`TenantAccount` is the live ledger: the in-flight window plus
+  a per-tenant :class:`~repro.serve.server.ServeStats`, which extends
+  the PR 3 accounting invariant tenant by tenant
+  (``shed + failed + succeeded == offered``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.proto.descriptor import ServiceDescriptor
+from repro.serve.server import ServeStats
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's admission budget."""
+
+    #: Calls admitted at the fabric but not yet terminated; arrivals
+    #: past this bound are shed for this tenant only.
+    max_inflight: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+
+
+@dataclass
+class TenantAccount:
+    """The fabric's live ledger for one tenant."""
+
+    tenant: str
+    service: ServiceDescriptor
+    policy: TenantPolicy = field(default_factory=TenantPolicy)
+    stats: ServeStats = field(default_factory=ServeStats)
+    #: Termination cycles of admitted calls; an entry > now means that
+    #: call is still in flight at cycle ``now``.
+    _completions: list[float] = field(default_factory=list)
+
+    def inflight(self, now: float) -> int:
+        self._completions = [c for c in self._completions if c > now]
+        return len(self._completions)
+
+    def admit(self, now: float) -> bool:
+        """Budget check at arrival; does *not* record occupancy yet
+        (the caller notes the completion once the shard prices it)."""
+        return self.inflight(now) < self.policy.max_inflight
+
+    def note_completion(self, completed_at: float) -> None:
+        self._completions.append(completed_at)
+
+    def fold(self, outcome) -> None:
+        """Fold one terminal :class:`~repro.serve.server.CallOutcome`
+        into this tenant's fabric-level stats."""
+        stats = self.stats
+        stats.offered += 1
+        stats.accel_cycles += outcome.accel_cycles
+        stats.cpu_cycles += outcome.cpu_cycles
+        if outcome.status == "shed":
+            stats.shed += 1
+            return
+        stats.latencies.append(outcome.latency_cycles)
+        if outcome.status == "ok":
+            stats.succeeded += 1
+        elif outcome.status == "expired":
+            stats.expired += 1
+        else:
+            stats.faulted += 1
+
+
+class TenantRegistry:
+    """All tenants known to the fabric, keyed by tenant id."""
+
+    def __init__(self):
+        self._accounts: dict[str, TenantAccount] = {}
+
+    def add(self, tenant: str, service: ServiceDescriptor,
+            policy: TenantPolicy | None = None) -> TenantAccount:
+        if tenant in self._accounts:
+            raise ValueError(f"tenant {tenant!r} already registered")
+        account = TenantAccount(tenant, service,
+                                policy or TenantPolicy())
+        self._accounts[tenant] = account
+        return account
+
+    def account(self, tenant: str) -> TenantAccount:
+        try:
+            return self._accounts[tenant]
+        except KeyError:
+            raise KeyError(f"tenant {tenant!r} is not registered") \
+                from None
+
+    def __iter__(self):
+        return iter(self._accounts.values())
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(self._accounts)

@@ -45,6 +45,16 @@ class Tlb:
         #: returning an invalid PTE (a transient fault to software).
         self.faults = None
 
+    def flush(self) -> None:
+        """Drop every cached translation (cumulative stats survive).
+
+        Used by the serving layer's pure-charging call discipline: a
+        flushed TLB makes the next operation's PTW penalties a pure
+        function of the addresses it touches, with no dependence on
+        prior traffic.
+        """
+        self._map.clear()
+
     def translate(self, vaddr: int) -> tuple[int, int]:
         """Translate ``vaddr``; returns (paddr, penalty_cycles).
 

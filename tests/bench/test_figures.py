@@ -25,7 +25,8 @@ class TestFastFigures:
     def test_registry_complete(self):
         expected = {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
                     "fig11a", "fig11b", "fig11c", "fig11d", "sec5.1.3",
-                    "fig12", "fig13", "sec5.3", "faults", "serving"}
+                    "fig12", "fig13", "sec5.3", "faults", "serving",
+                    "fleet"}
         assert set(ALL_FIGURES) == expected
 
 

@@ -1,0 +1,130 @@
+"""Property tests for the fabric's consistent-hash router.
+
+Three load-bearing properties, Hypothesis-driven:
+
+* **Removal stability** -- taking one shard out of the ring remaps only
+  the tenants that were routed to it; everyone else keeps their shard.
+  This is the whole point of consistent hashing: shard loss must not
+  reshuffle the fleet.
+* **Fallback safety** -- the least-loaded fallback never picks a shard
+  whose breakers are all OPEN while a shard with a CLOSED breaker
+  exists; health tier dominates load.
+* **Determinism** -- the routing table is a pure function of (seed,
+  shard set, tenant set): two independently built routers agree
+  exactly, and routing never depends on query order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.breaker import BreakerState
+from repro.serve.router import (
+    ConsistentHashRouter,
+    RouterPolicy,
+    ShardView,
+    least_loaded_fallback,
+)
+
+_TENANTS = st.lists(
+    st.text(alphabet="abcdefghij-0123456789", min_size=1, max_size=12),
+    min_size=1, max_size=24, unique=True)
+
+_POLICIES = st.builds(
+    RouterPolicy,
+    vnodes=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**32 - 1))
+
+_SHARD_COUNTS = st.integers(min_value=2, max_value=8)
+
+
+@given(tenants=_TENANTS, policy=_POLICIES, shards=_SHARD_COUNTS,
+       data=st.data())
+@settings(max_examples=150)
+def test_removing_one_shard_remaps_only_its_tenants(tenants, policy,
+                                                    shards, data):
+    router = ConsistentHashRouter(list(range(shards)), policy)
+    before = router.table(tenants)
+    victim = data.draw(st.sampled_from(sorted(set(before.values()))))
+    after = router.without(victim).table(tenants)
+    for tenant in tenants:
+        if before[tenant] == victim:
+            assert after[tenant] != victim
+        else:
+            assert after[tenant] == before[tenant]
+
+
+@given(tenants=_TENANTS, policy=_POLICIES, shards=_SHARD_COUNTS)
+@settings(max_examples=100)
+def test_same_seed_and_tenants_identical_table(tenants, policy, shards):
+    ids = list(range(shards))
+    table = ConsistentHashRouter(ids, policy).table(tenants)
+    again = ConsistentHashRouter(ids, policy).table(tenants)
+    assert table == again
+    # Routing is per-tenant pure: query order cannot matter.
+    router = ConsistentHashRouter(ids, policy)
+    assert {t: router.route(t) for t in reversed(tenants)} == table
+
+
+@given(tenants=_TENANTS, shards=_SHARD_COUNTS,
+       seeds=st.tuples(st.integers(min_value=0, max_value=2**32 - 1),
+                       st.integers(min_value=0, max_value=2**32 - 1)))
+@settings(max_examples=50)
+def test_every_tenant_routes_to_a_real_shard(tenants, shards, seeds):
+    for seed in seeds:
+        router = ConsistentHashRouter(list(range(shards)),
+                                      RouterPolicy(seed=seed))
+        for tenant in tenants:
+            assert 0 <= router.route(tenant) < shards
+
+
+_STATES = st.sampled_from([BreakerState.CLOSED, BreakerState.OPEN,
+                           BreakerState.HALF_OPEN])
+
+_VIEWS = st.lists(
+    st.tuples(st.lists(_STATES, min_size=1, max_size=4),
+              st.floats(min_value=0.0, max_value=1e6, allow_nan=False)),
+    min_size=1, max_size=8)
+
+
+@given(views=_VIEWS)
+@settings(max_examples=200)
+def test_fallback_never_picks_all_open_while_closed_exists(views):
+    shard_views = [ShardView(index=i, breaker_states=tuple(states),
+                             load=load)
+                   for i, (states, load) in enumerate(views)]
+    chosen = least_loaded_fallback(shard_views)
+    has_closed = [v for v in shard_views
+                  if BreakerState.CLOSED in v.breaker_states]
+    if chosen is None:
+        assert not shard_views
+        return
+    if has_closed:
+        assert BreakerState.CLOSED in shard_views[chosen].breaker_states
+
+
+@given(views=_VIEWS, data=st.data())
+@settings(max_examples=100)
+def test_fallback_respects_exclusions(views, data):
+    shard_views = [ShardView(index=i, breaker_states=tuple(states),
+                             load=load)
+                   for i, (states, load) in enumerate(views)]
+    exclude = tuple(data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(shard_views) - 1))))
+    chosen = least_loaded_fallback(shard_views, exclude=exclude)
+    if len(exclude) == len(shard_views):
+        assert chosen is None
+    else:
+        assert chosen is not None and chosen not in exclude
+
+
+@given(views=_VIEWS)
+@settings(max_examples=100)
+def test_fallback_prefers_lower_load_within_a_tier(views):
+    shard_views = [ShardView(index=i, breaker_states=tuple(states),
+                             load=load)
+                   for i, (states, load) in enumerate(views)]
+    chosen = least_loaded_fallback(shard_views)
+    winner = shard_views[chosen]
+    same_tier = [v for v in shard_views
+                 if v.health_tier() == winner.health_tier()]
+    assert winner.load == min(v.load for v in same_tier)
