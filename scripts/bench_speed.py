@@ -31,7 +31,11 @@ fleet replay (Section 3 message-size and schema-mix distributions, plus
 the echo acceptance workload) through 1, 2, and 4 fabric shards at each
 offered-load point, writing shed/p99/throughput curves per shard count
 to ``BENCH_fleet.json`` and failing if the echo curves are not monotone
-in shard count.
+in shard count.  Adding ``--resize`` also replays each load point
+across an online 2 -> 3 shard resize and fails unless zero calls are
+dropped (per-tenant accounting identity) and unmoved tenants' per-call
+charging is bit-identical to the no-resize replay (docs/SERVING.md,
+resharding section).
 
 ``--check-regression`` compares the optimised run's wall-clock against
 the committed baseline (``BENCH_harness.json`` by default) and fails on
@@ -215,6 +219,10 @@ def run_fleet_bench(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - start
 
     status = _check_fleet_scaling(rows_by_workload["echo"])
+    resize_rows = []
+    if args.resize:
+        resize_rows = _run_resize_replays(messages, interarrivals)
+        status = max(status, _check_resize_invariants(resize_rows))
     output = args.output
     if output == REPO / "BENCH_harness.json":
         output = REPO / "BENCH_fleet.json"
@@ -226,6 +234,7 @@ def run_fleet_bench(args: argparse.Namespace) -> int:
         "wall_seconds": elapsed,
         "echo_rows": rows_by_workload["echo"],
         "fleet_rows": rows_by_workload["fleet"],
+        "resize_rows": resize_rows,
     }
     output.write_text(json.dumps(payload, indent=2) + "\n",
                       encoding="utf-8")
@@ -235,7 +244,83 @@ def run_fleet_bench(args: argparse.Namespace) -> int:
         if baseline_path == REPO / "BENCH_harness.json":
             baseline_path = REPO / "BENCH_fleet.json"
         status = max(status, _check_fleet_regression(
-            args, baseline_path, rows_by_workload["echo"]))
+            args, baseline_path, rows_by_workload["echo"],
+            resize_rows))
+    return status
+
+
+#: Tenants in the --resize replay: wide enough that a 2 -> 3 resize
+#: splits the fleet into non-empty moved AND unmoved sets.
+RESIZE_TENANTS = 8
+
+
+def _run_resize_replays(messages: int, interarrivals) -> list[dict]:
+    """The --resize figure: the seeded replay across a 2 -> 3 shard
+    grow event fired one third of the way in, compared per tenant
+    against the no-resize replay of the identical call sequence."""
+    from repro.bench.report import resize_table
+    from repro.serve import (
+        REPLAY_SERVE_POLICY,
+        FabricPolicy,
+        FleetReplaySpec,
+        ResizeEvent,
+        build_fleet_fabric,
+        generate_calls,
+        replay_through_fabric,
+        resize_row,
+        run_resize_replay,
+    )
+
+    rows = []
+    events = [ResizeEvent(at_call=max(1, messages // 3), action="add")]
+    for workload in ("echo", "fleet"):
+        for interarrival in interarrivals:
+            spec = FleetReplaySpec(
+                messages=messages, workload=workload,
+                tenants=RESIZE_TENANTS,
+                interarrival_cycles=float(interarrival))
+            static = build_fleet_fabric(
+                FabricPolicy(shards=2, serve=REPLAY_SERVE_POLICY), spec)
+            baseline = replay_through_fabric(static,
+                                             generate_calls(spec))
+            report = run_resize_replay(spec, base_shards=2,
+                                       events=events)
+            rows.append(resize_row(spec, report, baseline))
+    print(resize_table(rows))
+    print()
+    return rows
+
+
+def _check_resize_invariants(resize_rows: list[dict]) -> int:
+    """The resize acceptance gate, exact by construction: zero dropped
+    calls (the per-tenant identity closes), non-trivial tenant split,
+    and unmoved tenants bit-identical to the no-resize replay."""
+    status = 0
+    for row in resize_rows:
+        point = (f"{row['workload']} @ interarrival "
+                 f"{row['interarrival_cycles']:.0f}")
+        accounted = (row["shed"] + row["failed"] + row["succeeded"]
+                     + row["migrated"])
+        if accounted != row["offered"]:
+            print(f"ERROR: resize dropped calls at {point}: "
+                  f"{accounted} accounted != {row['offered']} offered")
+            status = 1
+        if not row["accounting_identity_ok"]:
+            print(f"ERROR: per-tenant accounting identity broken at "
+                  f"{point}")
+            status = 1
+        if not row["moved_tenants"] or not row["unmoved_tenants"]:
+            print(f"ERROR: resize split degenerate at {point}: "
+                  f"moved={row['moved_tenants']} "
+                  f"unmoved={row['unmoved_tenants']}")
+            status = 1
+        if not row["unmoved_bit_identical"]:
+            print(f"ERROR: unmoved tenants' charging diverged from the "
+                  f"no-resize replay at {point}")
+            status = 1
+    if status == 0:
+        print(f"resize gate: {len(resize_rows)} resized replays -- "
+              "zero drops, unmoved tenants bit-identical")
     return status
 
 
@@ -274,10 +359,13 @@ def _check_fleet_scaling(echo_rows: list[dict]) -> int:
 
 
 def _check_fleet_regression(args: argparse.Namespace, baseline_path: Path,
-                            echo_rows: list[dict]) -> int:
+                            echo_rows: list[dict],
+                            resize_rows: list[dict] | None = None) -> int:
     """Gate the echo curves against the committed BENCH_fleet.json:
     fail when p99 worsens or throughput drops more than the threshold
-    at any (load, shards) point the baseline also measured."""
+    at any (load, shards) point the baseline also measured.  When both
+    this run and the baseline carry resized replays, the resized p99 is
+    gated the same way per (workload, load) point."""
     try:
         baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     except (OSError, ValueError):
@@ -318,6 +406,26 @@ def _check_fleet_regression(args: argparse.Namespace, baseline_path: Path,
     elif status == 0:
         print(f"regression check: {checked} echo points within "
               f"{args.regression_threshold:.0%} of baseline")
+    base_resize = {(row["workload"], row["interarrival_cycles"]): row
+                   for row in baseline.get("resize_rows", [])}
+    resized_checked = 0
+    for row in resize_rows or []:
+        base = base_resize.get((row["workload"],
+                                row["interarrival_cycles"]))
+        if base is None:
+            continue
+        resized_checked += 1
+        point = (f"resized {row['workload']} at interarrival "
+                 f"{row['interarrival_cycles']:.0f}")
+        if row["p99_cycles"] > base["p99_cycles"] * (
+                1.0 + args.regression_threshold):
+            print(f"ERROR: p99 {row['p99_cycles']:.0f} regressed more "
+                  f"than {args.regression_threshold:.0%} over baseline "
+                  f"{base['p99_cycles']:.0f} at {point}")
+            status = 1
+    if resized_checked and status == 0:
+        print(f"regression check: {resized_checked} resized points "
+              f"within {args.regression_threshold:.0%} of baseline")
     return status
 
 
@@ -590,6 +698,11 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--fleet", action="store_true",
                         help="run the sharded-fabric fleet sweep instead "
                              "(writes BENCH_fleet.json)")
+    parser.add_argument("--resize", action="store_true",
+                        help="with --fleet: also replay each load point "
+                             "across an online 2 -> 3 shard resize and "
+                             "gate the zero-drop / bit-identity "
+                             "invariants")
     parser.add_argument("--check-regression", action="store_true",
                         help="fail if the cached run regresses more than "
                              "the threshold vs the committed baseline")

@@ -188,6 +188,37 @@ def fleet_table(rows: Sequence[dict], width: int = 40) -> str:
     return "\n".join(lines)
 
 
+def resize_table(rows: Sequence[dict]) -> str:
+    """Render the resized fleet replays (ISSUE 8 acceptance figure).
+
+    ``rows`` come from :func:`repro.serve.replay.resize_row`: one dict
+    per (workload, offered load) replay across an online ring resize.
+    The two boolean columns *are* the acceptance criteria -- ``drops``
+    must read 0 (per-tenant accounting identity) and ``bit-id`` must
+    read yes (unmoved tenants charged identically to the no-resize
+    replay).
+    """
+    if not rows:
+        raise ValueError("no resize rows to render")
+    header = (f"{'workload':<9} {'interarrival':>12} {'offered':>8} "
+              f"{'ok':>6} {'migr':>5} {'drops':>5} {'p99 cyc':>9} "
+              f"{'moved':>5} {'defl':>5} {'bit-id':>6}")
+    lines = ["resized fleet replay (online 2 -> 3 shard grow, "
+             "mid-stream)", header, "-" * len(header)]
+    for row in rows:
+        drops = row["offered"] - (row["shed"] + row["failed"]
+                                  + row["succeeded"] + row["migrated"])
+        lines.append(
+            f"{row['workload']:<9} {row['interarrival_cycles']:>12.0f} "
+            f"{row['offered']:>8,} {row['succeeded']:>6,} "
+            f"{row['migrated']:>5,} {drops:>5,} "
+            f"{row['p99_cycles']:>9.0f} "
+            f"{len(row['moved_tenants']):>5} "
+            f"{row['warmup_deflections']:>5,} "
+            f"{'yes' if row['unmoved_bit_identical'] else 'NO':>6}")
+    return "\n".join(lines)
+
+
 def speedup_summary(results: Sequence[BenchmarkResult]) -> dict[str, float]:
     """Geomean accelerator speedups vs each baseline (the paper's
     headline "NxM" numbers)."""

@@ -24,28 +24,45 @@ from repro.serve.breaker import (
 )
 from repro.serve.errors import (
     DeadlineExceeded,
+    FabricConfigError,
     Overloaded,
+    ShardDraining,
     TenantOverloaded,
 )
-from repro.serve.fabric import FabricPolicy, FabricShard, ServingFabric
+from repro.serve.fabric import (
+    FabricPolicy,
+    FabricShard,
+    ReshardController,
+    ReshardEvent,
+    ReshardPolicy,
+    ServingFabric,
+    ShardState,
+)
 from repro.serve.hedging import HedgePolicy
 from repro.serve.queue import AdmissionPolicy, AdmissionQueue
 from repro.serve.replay import (
     REPLAY_SERVE_POLICY,
     FleetReplaySpec,
     ReplayCall,
+    ResizeEvent,
+    ResizeReport,
+    accounting_identity_ok,
     build_fleet_fabric,
     build_fleet_server,
     generate_calls,
     replay_through_fabric,
     replay_through_server,
+    resize_row,
+    run_resize_replay,
     sweep_fleet,
+    tenant_signature,
 )
 from repro.serve.router import (
     ConsistentHashRouter,
     RouterPolicy,
     ShardView,
     least_loaded_fallback,
+    ranked_fallbacks,
 )
 from repro.serve.server import (
     DEFAULT_TENANT,
@@ -77,6 +94,7 @@ __all__ = [
     "ConsistentHashRouter",
     "DEFAULT_TENANT",
     "DeadlineExceeded",
+    "FabricConfigError",
     "FabricPolicy",
     "FabricShard",
     "FleetReplaySpec",
@@ -87,24 +105,36 @@ __all__ = [
     "Overloaded",
     "REPLAY_SERVE_POLICY",
     "ReplayCall",
+    "ReshardController",
+    "ReshardEvent",
+    "ReshardPolicy",
     "ResilientServer",
+    "ResizeEvent",
+    "ResizeReport",
     "RouterPolicy",
     "ServePolicy",
     "ServeStats",
     "ServingFabric",
     "ServingWorkloadSpec",
+    "ShardDraining",
+    "ShardState",
     "ShardView",
     "TenantAccount",
     "TenantOverloaded",
     "TenantPolicy",
     "TenantRegistry",
+    "accounting_identity_ok",
     "build_echo_server",
     "build_fleet_fabric",
     "build_fleet_server",
     "generate_calls",
     "least_loaded_fallback",
+    "ranked_fallbacks",
     "replay_through_fabric",
     "replay_through_server",
+    "resize_row",
+    "run_resize_replay",
     "run_serving",
     "sweep_fleet",
+    "tenant_signature",
 ]

@@ -46,3 +46,32 @@ class DeadlineExceeded(RpcError):
 
     def __init__(self, message: str, *, method: str | None = None):
         super().__init__(message, method=method, site="serve.deadline")
+
+
+class ShardDraining(RpcError):
+    """The shard's drain barrier refused a new call.
+
+    A DRAINING shard accepts only its pending work (refuse-new,
+    accept-pending; docs/SERVING.md, resharding section).  The fabric
+    re-routes around draining shards, so this surfaces only when a
+    caller bypasses the router -- a zero-cycle structured refusal, never
+    a silent drop.
+    """
+
+    def __init__(self, message: str, *, method: str | None = None):
+        super().__init__(message, method=method, site="serve.drain")
+
+
+class FabricConfigError(ValueError):
+    """A fabric or router policy knob failed validation at construction.
+
+    Structured so tooling can name the offending knob: ``knob`` is the
+    policy field, ``value`` the rejected setting.  Subclasses
+    :class:`ValueError` so pre-existing ``except ValueError`` call sites
+    keep working.
+    """
+
+    def __init__(self, knob: str, value, message: str):
+        super().__init__(f"{knob}={value!r}: {message}")
+        self.knob = knob
+        self.value = value

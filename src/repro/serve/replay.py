@@ -350,6 +350,138 @@ def replay_through_server(server: ResilientServer, calls) -> list:
             for c in calls]
 
 
+# -- resize replays (ISSUE 8) ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResizeEvent:
+    """One scheduled resize during a replay, keyed by call index (the
+    event fires on the simulated clock at that call's arrival cycle, so
+    the schedule is as deterministic as the call sequence itself)."""
+
+    #: Fire just before the call with this index is offered.
+    at_call: int
+    #: "add" grows the fleet by one JOINING shard; "drain" evicts.
+    action: str
+    #: The shard to drain (ignored for "add").
+    shard: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_call < 0:
+            raise ValueError("at_call must be >= 0")
+        if self.action not in ("add", "drain"):
+            raise ValueError(f"unknown resize action {self.action!r}")
+        if self.action == "drain" and self.shard is None:
+            raise ValueError("drain events need a shard")
+
+
+@dataclass
+class ResizeReport:
+    """Everything a test or the bench needs about one resize replay."""
+
+    base_shards: int
+    events: tuple[ResizeEvent, ...]
+    outcomes: list
+    fabric: ServingFabric
+    #: Tenants whose ring home differs between the pre-resize and final
+    #: routing tables (the only tenants whose tails may move).
+    moved_tenants: tuple[str, ...]
+    unmoved_tenants: tuple[str, ...]
+
+
+def accounting_identity_ok(fabric: ServingFabric) -> bool:
+    """The resharding zero-drop invariant, checked per tenant:
+    ``shed + expired + faulted + succeeded + migrated == offered``."""
+    for account in fabric.registry:
+        s = account.stats
+        if (s.shed + s.expired + s.faulted + s.succeeded + s.migrated
+                != s.offered):
+            return False
+    return True
+
+
+def tenant_signature(outcomes, tenant: str) -> list[tuple]:
+    """One tenant's per-call charging signature, in offered order --
+    the bit-identity comparand for unmoved tenants across a resize
+    (status, response bytes, accelerator cycles, CPU cycles)."""
+    return [(o.status, o.response, o.accel_cycles, o.cpu_cycles)
+            for o in outcomes if o.tenant == tenant]
+
+
+def run_resize_replay(spec: FleetReplaySpec, base_shards: int,
+                      events, serve: ServePolicy | None = None,
+                      budget: TenantPolicy | None = None
+                      ) -> ResizeReport:
+    """Replay the spec's seeded call sequence through a fabric while a
+    resize schedule fires mid-stream.  The call sequence is *identical*
+    to the no-resize replay of the same spec -- only the fabric's shape
+    changes -- so unmoved tenants' per-call charging can be compared
+    bit-for-bit against ``replay_through_fabric`` on a static fabric
+    (``tests/fleet/test_reshard_replay.py``)."""
+    serve = serve or REPLAY_SERVE_POLICY
+    calls = generate_calls(spec)
+    fabric = build_fleet_fabric(
+        FabricPolicy(shards=base_shards, serve=serve), spec, budget)
+    base_table = fabric.routing_table()
+    pending = sorted(events, key=lambda e: e.at_call)
+    outcomes = []
+    for i, call in enumerate(calls):
+        while pending and pending[0].at_call <= i:
+            event = pending.pop(0)
+            if event.action == "add":
+                fabric.controller.add_shard(call.at)
+            else:
+                fabric.controller.drain(event.shard, call.at)
+        outcomes.append(fabric.call(call.tenant, call.method,
+                                    call.request, at=call.at))
+    final_table = fabric.routing_table()
+    moved = tuple(sorted(t for t in base_table
+                         if final_table[t] != base_table[t]))
+    unmoved = tuple(sorted(t for t in base_table
+                           if final_table[t] == base_table[t]))
+    return ResizeReport(base_shards=base_shards,
+                        events=tuple(sorted(events,
+                                            key=lambda e: e.at_call)),
+                        outcomes=outcomes, fabric=fabric,
+                        moved_tenants=moved, unmoved_tenants=unmoved)
+
+
+def resize_row(spec: FleetReplaySpec, report: ResizeReport,
+               baseline_outcomes) -> dict:
+    """One bench row comparing a resized replay against the no-resize
+    replay of the identical call sequence."""
+    stats = report.fabric.stats
+    unmoved_identical = all(
+        tenant_signature(report.outcomes, t)
+        == tenant_signature(baseline_outcomes, t)
+        for t in report.unmoved_tenants)
+    return {
+        "workload": spec.workload,
+        "interarrival_cycles": spec.interarrival_cycles,
+        "base_shards": report.base_shards,
+        "final_shards": len([s for s in report.fabric.shards
+                             if s.state.value != "removed"]),
+        "events": [{"at_call": e.at_call, "action": e.action,
+                    "shard": e.shard} for e in report.events],
+        "ring_epoch": report.fabric.ring_epoch,
+        "offered": stats.offered,
+        "succeeded": stats.succeeded,
+        "migrated": stats.migrated,
+        "shed": stats.shed,
+        "failed": stats.failed,
+        "p99_cycles": stats.p99_cycles,
+        "moved_tenants": list(report.moved_tenants),
+        "unmoved_tenants": list(report.unmoved_tenants),
+        "unmoved_bit_identical": unmoved_identical,
+        "accounting_identity_ok": accounting_identity_ok(report.fabric),
+        "warmup_deflections": report.fabric.warmup_deflections,
+        "reshard_events": [
+            {"at": e.at, "kind": e.kind, "shard": e.shard,
+             "epoch": e.epoch, "detail": e.detail}
+            for e in report.fabric.reshard_events],
+    }
+
+
 # -- the offered-load fleet sweep ----------------------------------------------
 
 
@@ -358,13 +490,15 @@ def fleet_row(shards: int, spec: FleetReplaySpec, fabric: ServingFabric,
     """One report row: fleet aggregates for one (shards, load) run."""
     stats = fabric.stats
     makespan = max((o.completed_at for o in outcomes), default=0.0)
-    throughput = (stats.succeeded / makespan * 1e6) if makespan else 0.0
+    delivered = stats.succeeded + stats.migrated
+    throughput = (delivered / makespan * 1e6) if makespan else 0.0
     return {
         "shards": shards,
         "workload": spec.workload,
         "interarrival_cycles": spec.interarrival_cycles,
         "offered": stats.offered,
         "succeeded": stats.succeeded,
+        "migrated": stats.migrated,
         "shed": stats.shed,
         "failed": stats.failed,
         "shed_rate": stats.shed_rate,

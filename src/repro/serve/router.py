@@ -29,6 +29,7 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.serve.breaker import BreakerState
+from repro.serve.errors import FabricConfigError
 
 
 def _hash64(material: str) -> int:
@@ -50,7 +51,9 @@ class RouterPolicy:
 
     def __post_init__(self) -> None:
         if self.vnodes < 1:
-            raise ValueError("vnodes must be >= 1")
+            raise FabricConfigError("vnodes", self.vnodes,
+                                    "must be >= 1 (each shard needs at "
+                                    "least one ring point)")
 
 
 class ConsistentHashRouter:
@@ -87,6 +90,16 @@ class ConsistentHashRouter:
         remaining = [s for s in self.shard_ids if s != shard_id]
         return ConsistentHashRouter(remaining, self.policy)
 
+    def with_shard(self, shard_id: int) -> "ConsistentHashRouter":
+        """A new router with ``shard_id``'s ring points added -- the
+        exact inverse of :meth:`without`.  The ring is a pure function
+        of (seed, shard set), so ``without(s).with_shard(s)`` restores
+        the identical routing table, and adding a shard moves tenants
+        only *onto* the new shard, never between surviving shards
+        (``tests/fleet/test_reshard_router.py``)."""
+        return ConsistentHashRouter((*self.shard_ids, shard_id),
+                                    self.policy)
+
     def table(self, tenants) -> dict[str, int]:
         """The full tenant -> shard routing table."""
         return {tenant: self.route(tenant) for tenant in tenants}
@@ -101,6 +114,11 @@ class ShardView:
     #: Instantaneous load signal (queued calls + tile backlog); see
     #: :meth:`repro.serve.server.ResilientServer.load`.
     load: float = 0.0
+    #: Per-breaker flag: an OPEN breaker whose recovery cool-down has
+    #: elapsed at snapshot time will admit a half-open probe on the
+    #: next offload.  Empty (the default) means "not computed" -- the
+    #: effective tier then degrades to the static health tier.
+    probe_ready: tuple[bool, ...] = ()
 
     def health_tier(self) -> int:
         """0 = has a CLOSED breaker, 1 = probing (HALF_OPEN only),
@@ -111,24 +129,51 @@ class ShardView:
             return 1
         return 2
 
+    def effective_tier(self) -> int:
+        """The health tier the shard would exhibit if offloaded to now:
+        a fully-quarantined shard with a probe-ready breaker (cool-down
+        elapsed) counts as tier 1, since its next offload *is* the
+        half-open probe.  This is what closes the double-quarantine
+        fallback hole: a statically all-OPEN shard that is ready to
+        probe is still a better target than failing the call outright.
+        """
+        tier = self.health_tier()
+        if tier == 2 and any(self.probe_ready):
+            return 1
+        return tier
+
     @property
     def quarantined(self) -> bool:
         return self.health_tier() == 2
 
+    @property
+    def routable(self) -> bool:
+        """Quarantined-with-no-probe-ready is the only unroutable state."""
+        return self.effective_tier() < 2
+
+
+def ranked_fallbacks(views, exclude=()) -> list[int]:
+    """Every candidate shard in fallback preference order: effective
+    health tier first (probe-ready OPEN counts as HALF_OPEN), then
+    load, then index (fully deterministic).  The fabric walks this
+    ranking and takes the first routable candidate, so a quarantined
+    best-ranked shard no longer fails the call outright -- the next
+    health tier is retried (ISSUE 8 satellite fix)."""
+    excluded = set(exclude)
+    candidates = [v for v in views if v.index not in excluded]
+    return [v.index for v in
+            sorted(candidates,
+                   key=lambda v: (v.effective_tier(), v.load, v.index))]
+
 
 def least_loaded_fallback(views, exclude=()) -> int | None:
-    """Pick the fallback shard: best health tier, then least loaded,
-    then lowest index (fully deterministic).
+    """Pick the fallback shard: best effective health tier, then least
+    loaded, then lowest index (fully deterministic).
 
     Because ranking is by health tier *first*, an all-OPEN shard can
     only win when every candidate is all-OPEN -- the ISSUE property
     "never routes to an OPEN-breaker shard while a CLOSED one exists"
     holds by construction.  Returns ``None`` when no candidates remain.
     """
-    excluded = set(exclude)
-    candidates = [v for v in views if v.index not in excluded]
-    if not candidates:
-        return None
-    best = min(candidates,
-               key=lambda v: (v.health_tier(), v.load, v.index))
-    return best.index
+    ranked = ranked_fallbacks(views, exclude)
+    return ranked[0] if ranked else None

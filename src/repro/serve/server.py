@@ -57,7 +57,7 @@ from repro.serve.breaker import (
     HealthMonitor,
     HealthState,
 )
-from repro.serve.errors import DeadlineExceeded, Overloaded
+from repro.serve.errors import DeadlineExceeded, Overloaded, ShardDraining
 from repro.serve.hedging import HedgePolicy
 from repro.serve.queue import AdmissionPolicy, AdmissionQueue
 from repro.soc.multitile import MultiTileModel
@@ -163,6 +163,15 @@ class CallOutcome:
     #: behalf of which tenant (None outside the fabric).
     shard: int | None = None
     tenant: str | None = None
+    #: Filled by the fabric layer during a reshard: the call's old-ring
+    #: home was a DRAINING shard and the call was served elsewhere.  A
+    #: migrated success is accounted under ``ServeStats.migrated``, not
+    #: ``succeeded``, so the resharding identity ``shed + failed +
+    #: succeeded + migrated == offered`` closes per tenant.
+    migrated: bool = False
+    #: Ring epoch the fabric routed this call under (None outside the
+    #: fabric); bumps on every shard join/evict ring swap.
+    ring_epoch: int | None = None
 
     @property
     def latency_cycles(self) -> float:
@@ -175,14 +184,19 @@ class CallOutcome:
 
 @dataclass
 class ServeStats:
-    """Aggregate serving counters (``shed + failed + succeeded ==
-    offered``; ``failed`` folds in deadline expiries)."""
+    """Aggregate serving counters (``shed + failed + succeeded +
+    migrated == offered``; ``failed`` folds in deadline expiries, and
+    ``migrated`` is only non-zero at the fabric level during a
+    reshard -- a single server never migrates)."""
 
     offered: int = 0
     shed: int = 0
     expired: int = 0
     faulted: int = 0
     succeeded: int = 0
+    #: Calls that completed OK on a shard other than their (draining)
+    #: old-ring home; disjoint from ``succeeded`` by construction.
+    migrated: int = 0
     failovers: int = 0
     hedges: int = 0
     hedge_wins: int = 0
@@ -196,6 +210,12 @@ class ServeStats:
     @property
     def failed(self) -> int:
         return self.expired + self.faulted
+
+    @property
+    def delivered(self) -> int:
+        """Calls that completed OK, wherever they ran (succeeded on
+        their home shard or migrated during a drain)."""
+        return self.succeeded + self.migrated
 
     @property
     def shed_rate(self) -> float:
@@ -268,6 +288,7 @@ class ResilientServer:
         self.stats = ServeStats()
         self._tenants: dict[str, _TenantBinding] = {}
         self._host_cpu = None
+        self._draining_since: float | None = None
         if service is not None:
             self.attach_tenant(DEFAULT_TENANT, service)
 
@@ -333,6 +354,32 @@ class ResilientServer:
         return (self.queue.depth(now)
                 + backlog / self.policy.watchdog_budget_cycles)
 
+    # -- drain barrier (refuse-new, accept-pending) ------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining_since is not None
+
+    def begin_drain(self, now: float) -> None:
+        """Arm the drain barrier: from cycle ``now`` on, new arrivals
+        are refused with a zero-cycle :class:`~repro.serve.errors.
+        ShardDraining`, while work already admitted (queued calls,
+        busy tiles) runs to completion untouched.  The fabric's
+        ReshardController swaps the ring *before* arming the barrier,
+        so in normal operation no new call ever reaches it -- the
+        barrier is the defense-in-depth guarantee that a drained shard
+        can never silently absorb (and drop) traffic."""
+        if self._draining_since is None:
+            self._draining_since = now
+
+    def pending(self, now: float) -> int:
+        """Admitted work not yet finished at cycle ``now``: calls still
+        waiting in the queue plus tiles still busy.  This is the drain
+        barrier's accept-pending set; a drain completes once it hits
+        zero (and the drain window has elapsed)."""
+        busy = sum(1 for t in self.tiles if t.free_at > now)
+        return self.queue.depth(now) + busy
+
     # -- the call path ----------------------------------------------------------
 
     def call(self, method_name: str, request_bytes: bytes,
@@ -348,6 +395,14 @@ class ResilientServer:
             raise RpcError(f"method {method_name!r} is not implemented",
                            method=full, site="rpc.route")
 
+        if self._draining_since is not None:
+            return self._finish(CallOutcome(
+                status="shed", arrival=at, completed_at=at,
+                error=ShardDraining(
+                    f"shard draining since cycle "
+                    f"{self._draining_since:.0f}: refusing new work "
+                    f"(accept-pending only)", method=full),
+                health=self.health.state), binding)
         if not self.queue.offer(at):
             return self._finish(CallOutcome(
                 status="shed", arrival=at, completed_at=at,

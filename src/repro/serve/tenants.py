@@ -14,7 +14,12 @@ before any shard queue is consulted:
 * :class:`TenantAccount` is the live ledger: the in-flight window plus
   a per-tenant :class:`~repro.serve.server.ServeStats`, which extends
   the PR 3 accounting invariant tenant by tenant
-  (``shed + failed + succeeded == offered``).
+  (``shed + failed + succeeded + migrated == offered``).  The
+  ``migrated`` bucket counts calls that completed OK away from their
+  (draining) old-ring home during a reshard
+  (:mod:`repro.serve.fabric`); it is disjoint from ``succeeded`` so no
+  resharded call is ever double-counted or silently dropped
+  (``tests/fleet/test_reshard_replay.py``).
 """
 
 from __future__ import annotations
@@ -74,7 +79,13 @@ class TenantAccount:
             return
         stats.latencies.append(outcome.latency_cycles)
         if outcome.status == "ok":
-            stats.succeeded += 1
+            # A migrated success terminated away from its draining
+            # old-ring home: its own accounting bucket, disjoint from
+            # succeeded, so the resharding identity closes per tenant.
+            if outcome.migrated:
+                stats.migrated += 1
+            else:
+                stats.succeeded += 1
         elif outcome.status == "expired":
             stats.expired += 1
         else:

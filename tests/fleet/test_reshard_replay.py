@@ -1,0 +1,146 @@
+"""Resize-under-load acceptance: the PR 6 fleet replay across a ring
+resize (ISSUE 8).
+
+The acceptance criteria, verbatim:
+
+* the 2 -> 3 shard resize under load drops **zero** in-flight calls --
+  the per-tenant identity ``shed + expired + faulted + succeeded +
+  migrated == offered`` closes for every tenant;
+* tenants whose ring home did not move see per-call charging
+  **bit-identical** to the no-resize replay of the identical call
+  sequence;
+* every lifecycle transition appears in the structured
+  :class:`ReshardEvent` log with simulated-clock timestamps.
+"""
+
+import pytest
+
+from repro.serve import (
+    REPLAY_SERVE_POLICY,
+    FabricPolicy,
+    FleetReplaySpec,
+    ResizeEvent,
+    accounting_identity_ok,
+    build_fleet_fabric,
+    generate_calls,
+    replay_through_fabric,
+    resize_row,
+    run_resize_replay,
+    tenant_signature,
+)
+
+_SPEC = FleetReplaySpec(messages=600, interarrival_cycles=2_500.0,
+                        seed=424242, tenants=8, workload="fleet")
+
+
+@pytest.fixture(scope="module")
+def baseline_outcomes():
+    """The no-resize replay of the identical call sequence on the
+    static 2-shard fabric."""
+    fabric = build_fleet_fabric(
+        FabricPolicy(shards=2, serve=REPLAY_SERVE_POLICY), _SPEC)
+    return replay_through_fabric(fabric, generate_calls(_SPEC))
+
+
+@pytest.fixture(scope="module")
+def grown():
+    """2 -> 3 resize mid-replay (one "add" event at call 200)."""
+    return run_resize_replay(_SPEC, base_shards=2,
+                             events=[ResizeEvent(at_call=200,
+                                                 action="add")])
+
+
+def test_resize_drops_zero_calls(grown):
+    assert len(grown.outcomes) == _SPEC.messages
+    assert accounting_identity_ok(grown.fabric)
+    for account in grown.fabric.registry:
+        s = account.stats
+        offered = sum(1 for o in grown.outcomes
+                      if o.tenant == account.tenant)
+        assert s.offered == offered
+        assert (s.shed + s.expired + s.faulted + s.succeeded
+                + s.migrated == offered)
+
+
+def test_resize_moves_and_keeps_tenants(grown):
+    # The acceptance replay must exercise both sides of the split.
+    assert grown.moved_tenants
+    assert grown.unmoved_tenants
+    final = grown.fabric.routing_table()
+    assert all(final[t] == 2 for t in grown.moved_tenants)
+
+
+def test_unmoved_tenants_bit_identical_to_no_resize(grown,
+                                                    baseline_outcomes):
+    for tenant in grown.unmoved_tenants:
+        assert (tenant_signature(grown.outcomes, tenant)
+                == tenant_signature(baseline_outcomes, tenant))
+
+
+def test_moved_tenants_actually_land_on_the_joiner(grown):
+    late = [o for o in grown.outcomes[400:]
+            if o.tenant in grown.moved_tenants]
+    assert late
+    assert all(o.shard == 2 for o in late)
+
+
+def test_resize_event_log_is_structured(grown):
+    events = grown.fabric.reshard_events
+    kinds = [e.kind for e in events]
+    assert kinds == ["shard_joined", "warmup_complete"]
+    joined, warmed = events
+    assert joined.shard == warmed.shard == 2
+    assert joined.epoch == 1
+    assert grown.fabric.ring_epoch == 1
+    warmup = grown.fabric.policy.reshard.warmup_cycles
+    assert warmed.at >= joined.at + warmup
+    # Every outcome after the swap is stamped with the new epoch.
+    assert all(o.ring_epoch == 1 for o in grown.outcomes[200:])
+    assert all(o.ring_epoch == 0 for o in grown.outcomes[:200])
+
+
+def test_resize_row_reports_acceptance(grown, baseline_outcomes):
+    row = resize_row(_SPEC, grown, baseline_outcomes)
+    assert row["base_shards"] == 2
+    assert row["final_shards"] == 3
+    assert row["offered"] == _SPEC.messages
+    assert row["unmoved_bit_identical"] is True
+    assert row["accounting_identity_ok"] is True
+    assert sorted(row["moved_tenants"] + row["unmoved_tenants"]) \
+        == sorted(f"tenant-{i}" for i in range(8))
+
+
+def test_drain_replay_migrates_without_drops():
+    report = run_resize_replay(
+        _SPEC, base_shards=3,
+        events=[ResizeEvent(at_call=150, action="drain", shard=1)])
+    fabric = report.fabric
+    assert accounting_identity_ok(fabric)
+    assert fabric.stats.migrated > 0
+    assert fabric.stats.offered == _SPEC.messages
+    # Migrated calls were never charged to the drained shard.
+    migrated = [o for o in report.outcomes if o.migrated]
+    assert migrated
+    assert all(o.shard != 1 for o in migrated)
+    kinds = [e.kind for e in fabric.reshard_events]
+    assert kinds[0] == "drain_start"
+    assert "shard_removed" in kinds
+    assert fabric.shards[1].state.value == "removed"
+    # Tenants that never lived on the drained shard are untouched by
+    # the evict: bit-identical to the static 3-shard replay.
+    static = build_fleet_fabric(
+        FabricPolicy(shards=3, serve=REPLAY_SERVE_POLICY), _SPEC)
+    static_outcomes = replay_through_fabric(static,
+                                            generate_calls(_SPEC))
+    for tenant in report.unmoved_tenants:
+        assert (tenant_signature(report.outcomes, tenant)
+                == tenant_signature(static_outcomes, tenant))
+
+
+def test_resize_event_validation():
+    with pytest.raises(ValueError):
+        ResizeEvent(at_call=-1, action="add")
+    with pytest.raises(ValueError):
+        ResizeEvent(at_call=0, action="shrink")
+    with pytest.raises(ValueError):
+        ResizeEvent(at_call=0, action="drain")
