@@ -37,6 +37,13 @@ dropped (per-tenant accounting identity) and unmoved tenants' per-call
 charging is bit-identical to the no-resize replay (docs/SERVING.md,
 resharding section).
 
+``--transport`` switches to the attach-point benchmark: the RoCC-vs-
+PCIe sweep over message size x batch size (docs/MODEL.md, "Attach
+points"), writing per-cell cycle totals and the per-size crossover
+table to ``BENCH_transport.json``.  Two gates always run: protocol
+cycles must be bit-identical across transports in every cell, and the
+PCIe per-op transport cost must fall monotonically with batch size.
+
 ``--check-regression`` compares the optimised run's wall-clock against
 the committed baseline (``BENCH_harness.json`` by default) and fails on
 a >15% regression, provided the baseline was recorded with the same
@@ -44,7 +51,11 @@ smoke/jobs settings (otherwise the check is skipped with a warning).
 Combined with ``--batch`` it instead gates the per-operation geomean
 speedups against the committed ``BENCH_batch.json``; combined with
 ``--fleet`` it gates the echo p99/throughput curves against the
-committed ``BENCH_fleet.json``.
+committed ``BENCH_fleet.json``; combined with ``--transport`` it
+requires this run's RoCC cycle totals to be *bit-identical* to the
+committed ``BENCH_transport.json`` on every shared cell (the cycle
+model is deterministic, so the gate is exact) and fails on a >15%
+wall-clock regression.
 
 Usage::
 
@@ -55,6 +66,7 @@ Usage::
     python scripts/bench_speed.py --codegen
     python scripts/bench_speed.py --batch
     python scripts/bench_speed.py --fleet
+    python scripts/bench_speed.py --transport
     python scripts/bench_speed.py --check-regression
 """
 
@@ -429,6 +441,137 @@ def _check_fleet_regression(args: argparse.Namespace, baseline_path: Path,
     return status
 
 
+def run_transport_bench(args: argparse.Namespace) -> int:
+    """The --transport mode: RoCC-vs-PCIe attach-point sweep ->
+    BENCH_transport.json.
+
+    Sweeps message size x batch size on both transports, prints the
+    per-size crossover table, and enforces two exact gates: protocol
+    cycles bit-identical across transports in every cell (asserted by
+    the sweep itself), and PCIe per-op transport cost monotonically
+    non-increasing in batch size.  With --check-regression the RoCC
+    cycle totals must additionally be bit-identical to the committed
+    baseline on every shared cell, and wall-clock must stay within the
+    threshold.
+    """
+    from repro.bench import transport as transport_bench
+    from repro.bench.report import transport_crossover_table, transport_table
+
+    if args.smoke:
+        sizes = transport_bench.SMOKE_SIZES
+        batches = transport_bench.SMOKE_BATCHES
+        operations = ("deserialize",)
+    else:
+        sizes = transport_bench.SWEEP_SIZES
+        batches = transport_bench.SWEEP_BATCHES
+        operations = ("deserialize", "serialize")
+    print(f"transport sweep: {len(sizes)} sizes x {len(batches)} batches "
+          f"x 2 transports, operations {', '.join(operations)}")
+    start = time.perf_counter()
+    rows_by_op, crossovers_by_op = {}, {}
+    status = 0
+    for operation in operations:
+        rows = transport_bench.sweep_transports(sizes, batches, operation)
+        rows_by_op[operation] = rows
+        crossovers_by_op[operation] = transport_bench.crossover_batches(rows)
+        print(transport_table(rows))
+        print()
+        print(transport_crossover_table(crossovers_by_op[operation]))
+        print()
+        violations = transport_bench.amortization_violations(rows)
+        for v in violations:
+            print(f"ERROR: PCIe per-op transport cost rose "
+                  f"{v['per_op_before']:.3f} -> {v['per_op_after']:.3f} "
+                  f"going batch {v['batch_before']} -> {v['batch_after']} "
+                  f"at size {v['size']} ({operation})")
+            status = 1
+    elapsed = time.perf_counter() - start
+    if status == 0:
+        print("transport gates: protocol cycles identical across "
+              "transports; PCIe amortisation monotone in batch size")
+
+    output = args.output
+    if output == REPO / "BENCH_harness.json":
+        output = REPO / "BENCH_transport.json"
+    payload = {
+        "smoke": args.smoke,
+        "sizes": list(sizes),
+        "batches": list(batches),
+        "operations": list(operations),
+        "wall_seconds": elapsed,
+        "rows": rows_by_op,
+        "crossovers": crossovers_by_op,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"{elapsed:.2f} s -> {output}")
+    if args.check_regression:
+        baseline_path = args.baseline
+        if baseline_path == REPO / "BENCH_harness.json":
+            baseline_path = REPO / "BENCH_transport.json"
+        status = max(status, _check_transport_regression(
+            args, baseline_path, rows_by_op, elapsed))
+    return status
+
+
+def _check_transport_regression(args: argparse.Namespace,
+                                baseline_path: Path,
+                                rows_by_op: dict, elapsed: float) -> int:
+    """Gate against the committed BENCH_transport.json.
+
+    RoCC cycle totals are a deterministic function of the workload and
+    the cycle model, so the gate is *exact*: any shared (operation,
+    size, batch) cell whose RoCC ``cycles`` or total differs from the
+    baseline at all is a failure (this is the "transport=rocc stays
+    bit-identical" acceptance criterion, continuously enforced).
+    Wall-clock gets the usual fractional threshold.
+    """
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        print(f"WARNING: transport baseline {baseline_path} missing or "
+              "unreadable; skipping regression check")
+        return 0
+    status, checked = 0, 0
+    for operation, rows in rows_by_op.items():
+        base_rows = {(r["size"], r["batch"]): r
+                     for r in baseline.get("rows", {}).get(operation, [])}
+        for row in rows:
+            base = base_rows.get((row["size"], row["batch"]))
+            if base is None:
+                continue
+            checked += 1
+            point = (f"{operation} size={row['size']} "
+                     f"batch={row['batch']}")
+            for field in ("cycles", "rocc_total_cycles"):
+                if row[field] != base[field]:
+                    print(f"ERROR: RoCC {field} changed "
+                          f"{base[field]!r} -> {row[field]!r} at {point} "
+                          "(must be bit-identical to the committed "
+                          "baseline)")
+                    status = 1
+    if not checked:
+        print("WARNING: baseline shares no cells with this run; "
+              "nothing gated")
+    elif status == 0:
+        print(f"regression check: {checked} RoCC cells bit-identical "
+              "to baseline")
+    base_wall = baseline.get("wall_seconds")
+    if (baseline.get("smoke") == args.smoke
+            and isinstance(base_wall, (int, float)) and base_wall > 0):
+        bound = base_wall * (1.0 + args.regression_threshold)
+        if elapsed > bound:
+            print(f"ERROR: transport sweep took {elapsed:.2f} s, more "
+                  f"than {args.regression_threshold:.0%} over the "
+                  f"baseline {base_wall:.2f} s")
+            status = 1
+        else:
+            print(f"regression check: {elapsed:.2f} s within "
+                  f"{args.regression_threshold:.0%} of baseline "
+                  f"{base_wall:.2f} s")
+    return status
+
+
 def _codegen_workloads(micro_batch: int, hyper_batch: int) -> list:
     from repro.bench.microbench import (
         alloc_bench_names,
@@ -698,6 +841,9 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--fleet", action="store_true",
                         help="run the sharded-fabric fleet sweep instead "
                              "(writes BENCH_fleet.json)")
+    parser.add_argument("--transport", action="store_true",
+                        help="run the RoCC-vs-PCIe attach-point sweep "
+                             "instead (writes BENCH_transport.json)")
     parser.add_argument("--resize", action="store_true",
                         help="with --fleet: also replay each load point "
                              "across an online 2 -> 3 shard resize and "
@@ -718,6 +864,8 @@ def main(argv: list[str]) -> int:
         return run_serving_bench(args)
     if args.fleet:
         return run_fleet_bench(args)
+    if args.transport:
+        return run_transport_bench(args)
     if args.codegen:
         return run_codegen_bench(args)
     if args.batch:

@@ -287,7 +287,7 @@ class _DeserAnchor:
         memory = driver.memory
         mem_alloc = memory.allocate
         mem_write = memory.write
-        issue = driver.rocc.issue
+        issue = driver.transport.issue
         translate_range = unit._tlb.translate_range
         instr = RoccInstruction
         f_info = RoccFunct.DESER_INFO
@@ -378,7 +378,7 @@ class _DeserAnchor:
                                     anchor.max_stack_depth)
         unit.varint_unit.credit(decodes=self.decode_delta * m,
                                 zigzag_ops=self.zigzag_delta * m)
-        driver.rocc.retire_deser(m)
+        driver.transport.retire_deser(m)
         return m, dests
 
 
@@ -538,7 +538,8 @@ class _SerAnchor:
                                   / unit.config.field_serializer_units))
             budget = watchdog.budget_cycles
             ptw = unit._tlb.ptw_cycles
-        issue = driver.rocc.issue
+        issue = driver.transport.issue
+        note_payload = driver.transport.note_payload
         translate_range = unit._tlb.translate_range
         push_bytes = arena.push_bytes
         finish_message = arena.finish_message
@@ -570,6 +571,9 @@ class _SerAnchor:
             finish_message()
             cycles += fold + penalty
             tlb_penalty += penalty
+            # Output writeback DMA, same per-message note the scalar
+            # path makes (no-op on RoCC).
+            note_payload(length)
             append(data)
             done += 1
         if not done:
@@ -601,7 +605,7 @@ class _SerAnchor:
                                     anchor.max_stack_depth)
         unit.varint_unit.credit(encodes=self.encode_delta * m,
                                 zigzag_ops=self.zigzag_delta * m)
-        driver.rocc.retire_ser(m)
+        driver.transport.retire_ser(m)
         return m, outputs
 
 

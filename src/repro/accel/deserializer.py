@@ -95,6 +95,10 @@ class DeserStats:
     max_stack_depth: int = 0
     stack_spills: int = 0
     tlb_penalty_cycles: float = 0.0
+    #: Attach-point cost (RoCC dispatch or PCIe queue-pair work) charged
+    #: by the transport, NOT included in ``cycles`` -- the unit's own
+    #: cycle count is transport-independent (docs/MODEL.md).
+    transport_cycles: float = 0.0
     # Fault-recovery accounting (all zero on the fault-free path).
     faults_injected: int = 0
     fault_retries: int = 0
@@ -110,6 +114,7 @@ class DeserStats:
                 "unknown_fields_skipped", "submessages", "strings",
                 "repeated_elements", "arena_bytes", "adt_cache_hits",
                 "adt_cache_misses", "stack_spills", "tlb_penalty_cycles",
+                "transport_cycles",
                 "faults_injected", "fault_retries", "cpu_fallbacks",
                 "wasted_accel_cycles", "recovery_backoff_cycles",
                 "fallback_cpu_cycles"):

@@ -43,7 +43,8 @@ from repro.proto.message import Message
 from repro.accel.watchdog import FsmWatchdog
 from repro.soc.bus import SystemBus
 from repro.soc.config import SoCConfig
-from repro.soc.rocc import RoccFunct, RoccInstruction, RoccInterface
+from repro.soc.rocc import RoccFunct, RoccInstruction
+from repro.soc.transport import build_transport
 
 
 def buffers_digest(buffers) -> bytes:
@@ -171,15 +172,25 @@ class ProtoAccelerator:
         self.config = config or SoCConfig()
         self.layouts = LayoutCache()
         self.adts = AdtBuilder(self.memory, self.layouts)
-        self.rocc = RoccInterface(
-            dispatch_cycles_each=self.config.rocc_dispatch_cycles)
+        # The attach point: probe the configured transport and fall
+        # back to RoCC (recording why) if its hardware is absent --
+        # the HardwareManager pattern (repro.soc.transport).
+        self.transport, self.transport_resolution = build_transport(
+            self.config)
+        #: Attach-point cycles not attributable to a single offloaded
+        #: operation: device setup (arena assignment), Section 7 data
+        #: ops, and submissions abandoned by unrecovered faults.
+        self.transport_overhead_cycles = 0.0
         self.bus = SystemBus(bytes_per_beat=self.config.memory.bytes_per_beat)
         self.deserializer = DeserializerUnit(self.memory, self.config)
         self.serializer = SerializerUnit(self.memory, self.config)
         self.dataops = MessageOpsUnit(self.memory, self.config)
         self._deser_arena = AcceleratorArena(self.memory, deser_arena_bytes)
         self._ser_arena = SerializerArena(self.memory, ser_arena_bytes)
+        self.transport.begin_batch()
         self._assign_arenas()
+        self.transport.end_batch()
+        self.transport_overhead_cycles += self.transport.take_cycles()
         self.recovery = recovery or RecoveryPolicy()
         # The watchdog is armed on every device: it is a pure comparator
         # on the fault-free path (bit-identical cycles; see
@@ -222,17 +233,86 @@ class ProtoAccelerator:
             self.batch = batchgen.BatchEngine(self)
 
     def _assign_arenas(self) -> None:
-        self.rocc.issue(RoccInstruction(
+        self.transport.issue(RoccInstruction(
             RoccFunct.DESER_ASSIGN_ARENA, self._deser_arena.base,
             self._deser_arena.size))
         self.deserializer.assign_arena(self._deser_arena)
-        self.rocc.issue(RoccInstruction(
+        self.transport.issue(RoccInstruction(
             RoccFunct.SER_ASSIGN_ARENA, self._ser_arena.data_base,
             self._ser_arena.data_size))
         self.serializer.assign_arena(self._ser_arena)
         # The Section 7 data ops allocate from the deserializer's arena
         # (copy/merge build objects the same way deserialization does).
         self.dataops.assign_arena(self._deser_arena)
+
+    # -- transport plumbing -----------------------------------------------------
+
+    @property
+    def rocc(self):
+        """Legacy alias for the attach point.
+
+        Tests and tooling predate the :class:`AccelTransport` seam and
+        reach command-stream observability (``log``,
+        ``instructions_issued``, ``faults_raised``) through ``.rocc``;
+        both transports expose that surface.
+        """
+        return self.transport
+
+    def _fault_kind(self, base: str) -> str:
+        """Operation kind announced to the fault injector.  The RoCC
+        kinds are the historical ``"deser"``/``"ser"`` (seeded site
+        draws stay bit-identical); PCIe operations can additionally
+        fault at the transport's own submission sites."""
+        return base if self.transport.name == "rocc" else f"pcie.{base}"
+
+    def _submit_deser(self, adt_addr: int, dest_addr: int, src_addr: int,
+                      src_len: int) -> None:
+        """Issue the ``deser_info``/``do_proto_deser`` pair (one
+        descriptor over PCIe).  Transport fault sites are polled by the
+        *driver*, before anything is issued: a lost doorbell or failed
+        payload DMA is detected at submission, so a faulted submit
+        leaves no in-flight work behind and is simply re-run."""
+        if self.faults is not None:
+            self.faults.poll(FaultSite.PCIE_DMA)
+            self.faults.poll(FaultSite.PCIE_DOORBELL)
+        self.transport.issue(RoccInstruction(RoccFunct.DESER_INFO, adt_addr,
+                                             dest_addr))
+        self.transport.issue(RoccInstruction(RoccFunct.DO_PROTO_DESER,
+                                             src_addr, src_len))
+
+    def _submit_ser(self, descriptor: MessageDescriptor, adt_addr: int,
+                    obj_addr: int) -> None:
+        """Issue the ``ser_info``/``do_proto_ser`` pair (one descriptor
+        over PCIe); same submission-time fault polls as the deser twin."""
+        if self.faults is not None:
+            self.faults.poll(FaultSite.PCIE_DMA)
+            self.faults.poll(FaultSite.PCIE_DOORBELL)
+        self.transport.issue(RoccInstruction(
+            RoccFunct.SER_INFO,
+            self.layouts.layout(descriptor).hasbits_offset,
+            descriptor.max_field_number << 32 | descriptor.min_field_number))
+        self.transport.issue(RoccInstruction(RoccFunct.DO_PROTO_SER,
+                                             adt_addr, obj_addr))
+
+    def _drain_abandoned(self, error: BaseException) -> None:
+        """Attribute transport cycles left behind by a failed operation.
+
+        Over PCIe the abandoned submission's ring/doorbell/DMA work is
+        real link-side cost the caller must see before failing over, so
+        it rides on the fault's ``charged_cycles`` when the error
+        carries one.  On RoCC the dispatch cycles stay on the
+        device-lifetime overhead ledger, exactly where they lived
+        before the transport seam existed (keeping the serving layer's
+        failed-attempt charge -- and its latency bounds -- unchanged).
+        """
+        leaked = self.transport.take_cycles()
+        if not leaked:
+            return
+        if (self.transport.name != "rocc"
+                and getattr(error, "charged_cycles", None) is not None):
+            error.charged_cycles += leaked
+        else:
+            self.transport_overhead_cycles += leaked
 
     # -- program-load setup -----------------------------------------------------
 
@@ -256,7 +336,7 @@ class ProtoAccelerator:
         job when the accelerator faults on exhaustion -- Section 4.3)."""
         self._deser_arena = AcceleratorArena(self.memory,
                                              self._deser_arena.size)
-        self.rocc.issue(RoccInstruction(
+        self.transport.issue(RoccInstruction(
             RoccFunct.DESER_ASSIGN_ARENA, self._deser_arena.base,
             self._deser_arena.size))
         self.deserializer.assign_arena(self._deser_arena)
@@ -281,19 +361,28 @@ class ProtoAccelerator:
         dest_addr = self.memory.allocate(layout.object_size, 8)
         self.memory.fill(dest_addr, layout.object_size, 0)
         self.memory.write_u64(dest_addr, layout.vptr)
-        self.rocc.issue(RoccInstruction(RoccFunct.DESER_INFO, adt_addr,
-                                        dest_addr))
-        self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_DESER, src_addr,
-                                        len(wire_bytes)))
-        if self.faults is not None:
-            return self._deserialize_recovering(
-                descriptor, wire_bytes, adt_addr, dest_addr, src_addr,
-                hide_startup, auto_renew_arena)
-        stats = self._deser_attempt(descriptor, adt_addr, dest_addr,
-                                    src_addr, len(wire_bytes), hide_startup,
-                                    auto_renew_arena)
-        self.rocc.retire_deser()
-        return DeserResult(dest_addr=dest_addr, stats=stats)
+        transport = self.transport
+        transport.begin_batch()
+        try:
+            if self.faults is not None:
+                result = self._deserialize_recovering(
+                    descriptor, wire_bytes, adt_addr, dest_addr, src_addr,
+                    hide_startup, auto_renew_arena)
+            else:
+                self._submit_deser(adt_addr, dest_addr, src_addr,
+                                   len(wire_bytes))
+                stats = self._deser_attempt(
+                    descriptor, adt_addr, dest_addr, src_addr,
+                    len(wire_bytes), hide_startup, auto_renew_arena)
+                transport.retire_deser()
+                result = DeserResult(dest_addr=dest_addr, stats=stats)
+        except BaseException as error:
+            transport.end_batch()
+            self._drain_abandoned(error)
+            raise
+        transport.end_batch()
+        result.stats.transport_cycles += transport.take_cycles()
+        return result
 
     def _deser_attempt(self, descriptor: MessageDescriptor, adt_addr: int,
                        dest_addr: int, src_addr: int, src_len: int,
@@ -334,7 +423,7 @@ class ProtoAccelerator:
 
     def _note_fault(self, fault: AccelFault) -> None:
         """Bookkeeping common to every caught injected fault."""
-        self.rocc.record_fault(fault.site)
+        self.transport.record_fault(fault.site)
         self.fault_stats.faults_injected += 1
         self.fault_stats.wasted_accel_cycles += fault.cycle
         if fault.site == FaultSite.BUS_STALL.value:
@@ -354,14 +443,23 @@ class ProtoAccelerator:
         instead of one, for fallback).
         """
         assert self.faults is not None
-        self.faults.begin_operation("deser")
+        self.faults.begin_operation(self._fault_kind("deser"))
         injected = 0
         retries = 0
         wasted = 0.0
         backoff = 0.0
+        submitted = False
         try:
             while True:
                 try:
+                    if not submitted:
+                        # (Re)submission: a transport-site fault fires
+                        # here, before the pair is issued, so the retry
+                        # resubmits; a unit fault leaves the descriptor
+                        # in flight and only the unit attempt re-runs.
+                        self._submit_deser(adt_addr, dest_addr, src_addr,
+                                           len(wire_bytes))
+                        submitted = True
                     stats = self._deser_attempt(
                         descriptor, adt_addr, dest_addr, src_addr,
                         len(wire_bytes), hide_startup, auto_renew_arena)
@@ -398,7 +496,8 @@ class ProtoAccelerator:
         stats.cycles += wasted + backoff
         self.fault_stats.transient_retries += retries
         self.fault_stats.backoff_cycles += backoff
-        self.rocc.retire_deser()
+        if submitted:
+            self.transport.retire_deser()
         return DeserResult(dest_addr=dest_addr, stats=stats)
 
     def _raise_unrecovered(self, fault: AccelFault, injected: int,
@@ -442,24 +541,33 @@ class ProtoAccelerator:
                           buffers: list[bytes]) -> tuple[list[int], DeserStats]:
         """Batched offload: N ``deser_info``/``do_proto_deser`` pairs then
         one ``block_for_deser_completion`` (Section 4.4.1)."""
-        if self.batch is not None:
-            attempt = self.batch.deserialize_batch(descriptor, buffers)
-            if attempt is not None:
-                addresses, total = attempt
-                self.rocc.block_for_deser_completion()
-                total.cycles += self.config.fence_cycles
-                return addresses, total
-        total = DeserStats()
-        addresses = []
-        for data in buffers:
-            # Deserialization is serial through the field handler, so the
-            # stream-open latency is NOT hidden between batched operations
-            # (contrast the ablation in benchmarks/bench_ablation.py).
-            result = self.deserialize(descriptor, data)
-            addresses.append(result.dest_addr)
-            total.merge(result.stats)
-        self.rocc.block_for_deser_completion()
-        total.cycles += self.config.fence_cycles
+        transport = self.transport
+        transport.begin_batch()
+        try:
+            addresses = total = None
+            if self.batch is not None:
+                attempt = self.batch.deserialize_batch(descriptor, buffers)
+                if attempt is not None:
+                    addresses, total = attempt
+            if total is None:
+                total = DeserStats()
+                addresses = []
+                for data in buffers:
+                    # Deserialization is serial through the field handler,
+                    # so the stream-open latency is NOT hidden between
+                    # batched operations (contrast the ablation in
+                    # benchmarks/bench_ablation.py).
+                    result = self.deserialize(descriptor, data)
+                    addresses.append(result.dest_addr)
+                    total.merge(result.stats)
+            transport.block_for_deser_completion()
+            total.cycles += self.config.fence_cycles
+        except BaseException as error:
+            transport.end_batch()
+            self._drain_abandoned(error)
+            raise
+        transport.end_batch()
+        total.transport_cycles += transport.take_cycles()
         return addresses, total
 
     def read_message(self, descriptor: MessageDescriptor,
@@ -482,19 +590,26 @@ class ProtoAccelerator:
                   obj_addr: int) -> SerResult:
         """Offload one serialization of the object image at ``obj_addr``."""
         adt_addr = self.adts.adt_address(descriptor)
-        self.rocc.issue(RoccInstruction(
-            RoccFunct.SER_INFO,
-            self.layouts.layout(descriptor).hasbits_offset,
-            descriptor.max_field_number << 32 | descriptor.min_field_number))
-        self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_SER, adt_addr,
-                                        obj_addr))
-        if self.faults is not None:
-            return self._serialize_recovering(descriptor, adt_addr,
-                                              obj_addr)
-        stats = self.serializer.serialize(adt_addr, obj_addr)
-        self.rocc.retire_ser()
-        data = self._ser_arena.output(self._ser_arena.output_count - 1)
-        return SerResult(data=data, stats=stats)
+        transport = self.transport
+        transport.begin_batch()
+        try:
+            if self.faults is not None:
+                result = self._serialize_recovering(descriptor, adt_addr,
+                                                    obj_addr)
+            else:
+                self._submit_ser(descriptor, adt_addr, obj_addr)
+                stats = self.serializer.serialize(adt_addr, obj_addr)
+                transport.retire_ser()
+                data = self._ser_arena.output(self._ser_arena.output_count - 1)
+                transport.note_payload(len(data))
+                result = SerResult(data=data, stats=stats)
+        except BaseException as error:
+            transport.end_batch()
+            self._drain_abandoned(error)
+            raise
+        transport.end_batch()
+        result.stats.transport_cycles += transport.take_cycles()
+        return result
 
     def _serialize_recovering(self, descriptor: MessageDescriptor,
                               adt_addr: int, obj_addr: int) -> SerResult:
@@ -502,19 +617,24 @@ class ProtoAccelerator:
         faulted attempt's partial arena output), fall back to the
         software serializer otherwise."""
         assert self.faults is not None
-        self.faults.begin_operation("ser")
+        self.faults.begin_operation(self._fault_kind("ser"))
         injected = 0
         retries = 0
         wasted = 0.0
         backoff = 0.0
         data = None
+        submitted = False
         try:
             while True:
                 mark = self._ser_arena.mark()
                 try:
+                    if not submitted:
+                        self._submit_ser(descriptor, adt_addr, obj_addr)
+                        submitted = True
                     stats = self.serializer.serialize(adt_addr, obj_addr)
                     data = self._ser_arena.output(
                         self._ser_arena.output_count - 1)
+                    self.transport.note_payload(len(data))
                     break
                 except AccelFault as fault:
                     self._ser_arena.rollback(mark)
@@ -543,7 +663,8 @@ class ProtoAccelerator:
         stats.cycles += wasted + backoff
         self.fault_stats.transient_retries += retries
         self.fault_stats.backoff_cycles += backoff
-        self.rocc.retire_ser()
+        if submitted:
+            self.transport.retire_ser()
         return SerResult(data=data, stats=stats)
 
     def _fallback_serialize(self, descriptor: MessageDescriptor,
@@ -566,21 +687,29 @@ class ProtoAccelerator:
     def serialize_batch(self, descriptor: MessageDescriptor,
                         addresses: list[int]) -> tuple[list[bytes], SerStats]:
         """Batched serialization with a single completion fence."""
-        if self.batch is not None:
-            attempt = self.batch.serialize_batch(descriptor, addresses)
-            if attempt is not None:
-                outputs, total = attempt
-                self.rocc.block_for_ser_completion()
-                total.cycles += self.config.fence_cycles
-                return outputs, total
-        total = SerStats()
-        outputs = []
-        for addr in addresses:
-            result = self.serialize(descriptor, addr)
-            outputs.append(result.data)
-            total.merge(result.stats)
-        self.rocc.block_for_ser_completion()
-        total.cycles += self.config.fence_cycles
+        transport = self.transport
+        transport.begin_batch()
+        try:
+            outputs = total = None
+            if self.batch is not None:
+                attempt = self.batch.serialize_batch(descriptor, addresses)
+                if attempt is not None:
+                    outputs, total = attempt
+            if total is None:
+                total = SerStats()
+                outputs = []
+                for addr in addresses:
+                    result = self.serialize(descriptor, addr)
+                    outputs.append(result.data)
+                    total.merge(result.stats)
+            transport.block_for_ser_completion()
+            total.cycles += self.config.fence_cycles
+        except BaseException as error:
+            transport.end_batch()
+            self._drain_abandoned(error)
+            raise
+        transport.end_batch()
+        total.transport_cycles += transport.take_cycles()
         return outputs, total
 
     # -- Section 7 extension ops ---------------------------------------------------
@@ -589,9 +718,15 @@ class ProtoAccelerator:
                       obj_addr: int) -> DataOpStats:
         """Offload C++ ``Clear()`` on the object image at ``obj_addr``."""
         adt_addr = self.adts.adt_address(descriptor)
-        self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_CLEAR,
+        transport = self.transport
+        transport.begin_batch()
+        transport.issue(RoccInstruction(RoccFunct.DO_PROTO_CLEAR,
                                         adt_addr, obj_addr))
-        return self.dataops.clear(adt_addr, obj_addr)
+        try:
+            return self.dataops.clear(adt_addr, obj_addr)
+        finally:
+            transport.end_batch()
+            self.transport_overhead_cycles += transport.take_cycles()
 
     def copy_message(self, descriptor: MessageDescriptor,
                      src_addr: int) -> tuple[int, DataOpStats]:
@@ -602,17 +737,29 @@ class ProtoAccelerator:
         dest_addr = self.memory.allocate(layout.object_size, 8)
         self.memory.fill(dest_addr, layout.object_size, 0)
         self.memory.write_u64(dest_addr, layout.vptr)
-        self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_COPY,
+        transport = self.transport
+        transport.begin_batch()
+        transport.issue(RoccInstruction(RoccFunct.DO_PROTO_COPY,
                                         src_addr, dest_addr))
-        return dest_addr, self.dataops.copy(adt_addr, src_addr, dest_addr)
+        try:
+            return dest_addr, self.dataops.copy(adt_addr, src_addr, dest_addr)
+        finally:
+            transport.end_batch()
+            self.transport_overhead_cycles += transport.take_cycles()
 
     def merge_messages(self, descriptor: MessageDescriptor, src_addr: int,
                        dest_addr: int) -> DataOpStats:
         """Offload ``dest.MergeFrom(src)`` on two object images."""
         adt_addr = self.adts.adt_address(descriptor)
-        self.rocc.issue(RoccInstruction(RoccFunct.DO_PROTO_MERGE,
+        transport = self.transport
+        transport.begin_batch()
+        transport.issue(RoccInstruction(RoccFunct.DO_PROTO_MERGE,
                                         src_addr, dest_addr))
-        return self.dataops.merge(adt_addr, src_addr, dest_addr)
+        try:
+            return self.dataops.merge(adt_addr, src_addr, dest_addr)
+        finally:
+            transport.end_batch()
+            self.transport_overhead_cycles += transport.take_cycles()
 
     # -- maintenance ------------------------------------------------------------------
 

@@ -79,6 +79,10 @@ class SerStats:
     max_stack_depth: int = 0
     stack_spills: int = 0
     tlb_penalty_cycles: float = 0.0
+    #: Attach-point cost (RoCC dispatch or PCIe queue-pair work) charged
+    #: by the transport, NOT included in ``cycles`` -- the unit's own
+    #: cycle count is transport-independent (docs/MODEL.md).
+    transport_cycles: float = 0.0
     # Fault-recovery accounting (all zero on the fault-free path).
     faults_injected: int = 0
     fault_retries: int = 0
@@ -92,6 +96,7 @@ class SerStats:
                      "submessages", "strings", "repeated_elements",
                      "frontend_cycles", "fsu_cycles", "memwriter_cycles",
                      "stack_spills", "tlb_penalty_cycles",
+                     "transport_cycles",
                      "faults_injected", "fault_retries", "cpu_fallbacks",
                      "wasted_accel_cycles", "recovery_backoff_cycles",
                      "fallback_cpu_cycles"):

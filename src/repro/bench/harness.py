@@ -63,23 +63,29 @@ class HarnessOptions:
     worker-pool path carries it too.  ``fast_path`` selects the
     accelerator's host execution tier (``"codegen"``, ``"batch"``, or
     ``"interp"``); modeled cycles are bit-identical on every tier, so
-    results and cache keys do not depend on it.
+    results and cache keys do not depend on it.  ``transport`` selects
+    the accelerator's attach point (``"rocc"`` or ``"pcie"``); it only
+    changes the reported ``transport_cycles``, and joins cache keys
+    only when non-default so existing cache entries stay valid.
     """
 
     jobs: int = 1
     disk_cache: bool = True
     fault_plan: object = None
     fast_path: str = "codegen"
+    transport: str = "rocc"
 
 
 _OPTIONS = HarnessOptions()
 
 
 def set_options(jobs: int = 1, disk_cache: bool = True,
-                fault_plan=None, fast_path: str = "codegen") -> None:
+                fault_plan=None, fast_path: str = "codegen",
+                transport: str = "rocc") -> None:
     global _OPTIONS
     _OPTIONS = HarnessOptions(jobs=max(1, jobs), disk_cache=disk_cache,
-                              fault_plan=fault_plan, fast_path=fast_path)
+                              fault_plan=fault_plan, fast_path=fast_path,
+                              transport=transport)
 
 
 def get_options() -> HarnessOptions:
@@ -148,12 +154,13 @@ def _system_fingerprint() -> str:
 
 
 def cache_key(spec: WorkloadSpec, workload: Workload,
-              faults=None) -> str:
+              faults=None, transport: str = "rocc") -> str:
     """Content-addressed key: spec + schema hash + buffers + configs.
 
     A fault plan's fingerprint joins the material only when injection is
-    active, so fault-free keys are byte-identical to pre-fault releases
-    and the existing cache population stays valid.
+    active, and the transport name only when non-default (the same
+    keep-the-default-key-stable rule; RoCC results are unchanged by the
+    transport subsystem, so they must not re-key).
     """
     parts = [
         f"v{CACHE_VERSION}",
@@ -165,6 +172,8 @@ def cache_key(spec: WorkloadSpec, workload: Workload,
     ]
     if faults is not None and faults.enabled():
         parts.append(faults.fingerprint())
+    if transport != "rocc":
+        parts.append(f"transport:{transport}")
     return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
 
@@ -219,7 +228,8 @@ _UNSET = object()
 def run_spec(spec: WorkloadSpec, verify: bool = True,
              disk_cache: Optional[bool] = None,
              cache_dir: Optional[Path] = None,
-             faults=_UNSET, fast_path: Optional[str] = None
+             faults=_UNSET, fast_path: Optional[str] = None,
+             transport: Optional[str] = None
              ) -> BenchmarkResult:
     """Run one spec, consulting/feeding the persistent result cache."""
     if disk_cache is None:
@@ -228,18 +238,22 @@ def run_spec(spec: WorkloadSpec, verify: bool = True,
         faults = _OPTIONS.fault_plan
     if fast_path is None:
         fast_path = _OPTIONS.fast_path
+    if transport is None:
+        transport = _OPTIONS.transport
     workload = spec.build()
-    key = cache_key(spec, workload, faults=faults) if disk_cache else None
+    key = (cache_key(spec, workload, faults=faults, transport=transport)
+           if disk_cache else None)
     if key is not None:
         cached = load_cached(key, cache_dir)
         if cached is not None:
             return cached
     if spec.operation == "deserialize":
         result = run_deserialization(workload, verify=verify, faults=faults,
-                                     fast_path=fast_path)
+                                     fast_path=fast_path,
+                                     transport=transport)
     elif spec.operation == "serialize":
         result = run_serialization(workload, verify=verify, faults=faults,
-                                   fast_path=fast_path)
+                                   fast_path=fast_path, transport=transport)
     else:
         raise ValueError(f"unknown operation {spec.operation!r}")
     if key is not None and verify:
@@ -248,16 +262,18 @@ def run_spec(spec: WorkloadSpec, verify: bool = True,
 
 
 def _pool_entry(args: tuple) -> BenchmarkResult:
-    spec, verify, disk_cache, cache_dir, faults, fast_path = args
+    spec, verify, disk_cache, cache_dir, faults, fast_path, transport = args
     return run_spec(spec, verify=verify, disk_cache=disk_cache,
-                    cache_dir=cache_dir, faults=faults, fast_path=fast_path)
+                    cache_dir=cache_dir, faults=faults, fast_path=fast_path,
+                    transport=transport)
 
 
 def run_many(specs: list[WorkloadSpec], jobs: Optional[int] = None,
              verify: bool = True, disk_cache: Optional[bool] = None,
              cache_dir: Optional[Path] = None,
              faults=_UNSET,
-             fast_path: Optional[str] = None) -> list[BenchmarkResult]:
+             fast_path: Optional[str] = None,
+             transport: Optional[str] = None) -> list[BenchmarkResult]:
     """Run every spec, fanning across processes when ``jobs`` > 1.
 
     Results come back in spec order regardless of completion order, so
@@ -271,14 +287,17 @@ def run_many(specs: list[WorkloadSpec], jobs: Optional[int] = None,
         faults = _OPTIONS.fault_plan
     if fast_path is None:
         fast_path = _OPTIONS.fast_path
+    if transport is None:
+        transport = _OPTIONS.transport
     if cache_dir is not None:
         cache_dir = Path(cache_dir)
     if jobs <= 1 or len(specs) <= 1:
         return [run_spec(spec, verify=verify, disk_cache=disk_cache,
                          cache_dir=cache_dir, faults=faults,
-                         fast_path=fast_path)
+                         fast_path=fast_path, transport=transport)
                 for spec in specs]
-    payloads = [(spec, verify, disk_cache, cache_dir, faults, fast_path)
+    payloads = [(spec, verify, disk_cache, cache_dir, faults, fast_path,
+                 transport)
                 for spec in specs]
     with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
         return list(pool.map(_pool_entry, payloads))

@@ -231,6 +231,62 @@ def speedup_summary(results: Sequence[BenchmarkResult]) -> dict[str, float]:
     }
 
 
+def transport_table(rows: Sequence[dict]) -> str:
+    """Render the RoCC-vs-PCIe attach-point sweep.
+
+    ``rows`` come from :func:`repro.bench.transport.sweep_transports`:
+    one dict per (message size, batch size) cell.  Protocol-work cycles
+    are identical across transports by construction (the sweep asserts
+    it), so the table shows only the attach-point costs: amortised
+    transport cycles per operation on each transport, and which one
+    wins on total cycles.
+    """
+    if not rows:
+        raise ValueError("no transport sweep rows to render")
+    header = (f"{'size B':>7} {'batch':>6} {'unit cyc':>10} "
+              f"{'rocc/op':>9} {'pcie/op':>9} {'winner':>7}")
+    lines = [f"transport sweep ({rows[0]['operation']}, attach-point "
+             "cycles per op; unit cycles identical across transports)",
+             header, "-" * len(header)]
+    previous_size = None
+    for row in rows:
+        if previous_size is not None and row["size"] != previous_size:
+            lines.append("")
+        previous_size = row["size"]
+        winner = "pcie" if row["pcie_wins"] else "rocc"
+        lines.append(
+            f"{row['size']:>7} {row['batch']:>6} {row['cycles']:>10.1f} "
+            f"{row['rocc_transport_per_op']:>9.2f} "
+            f"{row['pcie_transport_per_op']:>9.2f} {winner:>7}")
+    return "\n".join(lines)
+
+
+def transport_crossover_table(crossovers: Sequence[dict]) -> str:
+    """Render the per-size PCIe crossover batch (the headline table).
+
+    ``crossovers`` come from :func:`repro.bench.transport.
+    crossover_batches`: per message size, the smallest swept batch where
+    PCIe's total cycles match or beat RoCC's, or ``never`` when the
+    per-byte link charge exceeds the RoCC dispatch cost at any batch.
+    """
+    if not crossovers:
+        raise ValueError("no crossover rows to render")
+    header = (f"{'size B':>7} {'crossover batch':>16} "
+              f"{'rocc/op @max':>13} {'pcie/op @max':>13}")
+    lines = [f"PCIe crossover vs message size "
+             f"({crossovers[0]['operation']}, max batch "
+             f"{crossovers[0]['max_batch']})",
+             header, "-" * len(header)]
+    for row in crossovers:
+        crossover = (str(row["crossover_batch"])
+                     if row["crossover_batch"] is not None else "never")
+        lines.append(
+            f"{row['size']:>7} {crossover:>16} "
+            f"{row['rocc_per_op_at_max_batch']:>13.2f} "
+            f"{row['pcie_per_op_at_max_batch']:>13.2f}")
+    return "\n".join(lines)
+
+
 def codegen_speedup_table(rows: Sequence[dict]) -> str:
     """Render the codegen-vs-interpreter host-time microbenchmark.
 

@@ -63,6 +63,11 @@ class SystemResult:
     gbits_per_second: float
     cycles: float
     wire_bytes: int
+    #: Attach-point cost (RoCC dispatch or PCIe queue-pair mechanics),
+    #: reported beside -- never inside -- ``cycles``: the headline
+    #: Gbit/s metric stays transport-independent and bit-identical to
+    #: pre-transport baselines.  Zero on the software systems.
+    transport_cycles: float = 0.0
     faults_injected: int = 0
     transient_retries: int = 0
     cpu_fallbacks: int = 0
@@ -115,8 +120,9 @@ def _fault_counters(accel: ProtoAccelerator) -> dict:
 
 def _accel_deser(workload: Workload, buffers: list[bytes],
                  verify: bool, faults=None,
-                 fast_path: str = "codegen") -> SystemResult:
-    config = SoCConfig()
+                 fast_path: str = "codegen",
+                 transport: str = "rocc") -> SystemResult:
+    config = SoCConfig(transport=transport)
     wire_bytes = sum(len(b) for b in buffers)
     inject = faults is not None and faults.enabled()
     if inject:
@@ -137,7 +143,8 @@ def _accel_deser(workload: Workload, buffers: list[bytes],
             return SystemResult(
                 "riscv-boom-accel",
                 config.gbits_per_second(wire_bytes, stats.cycles),
-                stats.cycles, wire_bytes)
+                stats.cycles, wire_bytes,
+                transport_cycles=stats.transport_cycles)
     # fast_path only changes host wall-clock (modeled cycles are
     # bit-identical on both tiers), so batch-cache keys ignore it.
     accel = ProtoAccelerator(config=config, faults=faults,
@@ -155,12 +162,15 @@ def _accel_deser(workload: Workload, buffers: list[bytes],
     return SystemResult(
         "riscv-boom-accel",
         accel.throughput_gbps(wire_bytes, stats.cycles),
-        stats.cycles, wire_bytes, **_fault_counters(accel))
+        stats.cycles, wire_bytes,
+        transport_cycles=stats.transport_cycles,
+        **_fault_counters(accel))
 
 
 def _accel_ser(workload: Workload, verify: bool, faults=None,
-               fast_path: str = "codegen") -> SystemResult:
-    config = SoCConfig()
+               fast_path: str = "codegen",
+               transport: str = "rocc") -> SystemResult:
+    config = SoCConfig(transport=transport)
     buffers = workload.wire_buffers()
     inject = faults is not None and faults.enabled()
     if inject:
@@ -175,7 +185,8 @@ def _accel_ser(workload: Workload, verify: bool, faults=None,
             return SystemResult(
                 "riscv-boom-accel",
                 config.gbits_per_second(wire_bytes, stats.cycles),
-                stats.cycles, wire_bytes)
+                stats.cycles, wire_bytes,
+                transport_cycles=stats.transport_cycles)
     accel = ProtoAccelerator(config=config, faults=faults,
                              fast_path=fast_path)
     accel.register_types([workload.descriptor])
@@ -192,12 +203,15 @@ def _accel_ser(workload: Workload, verify: bool, faults=None,
     return SystemResult(
         "riscv-boom-accel",
         accel.throughput_gbps(wire_bytes, stats.cycles),
-        stats.cycles, wire_bytes, **_fault_counters(accel))
+        stats.cycles, wire_bytes,
+        transport_cycles=stats.transport_cycles,
+        **_fault_counters(accel))
 
 
 def run_deserialization(workload: Workload, verify: bool = True,
                         faults=None,
-                        fast_path: str = "codegen") -> BenchmarkResult:
+                        fast_path: str = "codegen",
+                        transport: str = "rocc") -> BenchmarkResult:
     """Deserialize the workload's batch on all three systems.
 
     ``faults`` (a :class:`~repro.faults.FaultPlan` or ``None``) only
@@ -205,7 +219,9 @@ def run_deserialization(workload: Workload, verify: bool = True,
     free CPUs either way.  ``fast_path`` selects the accelerator's host
     execution tier (``"codegen"``, ``"batch"``, or ``"interp"``);
     modeled cycles are identical on every tier, so results do not
-    depend on it.
+    depend on it.  ``transport`` selects the accelerator's attach point
+    (``"rocc"`` or ``"pcie"``); it changes only the reported
+    ``transport_cycles``, never the unit cycles or Gbit/s.
     """
     buffers = workload.wire_buffers()
     result = BenchmarkResult(workload.name, "deserialize")
@@ -213,17 +229,20 @@ def run_deserialization(workload: Workload, verify: bool = True,
                                                    buffers)
     result.results["Xeon"] = _software_deser(xeon_cpu(), workload, buffers)
     result.results["riscv-boom-accel"] = _accel_deser(
-        workload, buffers, verify, faults=faults, fast_path=fast_path)
+        workload, buffers, verify, faults=faults, fast_path=fast_path,
+        transport=transport)
     return result
 
 
 def run_serialization(workload: Workload, verify: bool = True,
                       faults=None,
-                      fast_path: str = "codegen") -> BenchmarkResult:
+                      fast_path: str = "codegen",
+                      transport: str = "rocc") -> BenchmarkResult:
     """Serialize the workload's batch on all three systems."""
     result = BenchmarkResult(workload.name, "serialize")
     result.results["riscv-boom"] = _software_ser(boom_cpu(), workload)
     result.results["Xeon"] = _software_ser(xeon_cpu(), workload)
     result.results["riscv-boom-accel"] = _accel_ser(
-        workload, verify, faults=faults, fast_path=fast_path)
+        workload, verify, faults=faults, fast_path=fast_path,
+        transport=transport)
     return result

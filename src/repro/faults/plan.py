@@ -44,6 +44,8 @@ class FaultSite(enum.Enum):
     SER_ABORT = "ser.abort"                    # serializer pipeline died mid-message
     DESER_HANG = "deser.hang"                  # field handler stopped progressing
     SER_HANG = "ser.hang"                      # serializer pipeline stopped progressing
+    PCIE_DMA = "pcie.dma"                      # payload/descriptor DMA failed (link CRC)
+    PCIE_DOORBELL = "pcie.doorbell"            # doorbell MMIO write lost/rejected
 
 
 #: Sites where a bounded retry of the same operation may succeed.
@@ -52,6 +54,10 @@ TRANSIENT_SITES = frozenset({
     FaultSite.ADT_ENTRY,
     FaultSite.BUS_STALL,
     FaultSite.TLB_FAULT,
+    # Link-level CRC retries and doorbell re-posts succeed once the
+    # condition clears; the driver resubmits the descriptor.
+    FaultSite.PCIE_DMA,
+    FaultSite.PCIE_DOORBELL,
 })
 
 #: Sites that deterministically recur on retry (driver falls back).
@@ -79,6 +85,16 @@ SER_SITES = (
     FaultSite.SER_HANG,
 )
 
+#: Sites reachable only over the PCIe attach point (polled by the
+#: *driver* at submission, before any unit runs).  Deliberately NOT
+#: folded into DESER_SITES/SER_SITES: the RoCC-path site draw must stay
+#: bit-identical to pre-transport releases, so PCIe operations announce
+#: themselves with a ``"pcie."``-prefixed kind instead (``sites_for``).
+PCIE_SITES = (
+    FaultSite.PCIE_DMA,
+    FaultSite.PCIE_DOORBELL,
+)
+
 #: Sites that model a hung FSM: the unit stops making forward progress
 #: and burns cycles until the watchdog's per-operation budget expires
 #: (docs/SERVING.md).  Hangs are persistent -- the aborted operation is
@@ -93,6 +109,10 @@ IMMEDIATE_SITES = frozenset({
     FaultSite.MEMLOADER_TRUNCATE,
     FaultSite.BUS_STALL,
     FaultSite.TLB_FAULT,
+    # Submission-time conditions: they exist before the units touch any
+    # data, and the driver polls them first, so they fire on poll one.
+    FaultSite.PCIE_DMA,
+    FaultSite.PCIE_DOORBELL,
 })
 
 
@@ -133,9 +153,17 @@ class FaultPlan:
         return self.rate > 0.0
 
     def sites_for(self, kind: str) -> tuple[FaultSite, ...]:
-        """The plan's sites reachable by one operation ``kind``
-        (``"deser"`` or ``"ser"``)."""
-        reachable = DESER_SITES if kind == "deser" else SER_SITES
+        """The plan's sites reachable by one operation ``kind``.
+
+        ``"deser"``/``"ser"`` are the RoCC-path kinds (unchanged since
+        the fault subsystem landed, so seeded site draws replay
+        bit-identically); ``"pcie.deser"``/``"pcie.ser"`` additionally
+        reach the transport's own submission sites.
+        """
+        base = kind.removeprefix("pcie.")
+        reachable = DESER_SITES if base == "deser" else SER_SITES
+        if kind.startswith("pcie."):
+            reachable = reachable + PCIE_SITES
         return tuple(s for s in self.sites if s in reachable)
 
     def derive(self, *labels: str) -> "FaultPlan":

@@ -60,6 +60,7 @@ from repro.serve.breaker import (
 from repro.serve.errors import DeadlineExceeded, Overloaded, ShardDraining
 from repro.serve.hedging import HedgePolicy
 from repro.serve.queue import AdmissionPolicy, AdmissionQueue
+from repro.soc.config import SoCConfig
 from repro.soc.multitile import MultiTileModel
 
 
@@ -100,6 +101,13 @@ class ServePolicy:
     #: fault plan armed bypass both fast tiers regardless (the driver
     #: enforces this, so every fault site keeps firing).
     fast_path: str = "codegen"
+    #: Accelerator attach point for every tile ("rocc" or "pcie").
+    #: Unit cycles are transport-independent; successful stages are
+    #: additionally charged the attach-point cost
+    #: (``stats.transport_cycles``), which is zero-extra work on the
+    #: historical RoCC ledger and real ring/doorbell/DMA/interrupt
+    #: mechanics over PCIe (docs/MODEL.md).
+    transport: str = "rocc"
 
     def __post_init__(self) -> None:
         if self.tiles < 1:
@@ -115,6 +123,9 @@ class ServePolicy:
             # watchdog budget; the handler is the only uncapped stage.
             raise ValueError("handler_cycles must not exceed the "
                              "watchdog budget (latency-bound invariant)")
+        if self.transport not in ("rocc", "pcie"):
+            raise ValueError(f"unknown transport {self.transport!r}; "
+                             "expected 'rocc' or 'pcie'")
 
     def hedge_stretch(self) -> float:
         """Latency multiplier while two hedged attempts overlap."""
@@ -134,6 +145,7 @@ class Tile:
         else:
             plan = None
         self.accel = ProtoAccelerator(
+            config=SoCConfig(transport=policy.transport),
             faults=plan,
             recovery=RecoveryPolicy(max_retries=0, cpu_fallback=False),
             watchdog=FsmWatchdog(policy.watchdog_budget_cycles),
@@ -569,7 +581,8 @@ class ResilientServer:
         except ProtoError as error:
             return _Attempt(end=now, cycles=0.0, fault=error,
                             permanent=True)
-        cost = stretch * result.stats.cycles
+        cost = stretch * (result.stats.cycles
+                          + result.stats.transport_cycles)
         now += cost
         charged += cost
         if now >= deadline:
@@ -596,7 +609,7 @@ class ResilientServer:
             cost = stretch * getattr(fault, "charged_cycles", fault.cycle)
             return _Attempt(end=now + cost, cycles=charged + cost,
                             fault=fault, permanent=not fault.injected)
-        cost = stretch * ser.stats.cycles
+        cost = stretch * (ser.stats.cycles + ser.stats.transport_cycles)
         now += cost
         charged += cost
         accel.reset_arenas()  # request lifetime over; reclaim

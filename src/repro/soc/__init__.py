@@ -1,23 +1,57 @@
-"""SoC integration substrate: RoCC interface, TLBs, and the system bus.
+"""SoC integration substrate: accelerator transports, TLBs, system bus.
 
 Models the glue of Figure 8: the BOOM core dispatches custom RISC-V
 instructions to the accelerator over the RoCC interface; the accelerator's
 memory interface wrappers translate virtual addresses through private TLBs
 backed by the page-table walker, and move data over the 128-bit TileLink
 system bus shared with the core.
+
+The accelerator can also attach as a PCIe device (`repro.soc.pcie`):
+submission/completion queue pairs, batched doorbells, DMA latency, and
+interrupt coalescing.  Both attach points implement the
+:class:`~repro.soc.transport.AccelTransport` protocol, selected by
+``SoCConfig.transport`` and resolved through
+:func:`~repro.soc.transport.build_transport`.
 """
 
-from repro.soc.config import SoCConfig
+from repro.soc.config import SoCConfig, SoCConfigError
 from repro.soc.rocc import RoccFunct, RoccInstruction, RoccInterface
+from repro.soc.pcie import (
+    DescriptorRing,
+    InterruptCoalescer,
+    PcieParams,
+    PcieTransport,
+    RingFull,
+)
+from repro.soc.transport import (
+    TRANSPORTS,
+    AccelTransport,
+    TransportResolution,
+    build_transport,
+    probe_transport,
+    resolve_transport,
+)
 from repro.soc.tlb import Tlb, TlbStats
 from repro.soc.bus import SystemBus
 from repro.soc.multitile import MultiTileModel, TileWorkProfile
 
 __all__ = [
     "SoCConfig",
+    "SoCConfigError",
     "RoccFunct",
     "RoccInstruction",
     "RoccInterface",
+    "DescriptorRing",
+    "InterruptCoalescer",
+    "PcieParams",
+    "PcieTransport",
+    "RingFull",
+    "TRANSPORTS",
+    "AccelTransport",
+    "TransportResolution",
+    "build_transport",
+    "probe_transport",
+    "resolve_transport",
     "Tlb",
     "TlbStats",
     "SystemBus",

@@ -5,6 +5,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.memory.timing import MemoryTimingModel
+from repro.soc.pcie import PcieParams
+
+
+class SoCConfigError(ValueError):
+    """A nonsensical SoC knob (or knob combination), named precisely.
+
+    Mirrors :class:`repro.serve.errors.FabricConfigError`: callers and
+    tests can match on ``knob`` without parsing the message.
+    """
+
+    def __init__(self, knob: str, value, message: str):
+        super().__init__(f"{knob}={value!r}: {message}")
+        self.knob = knob
+        self.value = value
 
 
 @dataclass
@@ -15,6 +29,12 @@ class SoCConfig:
     accelerator both at 2 GHz, a 128-bit TileLink system bus, and on-chip
     sub-message context stacks sized for depth 25 (Section 3.8: 99.999% of
     message bytes are at depth <= 25; deeper nesting spills to memory).
+
+    ``transport`` selects the accelerator's attach point: ``"rocc"``
+    (the paper's near-core custom-instruction interface) or ``"pcie"``
+    (the queue-pair/DMA model of :mod:`repro.soc.pcie`, parameterised by
+    ``pcie``).  The deser/ser cycle model is identical on both; only the
+    attach-point cost (``transport_cycles`` stats) differs.
     """
 
     #: Core and accelerator clock in Hz (paper models both at 2 GHz).
@@ -35,6 +55,64 @@ class SoCConfig:
     fence_cycles: int = 12
     #: Memory timing for the accelerator's TileLink path.
     memory: MemoryTimingModel = field(default_factory=MemoryTimingModel)
+    #: Accelerator attach point: "rocc" or "pcie".
+    transport: str = "rocc"
+    #: PCIe attach-point parameters (used when transport="pcie").
+    pcie: PcieParams = field(default_factory=PcieParams)
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise SoCConfigError("clock_hz", self.clock_hz,
+                                 "clock must be positive")
+        if self.rocc_dispatch_cycles < 0:
+            raise SoCConfigError("rocc_dispatch_cycles",
+                                 self.rocc_dispatch_cycles,
+                                 "dispatch cost cannot be negative")
+        if self.fence_cycles < 0:
+            raise SoCConfigError("fence_cycles", self.fence_cycles,
+                                 "fence cost cannot be negative")
+        if self.transport not in ("rocc", "pcie"):
+            raise SoCConfigError("transport", self.transport,
+                                 "unknown transport; expected 'rocc' or "
+                                 "'pcie'")
+        pcie = self.pcie
+        if pcie.ring_depth < 1:
+            raise SoCConfigError("pcie.ring_depth", pcie.ring_depth,
+                                 "descriptor rings need at least one slot")
+        if pcie.coalesce_threshold < 1:
+            raise SoCConfigError("pcie.coalesce_threshold",
+                                 pcie.coalesce_threshold,
+                                 "coalescing threshold must be >= 1")
+        if pcie.coalesce_threshold > pcie.ring_depth:
+            raise SoCConfigError(
+                "pcie.coalesce_threshold", pcie.coalesce_threshold,
+                f"threshold cannot exceed ring_depth={pcie.ring_depth} "
+                "(the completion queue would overflow before the "
+                "interrupt ever fired)")
+        if pcie.doorbell_batch < 1:
+            raise SoCConfigError("pcie.doorbell_batch", pcie.doorbell_batch,
+                                 "doorbell batch must be >= 1")
+        if pcie.doorbell_batch > pcie.ring_depth:
+            raise SoCConfigError(
+                "pcie.doorbell_batch", pcie.doorbell_batch,
+                f"doorbell batch cannot exceed ring_depth={pcie.ring_depth} "
+                "(the submission queue would overflow before the "
+                "doorbell ever rang)")
+        if pcie.dma_latency_cycles < 0:
+            raise SoCConfigError("pcie.dma_latency_cycles",
+                                 pcie.dma_latency_cycles,
+                                 "DMA latency cannot be negative")
+        if pcie.link_bytes_per_cycle <= 0:
+            raise SoCConfigError("pcie.link_bytes_per_cycle",
+                                 pcie.link_bytes_per_cycle,
+                                 "link bandwidth must be positive")
+        for knob in ("desc_write_cycles", "mmio_doorbell_cycles",
+                     "completion_write_cycles", "interrupt_cycles",
+                     "coalesce_timeout_cycles"):
+            value = getattr(pcie, knob)
+            if value < 0:
+                raise SoCConfigError(f"pcie.{knob}", value,
+                                     "cycle cost cannot be negative")
 
     def cycles_to_seconds(self, cycles: float) -> float:
         return cycles / self.clock_hz

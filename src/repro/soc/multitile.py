@@ -40,25 +40,53 @@ class TileWorkProfile:
 
 @dataclass
 class MultiTileModel:
-    """Aggregate throughput of N accelerator tiles on a shared uncore."""
+    """Aggregate throughput of N accelerator tiles on a shared uncore.
+
+    ``transport`` names the shared resource the tiles contend on:
+    ``"rocc"`` tiles share the on-chip system bus (beats per cycle);
+    ``"pcie"`` tiles share the link's payload bandwidth
+    (``link_bytes_per_cycle``, matching
+    :class:`~repro.soc.pcie.PcieParams`).  The scaling algebra is
+    identical -- only the capacity/demand units change.
+    """
 
     profile: TileWorkProfile
     #: Deliverable beats per cycle of the shared bus/LLC path.
     bus_beats_per_cycle: float = 1.0
     clock_hz: float = 2.0e9
+    #: Shared medium: "rocc" (system bus) or "pcie" (link bandwidth).
+    transport: str = "rocc"
+    #: Link payload bandwidth when transport="pcie", bytes per cycle.
+    link_bytes_per_cycle: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("rocc", "pcie"):
+            raise ValueError(f"unknown transport {self.transport!r}; "
+                             "expected 'rocc' or 'pcie'")
+        if self.link_bytes_per_cycle <= 0:
+            raise ValueError("link bandwidth must be positive")
 
     def bus_demand(self, tiles: int) -> float:
-        """Beats per cycle N tiles would like to consume."""
+        """Shared-medium units per cycle N tiles would like to consume
+        (bus beats on RoCC, payload bytes on PCIe)."""
         if tiles < 1:
             raise ValueError("need at least one tile")
+        if self.transport == "pcie":
+            return tiles * self.profile.payload_bytes / self.profile.cycles
         return tiles * self.profile.beats_per_cycle
 
+    def _capacity(self) -> float:
+        """Deliverable shared-medium units per cycle."""
+        if self.transport == "pcie":
+            return self.link_bytes_per_cycle
+        return self.bus_beats_per_cycle
+
     def saturation_tiles(self) -> float:
-        """Tile count at which the shared bus saturates."""
-        demand = self.profile.beats_per_cycle
+        """Tile count at which the shared medium saturates."""
+        demand = self.bus_demand(1)
         if demand == 0:
             return float("inf")
-        return self.bus_beats_per_cycle / demand
+        return self._capacity() / demand
 
     def speedup(self, tiles: int) -> float:
         """Aggregate throughput of N tiles relative to one tile.

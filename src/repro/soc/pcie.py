@@ -1,0 +1,353 @@
+"""PCIe/DMA attach point: queue pairs, doorbells, and coalesced IRQs.
+
+The paper hangs the accelerator off the core over RoCC (ones-of-cycles
+dispatch, Section 4.1).  RPCAcc (PAPERS.md) makes the case that *where*
+the accelerator hangs is the interesting systems question: a
+PCIe-attached device pays heavy fixed costs -- MMIO doorbell writes,
+DMA engine spin-up, completion interrupts -- but amortises them over
+bounded descriptor rings, so there is a message-size x batch-size
+crossover against RoCC that neither paper quantifies.  This module
+models that attach point as a second :class:`AccelTransport`
+implementation beside :class:`~repro.soc.rocc.RoccInterface`.
+
+Queue-pair model (NVMe-shaped, one descriptor per offloaded operation):
+
+1. The host writes one submission-queue entry per ``DO_PROTO_*``
+   command (``desc_write_cycles``); the paired ``*_INFO`` operand
+   travels inside the same descriptor and charges nothing extra.
+2. Deserialization payloads are staged host-to-device by DMA at
+   ``link_bytes_per_cycle`` as part of the submission (posted writes,
+   pipelined behind the descriptor).  Serialization outputs are staged
+   device-to-host after completion (:meth:`PcieTransport.note_payload`).
+3. Every ``doorbell_batch`` submissions -- or at window close -- the
+   host rings the doorbell (``mmio_doorbell_cycles``, an uncached MMIO
+   store).  The device then fetches and executes the whole group; each
+   completion costs ``completion_write_cycles`` for the CQE write.
+4. The first doorbell of a window additionally pays
+   ``dma_latency_cycles`` once: DMA engine spin-up plus the first
+   descriptor-fetch round trip (pipeline fill; later fetches overlap
+   with execution).
+5. Completion interrupts are coalesced: one fires when
+   ``coalesce_threshold`` completions are pending, when the submission
+   stream has been quiet for ``coalesce_timeout_cycles``, or -- so a
+   full batch is never starved -- when the window closes with
+   completions still pending (adaptive SQ-empty fire).
+
+Every cost is simulated cycles, accumulated into the transport's
+uncollected-cycle ledger and drained by the driver into per-operation
+``transport_cycles`` stats (docs/MODEL.md, transport section).  The
+deser/ser unit cycles (``stats.cycles``) are identical on both
+transports by construction -- the units don't know what they hang off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soc.rocc import RoccFunct, RoccInstruction, RoccInterface
+
+
+@dataclass(frozen=True)
+class PcieParams:
+    """Knobs of the modeled PCIe attach point (validated by SoCConfig).
+
+    Defaults model a Gen4 x8-class link on a 2 GHz clock: ~64 B/cycle
+    of streaming payload bandwidth, an uncached MMIO doorbell costing
+    ~128 cycles, ~500 cycles of DMA round-trip fill, and a ~150-cycle
+    interrupt service path, with NVMe-ish ring geometry.
+    """
+
+    #: Capability-probe result: a PCIe function is present and usable.
+    #: ``False`` makes :func:`repro.soc.transport.resolve_transport`
+    #: fall back to RoCC with a recorded reason.
+    present: bool = True
+    #: Submission/completion ring slots (bounded; zero is rejected).
+    ring_depth: int = 256
+    #: Bytes per submission-queue entry (one per operation).
+    desc_bytes: int = 32
+    #: Host cycles to compose and write one SQE.
+    desc_write_cycles: float = 0.5
+    #: Host cycles for one uncached MMIO doorbell store.
+    mmio_doorbell_cycles: float = 128.0
+    #: Submissions between doorbell rings (batched doorbells).
+    doorbell_batch: int = 128
+    #: One-time per-window DMA pipeline-fill latency (engine spin-up +
+    #: first descriptor fetch round trip).
+    dma_latency_cycles: float = 500.0
+    #: Streaming payload bandwidth of the link, bytes per cycle.
+    link_bytes_per_cycle: float = 64.0
+    #: Device cycles to post one completion-queue entry.
+    completion_write_cycles: float = 0.25
+    #: Host cycles to take and service one completion interrupt.
+    interrupt_cycles: float = 150.0
+    #: Pending completions that force an interrupt (coalescing).
+    coalesce_threshold: int = 64
+    #: Moderation timer: cycles since the last interrupt (measured on
+    #: the transport's charging clock) after which pending completions
+    #: force one even below the threshold.
+    coalesce_timeout_cycles: float = 8000.0
+
+
+class RingFull(RuntimeError):
+    """Submission attempted on a full descriptor ring."""
+
+
+class DescriptorRing:
+    """A bounded single-producer/single-consumer descriptor ring.
+
+    Tracks absolute sequence numbers so tests can prove no descriptor
+    is ever lost or duplicated: slot ``i`` of the backing list holds
+    the payload of sequence ``i mod depth`` between its submit and its
+    consume, and consumes always return sequences in submission order.
+    """
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError(f"ring depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._slots: list = [None] * depth
+        #: Absolute producer sequence (== total submissions).
+        self.submitted = 0
+        #: Absolute consumer sequence (== total consumes).
+        self.consumed = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self.submitted - self.consumed
+
+    @property
+    def full(self) -> bool:
+        return self.occupancy >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return self.occupancy == 0
+
+    def submit(self, payload) -> int:
+        """Push one descriptor; returns its absolute sequence number."""
+        if self.full:
+            raise RingFull(f"ring depth {self.depth} exhausted")
+        seq = self.submitted
+        self._slots[seq % self.depth] = (seq, payload)
+        self.submitted += 1
+        return seq
+
+    def consume(self, count: int = 1) -> list:
+        """Pop ``count`` descriptors in submission order."""
+        if count < 0 or count > self.occupancy:
+            raise RingFull(f"cannot consume {count} of {self.occupancy}")
+        out = []
+        for _ in range(count):
+            seq = self.consumed
+            slot, payload = self._slots[seq % self.depth]
+            assert slot == seq, "ring slot overwritten before consume"
+            self._slots[seq % self.depth] = None
+            self.consumed += 1
+            out.append((seq, payload))
+        return out
+
+
+class InterruptCoalescer:
+    """Threshold/timeout interrupt moderation (docs/MODEL.md).
+
+    ``add(n)`` registers freshly posted completions; ``advance(c)``
+    advances the moderation timer (time since the last interrupt, as
+    observed on the transport's charging clock).  Both return ``True``
+    when an interrupt must fire now; the caller then invokes
+    :meth:`fire`.  ``flush_due()`` is the window-close rule: with the
+    SQ empty and completions pending, fire immediately -- a full batch
+    is never starved behind the timeout.
+    """
+
+    def __init__(self, threshold: int, timeout_cycles: float):
+        self.threshold = threshold
+        self.timeout_cycles = timeout_cycles
+        self.pending = 0
+        self.elapsed = 0.0
+        self.fired = 0
+
+    def add(self, completions: int) -> bool:
+        self.pending += completions
+        return self.pending >= self.threshold
+
+    def advance(self, cycles: float) -> bool:
+        self.elapsed += cycles
+        return self.pending > 0 and self.elapsed >= self.timeout_cycles
+
+    def flush_due(self) -> bool:
+        return self.pending > 0
+
+    def fire(self) -> int:
+        """Service the interrupt: reap every pending completion."""
+        reaped = self.pending
+        self.pending = 0
+        self.elapsed = 0.0
+        self.fired += 1
+        return reaped
+
+
+#: funct values that travel as one descriptor each over PCIe.  The
+#: ``*_INFO`` halves of the paired commands ride inside the same
+#: descriptor (32 B has room for both operand pairs) and the
+#: ``BLOCK_FOR_*`` fences are the window-close interrupt wait, so
+#: neither charges separately.
+_SUBMISSION_FUNCTS = frozenset({
+    RoccFunct.DESER_ASSIGN_ARENA,
+    RoccFunct.SER_ASSIGN_ARENA,
+    RoccFunct.DO_PROTO_DESER,
+    RoccFunct.DO_PROTO_SER,
+    RoccFunct.DO_PROTO_CLEAR,
+    RoccFunct.DO_PROTO_COPY,
+    RoccFunct.DO_PROTO_MERGE,
+})
+
+
+@dataclass
+class PcieTransport(RoccInterface):
+    """The PCIe-attached command router (an :class:`AccelTransport`).
+
+    Subclasses :class:`~repro.soc.rocc.RoccInterface` for the shared
+    command-log/in-flight/fault bookkeeping (the *logical* instruction
+    stream is transport-independent) and replaces the cycle model: no
+    per-instruction core dispatch (``dispatch_cycles_each`` is 0);
+    instead, ring/doorbell/DMA/interrupt mechanics charge the window.
+
+    All charges are dyadic rationals (multiples of 1/64 cycle), so
+    accumulation order cannot perturb totals -- the property that keeps
+    ``transport_cycles`` bit-identical across execution tiers.
+    """
+
+    params: PcieParams = field(default_factory=PcieParams)
+    name: str = "pcie"
+    # Device-lifetime observability counters.
+    doorbells_rung: int = 0
+    interrupts_raised: int = 0
+    dma_payload_bytes: int = 0
+    ring_full_stalls: int = 0
+    windows_opened: int = 0
+
+    def __post_init__(self) -> None:
+        self.dispatch_cycles_each = 0
+        self.sq = DescriptorRing(self.params.ring_depth)
+        self.cq = DescriptorRing(self.params.ring_depth)
+        self.coalescer = InterruptCoalescer(
+            self.params.coalesce_threshold,
+            self.params.coalesce_timeout_cycles)
+        self._window_depth = 0
+        self._sq_since_doorbell = 0
+        self._dma_primed = False
+
+    # -- charging core ----------------------------------------------------------
+
+    def _charge(self, cycles: float, moderated: bool = True) -> None:
+        self._uncollected += cycles
+        self.dispatch_cycles_total += cycles
+        if moderated and self.coalescer.advance(cycles):
+            self._fire_interrupt()
+
+    def _fire_interrupt(self) -> None:
+        reaped = self.coalescer.fire()
+        self.cq.consume(reaped)
+        self.interrupts_raised += 1
+        self._uncollected += self.params.interrupt_cycles
+        self.dispatch_cycles_total += self.params.interrupt_cycles
+
+    # -- AccelTransport surface -------------------------------------------------
+
+    def begin_batch(self) -> None:
+        self._window_depth += 1
+        if self._window_depth == 1:
+            self.windows_opened += 1
+            self._dma_primed = False
+
+    def end_batch(self) -> None:
+        if self._window_depth == 0:
+            return
+        self._window_depth -= 1
+        if self._window_depth == 0:
+            self._ring_doorbell()
+            # Adaptive SQ-empty fire: the window is over, so waiting
+            # out the timeout would only add latency -- a full batch
+            # is never starved behind the coalescer.
+            if self.coalescer.flush_due():
+                self._fire_interrupt()
+
+    def note_payload(self, nbytes: int) -> None:
+        """Device-to-host DMA of ``nbytes`` of produced output.
+
+        Writeback overlaps interrupt moderation, so it charges the
+        window without advancing the moderation timer -- which keeps
+        the interrupt schedule a pure function of the submission
+        stream (identical across execution tiers).
+        """
+        if nbytes:
+            self.dma_payload_bytes += nbytes
+            self._charge(nbytes / self.params.link_bytes_per_cycle,
+                         moderated=False)
+
+    def issue(self, instruction: RoccInstruction) -> None:
+        super().issue(instruction)
+        if instruction.funct in _SUBMISSION_FUNCTS:
+            implicit = self._window_depth == 0
+            if implicit:
+                self.begin_batch()
+            self._submit(instruction)
+            if implicit:
+                self.end_batch()
+
+    # -- queue-pair mechanics ---------------------------------------------------
+
+    def _submit(self, instruction: RoccInstruction) -> None:
+        if self.sq.full:
+            # Unreachable under validated configs (doorbell_batch and
+            # coalesce_threshold are both capped at ring_depth), kept
+            # as the honest backpressure path: drain everything.
+            self.ring_full_stalls += 1
+            self._ring_doorbell()
+            if self.coalescer.flush_due():
+                self._fire_interrupt()
+        self.sq.submit(instruction.funct)
+        self._charge(self.params.desc_write_cycles)
+        if instruction.funct is RoccFunct.DO_PROTO_DESER:
+            # rs2 of DO_PROTO_DESER is the wire-buffer length: the
+            # host stages the payload to device memory as part of the
+            # submission (posted writes behind the descriptor).
+            self.dma_payload_bytes += instruction.rs2
+            self._charge(instruction.rs2 / self.params.link_bytes_per_cycle)
+        self._sq_since_doorbell += 1
+        if self._sq_since_doorbell >= self.params.doorbell_batch:
+            self._ring_doorbell()
+
+    def _ring_doorbell(self) -> None:
+        group = self._sq_since_doorbell
+        if group == 0:
+            return
+        self._sq_since_doorbell = 0
+        self.doorbells_rung += 1
+        self._charge(self.params.mmio_doorbell_cycles)
+        if not self._dma_primed:
+            self._dma_primed = True
+            self._charge(self.params.dma_latency_cycles)
+        # The device fetches and executes the whole doorbell group;
+        # each completion is one CQE write.  The simulated units run
+        # inline, so submission-visible and completion-visible are the
+        # same simulated-clock event from the host's charging side.
+        for seq, payload in self.sq.consume(group):
+            self.cq.submit((seq, payload))
+        self._charge(self.params.completion_write_cycles * group)
+        if self.coalescer.add(group):
+            self._fire_interrupt()
+
+    def counters(self) -> dict:
+        data = super().counters()
+        data.update(
+            doorbells_rung=self.doorbells_rung,
+            interrupts_raised=self.interrupts_raised,
+            dma_payload_bytes=self.dma_payload_bytes,
+            ring_full_stalls=self.ring_full_stalls,
+            windows_opened=self.windows_opened,
+            sq_submitted=self.sq.submitted,
+            cq_completed=self.cq.submitted,
+            cq_reaped=self.cq.consumed,
+        )
+        return data

@@ -53,7 +53,19 @@ class RoccInterface:
     Tracks dispatch-cycle accounting and the number of in-flight operations
     so `block_for_*_completion` can be modelled as committing only once all
     in-flight work retires (Section 4.4.1's "flexible middle ground").
+
+    This class is also the reference implementation of the
+    :class:`~repro.soc.transport.AccelTransport` protocol -- the seam
+    that lets :class:`~repro.soc.pcie.PcieTransport` slot in as a second
+    attach point.  For RoCC the transport surface is nearly free: the
+    per-instruction core dispatch cost accrues into an uncollected-cycle
+    ledger the driver drains into ``transport_cycles`` stats, and the
+    batch-window / payload hooks are no-ops (there are no rings,
+    doorbells, or DMA staging to amortise).
     """
+
+    #: Transport identity ("rocc" here, "pcie" for PcieTransport).
+    name = "rocc"
 
     dispatch_cycles_each: int = 4
     instructions_issued: int = 0
@@ -65,6 +77,8 @@ class RoccInterface:
     #: interrupt line carries arena exhaustion and unit faults alike).
     faults_raised: int = 0
     fault_sites: dict = field(default_factory=dict)
+    #: Transport cycles charged but not yet drained via take_cycles().
+    _uncollected: float = 0.0
 
     def record_fault(self, site: str | None) -> None:
         """The accelerator signalled a fault interrupt from ``site``."""
@@ -75,11 +89,47 @@ class RoccInterface:
     def issue(self, instruction: RoccInstruction) -> None:
         self.instructions_issued += 1
         self.dispatch_cycles_total += self.dispatch_cycles_each
+        self._uncollected += self.dispatch_cycles_each
         self.log.append(instruction)
         if instruction.funct is RoccFunct.DO_PROTO_DESER:
             self._inflight_deser += 1
         elif instruction.funct is RoccFunct.DO_PROTO_SER:
             self._inflight_ser += 1
+
+    # -- AccelTransport surface -------------------------------------------------
+
+    def take_cycles(self) -> float:
+        """Drain the transport cycles charged since the last drain.
+
+        The driver calls this after each operation (and after window
+        close) to attribute attach-point cost to ``transport_cycles``
+        stats.  For RoCC this is the custom-instruction dispatch cost:
+        ``dispatch_cycles_each`` per issued instruction.
+        """
+        cycles = self._uncollected
+        self._uncollected = 0.0
+        return cycles
+
+    def begin_batch(self) -> None:
+        """Open a batch window (no-op on RoCC: dispatch cost is flat
+        per instruction; nothing amortises)."""
+
+    def end_batch(self) -> None:
+        """Close a batch window (no-op on RoCC)."""
+
+    def note_payload(self, nbytes: int) -> None:
+        """Register produced output bytes (no-op on RoCC: results land
+        in the shared arena over the system bus, already charged by the
+        unit's memwriter model)."""
+
+    def counters(self) -> dict:
+        """Observability snapshot for perf reports and probes."""
+        return {
+            "transport": self.name,
+            "instructions_issued": self.instructions_issued,
+            "transport_cycles_total": float(self.dispatch_cycles_total),
+            "faults_raised": self.faults_raised,
+        }
 
     def retire_deser(self, count: int = 1) -> None:
         if count > self._inflight_deser:

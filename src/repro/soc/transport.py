@@ -1,0 +1,119 @@
+"""The accelerator attach-point seam: AccelTransport + capability probe.
+
+The deser/ser units don't care what they hang off; the *driver* does.
+This module names the contract between them -- the
+:class:`AccelTransport` protocol both :class:`~repro.soc.rocc.RoccInterface`
+(near-core custom instructions) and :class:`~repro.soc.pcie.PcieTransport`
+(queue pairs over a link) satisfy -- and implements the
+capability-probe/fallback manager in the style of
+``five82__encodeworkflow``'s ``HardwareAccel``/``HardwareManager``:
+resolve the configured transport name, probe the hardware it needs, and
+degrade gracefully to RoCC with a recorded reason when the probe fails.
+Unknown transport names are a *configuration* error (structured,
+naming the knob), not a fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.soc.config import SoCConfig, SoCConfigError
+from repro.soc.pcie import PcieTransport
+from repro.soc.rocc import RoccInstruction, RoccInterface
+
+#: Registered transport names, in probe-preference order.
+TRANSPORTS = ("rocc", "pcie")
+
+
+@runtime_checkable
+class AccelTransport(Protocol):
+    """What the driver needs from an attach point.
+
+    Three facets:
+
+    * **Command issue** -- ``issue`` routes one logical accelerator
+      command; ``retire_*``/``inflight_*``/``block_for_*_completion``
+      track outstanding work and model the completion fences.
+    * **Cycle charging** -- ``begin_batch``/``end_batch`` bracket an
+      amortisation window, ``note_payload`` registers device-produced
+      output bytes, and ``take_cycles`` drains the attach-point cost
+      accrued since the last drain (the driver folds it into
+      per-operation ``transport_cycles`` stats).
+    * **Fault/interrupt surface** -- ``record_fault`` counts fault
+      interrupts raised to the core; ``counters`` is the observability
+      snapshot.
+    """
+
+    name: str
+
+    def issue(self, instruction: RoccInstruction) -> None: ...
+    def retire_deser(self, count: int = 1) -> None: ...
+    def retire_ser(self, count: int = 1) -> None: ...
+    @property
+    def inflight_deserializations(self) -> int: ...
+    @property
+    def inflight_serializations(self) -> int: ...
+    def block_for_deser_completion(self) -> bool: ...
+    def block_for_ser_completion(self) -> bool: ...
+    def begin_batch(self) -> None: ...
+    def end_batch(self) -> None: ...
+    def note_payload(self, nbytes: int) -> None: ...
+    def take_cycles(self) -> float: ...
+    def record_fault(self, site: str | None) -> None: ...
+    def counters(self) -> dict: ...
+
+
+@dataclass(frozen=True)
+class TransportResolution:
+    """Outcome of resolving a configured transport name.
+
+    ``effective`` is what the device actually attached over; when it
+    differs from ``requested``, ``fallback_reason`` says why (the probe
+    failed), mirroring the manager pattern in ``five82__encodeworkflow``.
+    """
+
+    requested: str
+    effective: str
+    fallback_reason: str | None = None
+
+    @property
+    def fell_back(self) -> bool:
+        return self.requested != self.effective
+
+
+def probe_transport(name: str, config: SoCConfig) -> str | None:
+    """Probe whether transport ``name`` is usable on this SoC; returns
+    ``None`` when usable, else a human-readable failure reason."""
+    if name == "rocc":
+        return None  # the core's own interface; always present
+    if name == "pcie":
+        if not config.pcie.present:
+            return ("capability probe found no usable PCIe function "
+                    "(pcie.present=False)")
+        return None
+    return f"no probe registered for transport {name!r}"
+
+
+def resolve_transport(config: SoCConfig) -> TransportResolution:
+    """Resolve ``config.transport``: validate the name, probe it, and
+    fall back to RoCC (with a recorded reason) if the probe fails."""
+    requested = config.transport
+    if requested not in TRANSPORTS:
+        raise SoCConfigError(
+            "transport", requested,
+            f"unknown transport; expected one of {', '.join(TRANSPORTS)}")
+    reason = probe_transport(requested, config)
+    if reason is None:
+        return TransportResolution(requested, requested)
+    return TransportResolution(requested, "rocc", fallback_reason=reason)
+
+
+def build_transport(config: SoCConfig
+                    ) -> tuple[AccelTransport, TransportResolution]:
+    """Construct the attach point for ``config`` (post-probe)."""
+    resolution = resolve_transport(config)
+    if resolution.effective == "pcie":
+        return PcieTransport(params=config.pcie), resolution
+    return (RoccInterface(dispatch_cycles_each=config.rocc_dispatch_cycles),
+            resolution)

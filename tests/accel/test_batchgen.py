@@ -17,7 +17,9 @@ np = pytest.importorskip("numpy")
 from repro.accel import batchgen, codegen, perf, tiers
 from repro.accel.driver import ProtoAccelerator
 from repro.faults import FaultPlan, FaultSite
+from repro.faults.plan import PCIE_SITES
 from repro.proto import batchwire, parse_schema
+from repro.soc.config import SoCConfig
 
 _SCHEMA = parse_schema("""
     message Flat {
@@ -257,7 +259,11 @@ def test_perf_line_reports_tier_table():
 
 def _fault_accel(site):
     plan = FaultPlan(seed=1, rate=1.0, sites=(site,), max_trigger=1)
-    device = ProtoAccelerator(deser_arena_bytes=1 << 20,
+    # The transport's own sites are only reachable over PCIe (the RoCC
+    # path draws from the historical site set, bit-identically).
+    transport = "pcie" if site in PCIE_SITES else "rocc"
+    device = ProtoAccelerator(config=SoCConfig(transport=transport),
+                              deser_arena_bytes=1 << 20,
                               ser_arena_bytes=1 << 20,
                               faults=plan, fast_path="batch")
     device.register_schema(_PROBE_SCHEMA)

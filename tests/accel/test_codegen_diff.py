@@ -17,7 +17,9 @@ from hypothesis import HealthCheck, given, settings
 from repro.accel import driver as driver_mod
 from repro.accel.driver import ProtoAccelerator
 from repro.faults import FaultPlan, FaultSite, TRANSIENT_SITES
+from repro.faults.plan import PCIE_SITES
 from repro.proto import parse_schema
+from repro.soc.config import SoCConfig
 from repro.proto.decoder import parse_message
 from repro.proto.errors import DecodeError
 
@@ -172,7 +174,11 @@ def _probe_message():
 
 def _fault_accel(site):
     plan = FaultPlan(seed=1, rate=1.0, sites=(site,), max_trigger=1)
-    device = ProtoAccelerator(deser_arena_bytes=1 << 20,
+    # The transport's own sites are only reachable over PCIe (the RoCC
+    # path draws from the historical site set, bit-identically).
+    transport = "pcie" if site in PCIE_SITES else "rocc"
+    device = ProtoAccelerator(config=SoCConfig(transport=transport),
+                              deser_arena_bytes=1 << 20,
                               ser_arena_bytes=1 << 20,
                               faults=plan, fast_path="codegen")
     device.register_schema(_PROBE_SCHEMA)

@@ -14,6 +14,7 @@ from repro.faults import (
     SER_SITES,
     TRANSIENT_SITES,
 )
+from repro.faults.plan import PCIE_SITES
 from repro.proto.errors import AccelFault
 
 
@@ -64,6 +65,12 @@ class TestSiteTaxonomy:
         assert plan.sites_for("ser") == SER_SITES
         assert FaultSite.SER_ABORT not in plan.sites_for("deser")
         assert FaultSite.DESER_ABORT not in plan.sites_for("ser")
+        # PCIe kinds additionally reach the transport's submission
+        # sites; the RoCC kinds never do (bit-identical site draws).
+        assert plan.sites_for("pcie.deser") == DESER_SITES + PCIE_SITES
+        assert plan.sites_for("pcie.ser") == SER_SITES + PCIE_SITES
+        assert FaultSite.PCIE_DMA not in plan.sites_for("deser")
+        assert FaultSite.PCIE_DOORBELL not in plan.sites_for("ser")
 
     def test_single_site_plan_only_arms_that_site(self):
         plan = FaultPlan(rate=1.0, sites=(FaultSite.TLB_FAULT,),
@@ -121,7 +128,9 @@ class TestInjectorMechanics:
         for site in IMMEDIATE_SITES:
             plan = FaultPlan(rate=1.0, sites=(site,), max_trigger=8)
             injector = FaultInjector(plan)
-            injector.begin_operation("deser")
+            # Transport sites are only reachable from PCIe-kind ops.
+            kind = "pcie.deser" if site in PCIE_SITES else "deser"
+            injector.begin_operation(kind)
             injector.begin_attempt(_Stats())
             with pytest.raises(AccelFault):
                 injector.poll(site)

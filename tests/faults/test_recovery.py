@@ -18,8 +18,10 @@ from repro.faults import (
     RecoveryPolicy,
     TRANSIENT_SITES,
 )
+from repro.faults.plan import PCIE_SITES
 from repro.proto import parse_schema
 from repro.proto.decoder import parse_message
+from repro.soc.config import SoCConfig
 
 _SCHEMA = parse_schema("""
     message Inner { optional int32 v = 1; optional string tag = 2; }
@@ -53,12 +55,19 @@ def _probe_message():
     return message
 
 
-def _accel(plan=None, recovery=None):
-    device = ProtoAccelerator(deser_arena_bytes=1 << 20,
+def _accel(plan=None, recovery=None, transport="rocc"):
+    device = ProtoAccelerator(config=SoCConfig(transport=transport),
+                              deser_arena_bytes=1 << 20,
                               ser_arena_bytes=1 << 20,
                               faults=plan, recovery=recovery)
     device.register_schema(_SCHEMA)
     return device
+
+
+def _transport_for(site):
+    """Transport sites only exist over PCIe; everything else is tested
+    on the default RoCC attach point."""
+    return "pcie" if site in PCIE_SITES else "rocc"
 
 
 def _single_site_plan(site, **kwargs):
@@ -71,7 +80,7 @@ _DESER_SITES = [s for s in FaultSite
                 if s not in (FaultSite.SER_ABORT, FaultSite.SER_HANG)]
 _SER_SITES = (FaultSite.ADT_ENTRY, FaultSite.BUS_STALL,
               FaultSite.TLB_FAULT, FaultSite.SER_ABORT,
-              FaultSite.SER_HANG)
+              FaultSite.SER_HANG) + PCIE_SITES
 
 
 @pytest.mark.parametrize("site", _DESER_SITES,
@@ -82,7 +91,7 @@ def test_deserialize_recovers_per_site(site):
     bit-identical to the software parse either way."""
     message = _probe_message()
     wire = message.serialize()
-    accel = _accel(_single_site_plan(site))
+    accel = _accel(_single_site_plan(site), transport=_transport_for(site))
     result = accel.deserialize(_SCHEMA["Probe"], wire)
     stats = result.stats
     assert stats.faults_injected == 1
@@ -106,7 +115,7 @@ def test_serialize_recovers_per_site(site):
     recovered wire bytes equal the software encoding exactly."""
     message = _probe_message()
     wire = message.serialize()
-    accel = _accel(_single_site_plan(site))
+    accel = _accel(_single_site_plan(site), transport=_transport_for(site))
     addr = accel.load_object(message)
     result = accel.serialize(_SCHEMA["Probe"], addr)
     assert result.stats.faults_injected == 1

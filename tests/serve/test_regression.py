@@ -80,7 +80,11 @@ def test_serving_layer_charges_exactly_the_driver_cycles():
         addr = bare.load_object(response)
         ser = bare.serialize(schema["EchoResponse"], addr)
         bare.reset_arenas()
-        return result.stats.cycles + ser.stats.cycles, ser.data
+        # The serving layer charges unit cycles plus the attach-point
+        # cost of each successful stage (RoCC dispatch here).
+        return (result.stats.cycles + result.stats.transport_cycles
+                + ser.stats.cycles + ser.stats.transport_cycles,
+                ser.data)
 
     now = 0.0
     for wire in payloads:

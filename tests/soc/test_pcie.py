@@ -1,0 +1,284 @@
+"""PCIe attach-point unit and property tests (docs/MODEL.md).
+
+The ISSUE 9 ring invariants, proved by Hypothesis over arbitrary
+submit/consume and charge schedules: no descriptor is ever lost or
+duplicated, completions never outrun submissions, and interrupt
+coalescing never starves a closed window's completions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.config import SoCConfig, SoCConfigError
+from repro.soc.pcie import (
+    DescriptorRing,
+    InterruptCoalescer,
+    PcieParams,
+    PcieTransport,
+    RingFull,
+)
+from repro.soc.rocc import RoccFunct, RoccInstruction
+
+
+# ---------------------------------------------------------------------------
+# DescriptorRing: nothing lost, nothing duplicated, bounded.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=120)
+@given(depth=st.integers(min_value=1, max_value=16),
+       ops=st.lists(st.integers(min_value=0, max_value=16), max_size=60))
+def test_ring_never_loses_or_duplicates(depth, ops):
+    """Random interleavings of submits (op > 0 means submit `op`, 0
+    means drain): every consumed sequence comes back exactly once, in
+    submission order, with its own payload."""
+    ring = DescriptorRing(depth)
+    next_payload = 0
+    consumed = []
+    for op in ops:
+        if op == 0:
+            consumed.extend(ring.consume(ring.occupancy))
+        else:
+            for _ in range(op):
+                if ring.full:
+                    consumed.extend(ring.consume(ring.occupancy))
+                ring.submit(next_payload)
+                next_payload += 1
+        assert 0 <= ring.occupancy <= depth
+        assert ring.consumed <= ring.submitted
+    consumed.extend(ring.consume(ring.occupancy))
+    # Sequence numbers are dense and ordered; payloads match 1:1.
+    assert [seq for seq, _ in consumed] == list(range(len(consumed)))
+    assert [payload for _, payload in consumed] == list(range(next_payload))
+    assert ring.empty
+
+
+def test_ring_rejects_overflow_and_underflow():
+    ring = DescriptorRing(2)
+    ring.submit("a")
+    ring.submit("b")
+    with pytest.raises(RingFull):
+        ring.submit("c")
+    with pytest.raises(RingFull):
+        ring.consume(3)
+    assert ring.consume(2) == [(0, "a"), (1, "b")]
+
+
+def test_ring_depth_validated():
+    with pytest.raises(ValueError):
+        DescriptorRing(0)
+
+
+# ---------------------------------------------------------------------------
+# InterruptCoalescer: threshold, timeout, and the no-starvation rule.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=120)
+@given(threshold=st.integers(min_value=1, max_value=32),
+       timeout=st.floats(min_value=1.0, max_value=10_000.0),
+       events=st.lists(
+           st.one_of(st.integers(min_value=1, max_value=8),
+                     st.floats(min_value=0.0, max_value=2_000.0)),
+           max_size=80))
+def test_coalescer_accounts_every_completion(threshold, timeout, events):
+    """Arbitrary add/advance schedules: completions are conserved (every
+    one added is either still pending or was reaped by exactly one
+    interrupt), and the window-close flush leaves nothing pending --
+    a full batch is never starved behind the moderation timer."""
+    co = InterruptCoalescer(threshold, timeout)
+    added = reaped = 0
+    for event in events:
+        if isinstance(event, int):
+            due = co.add(event)
+            added += event
+            assert due == (co.pending >= threshold)
+        else:
+            due = co.advance(event)
+            assert due == (co.pending > 0 and co.elapsed >= timeout)
+        if due:
+            reaped += co.fire()
+            assert co.pending == 0 and co.elapsed == 0.0
+        assert co.pending == added - reaped
+        assert co.pending >= 0
+    if co.flush_due():
+        reaped += co.fire()
+    assert reaped == added
+    assert not co.flush_due()
+
+
+def test_coalescer_threshold_fires_immediately():
+    co = InterruptCoalescer(threshold=4, timeout_cycles=1e9)
+    assert not co.add(3)
+    assert co.add(1)
+    assert co.fire() == 4
+
+
+def test_coalescer_timeout_requires_pending_work():
+    co = InterruptCoalescer(threshold=64, timeout_cycles=10.0)
+    assert not co.advance(100.0)  # nothing pending: no spurious IRQ
+    co.add(1)
+    assert co.advance(10.0)
+    assert co.fire() == 1
+
+
+# ---------------------------------------------------------------------------
+# PcieTransport: window accounting over the queue pair.
+# ---------------------------------------------------------------------------
+
+def _deser_pair(length):
+    return (RoccInstruction(RoccFunct.DESER_INFO, 0x1000, 0x2000),
+            RoccInstruction(RoccFunct.DO_PROTO_DESER, 0x3000, length))
+
+
+@settings(max_examples=60, deadline=None)
+@given(lengths=st.lists(st.integers(min_value=0, max_value=4096),
+                        min_size=1, max_size=40),
+       params=st.builds(
+           PcieParams,
+           ring_depth=st.integers(min_value=1, max_value=64),
+           doorbell_batch=st.integers(min_value=1, max_value=64),
+           coalesce_threshold=st.integers(min_value=1, max_value=64),
+           coalesce_timeout_cycles=st.floats(min_value=1.0,
+                                             max_value=20_000.0)))
+def test_window_drains_completely(lengths, params):
+    """After any window closes: submissions == completions == reaped
+    (completions never exceed submissions at any point, and the close
+    never leaves pending work), and the charged cycles are positive."""
+    if (params.doorbell_batch > params.ring_depth
+            or params.coalesce_threshold > params.ring_depth):
+        with pytest.raises(SoCConfigError):
+            SoCConfig(transport="pcie", pcie=params)
+        return
+    transport = PcieTransport(params=params)
+    transport.begin_batch()
+    for length in lengths:
+        for instruction in _deser_pair(length):
+            transport.issue(instruction)
+        assert transport.cq.submitted <= transport.sq.submitted
+    transport.end_batch()
+    assert transport.sq.submitted == len(lengths)
+    assert transport.cq.submitted == transport.sq.submitted
+    assert transport.cq.consumed == transport.cq.submitted
+    assert transport.coalescer.pending == 0
+    assert transport.sq.empty and transport.cq.empty
+    assert transport.interrupts_raised >= 1
+    assert transport.take_cycles() > 0
+    assert transport.take_cycles() == 0.0  # drained exactly once
+
+
+def test_invalid_window_geometry_names_the_knob():
+    with pytest.raises(SoCConfigError) as excinfo:
+        SoCConfig(transport="pcie",
+                  pcie=PcieParams(ring_depth=8, doorbell_batch=9,
+                                  coalesce_threshold=8))
+    assert excinfo.value.knob == "pcie.doorbell_batch"
+    with pytest.raises(SoCConfigError) as excinfo:
+        SoCConfig(transport="pcie",
+                  pcie=PcieParams(ring_depth=8, doorbell_batch=8,
+                                  coalesce_threshold=9))
+    assert excinfo.value.knob == "pcie.coalesce_threshold"
+
+
+def test_single_op_window_charges_fixed_costs_once():
+    """One operation in its own implicit window: descriptor write +
+    payload DMA + doorbell + DMA prime + completion + interrupt."""
+    params = PcieParams()
+    transport = PcieTransport(params=params)
+    length = 256
+    for instruction in _deser_pair(length):
+        transport.issue(instruction)
+    expected = (params.desc_write_cycles
+                + length / params.link_bytes_per_cycle
+                + params.mmio_doorbell_cycles
+                + params.dma_latency_cycles
+                + params.completion_write_cycles
+                + params.interrupt_cycles)
+    assert transport.take_cycles() == expected
+    assert transport.doorbells_rung == 1
+    assert transport.interrupts_raised == 1
+    assert transport.windows_opened == 1
+    assert transport.dma_payload_bytes == length
+
+
+def test_batched_window_amortises_fixed_costs():
+    """Two ops in one explicit window share the doorbell, the DMA
+    prime, and the interrupt; per-op cost falls accordingly."""
+    params = PcieParams()
+    solo = PcieTransport(params=params)
+    for instruction in _deser_pair(64):
+        solo.issue(instruction)
+    solo_cycles = solo.take_cycles()
+
+    batched = PcieTransport(params=params)
+    batched.begin_batch()
+    for _ in range(2):
+        for instruction in _deser_pair(64):
+            batched.issue(instruction)
+    batched.end_batch()
+    batched_cycles = batched.take_cycles()
+    assert batched.doorbells_rung == 1
+    assert batched.interrupts_raised == 1
+    assert batched_cycles / 2 < solo_cycles
+
+
+def test_note_payload_charges_without_advancing_moderation():
+    transport = PcieTransport(params=PcieParams())
+    transport.begin_batch()
+    transport.note_payload(640)
+    assert transport.coalescer.elapsed == 0.0
+    assert transport.dma_payload_bytes == 640
+    assert transport.take_cycles() == 640 / 64.0
+    transport.end_batch()
+
+
+def test_nested_windows_close_at_outermost():
+    """An inner batch window inside an outer one must not ring the
+    doorbell early: the doorbell/interrupt fire once, at the outermost
+    close (the driver nests per-op windows inside batch windows)."""
+    transport = PcieTransport(params=PcieParams())
+    transport.begin_batch()
+    for _ in range(3):
+        transport.begin_batch()
+        for instruction in _deser_pair(32):
+            transport.issue(instruction)
+        transport.end_batch()
+    assert transport.doorbells_rung == 0
+    transport.end_batch()
+    assert transport.doorbells_rung == 1
+    assert transport.interrupts_raised == 1
+    assert transport.windows_opened == 1
+
+
+def test_counters_snapshot_includes_queue_state():
+    transport = PcieTransport(params=PcieParams())
+    for instruction in _deser_pair(128):
+        transport.issue(instruction)
+    counters = transport.counters()
+    assert counters["doorbells_rung"] == 1
+    assert counters["sq_submitted"] == 1
+    assert counters["cq_completed"] == 1
+    assert counters["cq_reaped"] == 1
+    assert counters["dma_payload_bytes"] == 128
+
+
+# ---------------------------------------------------------------------------
+# SoCConfig validation: structured errors that name the knob.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("knob,kwargs", [
+    ("transport", {"transport": "usb"}),
+    ("clock_hz", {"clock_hz": 0.0}),
+    ("rocc_dispatch_cycles", {"rocc_dispatch_cycles": -1}),
+    ("fence_cycles", {"fence_cycles": -4}),
+    ("pcie.ring_depth", {"pcie": PcieParams(ring_depth=0)}),
+    ("pcie.dma_latency_cycles",
+     {"pcie": PcieParams(dma_latency_cycles=-1.0)}),
+    ("pcie.link_bytes_per_cycle",
+     {"pcie": PcieParams(link_bytes_per_cycle=0.0)}),
+    ("pcie.interrupt_cycles", {"pcie": PcieParams(interrupt_cycles=-0.5)}),
+])
+def test_config_errors_name_the_knob(knob, kwargs):
+    with pytest.raises(SoCConfigError) as excinfo:
+        SoCConfig(**kwargs)
+    assert excinfo.value.knob == knob
+    assert knob in str(excinfo.value)
