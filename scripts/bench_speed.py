@@ -31,7 +31,14 @@ fleet replay (Section 3 message-size and schema-mix distributions, plus
 the echo acceptance workload) through 1, 2, and 4 fabric shards at each
 offered-load point, writing shed/p99/throughput curves per shard count
 to ``BENCH_fleet.json`` and failing if the echo curves are not monotone
-in shard count.  Adding ``--resize`` also replays each load point
+in shard count.  ``--jobs N`` runs each sweep point host-parallel (one
+worker process per shard, ``repro.serve.parallel``); the sweep also
+records ``scaling_rows`` -- the 1k-message scaling replay run serially
+and at jobs 2/4 -- failing unless every parallel run charges
+byte-identically to serial and the LPT ideal speedup at the top jobs
+level reaches 1.6x (the measured wall-clock speedup is held to the
+same floor whenever the runner has at least that many usable cores).
+Adding ``--resize`` also replays each load point
 across an online 2 -> 3 shard resize and fails unless zero calls are
 dropped (per-tenant accounting identity) and unmoved tenants' per-call
 charging is bit-identical to the no-resize replay (docs/SERVING.md,
@@ -51,7 +58,9 @@ smoke/jobs settings (otherwise the check is skipped with a warning).
 Combined with ``--batch`` it instead gates the per-operation geomean
 speedups against the committed ``BENCH_batch.json``; combined with
 ``--fleet`` it gates the echo p99/throughput curves against the
-committed ``BENCH_fleet.json``; combined with ``--transport`` it
+committed ``BENCH_fleet.json`` and requires the scaling replay's
+charging digest to be byte-identical to the committed serial baseline
+(whatever ``--jobs`` either run used); combined with ``--transport`` it
 requires this run's RoCC cycle totals to be *bit-identical* to the
 committed ``BENCH_transport.json`` on every shared cell (the cycle
 model is deterministic, so the gate is exact) and fails on a >15%
@@ -124,13 +133,19 @@ def timed_run(specs, jobs: int, caches: bool,
               faults: FaultPlan | None = None) -> tuple[float, list]:
     clear_memo_caches()
     set_caches(caches)
+    # One entry point shared with ``python -m repro.bench``: install
+    # the harness options (the same ones the shared pool initializer
+    # pushes into each worker) and let run_many inherit them, instead
+    # of threading a parallel set of keyword arguments.
+    previous = harness.get_options()
+    harness.set_options(jobs=jobs, disk_cache=cache_dir is not None,
+                        fault_plan=faults)
     try:
         start = time.perf_counter()
-        results = run_many(specs, jobs=jobs,
-                           disk_cache=cache_dir is not None,
-                           cache_dir=cache_dir, faults=faults)
+        results = run_many(specs, cache_dir=cache_dir)
         return time.perf_counter() - start, results
     finally:
+        harness._OPTIONS = previous
         set_caches(True)
 
 
@@ -210,8 +225,11 @@ def run_fleet_bench(args: argparse.Namespace) -> int:
     added); with --check-regression additionally gates the echo curves
     against the committed baseline.
     """
-    from repro.bench.report import fleet_table
+    from repro.bench.fleet import measure_scaling, scaling_spec
+    from repro.bench.pool import effective_cores, make_pool
+    from repro.bench.report import fleet_table, scaling_table
     from repro.serve import FleetReplaySpec, sweep_fleet
+    from repro.serve.parallel import warm_fleet_worker
 
     if args.smoke:
         interarrivals, messages = (1_000.0, 400.0), 150
@@ -219,18 +237,37 @@ def run_fleet_bench(args: argparse.Namespace) -> int:
         interarrivals, messages = (2_000.0, 1_000.0, 500.0, 300.0), 1_000
     print(f"fleet sweep: {len(interarrivals)} load points x "
           f"{len(FLEET_SHARD_COUNTS)} shard counts x {messages} messages, "
-          "workloads echo + fleet")
+          f"workloads echo + fleet, jobs {args.jobs}")
     start = time.perf_counter()
     rows_by_workload = {}
-    for workload in ("echo", "fleet"):
-        spec = FleetReplaySpec(messages=messages, workload=workload)
-        rows = sweep_fleet(FLEET_SHARD_COUNTS, interarrivals, spec)
-        rows_by_workload[workload] = rows
-        print(fleet_table(rows))
-        print()
+    pool = (make_pool(args.jobs, warm=warm_fleet_worker)
+            if args.jobs > 1 else None)
+    try:
+        for workload in ("echo", "fleet"):
+            spec = FleetReplaySpec(messages=messages, workload=workload)
+            rows = sweep_fleet(FLEET_SHARD_COUNTS, interarrivals, spec,
+                               jobs=args.jobs, pool=pool)
+            rows_by_workload[workload] = rows
+            print(fleet_table(rows))
+            print()
+    finally:
+        if pool is not None:
+            pool.shutdown()
     elapsed = time.perf_counter() - start
 
     status = _check_fleet_scaling(rows_by_workload["echo"])
+
+    # Host-parallel scaling rows: the same seeded replay serially and
+    # with one worker process per shard, plus the serial charging
+    # digest every later run is gated against byte-for-byte.
+    jobs_ladder = tuple(sorted({2, 4} | ({args.jobs} if args.jobs > 1
+                                         else set())))
+    scaling_rows, charging = measure_scaling(
+        scaling_spec(messages=messages), jobs_list=jobs_ladder)
+    print(scaling_table(scaling_rows))
+    print()
+    status = max(status, _check_scaling_rows(args, scaling_rows))
+
     resize_rows = []
     if args.resize:
         resize_rows = _run_resize_replays(messages, interarrivals)
@@ -240,12 +277,16 @@ def run_fleet_bench(args: argparse.Namespace) -> int:
         output = REPO / "BENCH_fleet.json"
     payload = {
         "smoke": args.smoke,
+        "jobs": args.jobs,
+        "cores": effective_cores(),
         "messages_per_point": messages,
         "shard_counts": list(FLEET_SHARD_COUNTS),
         "interarrival_cycles": list(interarrivals),
         "wall_seconds": elapsed,
+        "charging_digest": charging,
         "echo_rows": rows_by_workload["echo"],
         "fleet_rows": rows_by_workload["fleet"],
+        "scaling_rows": scaling_rows,
         "resize_rows": resize_rows,
     }
     output.write_text(json.dumps(payload, indent=2) + "\n",
@@ -257,7 +298,76 @@ def run_fleet_bench(args: argparse.Namespace) -> int:
             baseline_path = REPO / "BENCH_fleet.json"
         status = max(status, _check_fleet_regression(
             args, baseline_path, rows_by_workload["echo"],
-            resize_rows))
+            resize_rows, charging))
+    return status
+
+
+def _check_scaling_rows(args: argparse.Namespace,
+                        scaling_rows: list[dict]) -> int:
+    """The host-parallel acceptance gate.
+
+    Exact parts (always enforced): every parallel row's charging digest
+    equals the serial one, and no worker served a call the serial
+    fabric would have re-routed cross-shard (``route_deviations`` == 0
+    on a fault-free replay).  Speed parts: the LPT ideal speedup at the
+    top jobs level must reach the 1.6x floor (this gates the shard
+    partition and is machine-independent); the *measured* wall-clock
+    speedup is held to the same floor only when the runner actually has
+    that many usable cores -- on fewer cores it is physically
+    unreachable and is reported, not gated.  Both speed floors demote
+    to warnings on --smoke (150-message replays are dominated by
+    process start-up).
+    """
+    from repro.bench.fleet import SCALING_FLOOR
+
+    status = 0
+    parallel = [row for row in scaling_rows if row["mode"] == "parallel"]
+    for row in parallel:
+        if not row["cycles_identical"]:
+            print(f"ERROR: parallel charging diverged from serial at "
+                  f"jobs={row['jobs']} (digest "
+                  f"{row['charging_digest'][:12]}… != serial)")
+            status = 1
+        if row["route_deviations"]:
+            print(f"ERROR: {row['route_deviations']} route deviation(s) "
+                  f"at jobs={row['jobs']} -- workers served calls the "
+                  "serial fabric would have re-routed")
+            status = 1
+    if status == 0 and parallel:
+        print(f"parallel gate: {len(parallel)} jobs levels charge "
+              "byte-identically to the serial replay")
+    top = max(parallel, key=lambda r: r["jobs"], default=None)
+    if top is None:
+        return status
+    ideal = top["ideal_speedup"] or 0.0
+    if ideal < SCALING_FLOOR:
+        message = (f"ideal speedup {ideal:.2f}x at jobs={top['jobs']} "
+                   f"below the {SCALING_FLOOR}x floor (shard partition "
+                   "too skewed)")
+        if args.smoke:
+            print(f"WARNING: {message} (smoke run, not failing)")
+        else:
+            print(f"ERROR: {message}")
+            status = 1
+    if top["cores"] >= top["jobs"]:
+        if top["speedup"] < SCALING_FLOOR:
+            message = (f"measured wall speedup {top['speedup']:.2f}x at "
+                       f"jobs={top['jobs']} below the {SCALING_FLOOR}x "
+                       f"floor on {top['cores']} cores")
+            if args.smoke:
+                print(f"WARNING: {message} (smoke run, not failing)")
+            else:
+                print(f"ERROR: {message}")
+                status = 1
+        else:
+            print(f"scaling gate: measured {top['speedup']:.2f}x, ideal "
+                  f"{ideal:.2f}x at jobs={top['jobs']} "
+                  f"(floor {SCALING_FLOOR}x)")
+    else:
+        print(f"scaling note: {top['cores']} usable core(s) < "
+              f"jobs={top['jobs']}; measured wall speedup "
+              f"{top['speedup']:.2f}x not gated on this machine "
+              f"(ideal {ideal:.2f}x gates the shard partition)")
     return status
 
 
@@ -372,12 +482,16 @@ def _check_fleet_scaling(echo_rows: list[dict]) -> int:
 
 def _check_fleet_regression(args: argparse.Namespace, baseline_path: Path,
                             echo_rows: list[dict],
-                            resize_rows: list[dict] | None = None) -> int:
+                            resize_rows: list[dict] | None = None,
+                            charging_digest: str | None = None) -> int:
     """Gate the echo curves against the committed BENCH_fleet.json:
     fail when p99 worsens or throughput drops more than the threshold
     at any (load, shards) point the baseline also measured.  When both
     this run and the baseline carry resized replays, the resized p99 is
-    gated the same way per (workload, load) point."""
+    gated the same way per (workload, load) point.  The scaling
+    replay's charging digest is gated *exactly*: cycle charging must be
+    byte-identical to the committed serial baseline, whatever ``jobs``
+    either run used (results must never depend on parallelism)."""
     try:
         baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     except (OSError, ValueError):
@@ -389,9 +503,24 @@ def _check_fleet_regression(args: argparse.Namespace, baseline_path: Path,
               f"{baseline.get('smoke')} but this run used "
               f"smoke={args.smoke}; skipping regression check")
         return 0
+    status = 0
+    base_digest = baseline.get("charging_digest")
+    if charging_digest and base_digest:
+        if charging_digest != base_digest:
+            print("ERROR: scaling-replay charging digest "
+                  f"{charging_digest[:12]}… differs from the committed "
+                  f"baseline {base_digest[:12]}… (per-call cycle "
+                  "charging must be byte-identical)")
+            status = 1
+        else:
+            print("regression check: charging digest byte-identical to "
+                  "the committed baseline")
+    elif charging_digest:
+        print("WARNING: baseline has no charging_digest; cycle "
+              "byte-identity not gated against it")
     base_rows = {(row["interarrival_cycles"], row["shards"]): row
                  for row in baseline.get("echo_rows", [])}
-    status, checked = 0, 0
+    checked = 0
     for row in echo_rows:
         base = base_rows.get((row["interarrival_cycles"], row["shards"]))
         if base is None:
@@ -818,7 +947,9 @@ def check_regression(args: argparse.Namespace, cached_seconds: float,
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the optimised run")
+                        help="worker processes for the optimised run; "
+                             "with --fleet, runs each sweep point "
+                             "host-parallel (one worker per shard)")
     parser.add_argument("--smoke", action="store_true",
                         help="small batches (CI smoke test)")
     parser.add_argument("--output", type=Path,

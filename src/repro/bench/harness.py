@@ -25,7 +25,7 @@ import dataclasses
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
@@ -214,12 +214,22 @@ def store_cached(key: str, result: BenchmarkResult,
     directory = _cache_dir(cache_dir)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{key}.json"
-    # Atomic publish: concurrent workers computing the same key write
-    # identical bytes, so last-rename-wins is harmless.
-    tmp = directory / f".{key}.{os.getpid()}.tmp"
-    tmp.write_text(json.dumps(_result_to_json(result), indent=0),
-                   encoding="utf-8")
-    os.replace(tmp, path)
+    # Atomic publish: concurrent writers computing the same key write
+    # identical bytes, so last-rename-wins is harmless.  mkstemp (not a
+    # pid-suffixed name) keeps the scratch file unique even when two
+    # threads of one process -- or a recycled pid -- race on the key.
+    fd, tmp = tempfile.mkstemp(prefix=f".{key}.", suffix=".tmp",
+                               dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(_result_to_json(result), indent=0))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 _UNSET = object()
@@ -299,5 +309,13 @@ def run_many(specs: list[WorkloadSpec], jobs: Optional[int] = None,
     payloads = [(spec, verify, disk_cache, cache_dir, faults, fast_path,
                  transport)
                 for spec in specs]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+    # Shared pool plumbing (repro.bench.pool): every worker runs the
+    # common initializer -- harness options installed once, numpy and
+    # the execution tiers imported, CPU models built -- so tasks never
+    # pay a cold start.
+    from repro.bench.pool import make_pool
+    options = HarnessOptions(jobs=jobs, disk_cache=disk_cache,
+                             fault_plan=faults, fast_path=fast_path,
+                             transport=transport)
+    with make_pool(min(jobs, len(specs)), options=options) as pool:
         return list(pool.map(_pool_entry, payloads))

@@ -219,6 +219,46 @@ def resize_table(rows: Sequence[dict]) -> str:
     return "\n".join(lines)
 
 
+def scaling_table(rows: Sequence[dict], width: int = 30) -> str:
+    """Render the host-parallel scaling rows (``--fleet --jobs N``).
+
+    ``rows`` come from :func:`repro.bench.fleet.measure_scaling`: one
+    row per jobs level over the same seeded replay.  ``bit-id`` is the
+    acceptance column -- every parallel row's charging digest must
+    equal the serial one.  ``ideal`` is the LPT bound the shard balance
+    supports; ``meas`` approaches it only when the machine has at least
+    ``jobs`` usable cores (the ``cores`` column says what this run
+    could use).
+    """
+    if not rows:
+        raise ValueError("no scaling rows to render")
+    header = (f"{'jobs':>4} {'mode':<9} {'shards':>6} {'wall s':>8} "
+              f"{'meas x':>7} {'ideal x':>8} {'cores':>5} "
+              f"{'deviations':>10} {'bit-id':>6}")
+    first = rows[0]
+    lines = [f"host-parallel scaling ({first['messages']:,} messages, "
+             f"{first['tenants']} tenants, one worker per shard)",
+             header, "-" * len(header)]
+    for row in rows:
+        ideal = row.get("ideal_speedup")
+        ideal_text = "--".rjust(8) if ideal is None else f"{ideal:>7.2f}x"
+        lines.append(
+            f"{row['jobs']:>4} {row['mode']:<9} {row['shards']:>6} "
+            f"{row['wall_seconds']:>8.2f} {row['speedup']:>6.2f}x "
+            f"{ideal_text} {row['cores']:>5} "
+            f"{row['route_deviations']:>10,} "
+            f"{'yes' if row['cycles_identical'] else 'NO':>6}")
+    peak = max((row.get("ideal_speedup") or 1.0) for row in rows)
+    lines.append("")
+    lines.append("ideal (LPT) speedup by jobs:")
+    for row in rows:
+        value = row.get("ideal_speedup") or 1.0
+        share = value / peak if peak else 0.0
+        bar = "*" * max(1, round(share * width))
+        lines.append(f"{row['jobs']:>4} job(s) {bar} {value:.2f}x")
+    return "\n".join(lines)
+
+
 def speedup_summary(results: Sequence[BenchmarkResult]) -> dict[str, float]:
     """Geomean accelerator speedups vs each baseline (the paper's
     headline "NxM" numbers)."""

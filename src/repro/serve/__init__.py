@@ -39,6 +39,12 @@ from repro.serve.fabric import (
     ShardState,
 )
 from repro.serve.hedging import HedgePolicy
+from repro.serve.parallel import (
+    ParallelReplayResult,
+    ShardResult,
+    ShardSpec,
+    run_parallel_replay,
+)
 from repro.serve.queue import AdmissionPolicy, AdmissionQueue
 from repro.serve.replay import (
     REPLAY_SERVE_POLICY,
@@ -103,6 +109,7 @@ __all__ = [
     "HealthState",
     "HedgePolicy",
     "Overloaded",
+    "ParallelReplayResult",
     "REPLAY_SERVE_POLICY",
     "ReplayCall",
     "ReshardController",
@@ -117,6 +124,8 @@ __all__ = [
     "ServingFabric",
     "ServingWorkloadSpec",
     "ShardDraining",
+    "ShardResult",
+    "ShardSpec",
     "ShardState",
     "ShardView",
     "TenantAccount",
@@ -133,6 +142,7 @@ __all__ = [
     "replay_through_fabric",
     "replay_through_server",
     "resize_row",
+    "run_parallel_replay",
     "run_resize_replay",
     "run_serving",
     "sweep_fleet",

@@ -471,6 +471,13 @@ class ServingFabric:
     def watchdog_aborts(self) -> int:
         return sum(s.server.watchdog_aborts for s in self.shards)
 
+    @property
+    def healths(self) -> list[str]:
+        """Per-shard health-state names, in shard order (the report
+        shape shared with :class:`~repro.serve.parallel.
+        ParallelReplayResult`)."""
+        return [s.server.health.state.value for s in self.shards]
+
     # -- routing ----------------------------------------------------------------
 
     def route(self, tenant: str) -> int:

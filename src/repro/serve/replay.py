@@ -485,9 +485,15 @@ def resize_row(spec: FleetReplaySpec, report: ResizeReport,
 # -- the offered-load fleet sweep ----------------------------------------------
 
 
-def fleet_row(shards: int, spec: FleetReplaySpec, fabric: ServingFabric,
+def fleet_row(shards: int, spec: FleetReplaySpec, fabric,
               outcomes) -> dict:
-    """One report row: fleet aggregates for one (shards, load) run."""
+    """One report row: fleet aggregates for one (shards, load) run.
+
+    ``fabric`` is a :class:`ServingFabric` or anything sharing its
+    report surface (``stats``/``tenant_sheds``/``fallback_routes``/
+    ``watchdog_aborts``/``healths``), notably :class:`repro.serve.
+    parallel.ParallelReplayResult` -- one report path for both
+    execution modes."""
     stats = fabric.stats
     makespan = max((o.completed_at for o in outcomes), default=0.0)
     delivered = stats.succeeded + stats.migrated
@@ -508,24 +514,40 @@ def fleet_row(shards: int, spec: FleetReplaySpec, fabric: ServingFabric,
         "tenant_sheds": sum(fabric.tenant_sheds.values()),
         "fallback_routes": len(fabric.fallback_routes),
         "watchdog_aborts": fabric.watchdog_aborts,
-        "healths": [s.server.health.state.value for s in fabric.shards],
+        "healths": fabric.healths,
     }
 
 
 def sweep_fleet(shard_counts, interarrivals, spec: FleetReplaySpec,
                 serve: ServePolicy | None = None,
-                budget: TenantPolicy | None = None) -> list[dict]:
+                budget: TenantPolicy | None = None,
+                jobs: int = 1, pool=None) -> list[dict]:
     """The fleet sweep: a fresh fabric per (shard count, offered load)
     point, the *same* seeded call sequence per load point across shard
-    counts (so curves are directly comparable), hottest load last."""
+    counts (so curves are directly comparable), hottest load last.
+
+    ``jobs > 1`` (or an explicit ``pool``) switches each point to
+    host-parallel shard execution (:mod:`repro.serve.parallel`) -- one
+    worker process per shard -- which charges bit-identically to the
+    serial fabric, so the rows are byte-identical either way
+    (``tests/fleet/test_parallel_replay.py``)."""
     serve = serve or REPLAY_SERVE_POLICY
+    parallel = jobs > 1 or pool is not None
     rows = []
     for interarrival in interarrivals:
         point = replace(spec, interarrival_cycles=float(interarrival))
         calls = generate_calls(point)
         for shards in shard_counts:
-            fabric = build_fleet_fabric(
-                FabricPolicy(shards=shards, serve=serve), point, budget)
-            outcomes = replay_through_fabric(fabric, calls)
-            rows.append(fleet_row(shards, point, fabric, outcomes))
+            policy = FabricPolicy(shards=shards, serve=serve)
+            if parallel:
+                from repro.serve.parallel import run_parallel_replay
+                result = run_parallel_replay(point, policy, jobs=jobs,
+                                             budget=budget, pool=pool,
+                                             calls=calls)
+                rows.append(fleet_row(shards, point, result,
+                                      result.outcomes))
+            else:
+                fabric = build_fleet_fabric(policy, point, budget)
+                outcomes = replay_through_fabric(fabric, calls)
+                rows.append(fleet_row(shards, point, fabric, outcomes))
     return rows

@@ -111,7 +111,15 @@ def resolve_transport(config: SoCConfig) -> TransportResolution:
 
 def build_transport(config: SoCConfig
                     ) -> tuple[AccelTransport, TransportResolution]:
-    """Construct the attach point for ``config`` (post-probe)."""
+    """Construct the attach point for ``config`` (post-probe).
+
+    Worker-constructible by contract: this factory reads only the
+    picklable ``config`` -- no module-level rings, counters, or probe
+    caches -- so a spawned worker process rebuilding a shard from a
+    :class:`~repro.serve.parallel.ShardSpec` gets a transport
+    bit-identical to the parent's (``tests/serve/test_pickle_specs.py``
+    builds one in a spawn-context subprocess to hold this).
+    """
     resolution = resolve_transport(config)
     if resolution.effective == "pcie":
         return PcieTransport(params=config.pcie), resolution

@@ -1,0 +1,100 @@
+"""Disk-cache behaviour under concurrent fleet runs (ISSUE 10).
+
+Two properties:
+
+* **Parallelism-independence** -- ``jobs`` is not cache-key material
+  (results must not depend on how many workers computed them), so a
+  jobs=2 run and a serial run publish byte-identical cache files under
+  identical names.
+* **Atomic publish without races** -- many writers hammering the same
+  key (threads of one process, where a pid-suffixed scratch file would
+  collide) never corrupt the published entry, never crash, and leave no
+  scratch files behind; readers racing the writers only ever observe a
+  complete entry or a miss.
+"""
+
+import json
+import threading
+
+from repro.bench.harness import (
+    WorkloadSpec,
+    cache_key,
+    load_cached,
+    run_many,
+    run_spec,
+    store_cached,
+)
+
+_SPECS = [
+    WorkloadSpec("micro", "varint-0", "deserialize", 2),
+    WorkloadSpec("micro", "varint-0", "serialize", 2),
+    WorkloadSpec("micro", "string", "deserialize", 2),
+]
+
+
+def _cache_files(directory):
+    return sorted((p.name, p.read_bytes())
+                  for p in directory.iterdir() if p.suffix == ".json")
+
+
+def test_jobs_not_in_cache_key():
+    # The key function has no jobs input at all -- by construction the
+    # fingerprint cannot depend on parallelism.
+    spec = _SPECS[0]
+    workload = spec.build()
+    assert "jobs" not in cache_key.__code__.co_varnames
+    assert (cache_key(spec, workload) == cache_key(spec, workload))
+
+
+def test_serial_and_parallel_runs_publish_identical_cache(tmp_path):
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+    serial = run_many(_SPECS, jobs=1, cache_dir=serial_dir)
+    parallel = run_many(_SPECS, jobs=2, cache_dir=parallel_dir)
+    assert serial == parallel
+    serial_files = _cache_files(serial_dir)
+    assert serial_files  # the run actually published entries
+    assert _cache_files(parallel_dir) == serial_files
+
+
+def test_two_writer_publish_race_is_atomic(tmp_path):
+    spec = _SPECS[0]
+    result = run_spec(spec, disk_cache=False)
+    key = cache_key(spec, spec.build())
+    rounds = 50
+    errors = []
+    barrier = threading.Barrier(3)
+
+    def writer():
+        try:
+            barrier.wait()
+            for _ in range(rounds):
+                store_cached(key, result, cache_dir=tmp_path)
+        except Exception as exc:  # pragma: no cover - the failure mode
+            errors.append(exc)
+
+    def reader():
+        try:
+            barrier.wait()
+            for _ in range(rounds * 2):
+                cached = load_cached(key, cache_dir=tmp_path)
+                # A racing reader sees a miss (before first publish) or
+                # a complete entry -- never a torn file.
+                if cached is not None:
+                    assert cached == result
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer),
+               threading.Thread(target=writer),
+               threading.Thread(target=reader)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    # The published entry parses and round-trips; no scratch remains.
+    assert load_cached(key, cache_dir=tmp_path) == result
+    json.loads((tmp_path / f"{key}.json").read_text(encoding="utf-8"))
+    leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".json"]
+    assert leftovers == []
